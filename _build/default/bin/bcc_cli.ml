@@ -1,0 +1,309 @@
+(* bcc — command-line front end for the Budgeted Classifier Construction
+   library.
+
+   Subcommands:
+     generate   produce a dataset file (bestbuy | private | synthetic)
+     stats      print workload statistics for an instance file
+     solve      run A^BCC (or a baseline) on an instance file
+     compare    run A^BCC and all baselines across budgets
+     gmc3       minimum-cost classifier set reaching a utility target
+     ecc        best utility-to-cost ratio classifier set *)
+
+open Cmdliner
+module Instance = Bcc_core.Instance
+module Partial = Bcc_core.Partial
+module Overlap = Bcc_core.Overlap
+module Solution = Bcc_core.Solution
+module Solver = Bcc_core.Solver
+module Baselines = Bcc_core.Baselines
+module Gmc3 = Bcc_core.Gmc3
+module Ecc = Bcc_core.Ecc
+module Io = Bcc_data.Io
+module Workload_stats = Bcc_data.Workload_stats
+module Texttable = Bcc_util.Texttable
+
+(* --- shared args --- *)
+
+let file_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc:"Instance file.")
+
+let budget_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "b"; "budget" ] ~docv:"BUDGET" ~doc:"Override the instance budget.")
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
+
+let setup_logs verbose =
+  Fmt_tty.setup_std_outputs ();
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level (if verbose then Some Logs.Debug else Some Logs.Warning)
+
+let verbose_arg =
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Log solver progress.")
+
+let load_instance file budget =
+  let inst = Io.load file in
+  match budget with Some b -> Instance.with_budget inst b | None -> inst
+
+let pp_solution inst sol =
+  Format.printf "%a@." (Solution.pp ?names:(Instance.names inst)) sol;
+  Format.printf "verified: %b@." (Solution.verify inst sol)
+
+(* --- generate --- *)
+
+let generate_cmd =
+  let dataset =
+    Arg.(
+      required
+      & pos 0 (some (enum [ ("bestbuy", `Bestbuy); ("private", `Private); ("synthetic", `Synthetic) ])) None
+      & info [] ~docv:"DATASET" ~doc:"One of bestbuy, private, synthetic.")
+  in
+  let out =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"OUT" ~doc:"Output file.")
+  in
+  let queries =
+    Arg.(
+      value & opt (some int) None
+      & info [ "n"; "queries" ] ~docv:"N" ~doc:"Number of queries (synthetic/private).")
+  in
+  let budget =
+    Arg.(value & opt float 1000.0 & info [ "b"; "budget" ] ~docv:"BUDGET" ~doc:"Budget.")
+  in
+  let run dataset out queries budget seed =
+    let inst =
+      match dataset with
+      | `Bestbuy -> Bcc_data.Bestbuy.generate ~seed ~budget ()
+      | `Private ->
+          let params =
+            match queries with
+            | Some n -> { Bcc_data.Private_like.default_params with num_queries = n }
+            | None -> Bcc_data.Private_like.default_params
+          in
+          Bcc_data.Private_like.generate ~params ~seed ~budget ()
+      | `Synthetic ->
+          let params =
+            match queries with
+            | Some n -> { Bcc_data.Synthetic.default_params with num_queries = n }
+            | None -> { Bcc_data.Synthetic.default_params with num_queries = 10_000 }
+          in
+          Bcc_data.Synthetic.generate ~params ~seed ~budget ()
+    in
+    Io.save out inst;
+    Format.printf "%a@.wrote %s@." Instance.pp_summary inst out
+  in
+  Cmd.v
+    (Cmd.info "generate" ~doc:"Generate a dataset file.")
+    Term.(const run $ dataset $ out $ queries $ budget $ seed_arg)
+
+(* --- stats --- *)
+
+let stats_cmd =
+  let run file =
+    let inst = Io.load file in
+    Format.printf "%a@.%a@." Instance.pp_summary inst Workload_stats.pp
+      (Workload_stats.compute inst)
+  in
+  Cmd.v (Cmd.info "stats" ~doc:"Print workload statistics.") Term.(const run $ file_arg)
+
+(* --- solve --- *)
+
+let algo_arg =
+  Arg.(
+    value
+    & opt
+        (enum [ ("abcc", `Abcc); ("rand", `Rand); ("ig1", `Ig1); ("ig2", `Ig2) ])
+        `Abcc
+    & info [ "a"; "algorithm" ] ~docv:"ALGO" ~doc:"abcc (default), rand, ig1 or ig2.")
+
+let solve_cmd =
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Save the solution to a file.")
+  in
+  let run file budget algo seed verbose out =
+    setup_logs verbose;
+    let inst = load_instance file budget in
+    let sol =
+      match algo with
+      | `Abcc -> Solver.solve inst
+      | `Rand -> Baselines.rand ~seed inst Baselines.Budget
+      | `Ig1 -> Baselines.ig1 inst Baselines.Budget
+      | `Ig2 -> Baselines.ig2 inst Baselines.Budget
+    in
+    pp_solution inst sol;
+    match out with
+    | Some path ->
+        Io.save_solution path inst sol;
+        Format.printf "wrote %s@." path
+    | None -> ()
+  in
+  Cmd.v
+    (Cmd.info "solve" ~doc:"Solve the BCC problem on an instance file.")
+    Term.(const run $ file_arg $ budget_arg $ algo_arg $ seed_arg $ verbose_arg $ out)
+
+(* --- compare --- *)
+
+let compare_cmd =
+  let budgets =
+    Arg.(
+      value
+      & opt (list float) []
+      & info [ "budgets" ] ~docv:"B1,B2,..." ~doc:"Budgets to sweep (default: instance budget).")
+  in
+  let run file budgets =
+    let inst = Io.load file in
+    let budgets = if budgets = [] then [ Instance.budget inst ] else budgets in
+    let table = Texttable.create [ "budget"; "RAND"; "IG1"; "IG2"; "A^BCC" ] in
+    List.iter
+      (fun b ->
+        let inst = Instance.with_budget inst b in
+        let u sol = Printf.sprintf "%.0f" sol.Solution.utility in
+        Texttable.add_row table
+          [
+            Printf.sprintf "%.0f" b;
+            u (Baselines.rand inst Baselines.Budget);
+            u (Baselines.ig1 inst Baselines.Budget);
+            u (Baselines.ig2 inst Baselines.Budget);
+            u (Solver.solve inst);
+          ])
+      budgets;
+    Texttable.print table
+  in
+  Cmd.v
+    (Cmd.info "compare" ~doc:"Compare A^BCC against the baselines across budgets.")
+    Term.(const run $ file_arg $ budgets)
+
+(* --- gmc3 --- *)
+
+let gmc3_cmd =
+  let target =
+    Arg.(
+      required & opt (some float) None
+      & info [ "t"; "target" ] ~docv:"UTILITY" ~doc:"Utility target to reach.")
+  in
+  let run file target =
+    let inst = Io.load file in
+    let r = Gmc3.solve inst ~target in
+    Format.printf "reached: %b (budget used: %.1f)@." r.Gmc3.reached r.Gmc3.budget_used;
+    pp_solution (Instance.with_budget inst infinity) r.Gmc3.solution
+  in
+  Cmd.v
+    (Cmd.info "gmc3" ~doc:"Minimum-cost classifier set reaching a utility target.")
+    Term.(const run $ file_arg $ target)
+
+(* --- ecc --- *)
+
+let ecc_cmd =
+  let run file =
+    let inst = Io.load file in
+    let sol = Ecc.solve inst in
+    Format.printf "best utility/cost ratio: %.3f@." (Ecc.ratio_of sol);
+    pp_solution (Instance.with_budget inst infinity) sol
+  in
+  Cmd.v
+    (Cmd.info "ecc" ~doc:"Classifier set maximizing the utility-to-cost ratio.")
+    Term.(const run $ file_arg)
+
+(* --- partial / overlap extensions --- *)
+
+let partial_cmd =
+  let credit =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "linear" ] ~docv:"ALPHA" ~doc:"Linear partial credit factor (default 0.5).")
+  in
+  let threshold =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "threshold" ] ~docv:"THETA" ~doc:"Threshold credit instead of linear.")
+  in
+  let run file budget linear threshold =
+    let inst = load_instance file budget in
+    let credit =
+      match (linear, threshold) with
+      | _, Some theta -> Partial.Threshold theta
+      | Some alpha, None -> Partial.Linear alpha
+      | None, None -> Partial.Linear 0.5
+    in
+    let r = Partial.solve ~credit inst in
+    Format.printf "credited utility: %.2f@." r.Partial.credited;
+    pp_solution inst r.Partial.solution
+  in
+  Cmd.v
+    (Cmd.info "partial" ~doc:"Solve under partial-cover utilities (Section 8 extension).")
+    Term.(const run $ file_arg $ budget_arg $ credit $ threshold)
+
+let overlap_cmd =
+  let beta =
+    Arg.(
+      value & opt float 0.3
+      & info [ "beta" ] ~docv:"BETA" ~doc:"Shared-training-data discount factor.")
+  in
+  let run file budget beta =
+    let inst = load_instance file budget in
+    let r = Overlap.solve ~beta inst in
+    Format.printf "overlap-discounted cost: %.2f (budget %.2f)@." r.Overlap.overlap_cost
+      (Instance.budget inst);
+    pp_solution (Instance.with_budget inst infinity) r.Overlap.solution
+  in
+  Cmd.v
+    (Cmd.info "overlap" ~doc:"Solve under overlapping construction costs (Section 8 extension).")
+    Term.(const run $ file_arg $ budget_arg $ beta)
+
+let ingest_cmd =
+  let log_file =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"LOG" ~doc:"Query log (TSV).")
+  in
+  let out =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"OUT" ~doc:"Output instance file.")
+  in
+  let budget =
+    Arg.(value & opt float 1000.0 & info [ "b"; "budget" ] ~docv:"BUDGET" ~doc:"Budget.")
+  in
+  let run log_file out budget =
+    let inst, stats = Bcc_data.Log_parser.load ~budget log_file in
+    Format.printf "parsed %d lines -> %d distinct queries (%d dropped as too long)@."
+      stats.Bcc_data.Log_parser.lines stats.Bcc_data.Log_parser.queries
+      stats.Bcc_data.Log_parser.dropped_too_long;
+    Io.save out inst;
+    Format.printf "%a@.wrote %s@." Instance.pp_summary inst out
+  in
+  Cmd.v
+    (Cmd.info "ingest" ~doc:"Build an instance from a raw search-query log.")
+    Term.(const run $ log_file $ out $ budget)
+
+let e2e_cmd =
+  let items =
+    Arg.(value & opt int 20_000 & info [ "items" ] ~docv:"N" ~doc:"Catalog size.")
+  in
+  let budget =
+    Arg.(value & opt float 120.0 & info [ "b"; "budget" ] ~docv:"BUDGET" ~doc:"Budget.")
+  in
+  let run items budget seed =
+    let params = { Bcc_catalog.Catalog.default_params with num_items = items } in
+    let catalog = Bcc_catalog.Catalog.generate ~params ~seed () in
+    let wparams = { Bcc_catalog.Pipeline.default_workload with budget } in
+    let report = Bcc_catalog.Pipeline.run ~params:wparams catalog ~seed:(seed + 1) in
+    Format.printf "%a@." Bcc_catalog.Pipeline.pp_report report
+  in
+  Cmd.v
+    (Cmd.info "e2e" ~doc:"End-to-end simulation: solve, construct, measure result sets.")
+    Term.(const run $ items $ budget $ seed_arg)
+
+let () =
+  let doc = "Budgeted Classifier Construction (SIGMOD 2022) toolkit" in
+  let info = Cmd.info "bcc" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            generate_cmd; stats_cmd; solve_cmd; compare_cmd; gmc3_cmd; ecc_cmd;
+            partial_cmd; overlap_cmd; e2e_cmd; ingest_cmd;
+          ]))

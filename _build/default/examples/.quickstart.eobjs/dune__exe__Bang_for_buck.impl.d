@@ -1,0 +1,1 @@
+examples/bang_for_buck.ml: Bcc_core Bcc_data Bcc_util Format List Printf

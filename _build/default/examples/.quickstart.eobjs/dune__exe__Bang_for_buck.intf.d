@@ -1,0 +1,1 @@
+examples/bang_for_buck.mli:

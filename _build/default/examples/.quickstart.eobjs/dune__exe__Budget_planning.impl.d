@@ -1,0 +1,1 @@
+examples/budget_planning.ml: Bcc_core Bcc_data Bcc_util Float Format List Printf

@@ -1,0 +1,1 @@
+examples/ecommerce_search.ml: Bcc_catalog Bcc_core Format List

@@ -1,0 +1,1 @@
+examples/ecommerce_search.mli:

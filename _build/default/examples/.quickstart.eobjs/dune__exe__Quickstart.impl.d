@@ -1,0 +1,1 @@
+examples/quickstart.ml: Bcc_core Format List

@@ -1,0 +1,50 @@
+(* Quickstart: the paper's running example (Example 1.1 / Example 2.1).
+
+   An e-commerce platform sees the queries "round wooden table",
+   "wooden table" and "round table".  Classifiers for various property
+   conjunctions have different construction costs; the "wooden table"
+   classifier already exists (cost 0) and a context-free "round wooden"
+   classifier is considered impractical (infinite cost).  We ask A^BCC
+   which classifiers to build under three budgets — reproducing the
+   optimal solutions of Figure 1.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+module Instance = Bcc_core.Instance
+module Propset = Bcc_core.Propset
+module Solution = Bcc_core.Solution
+module Solver = Bcc_core.Solver
+module Symtab = Bcc_core.Symtab
+
+let () =
+  let names = Symtab.create () in
+  let p name = Symtab.intern names name in
+  let round = p "round" and wooden = p "wooden" and table = p "table" in
+  let ps = Propset.of_list in
+  (* Queries and how much the business cares about each (Figure 1). *)
+  let queries =
+    [|
+      (ps [ round; wooden; table ], 8.0);
+      (ps [ round; table ], 1.0);
+      (ps [ round; wooden ], 2.0);
+    |]
+  in
+  (* Classifier construction costs, as estimated by analysts. *)
+  let cost c =
+    let is l = Propset.equal c (ps l) in
+    if is [ round ] then 5.0
+    else if is [ wooden ] then 3.0
+    else if is [ table ] then 3.0
+    else if is [ round; wooden; table ] then 3.0
+    else if is [ round; table ] then 4.0
+    else if is [ wooden; table ] then 0.0 (* already constructed *)
+    else if is [ round; wooden ] then infinity (* impractical *)
+    else infinity
+  in
+  List.iter
+    (fun budget ->
+      let inst = Instance.create ~name:"quickstart" ~names ~budget ~queries ~cost () in
+      let sol = Solver.solve inst in
+      Format.printf "@[<v>budget %.0f:@;<1 2>%a@]@.@." budget
+        (Solution.pp ~names) sol)
+    [ 3.0; 4.0; 11.0 ]

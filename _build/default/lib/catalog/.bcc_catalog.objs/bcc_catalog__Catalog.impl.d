@@ -1,0 +1,1 @@
+lib/catalog/catalog.ml: Array Bcc_core Bcc_util Hashtbl List

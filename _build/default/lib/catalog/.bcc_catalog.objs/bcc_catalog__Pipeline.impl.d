@@ -1,0 +1,1 @@
+lib/catalog/pipeline.ml: Array Bcc_core Bcc_util Catalog Float Format List Search Trained

@@ -1,0 +1,1 @@
+lib/catalog/pipeline.mli: Bcc_core Catalog Format

@@ -1,0 +1,1 @@
+lib/catalog/search.ml: Array Bcc_core Catalog Hashtbl List Trained

@@ -1,0 +1,1 @@
+lib/catalog/search.mli: Bcc_core Catalog Trained

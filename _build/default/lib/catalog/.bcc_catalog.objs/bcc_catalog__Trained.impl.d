@@ -1,0 +1,1 @@
+lib/catalog/trained.ml: Bcc_core Bcc_util Catalog

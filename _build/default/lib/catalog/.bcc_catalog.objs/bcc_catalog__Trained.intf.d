@@ -1,0 +1,1 @@
+lib/catalog/trained.mli: Bcc_core Catalog

@@ -1,0 +1,86 @@
+module Propset = Bcc_core.Propset
+module Rng = Bcc_util.Rng
+module Zipf = Bcc_util.Zipf
+
+type t = {
+  true_props : Propset.t array;
+  explicit_props : Propset.t array;
+  num_properties : int;
+  by_true_prop : int list array; (* property -> items truly having it *)
+  by_explicit_prop : int list array;
+}
+
+type params = {
+  num_items : int;
+  num_properties : int;
+  props_per_item_lo : int;
+  props_per_item_hi : int;
+  visibility : float;
+}
+
+let default_params =
+  {
+    num_items = 20_000;
+    num_properties = 400;
+    props_per_item_lo = 3;
+    props_per_item_hi = 8;
+    visibility = 0.45;
+  }
+
+let generate ?(params = default_params) ~seed () =
+  let rng = Rng.create seed in
+  let zipf = Zipf.create ~s:0.8 params.num_properties in
+  let true_props =
+    Array.init params.num_items (fun _ ->
+        let k = Rng.int_in rng params.props_per_item_lo params.props_per_item_hi in
+        let seen = Hashtbl.create 8 in
+        let rec draw acc n =
+          if n = 0 then acc
+          else begin
+            let p = Zipf.sample zipf rng in
+            if Hashtbl.mem seen p then draw acc n
+            else begin
+              Hashtbl.add seen p ();
+              draw (p :: acc) (n - 1)
+            end
+          end
+        in
+        Propset.of_list (draw [] k))
+  in
+  let explicit_props =
+    Array.map
+      (fun props ->
+        Propset.of_list
+          (List.filter (fun _ -> Rng.float rng 1.0 < params.visibility)
+             (Propset.to_list props)))
+      true_props
+  in
+  let index props_of =
+    let idx = Array.make params.num_properties [] in
+    Array.iteri
+      (fun item props -> Propset.iter (fun p -> idx.(p) <- item :: idx.(p)) props)
+      props_of;
+    Array.map List.rev idx
+  in
+  {
+    true_props;
+    explicit_props;
+    num_properties = params.num_properties;
+    by_true_prop = index true_props;
+    by_explicit_prop = index explicit_props;
+  }
+
+let num_items (t : t) = Array.length t.true_props
+let num_properties (t : t) = t.num_properties
+let true_props (t : t) i = t.true_props.(i)
+let explicit_props (t : t) i = t.explicit_props.(i)
+
+let matches index props_of (t : t) q =
+  match Propset.to_list q with
+  | [] -> []
+  | p0 :: _ when p0 >= t.num_properties -> []
+  | p0 :: _ ->
+      List.filter (fun item -> Propset.subset q (props_of t item)) (index t p0)
+
+let ground_truth t q = matches (fun t p -> t.by_true_prop.(p)) true_props t q
+let explicit_matches t q = matches (fun t p -> t.by_explicit_prop.(p)) explicit_props t q

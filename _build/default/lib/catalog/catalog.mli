@@ -1,0 +1,39 @@
+(** An in-memory e-commerce item catalog with latent attributes.
+
+    The paper's motivating setting (Section 1): sellers upload items
+    whose true properties are only partially recorded — "wooden" is
+    evident in the photo but absent from the metadata — so conjunctive
+    search queries miss matching items until classifiers derive the
+    missing values.  This substrate simulates that world for the
+    end-to-end pipeline and examples:
+
+    - every item has a set of {e true} properties;
+    - only a fraction (the visibility) is {e explicit} (recorded);
+    - the search engine initially filters on explicit properties only. *)
+
+type t
+
+type params = {
+  num_items : int;
+  num_properties : int;
+  props_per_item_lo : int;
+  props_per_item_hi : int;
+  visibility : float;  (** probability that a true property is recorded *)
+}
+
+val default_params : params
+
+val generate : ?params:params -> seed:int -> unit -> t
+
+val num_items : t -> int
+val num_properties : t -> int
+val true_props : t -> int -> Bcc_core.Propset.t
+val explicit_props : t -> int -> Bcc_core.Propset.t
+
+val ground_truth : t -> Bcc_core.Propset.t -> int list
+(** Items whose {e true} properties contain the query — the ideal result
+    set. *)
+
+val explicit_matches : t -> Bcc_core.Propset.t -> int list
+(** Items matching on explicit (recorded) properties only — what the
+    search engine returns before any classifier is constructed. *)

@@ -1,0 +1,118 @@
+module Propset = Bcc_core.Propset
+module Instance = Bcc_core.Instance
+module Solution = Bcc_core.Solution
+module Cover = Bcc_core.Cover
+module Rng = Bcc_util.Rng
+
+type workload_params = {
+  num_queries : int;
+  max_length : int;
+  budget : float;
+  cost_scale : float;
+}
+
+let default_workload =
+  { num_queries = 300; max_length = 3; budget = 120.0; cost_scale = 4.0 }
+
+let instance_of_catalog ?(params = default_workload) catalog ~seed =
+  let rng = Rng.create seed in
+  let n_items = Catalog.num_items catalog in
+  (* Draw queries from true-property subsets of random items, so every
+     query has a non-empty ideal result set. *)
+  let queries = ref [] in
+  let seen = Propset.Tbl.create params.num_queries in
+  let attempts = ref 0 in
+  while List.length !queries < params.num_queries && !attempts < 50 * params.num_queries do
+    incr attempts;
+    let item = Rng.int rng n_items in
+    let props = Propset.to_array (Catalog.true_props catalog item) in
+    if Array.length props > 0 then begin
+      let len = min (1 + Rng.int rng params.max_length) (Array.length props) in
+      let pick = Rng.sample_without_replacement rng len (Array.length props) in
+      let q = Propset.of_list (Array.to_list (Array.map (fun i -> props.(i)) pick)) in
+      if not (Propset.Tbl.mem seen q) then begin
+        Propset.Tbl.add seen q ();
+        (* Utility: popularity proxy = ground-truth result size, jittered. *)
+        let popularity = List.length (Catalog.ground_truth catalog q) in
+        let u = float_of_int (1 + popularity) *. (0.5 +. Rng.float rng 1.0) in
+        queries := (q, Float.round (min 50.0 (max 1.0 u))) :: !queries
+      end
+    end
+  done;
+  (* Cost model: labelling effort grows with conjunction rarity (rare
+     positives need many labelled examples to hit the accuracy bar). *)
+  let cost c =
+    let positives = List.length (Catalog.ground_truth catalog c) in
+    let rarity = float_of_int n_items /. float_of_int (max positives 1) in
+    let base = params.cost_scale *. log (1.0 +. rarity) in
+    let h = Rng.create ((Propset.hash c * 977) lxor seed) in
+    Float.round (max 1.0 (base *. (0.75 +. Rng.float h 0.5)))
+  in
+  Instance.create ~name:"catalog-workload" ~budget:params.budget
+    ~queries:(Array.of_list !queries) ~cost ()
+
+type report = {
+  selected : Solution.t;
+  queries_covered : int;
+  avg_growth : float;
+  median_growth : float;
+  avg_recall_before : float;
+  avg_recall_after : float;
+  avg_precision_after : float;
+}
+
+let run ?(params = default_workload) ?(solve = fun i -> Bcc_core.Solver.solve i) catalog
+    ~seed =
+  let inst = instance_of_catalog ~params catalog ~seed in
+  let sol = solve inst in
+  (* Construct and deploy the selected classifiers. *)
+  let engine = Search.create catalog in
+  List.iter
+    (fun props ->
+      let cost = Instance.cost_of inst props in
+      let cl = Trained.construct ~seed ~props ~cost ~accuracy_floor:0.9 in
+      Search.deploy engine cl)
+    sol.Solution.classifiers;
+  (* Quality over the covered queries (the ones the selection targets). *)
+  let state = Cover.create inst in
+  List.iter (fun c -> ignore (Cover.select_set state c)) sol.Solution.classifiers;
+  let covered = Cover.covered_queries state in
+  let growths = ref [] and rb = ref [] and ra = ref [] and pa = ref [] in
+  List.iter
+    (fun qi ->
+      let q = Instance.query inst qi in
+      let quality = Search.evaluate engine q in
+      let baseline_set = Catalog.explicit_matches catalog q in
+      let truth = Catalog.ground_truth catalog q in
+      let recall_before =
+        if truth = [] then 1.0
+        else float_of_int (List.length baseline_set) /. float_of_int (List.length truth)
+      in
+      if quality.Search.growth <> infinity then growths := quality.Search.growth :: !growths;
+      rb := recall_before :: !rb;
+      ra := quality.Search.recall :: !ra;
+      pa := quality.Search.precision :: !pa)
+    covered;
+  let mean xs =
+    match xs with [] -> 0.0 | _ -> Bcc_util.Stats.mean (Array.of_list xs)
+  in
+  let median xs =
+    match xs with [] -> 0.0 | _ -> Bcc_util.Stats.median (Array.of_list xs)
+  in
+  {
+    selected = sol;
+    queries_covered = List.length covered;
+    avg_growth = mean !growths;
+    median_growth = median !growths;
+    avg_recall_before = mean !rb;
+    avg_recall_after = mean !ra;
+    avg_precision_after = mean !pa;
+  }
+
+let pp_report fmt r =
+  Format.fprintf fmt
+    "@[<v>selected %d classifiers (cost %.0f) covering %d queries@ result-set growth: avg \
+     %.2fx, median %.2fx@ recall: %.2f -> %.2f (precision after: %.2f)@]"
+    (List.length r.selected.Solution.classifiers)
+    r.selected.Solution.cost r.queries_covered r.avg_growth r.median_growth
+    r.avg_recall_before r.avg_recall_after r.avg_precision_after

@@ -1,0 +1,46 @@
+(** End-to-end pipeline: workload -> BCC -> classifier construction ->
+    search quality (the Section 6.2 "preliminary end-to-end results"
+    experiment).
+
+    Builds a BCC instance from the catalog (query utilities follow
+    popularity; classifier costs follow a labelled-examples model priced
+    by the rarity of the conjunction), solves it with a pluggable
+    solver, constructs the selected classifiers in simulation, deploys
+    them, and reports the per-query result-set growth and recall before
+    and after. *)
+
+type workload_params = {
+  num_queries : int;
+  max_length : int;
+  budget : float;
+  cost_scale : float;  (** labelled-examples-per-classifier scale *)
+}
+
+val default_workload : workload_params
+
+val instance_of_catalog :
+  ?params:workload_params -> Catalog.t -> seed:int -> Bcc_core.Instance.t
+(** Queries are drawn from co-occurring true-property conjunctions (so
+    ground-truth result sets are non-empty); a classifier's cost grows
+    with the rarity of its conjunction (rarer positives need more
+    labelled data). *)
+
+type report = {
+  selected : Bcc_core.Solution.t;
+  queries_covered : int;
+  avg_growth : float;  (** mean result-set growth over covered queries with finite growth *)
+  median_growth : float;
+  avg_recall_before : float;
+  avg_recall_after : float;
+  avg_precision_after : float;
+}
+
+val run :
+  ?params:workload_params ->
+  ?solve:(Bcc_core.Instance.t -> Bcc_core.Solution.t) ->
+  Catalog.t ->
+  seed:int ->
+  report
+(** [solve] defaults to {!Bcc_core.Solver.solve}. *)
+
+val pp_report : Format.formatter -> report -> unit

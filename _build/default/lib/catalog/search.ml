@@ -1,0 +1,64 @@
+module Propset = Bcc_core.Propset
+
+type t = {
+  catalog : Catalog.t;
+  mutable deployed : Trained.t list;
+  (* item -> positively predicted classifier property sets *)
+  positive : Propset.t list array;
+}
+
+let create catalog =
+  { catalog; deployed = []; positive = Array.make (Catalog.num_items catalog) [] }
+
+let deploy t cl =
+  t.deployed <- cl :: t.deployed;
+  for item = 0 to Catalog.num_items t.catalog - 1 do
+    if Trained.predict cl t.catalog item then
+      t.positive.(item) <- Trained.props cl :: t.positive.(item)
+  done
+
+let item_matches t item q =
+  (* Evidence: explicit properties (usable one by one) and positive
+     classifier conjunctions contained in the query. *)
+  let explicit = Catalog.explicit_props t.catalog item in
+  let covered = ref (Propset.inter explicit q) in
+  List.iter
+    (fun props -> if Propset.subset props q then covered := Propset.union !covered props)
+    t.positive.(item);
+  Propset.equal !covered q
+
+let results t q =
+  let out = ref [] in
+  for item = Catalog.num_items t.catalog - 1 downto 0 do
+    if item_matches t item q then out := item :: !out
+  done;
+  !out
+
+type quality = {
+  returned : int;
+  relevant : int;
+  true_positives : int;
+  recall : float;
+  precision : float;
+  growth : float;
+}
+
+let evaluate t q =
+  let returned_items = results t q in
+  let truth = Catalog.ground_truth t.catalog q in
+  let truth_tbl = Hashtbl.create (List.length truth) in
+  List.iter (fun i -> Hashtbl.replace truth_tbl i ()) truth;
+  let tp = List.length (List.filter (Hashtbl.mem truth_tbl) returned_items) in
+  let returned = List.length returned_items in
+  let relevant = List.length truth in
+  let baseline = List.length (Catalog.explicit_matches t.catalog q) in
+  {
+    returned;
+    relevant;
+    true_positives = tp;
+    recall = (if relevant = 0 then 1.0 else float_of_int tp /. float_of_int relevant);
+    precision = (if returned = 0 then 1.0 else float_of_int tp /. float_of_int returned);
+    growth =
+      (if baseline = 0 then if returned > 0 then infinity else 1.0
+       else float_of_int returned /. float_of_int baseline);
+  }

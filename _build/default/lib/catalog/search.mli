@@ -1,0 +1,30 @@
+(** The conjunctive search engine over a catalog, with classifier-derived
+    evidence.
+
+    An item matches a query when the query's properties are covered by
+    the item's {e evidence}: its explicit properties plus the property
+    conjunctions asserted by constructed classifiers that predicted
+    positive — exactly the coverage semantics of the BCC model (a set of
+    classifiers contained in the query whose union, together with the
+    recorded properties, reaches the whole query). *)
+
+type t
+
+val create : Catalog.t -> t
+val deploy : t -> Trained.t -> unit
+(** Apply a constructed classifier to the whole catalog (predictions are
+    cached). *)
+
+val results : t -> Bcc_core.Propset.t -> int list
+(** Result set of a query given current evidence. *)
+
+type quality = {
+  returned : int;
+  relevant : int;  (** ground-truth result-set size *)
+  true_positives : int;
+  recall : float;
+  precision : float;
+  growth : float;  (** returned / baseline explicit-only result size (inf when baseline 0) *)
+}
+
+val evaluate : t -> Bcc_core.Propset.t -> quality

@@ -1,0 +1,19 @@
+module Propset = Bcc_core.Propset
+module Rng = Bcc_util.Rng
+
+type t = { props : Propset.t; accuracy : float; noise_seed : int }
+
+let construct ~seed ~props ~cost ~accuracy_floor =
+  let accuracy =
+    if cost <= 0.0 then max accuracy_floor 0.95
+    else min 0.995 (accuracy_floor +. ((1.0 -. accuracy_floor) *. (cost /. (cost +. 2.0))))
+  in
+  { props; accuracy; noise_seed = seed lxor (Propset.hash props * 7919) }
+
+let props t = t.props
+let accuracy t = t.accuracy
+
+let predict t catalog item =
+  let truth = Propset.subset t.props (Catalog.true_props catalog item) in
+  let rng = Rng.create (t.noise_seed lxor (item * 0x2545F)) in
+  if Rng.float rng 1.0 < t.accuracy then truth else not truth

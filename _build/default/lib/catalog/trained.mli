@@ -1,0 +1,23 @@
+(** Simulated binary classifiers.
+
+    The paper's classifiers are trained on human-labelled examples; cost
+    is the labelling effort and a classifier is deployed once it reaches
+    95 % accuracy on a test set (Section 6.2).  This simulation maps a
+    construction cost to an accuracy via a saturating learning curve and
+    applies the classifier to every item with i.i.d. errors, which is
+    enough to exercise the full construct-then-search code path. *)
+
+type t
+
+val construct :
+  seed:int -> props:Bcc_core.Propset.t -> cost:float -> accuracy_floor:float -> t
+(** [accuracy_floor] is the accuracy a zero-cost (pre-existing)
+    classifier is assumed to have; paid classifiers follow
+    [min 0.995 (floor + (1-floor) * cost/(cost+2))]. *)
+
+val props : t -> Bcc_core.Propset.t
+val accuracy : t -> float
+
+val predict : t -> Catalog.t -> int -> bool
+(** Does the conjunction hold for the item?  Correct with probability
+    {!accuracy}, deterministic per (classifier, item). *)

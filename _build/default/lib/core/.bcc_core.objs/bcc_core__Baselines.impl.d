@@ -1,0 +1,1 @@
+lib/core/baselines.ml: Array Bcc_util Cover Covers Hashtbl Instance List Propset Solution

@@ -1,0 +1,1 @@
+lib/core/cover.ml: Array Instance List Propset

@@ -1,0 +1,1 @@
+lib/core/covers.ml: Array Cover Instance List Propset

@@ -1,0 +1,1 @@
+lib/core/covers.mli: Cover

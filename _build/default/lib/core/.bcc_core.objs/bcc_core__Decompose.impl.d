@@ -1,0 +1,1 @@
+lib/core/decompose.ml: Array Bcc_graph Bcc_qk Cover Covers Hashtbl Instance List

@@ -1,0 +1,1 @@
+lib/core/decompose.mli: Bcc_graph Bcc_qk Cover

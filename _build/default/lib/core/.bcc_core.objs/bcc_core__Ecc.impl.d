@@ -1,0 +1,1 @@
+lib/core/ecc.ml: Array Bcc_dks Bcc_graph Instance List Propset Solution

@@ -1,0 +1,1 @@
+lib/core/ecc.mli: Instance Solution

@@ -1,0 +1,1 @@
+lib/core/gmc3.ml: Array Bcc_setcover Cover Instance List Logs Propset Solution Solver

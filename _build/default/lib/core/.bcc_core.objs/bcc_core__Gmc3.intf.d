@@ -1,0 +1,1 @@
+lib/core/gmc3.mli: Instance Solution Solver

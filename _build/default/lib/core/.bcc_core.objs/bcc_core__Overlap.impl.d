@@ -1,0 +1,1 @@
+lib/core/overlap.ml: Array Cover Hashtbl Instance List Propset Solution Solver

@@ -1,0 +1,1 @@
+lib/core/partial.ml: Array Bcc_util Cover Instance List Propset Solution Solver

@@ -1,0 +1,1 @@
+lib/core/propset.ml: Array Format Hashtbl List Stdlib Symtab

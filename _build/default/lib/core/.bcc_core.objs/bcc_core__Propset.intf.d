@@ -1,0 +1,1 @@
+lib/core/propset.mli: Format Hashtbl Symtab

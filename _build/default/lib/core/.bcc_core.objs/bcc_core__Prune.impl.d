@@ -1,0 +1,1 @@
+lib/core/prune.ml: Array Cover Covers Instance List Propset

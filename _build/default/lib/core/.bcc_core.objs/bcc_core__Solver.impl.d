@@ -1,0 +1,1 @@
+lib/core/solver.ml: Array Baselines Bcc_knapsack Bcc_qk Bcc_setcover Bcc_util Cover Covers Decompose Hashtbl Instance List Logs Propset Prune Solution

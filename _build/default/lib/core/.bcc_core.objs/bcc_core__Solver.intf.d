@@ -1,0 +1,1 @@
+lib/core/solver.mli: Bcc_qk Instance Prune Solution

@@ -1,0 +1,25 @@
+(** The evaluation baselines of Section 6.1.
+
+    - {b RAND} picks, each iteration, a uniformly random classifier that
+      still fits (the pool drops classifiers permanently once they stop
+      fitting).
+    - {b IG1} computes, per uncovered query, the least costly set of new
+      classifiers completing its cover (exact bitmask DP over the O(1)
+      relevant sets) and selects the set maximizing query utility over
+      that cost.
+    - {b IG2} selects one classifier per iteration, maximizing the sum
+      of utilities of the uncovered queries containing it divided by its
+      cost — the adaptation of the greedy Set Cover MC3 algorithm.
+
+    A {!stop} mode turns each of them into its GMC3 ((G): reach a
+    utility target, ignore the budget) or ECC ((E): cover everything,
+    return the best-ratio prefix) variant from Section 6.3. *)
+
+type stop =
+  | Budget  (** respect the instance budget (BCC evaluation) *)
+  | Target of float  (** stop once covered utility reaches the target *)
+  | Best_ratio  (** run to full coverage, return the best utility/cost prefix *)
+
+val rand : ?seed:int -> Instance.t -> stop -> Solution.t
+val ig1 : Instance.t -> stop -> Solution.t
+val ig2 : Instance.t -> stop -> Solution.t

@@ -1,0 +1,59 @@
+(** Incremental coverage tracking.
+
+    A query [q] is covered by a classifier set [S] iff some subset of
+    [S] unions to exactly [q] — equivalently, since only classifiers
+    contained in [q] can participate (covers must union {e exactly} to
+    [q]), iff the union of the selected classifiers contained in [q]
+    equals [q] (Section 2.1, "Covering queries").
+
+    The tracker keeps one bitmask per query (length is at most 6 bits)
+    and updates affected queries through the instance's containment
+    index when a classifier is selected, so solvers and baselines pay
+    only for the queries a selection can actually touch. *)
+
+type t
+
+val create : Instance.t -> t
+val clone : t -> t
+val instance : t -> Instance.t
+
+val select : t -> int -> unit
+(** Select a classifier by id; idempotent. *)
+
+val select_traced : t -> int -> int list
+(** Like {!select}, also returning the queries that became covered by
+    this selection (needed by the greedy baselines to keep their
+    priorities exact). *)
+
+val select_set : t -> Propset.t -> bool
+(** Select by property set; [false] if the set is not a (finite-cost)
+    classifier of the instance. *)
+
+val is_selected : t -> int -> bool
+val selected : t -> int list
+(** Selected classifier ids, ascending. *)
+
+val spent : t -> float
+(** Total cost of the selection. *)
+
+val is_covered : t -> int -> bool
+val mask : t -> int -> int
+(** Bitmask over the query's sorted positions marking covered
+    properties. *)
+
+val full_mask : t -> int -> int
+(** The all-covered mask for the query. *)
+
+val residual : t -> int -> Propset.t
+(** Properties of the query not yet covered by selected classifiers
+    contained in it — the residual part to cover (Section 4.2,
+    Example 4.8). *)
+
+val covered_utility : t -> float
+val covered_count : t -> int
+val covered_queries : t -> int list
+val uncovered_queries : t -> int list
+
+val utility_of_selection : Instance.t -> Propset.t list -> float
+(** From-scratch oracle: total utility covered by a classifier list
+    (sets not in the universe are ignored). *)

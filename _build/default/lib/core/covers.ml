@@ -1,0 +1,80 @@
+type candidate = { id : int; bits : int }
+
+let candidates state ?(allowed = fun _ -> true) qi =
+  let inst = Cover.instance state in
+  let q = Instance.query inst qi in
+  let residual = Cover.residual state qi in
+  let target = Propset.positions_in residual q in
+  if target = 0 then ([], 0)
+  else begin
+    let out = ref [] in
+    List.iter
+      (fun c ->
+        match Instance.classifier_id inst c with
+        | Some id when (not (Cover.is_selected state id)) && allowed id ->
+            let bits = Propset.positions_in c q land target in
+            if bits <> 0 then out := { id; bits } :: !out
+        | _ -> ())
+      (Propset.subsets q);
+    (!out, target)
+  end
+
+let cheapest_cover state ?allowed qi =
+  let inst = Cover.instance state in
+  let cands, target = candidates state ?allowed qi in
+  if target = 0 then None
+  else begin
+    let size = target + 1 in
+    let dp = Array.make size infinity in
+    let parent = Array.make size (-1, -1) in
+    dp.(0) <- 0.0;
+    let cands = Array.of_list cands in
+    (* dp over submasks of [target]: because each transition ORs bits in,
+       filling masks in ascending order with per-candidate relaxation
+       from [m land lnot bits] is exact. *)
+    for m = 1 to target do
+      if m land target = m then
+        Array.iteri
+          (fun ci { id; bits } ->
+            if bits land m <> 0 then begin
+              let prev = m land lnot bits land target in
+              if dp.(prev) < infinity then begin
+                let c = dp.(prev) +. Instance.cost inst id in
+                if c < dp.(m) then begin
+                  dp.(m) <- c;
+                  parent.(m) <- (ci, prev)
+                end
+              end
+            end)
+          cands
+    done;
+    if dp.(target) = infinity then None
+    else begin
+      let ids = ref [] in
+      let m = ref target in
+      while !m <> 0 do
+        let ci, prev = parent.(!m) in
+        ids := cands.(ci).id :: !ids;
+        m := prev
+      done;
+      Some (dp.(target), List.sort_uniq compare !ids)
+    end
+  end
+
+let one_covers cands ~target =
+  List.filter (fun { bits; _ } -> bits land target = target) cands
+
+let two_covers cands ~target =
+  let cands = Array.of_list cands in
+  let n = Array.length cands in
+  let out = ref [] in
+  for i = 0 to n - 1 do
+    if cands.(i).bits land target <> target then
+      for j = i + 1 to n - 1 do
+        if
+          cands.(j).bits land target <> target
+          && (cands.(i).bits lor cands.(j).bits) land target = target
+        then out := (cands.(i), cands.(j)) :: !out
+      done
+  done;
+  !out

@@ -1,0 +1,167 @@
+module Graph = Bcc_graph.Graph
+
+type knapsack_part = {
+  values : float array;  (* cheapest-credit values *)
+  values_all : float array;  (* every-1-cover-credited values *)
+  weights : float array;
+  item_classifier : int array;
+}
+
+type qk_part = { qk : Bcc_qk.Qk.instance; node_classifier : int array }
+
+let leverage_scores g =
+  let n = Graph.n g in
+  let x = Array.make n (1.0 /. float_of_int (max n 1)) in
+  let y = Array.make n 0.0 in
+  for _ = 1 to 40 do
+    Array.fill y 0 n 0.0;
+    Graph.iter_edges g (fun u v w ->
+        y.(v) <- y.(v) +. (w *. x.(u));
+        y.(u) <- y.(u) +. (w *. x.(v)));
+    let norm = sqrt (Array.fold_left (fun acc z -> acc +. (z *. z)) 0.0 y) in
+    if norm > 0.0 then Array.iteri (fun i z -> x.(i) <- z /. norm) y
+  done;
+  Array.init n (fun v -> (x.(v) *. x.(v)) +. (1e-9 *. Graph.weighted_degree g v))
+
+let build ?(allowed = fun _ -> true) ?(max_qk_nodes = 50_000) state ~budget =
+  let inst = Cover.instance state in
+  let item_value : (int, float ref) Hashtbl.t = Hashtbl.create 256 in
+  let item_value_all : (int, float ref) Hashtbl.t = Hashtbl.create 256 in
+  let edges : (int * int, float ref) Hashtbl.t = Hashtbl.create 256 in
+  let bump tbl key u =
+    match Hashtbl.find_opt tbl key with
+    | Some cell -> cell := !cell +. u
+    | None -> Hashtbl.add tbl key (ref u)
+  in
+  (* Each query's utility is credited to its cheapest affordable 1-cover
+     and cheapest affordable 2-cover.  Crediting every cover (as a
+     literal reading of the paper would) makes the knapsack/QK
+     objectives overcount queries with several equivalent covers, which
+     poisons their internal comparisons; the realized-utility arbiter in
+     the solver remains the ground truth either way. *)
+  List.iter
+    (fun qi ->
+      let cands, target = Covers.candidates state ~allowed qi in
+      if target <> 0 then begin
+        let u = Instance.utility inst qi in
+        let cost_of (c : Covers.candidate) = Instance.cost inst c.id in
+        let best_one = ref None in
+        List.iter
+          (fun (c : Covers.candidate) ->
+            if cost_of c <= budget then begin
+              bump item_value_all c.id u;
+              match !best_one with
+              | Some c' when cost_of c' <= cost_of c -> ()
+              | _ -> best_one := Some c
+            end)
+          (Covers.one_covers cands ~target);
+        (match !best_one with Some c -> bump item_value c.id u | None -> ());
+        let best_two = ref None in
+        List.iter
+          (fun ((a : Covers.candidate), (b : Covers.candidate)) ->
+            let cost = cost_of a +. cost_of b in
+            if cost <= budget then
+              match !best_two with
+              | Some (_, _, c') when c' <= cost -> ()
+              | _ -> best_two := Some (a, b, cost))
+          (Covers.two_covers cands ~target);
+        match !best_two with
+        | Some (a, b, _) ->
+            let key = (min a.id b.id, max a.id b.id) in
+            bump edges key u
+        | None -> ()
+      end)
+    (Cover.uncovered_queries state);
+  (* Knapsack part: only affordable items are worth carrying. *)
+  let items =
+    Hashtbl.fold
+      (fun id cell acc ->
+        if Instance.cost inst id <= budget then (id, !cell) :: acc else acc)
+      item_value_all []
+  in
+  let items = List.sort (fun (a, _) (b, _) -> compare a b) items in
+  let item_classifier = Array.of_list (List.map fst items) in
+  let values_all = Array.of_list (List.map snd items) in
+  let values =
+    Array.map
+      (fun id -> match Hashtbl.find_opt item_value id with Some c -> !c | None -> 0.0)
+      item_classifier
+  in
+  let weights = Array.map (fun id -> Instance.cost inst id) item_classifier in
+  (* QK part: nodes are the classifiers participating in some 2-cover,
+     plus the knapsack items, plus a zero-cost virtual node whose edges
+     carry each item's 1-cover value.  The virtual node costs nothing,
+     so the QK objective sees the combined utility of selecting a node
+     both as a 2-cover endpoint and as a 1-cover — cross-subproblem
+     synergy the strict Knapsack/QK split would miss. *)
+  let node_of : (int, int) Hashtbl.t = Hashtbl.create 256 in
+  let rev_nodes = ref [] in
+  let next = ref 0 in
+  let intern id =
+    match Hashtbl.find_opt node_of id with
+    | Some v -> v
+    | None ->
+        let v = !next in
+        incr next;
+        Hashtbl.add node_of id v;
+        rev_nodes := id :: !rev_nodes;
+        v
+  in
+  let edge_list =
+    Hashtbl.fold
+      (fun (a, b) cell acc ->
+        if Instance.cost inst a <= budget && Instance.cost inst b <= budget then
+          (a, b, !cell) :: acc
+        else acc)
+      edges []
+  in
+  let edge_list = List.sort compare edge_list in
+  List.iter
+    (fun (a, b, _) ->
+      ignore (intern a);
+      ignore (intern b))
+    edge_list;
+  Array.iter (fun id -> ignore (intern id)) item_classifier;
+  let node_classifier = Array.of_list (List.rev !rev_nodes) in
+  let n = Array.length node_classifier in
+  let has_items = Array.length item_classifier > 0 in
+  let total_nodes = if has_items then n + 1 else n in
+  let builder = Graph.builder total_nodes in
+  Array.iteri
+    (fun v id -> Graph.set_node_cost builder v (Instance.cost inst id))
+    node_classifier;
+  List.iter
+    (fun (a, b, w) ->
+      Graph.add_edge builder (Hashtbl.find node_of a) (Hashtbl.find node_of b) w)
+    edge_list;
+  if has_items then begin
+    let vz = n in
+    Graph.set_node_cost builder vz 0.0;
+    Array.iteri
+      (fun i id ->
+        if values.(i) > 0.0 then
+          Graph.add_edge builder vz (Hashtbl.find node_of id) values.(i))
+      item_classifier
+  end;
+  let g = Graph.build builder in
+  let node_classifier =
+    if has_items then Array.append node_classifier [| -1 |] else node_classifier
+  in
+  (* Second pruning procedure: cap the QK graph by leverage scores. *)
+  let g, node_classifier =
+    if Graph.n g <= max_qk_nodes then (g, node_classifier)
+    else begin
+      let n = Graph.n g in
+      let scores = leverage_scores g in
+      let order = Array.init n (fun v -> v) in
+      Array.sort (fun a b -> compare scores.(b) scores.(a)) order;
+      let keep = Array.make n false in
+      Array.iteri (fun rank v -> if rank < max_qk_nodes then keep.(v) <- true) order;
+      (* Never prune the virtual 1-cover node. *)
+      Array.iteri (fun v id -> if id = -1 then keep.(v) <- true) node_classifier;
+      let g', back = Graph.subgraph g keep in
+      (g', Array.map (fun v -> node_classifier.(v)) back)
+    end
+  in
+  ( { values; values_all; weights; item_classifier },
+    { qk = { Bcc_qk.Qk.graph = g; budget }; node_classifier } )

@@ -1,0 +1,51 @@
+(** Decomposition of (residual) BCC into the BCC(1) and BCC(2)
+    subproblems (Section 4, Observations 4.2–4.4, extended to residual
+    problems per Section 4.2 / Example 4.8).
+
+    Given the current cover state, every uncovered query [q] has a
+    residual property set [r]; a classifier contained in [q] whose bits
+    cover all of [r] is a residual {e 1-cover} (a Knapsack item), and a
+    pair of classifiers jointly covering [r] with neither sufficient
+    alone is a residual {e 2-cover} (a QK edge).  With an empty
+    selection and [l = 2] this specializes exactly to the paper's
+    Knapsack and QK instances of Example 4.5.
+
+    The same query may appear both as an item and as edges, and a
+    length->2 query may have several overlapping 2-covers — the paper
+    accepts this bounded overcounting and repairs redundancy with the
+    MC3 local-search step. *)
+
+type knapsack_part = {
+  values : float array;
+      (** cheapest-credit: each query's utility credited only to its
+          cheapest affordable 1-cover (avoids overcounting when several
+          equivalent covers are all selected) *)
+  values_all : float array;
+      (** all-credit: every 1-cover receives the query's utility (the
+          paper's literal reading; captures one classifier 1-covering
+          several queries at the price of bounded overcounting) *)
+  weights : float array;
+  item_classifier : int array;  (** item index -> classifier id *)
+}
+
+type qk_part = {
+  qk : Bcc_qk.Qk.instance;
+  node_classifier : int array;
+      (** QK node -> classifier id; [-1] marks the zero-cost virtual
+          node whose edges carry the 1-cover (knapsack item) values,
+          letting QK optimize the combined BCC(1)+BCC(2) objective *)
+}
+
+val build :
+  ?allowed:(int -> bool) ->
+  ?max_qk_nodes:int ->
+  Cover.t ->
+  budget:float ->
+  knapsack_part * qk_part
+(** [allowed] filters the candidate classifiers (pruning, Section 4.2);
+    [max_qk_nodes] caps the QK graph size by spectral leverage scores
+    (the paper's second pruning procedure, default 50_000). *)
+
+val leverage_scores : Bcc_graph.Graph.t -> float array
+(** Power-iteration leverage proxy: squared leading-eigenvector entries
+    blended with weighted degree; used to rank QK nodes for pruning. *)

@@ -1,0 +1,30 @@
+(** [A^ECC] — Effective Classifier Construction (Definition 5.2,
+    Theorem 5.4): maximize the ratio of covered utility to construction
+    cost.
+
+    Following the proof of Theorem 5.4, the algorithm compares two
+    candidates and returns the better ratio:
+
+    - the densest-subgraph solution over the cover hypergraph — vertices
+      are classifiers of length below the instance's [l] (weighted by
+      cost, plus the zero-cost auxiliary vertex [v*] that absorbs
+      singleton covers), hyperedges are minimal covers of each query
+      (weighted by utility) — solved {e exactly} when every cover is a
+      pair (the [l <= 2] regime, matching the theorem's PTIME claim) via
+      {!Bcc_dks.Densest.exact_graph}, and with the greedy peeling of
+      [35] otherwise;
+    - the single classifier identical to some query with the best
+      utility-to-cost ratio (the length-[l] candidate of the proof).
+
+    Minimal covers are enumerated exhaustively up to size 3 for queries
+    of length at most 4; longer queries contribute their covers of size
+    at most 2 and the all-singleton cover (a documented cap — such
+    queries are rare in all the paper's workloads). *)
+
+val solve : Instance.t -> Solution.t
+(** The returned utility and cost are recomputed from scratch (so the
+    hypergraph's overcounting never leaks into the reported ratio). *)
+
+val ratio_of : Solution.t -> float
+(** utility / cost; [infinity] for a free solution with positive
+    utility, [0] for the empty solution. *)

@@ -1,0 +1,32 @@
+let solve ?(max_classifiers = 26) inst =
+  let n = Instance.num_classifiers inst in
+  if n > max_classifiers then invalid_arg "Exact.solve: too many classifiers";
+  let budget = Instance.budget inst in
+  let total = Instance.total_utility inst in
+  let best_utility = ref (-1.0) in
+  let best_ids = ref [] in
+  let best_cost = ref infinity in
+  let rec go id state =
+    let covered = Cover.covered_utility state in
+    let spent = Cover.spent state in
+    if
+      covered > !best_utility +. 1e-12
+      || (covered > !best_utility -. 1e-12 && spent < !best_cost -. 1e-12)
+    then begin
+      best_utility := covered;
+      best_cost := spent;
+      best_ids := Cover.selected state
+    end;
+    if id < n && covered +. (total -. covered) > !best_utility +. 1e-12 then begin
+      (* The bound [total] is loose but sound; tight enough for test
+         sizes. *)
+      if Instance.cost inst id <= budget -. spent +. 1e-12 then begin
+        let state' = Cover.clone state in
+        Cover.select state' id;
+        go (id + 1) state'
+      end;
+      go (id + 1) state
+    end
+  in
+  go 0 (Cover.create inst);
+  Solution.of_ids inst !best_ids

@@ -1,0 +1,9 @@
+(** Exhaustive BCC solver — branch and bound over classifier subsets.
+
+    The test oracle and the "brute force (with pruning)" comparator of
+    the paper's Figure 3d experiment.  Exponential in the number of
+    classifiers; guarded by [max_classifiers]. *)
+
+val solve : ?max_classifiers:int -> Instance.t -> Solution.t
+(** @raise Invalid_argument when the instance has more than
+    [max_classifiers] (default 26) finite-cost classifiers. *)

@@ -1,0 +1,26 @@
+(** [A^GMC3] — Generalized MC3 (Definition 5.1, Theorem 5.3): the
+    classifier set of minimum cost whose covered utility reaches a
+    target [T].
+
+    As in the paper's implementation (Section 6.3), the naive
+    "try every budget" scheme of the proof is replaced by a {e binary
+    search} for the smallest budget at which [A^BCC] reaches the
+    target, over a range bounded above by the MC3 full-cover cost; when
+    the heuristic falls short even at the upper bound, the iterative
+    residual-covering loop of Theorem 5.3 accumulates solutions until
+    the target is met. *)
+
+type result = {
+  solution : Solution.t;
+  reached : bool;  (** did the covered utility reach the target? *)
+  budget_used : float;  (** final budget handed to the underlying [A^BCC] *)
+}
+
+val full_cover_cost : Instance.t -> float option
+(** Cost of an MC3 cover of {e all} queries — the budget upper bound the
+    paper derives from the solution of [23]; [None] when some query is
+    uncoverable. *)
+
+val solve :
+  ?options:Solver.options -> ?search_steps:int -> Instance.t -> target:float -> result
+(** [search_steps] bounds the binary search (default 10). *)

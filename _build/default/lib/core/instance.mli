@@ -1,0 +1,66 @@
+(** A BCC problem instance ⟨Q, U, C, B⟩ (Section 2.1).
+
+    Queries are property sets with utilities; the classifier universe
+    [CL] is derived as the union of the (non-empty) power sets of all
+    queries, with costs supplied by a cost oracle at construction time.
+    Classifiers the oracle prices at [infinity] are "impractical to
+    construct" and are omitted from the universe (as in Example 2.1's
+    [C(XY) = ∞]).
+
+    The instance also materializes the containment index — for every
+    classifier, which queries contain it — which every solver and
+    baseline in this library relies on. *)
+
+type t
+
+val create :
+  ?name:string ->
+  ?names:Symtab.t ->
+  budget:float ->
+  queries:(Propset.t * float) array ->
+  cost:(Propset.t -> float) ->
+  unit ->
+  t
+(** Duplicate queries are merged (utilities summed); empty queries are
+    dropped.  @raise Invalid_argument on a negative utility, negative
+    cost or negative budget. *)
+
+val name : t -> string
+val names : t -> Symtab.t option
+val budget : t -> float
+val with_budget : t -> float -> t
+(** Same instance under a different budget (O(1), structure shared). *)
+
+(** {1 Queries} *)
+
+val num_queries : t -> int
+val query : t -> int -> Propset.t
+val utility : t -> int -> float
+val total_utility : t -> float
+val max_length : t -> int
+(** The length parameter [l]. *)
+
+val num_properties : t -> int
+(** [n = |P|], the number of distinct properties. *)
+
+(** {1 Classifiers} *)
+
+val num_classifiers : t -> int
+val classifier : t -> int -> Propset.t
+val cost : t -> int -> float
+val classifier_id : t -> Propset.t -> int option
+val cost_of : t -> Propset.t -> float
+(** [infinity] when the classifier is not in the universe. *)
+
+val queries_containing : t -> int -> int array
+(** Query ids whose property set contains the classifier — the
+    classifiers relevant to covering those queries. *)
+
+(** {1 Derived instances} *)
+
+val restrict : t -> int list -> t
+(** Sub-instance on the given query ids (deduplicated); classifier
+    costs are inherited.  Used for residual problems, GMC3 iterations
+    and brute-force comparisons on sub-domains. *)
+
+val pp_summary : Format.formatter -> t -> unit

@@ -1,0 +1,39 @@
+(** Overlapping construction costs — the second future-work extension of
+    Section 8 ("generalizing the cost function to capture overlaps in
+    classifier construction").
+
+    The base model charges classifiers independently, although in
+    practice classifiers testing shared properties can share labelled
+    training data (Section 2.1's discussion).  This extension models
+    that: a classifier's base cost is spread evenly over its property
+    slots, and when several selected classifiers test the same property,
+    every occurrence except the most expensive one is discounted by a
+    factor [beta] (the shared-data saving).
+
+    Formally, for a selection [S] and property [p], let
+    [occ(p) = { c in S | p in c }] and [share(c) = base(c) / |c|]; then
+
+    [cost_beta(S) = sum over p of (max share over occ(p))
+                    + (1 - beta) * (sum of the remaining shares)]
+
+    With [beta = 0] this is exactly the paper's independent-sum cost;
+    the marginal cost of a classifier never increases as [S] grows, so
+    the budget-capped ratio greedy below is a natural heuristic. *)
+
+val set_cost : ?beta:float -> Instance.t -> int list -> float
+(** Overlap-discounted cost of a classifier-id selection.  [beta]
+    defaults to 0.3.  @raise Invalid_argument if [beta] is outside
+    [0, 1]. *)
+
+val marginal_cost : ?beta:float -> Instance.t -> selected:int list -> int -> float
+(** Additional overlap-discounted cost of adding one classifier. *)
+
+type result = { solution : Solution.t; overlap_cost : float }
+(** [solution.cost] remains the independent-sum cost; [overlap_cost] is
+    the discounted cost actually charged against the budget. *)
+
+val solve : ?beta:float -> Instance.t -> result
+(** Overlap-aware budget-capped greedy (marginal utility over marginal
+    discounted cost), compared against plain {!Solver.solve} re-priced
+    under the overlap model (independent-cost solutions only get cheaper,
+    so they stay feasible); the higher-utility feasible result wins. *)

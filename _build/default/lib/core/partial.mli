@@ -1,0 +1,46 @@
+(** Partial-cover utilities — the first future-work extension of
+    Section 8 ("generalizing our model to account for utility in partial
+    covers of queries").
+
+    The base model pays a query's utility only on an exact cover,
+    because partially conforming results can hurt satisfaction [31].
+    This extension interpolates: a {!credit} function maps the covered
+    fraction [f] of a query's properties to a share of its utility.
+
+    - [Strict] — the paper's all-or-nothing semantics (credit = utility
+      iff [f = 1]); the extension then coincides with plain BCC.
+    - [Linear alpha] — a partially covered query yields
+      [alpha * f * utility] (full utility at [f = 1]); [alpha] below 1
+      encodes that partial conformance is worth less than its fraction.
+    - [Threshold theta] — full utility once [f >= theta], nothing below
+      (e.g. "covering 2 of 3 filters is already useful").
+
+    With a concave credit the objective is monotone submodular, so the
+    cost-ratio greedy of {!solve} (with the best-single-pick fallback)
+    carries the classic [(1 - 1/e)/2]-style guarantee; for [Threshold]
+    it is a heuristic. *)
+
+type credit =
+  | Strict
+  | Linear of float
+  | Threshold of float
+
+val credit_value : credit -> utility:float -> covered:int -> length:int -> float
+(** Credited utility of one query given how many of its properties are
+    covered.  @raise Invalid_argument on a [Linear] factor or
+    [Threshold] outside [0, 1]. *)
+
+val credited_utility : credit -> Cover.t -> float
+(** Total credited utility of a cover state. *)
+
+val credited_of : credit -> Instance.t -> Propset.t list -> float
+(** From-scratch oracle for a classifier list. *)
+
+type result = { solution : Solution.t; credited : float }
+
+val solve : ?credit:credit -> Instance.t -> result
+(** Budget-capped greedy by marginal credited utility per cost (exact
+    incremental gain maintenance), compared against the best single
+    classifier and — because partial credit only adds to strict
+    coverage — against the plain {!Solver.solve} output; the best
+    credited result wins.  [credit] defaults to [Linear 0.5]. *)

@@ -1,0 +1,25 @@
+(** Classifier pruning — the first preprocessing procedure of
+    Algorithm 1 (Section 4.2).
+
+    A classifier of length [r > 1] is dropped when its singleton pieces
+    are all available and together cost at most a threshold:
+
+    - [`Lossless] (the default): threshold = the classifier's own cost.
+      Replacing the classifier by its singletons then never costs more
+      and never covers less, so the optimum is preserved exactly.
+    - [`Paper]: threshold = [r] times the cost — the paper's rule, which
+      prunes far more (with uniform costs only singletons survive) at a
+      provably bounded loss.  Used by the scalability experiments
+      (Figures 3e/3f).
+
+    The paper's budget guard is honoured in both modes: if pruning
+    would leave some query with no affordable cover, the longer
+    classifiers relevant to that query are kept. *)
+
+type mode = [ `Lossless | `Paper ]
+
+val rule1 : ?budget:float -> ?mode:mode -> Instance.t -> bool array
+(** [rule1 inst] returns the keep-mask over classifier ids.  [budget]
+    defaults to the instance budget. *)
+
+val kept_count : bool array -> int

@@ -1,0 +1,38 @@
+type t = { classifiers : Propset.t list; cost : float; utility : float }
+
+let empty = { classifiers = []; cost = 0.0; utility = 0.0 }
+
+let of_sets inst sets =
+  let sets =
+    List.sort_uniq Propset.compare
+      (List.filter (fun c -> Instance.classifier_id inst c <> None) sets)
+  in
+  let cost = List.fold_left (fun acc c -> acc +. Instance.cost_of inst c) 0.0 sets in
+  { classifiers = sets; cost; utility = Cover.utility_of_selection inst sets }
+
+let of_ids inst ids =
+  of_sets inst (List.map (fun id -> Instance.classifier inst id) ids)
+
+let feasible inst t = t.cost <= Instance.budget inst +. 1e-6
+
+let verify inst t =
+  let fresh = of_sets inst t.classifiers in
+  feasible inst t
+  && abs_float (fresh.cost -. t.cost) < 1e-6
+  && abs_float (fresh.utility -. t.utility) < 1e-6
+  && List.length fresh.classifiers = List.length (List.sort_uniq Propset.compare t.classifiers)
+
+let better a b =
+  if a.utility > b.utility +. 1e-12 then a
+  else if b.utility > a.utility +. 1e-12 then b
+  else if a.cost <= b.cost then a
+  else b
+
+let pp ?names fmt t =
+  Format.fprintf fmt "@[<v>cost=%g utility=%g classifiers={" t.cost t.utility;
+  List.iteri
+    (fun i c ->
+      if i > 0 then Format.fprintf fmt ", ";
+      Propset.pp ?names fmt c)
+    t.classifiers;
+  Format.fprintf fmt "}@]"

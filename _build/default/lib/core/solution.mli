@@ -1,0 +1,29 @@
+(** BCC solutions: a classifier set with its recomputed cost and the
+    utility of the queries it covers. *)
+
+type t = {
+  classifiers : Propset.t list;  (** the selected classifier sets *)
+  cost : float;
+  utility : float;
+}
+
+val of_ids : Instance.t -> int list -> t
+(** Build from classifier ids, recomputing cost and utility from
+    scratch. *)
+
+val of_sets : Instance.t -> Propset.t list -> t
+(** Build from property sets; sets outside the instance's classifier
+    universe are dropped. *)
+
+val feasible : Instance.t -> t -> bool
+(** Within budget (up to a 1e-6 tolerance). *)
+
+val verify : Instance.t -> t -> bool
+(** Recompute cost and utility from scratch and compare; also checks
+    feasibility.  Every test asserts this on every solver output. *)
+
+val empty : t
+val better : t -> t -> t
+(** Higher utility wins; ties go to lower cost. *)
+
+val pp : ?names:Symtab.t -> Format.formatter -> t -> unit

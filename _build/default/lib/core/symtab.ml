@@ -1,0 +1,26 @@
+type t = { ids : (string, int) Hashtbl.t; mutable names : string array; mutable size : int }
+
+let create () = { ids = Hashtbl.create 256; names = Array.make 16 ""; size = 0 }
+
+let intern t s =
+  match Hashtbl.find_opt t.ids s with
+  | Some id -> id
+  | None ->
+      let id = t.size in
+      if id >= Array.length t.names then begin
+        let grown = Array.make (2 * Array.length t.names) "" in
+        Array.blit t.names 0 grown 0 id;
+        t.names <- grown
+      end;
+      t.names.(id) <- s;
+      t.size <- id + 1;
+      Hashtbl.add t.ids s id;
+      id
+
+let find t s = Hashtbl.find_opt t.ids s
+
+let name t id =
+  if id < 0 || id >= t.size then invalid_arg "Symtab.name: unknown id";
+  t.names.(id)
+
+let size t = t.size

@@ -1,0 +1,17 @@
+(** Property interning: bidirectional string <-> int table.
+
+    Properties ("wooden", "table", ...) are referenced everywhere by
+    dense integer ids; this table assigns ids and remembers the names
+    for pretty-printing. *)
+
+type t
+
+val create : unit -> t
+val intern : t -> string -> int
+(** Id of the name, allocating a fresh one on first sight. *)
+
+val find : t -> string -> int option
+val name : t -> int -> string
+(** @raise Invalid_argument on an unknown id. *)
+
+val size : t -> int

@@ -1,0 +1,1 @@
+lib/data/bestbuy.ml: Array Bcc_core Bcc_util Costs Float Hashtbl

@@ -1,0 +1,1 @@
+lib/data/bestbuy.mli: Bcc_core

@@ -1,0 +1,1 @@
+lib/data/costs.ml: Bcc_core Bcc_util Float

@@ -1,0 +1,1 @@
+lib/data/costs.mli: Bcc_core

@@ -1,0 +1,1 @@
+lib/data/io.ml: Array Bcc_core Filename Fun List Printf String

@@ -1,0 +1,1 @@
+lib/data/io.mli: Bcc_core

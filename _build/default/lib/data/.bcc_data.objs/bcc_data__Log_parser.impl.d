@@ -1,0 +1,1 @@
+lib/data/log_parser.ml: Array Bcc_core Costs Filename Fun Hashtbl List String

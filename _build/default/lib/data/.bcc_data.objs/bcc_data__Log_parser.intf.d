@@ -1,0 +1,1 @@
+lib/data/log_parser.mli: Bcc_core

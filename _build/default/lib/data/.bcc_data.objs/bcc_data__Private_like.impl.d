@@ -1,0 +1,1 @@
+lib/data/private_like.ml: Array Bcc_core Bcc_util Costs Float Hashtbl List

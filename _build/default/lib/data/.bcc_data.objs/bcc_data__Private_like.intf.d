@@ -1,0 +1,1 @@
+lib/data/private_like.mli: Bcc_core

@@ -1,0 +1,1 @@
+lib/data/synthetic.ml: Array Bcc_core Bcc_util Costs

@@ -1,0 +1,1 @@
+lib/data/synthetic.mli: Bcc_core

@@ -1,0 +1,1 @@
+lib/data/workload_stats.ml: Array Bcc_core Format

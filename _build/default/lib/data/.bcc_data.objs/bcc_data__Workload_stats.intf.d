@@ -1,0 +1,1 @@
+lib/data/workload_stats.mli: Bcc_core Format

@@ -1,0 +1,62 @@
+module Instance = Bcc_core.Instance
+module Propset = Bcc_core.Propset
+module Rng = Bcc_util.Rng
+module Zipf = Bcc_util.Zipf
+
+type params = {
+  num_queries : int;
+  num_properties : int;
+  len1_fraction : float;
+  len2_fraction : float;
+  zipf_exponent : float;
+  max_search_count : float;
+}
+
+let default_params =
+  {
+    num_queries = 1000;
+    num_properties = 725;
+    len1_fraction = 0.65;
+    len2_fraction = 0.30;
+    zipf_exponent = 0.5;
+    max_search_count = 1000.0;
+  }
+
+let generate ?(params = default_params) ~seed ~budget () =
+  let rng = Rng.create seed in
+  (* A mild Zipf over properties keeps the workload sparse (most
+     properties recur only once or twice) while letting a few popular
+     properties connect queries. *)
+  let prop_zipf = Zipf.create ~s:params.zipf_exponent params.num_properties in
+  let draw_props len =
+    let seen = Hashtbl.create 4 in
+    let rec go acc k =
+      if k = 0 then acc
+      else begin
+        let p = Zipf.sample prop_zipf rng in
+        if Hashtbl.mem seen p then go acc k
+        else begin
+          Hashtbl.add seen p ();
+          go (p :: acc) (k - 1)
+        end
+      end
+    in
+    go [] len
+  in
+  let popularity = Zipf.create ~s:1.0 params.num_queries in
+  let queries =
+    Array.init params.num_queries (fun i ->
+        let r = Rng.float rng 1.0 in
+        let len =
+          if r < params.len1_fraction then 1
+          else if r < params.len1_fraction +. params.len2_fraction then 2
+          else 3
+        in
+        (* Search count: Zipf weight of the query's popularity rank,
+           scaled to [1, max_search_count]. *)
+        let count =
+          Float.round (max 1.0 (params.max_search_count *. Zipf.weight popularity i))
+        in
+        (Propset.of_list (draw_props len), count))
+  in
+  Instance.create ~name:"bestbuy" ~budget ~queries ~cost:(Costs.uniform 1.0) ()

@@ -1,0 +1,27 @@
+(** The BestBuy-like (BB) dataset generator.
+
+    The public BestBuy workload used by the paper (and by [18, 23]) is
+    not redistributable and no network access is available here, so this
+    generator reproduces every statistic the paper reports about it
+    (Section 6.1):
+
+    - roughly 1000 queries over 725 distinct properties
+      (electronics-domain);
+    - average query length 1.4; 65 % of queries of length 1 and more
+      than 95 % of length at most 2;
+    - utility = the query's search count — Zipf-distributed popularity;
+    - no published classifier costs, hence uniform costs;
+    - very sparse: each property appears in only a couple of queries. *)
+
+type params = {
+  num_queries : int;
+  num_properties : int;
+  len1_fraction : float;
+  len2_fraction : float;  (** remainder is length 3 *)
+  zipf_exponent : float;
+  max_search_count : float;
+}
+
+val default_params : params
+
+val generate : ?params:params -> seed:int -> budget:float -> unit -> Bcc_core.Instance.t

@@ -1,0 +1,27 @@
+module Propset = Bcc_core.Propset
+module Rng = Bcc_util.Rng
+
+let hash_stream ~seed c =
+  (* One-off generator keyed by (seed, set) — stable across runs. *)
+  Rng.create ((Propset.hash c * 0x9E3779B1) lxor seed)
+
+let uniform cost _ = cost
+
+let hashed_uniform ~seed ~lo ~hi c =
+  let rng = hash_stream ~seed c in
+  float_of_int (Rng.int_in rng (int_of_float lo) (int_of_float hi))
+
+let hashed_skewed ~seed ~mean ~cap c =
+  let rng = hash_stream ~seed c in
+  let u = Rng.float rng 1.0 in
+  let x = -.mean *. log (max (1.0 -. u) 1e-12) in
+  Float.round (min x cap)
+
+let subadditive ~seed ~singleton ~discount c =
+  if Propset.length c <= 1 then singleton c
+  else begin
+    let base = Propset.fold (fun acc p -> acc +. singleton (Propset.singleton p)) 0.0 c in
+    let rng = hash_stream ~seed c in
+    let jitter = 0.8 +. Rng.float rng 0.4 in
+    Float.round (max 1.0 (discount *. base *. jitter))
+  end

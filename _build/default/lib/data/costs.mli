@@ -1,0 +1,27 @@
+(** Deterministic cost oracles for generated datasets.
+
+    Instance construction takes a pure [Propset.t -> float] oracle; these
+    helpers derive stable pseudo-random costs from a hash of the
+    property set and a seed, so regenerating a dataset from the same
+    seed yields identical costs for every classifier. *)
+
+val uniform : float -> Bcc_core.Propset.t -> float
+(** Constant cost for every classifier (the BestBuy setting: no cost
+    data published, so uniform costs are assumed — Section 6.1). *)
+
+val hashed_uniform :
+  seed:int -> lo:float -> hi:float -> Bcc_core.Propset.t -> float
+(** Uniform integer cost in [lo, hi] derived from the set's hash. *)
+
+val hashed_skewed :
+  seed:int -> mean:float -> cap:float -> Bcc_core.Propset.t -> float
+(** Exponentially distributed integer cost with the given mean, capped —
+    matches the Private dataset's "range [0, 50], average roughly 8". *)
+
+val subadditive :
+  seed:int -> singleton:(Bcc_core.Propset.t -> float) -> discount:float ->
+  Bcc_core.Propset.t -> float
+(** Costs for longer classifiers: [discount] times the sum of the
+    member singleton costs, jittered by the set hash — capturing that a
+    conjunction classifier ("wooden table") tends to cost less than its
+    parts because the feature space is narrower (Example 1.1). *)

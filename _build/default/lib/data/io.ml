@@ -1,0 +1,120 @@
+module Instance = Bcc_core.Instance
+module Propset = Bcc_core.Propset
+module Symtab = Bcc_core.Symtab
+
+let prop_name inst p =
+  match Instance.names inst with
+  | Some tbl -> Symtab.name tbl p
+  | None -> string_of_int p
+
+let save path inst =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      Printf.fprintf oc "# bcc instance %s\n" (Instance.name inst);
+      Printf.fprintf oc "budget %.9g\n" (Instance.budget inst);
+      for qi = 0 to Instance.num_queries inst - 1 do
+        let q = Instance.query inst qi in
+        let names = List.map (prop_name inst) (Propset.to_list q) in
+        Printf.fprintf oc "query %s %.9g\n" (String.concat ";" names)
+          (Instance.utility inst qi)
+      done;
+      for id = 0 to Instance.num_classifiers inst - 1 do
+        let c = Instance.classifier inst id in
+        let names = List.map (prop_name inst) (Propset.to_list c) in
+        Printf.fprintf oc "classifier %s %.9g\n" (String.concat ";" names)
+          (Instance.cost inst id)
+      done)
+
+let load path =
+  let ic = open_in path in
+  let names = Symtab.create () in
+  let budget = ref 0.0 in
+  let queries = ref [] in
+  let costs = Propset.Tbl.create 256 in
+  let parse_props s =
+    Propset.of_list (List.map (Symtab.intern names) (String.split_on_char ';' s))
+  in
+  let parse_float what s =
+    match float_of_string_opt s with
+    | Some f -> f
+    | None -> if s = "inf" then infinity else failwith ("Io.load: bad " ^ what ^ ": " ^ s)
+  in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      (try
+         while true do
+           let line = String.trim (input_line ic) in
+           if line <> "" && line.[0] <> '#' then begin
+             match String.split_on_char ' ' line with
+             | [ "budget"; b ] -> budget := parse_float "budget" b
+             | [ "query"; props; u ] ->
+                 queries := (parse_props props, parse_float "utility" u) :: !queries
+             | [ "classifier"; props; c ] ->
+                 Propset.Tbl.replace costs (parse_props props) (parse_float "cost" c)
+             | _ -> failwith ("Io.load: malformed line: " ^ line)
+           end
+         done
+       with End_of_file -> ());
+      let cost c =
+        match Propset.Tbl.find_opt costs c with Some x -> x | None -> infinity
+      in
+      Instance.create
+        ~name:(Filename.remove_extension (Filename.basename path))
+        ~names ~budget:!budget
+        ~queries:(Array.of_list (List.rev !queries))
+        ~cost ())
+
+module Solution = Bcc_core.Solution
+
+let save_solution path inst (sol : Solution.t) =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      Printf.fprintf oc "# bcc solution for instance %s\n" (Instance.name inst);
+      Printf.fprintf oc "# cost %.9g utility %.9g\n" sol.Solution.cost sol.Solution.utility;
+      List.iter
+        (fun c ->
+          let names = List.map (prop_name inst) (Propset.to_list c) in
+          Printf.fprintf oc "select %s %.9g\n" (String.concat ";" names)
+            (Instance.cost_of inst c))
+        sol.Solution.classifiers)
+
+let load_solution inst path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let name_to_id =
+        match Instance.names inst with
+        | Some tbl -> fun s -> (
+            match Symtab.find tbl s with
+            | Some id -> id
+            | None -> failwith ("Io.load_solution: unknown property " ^ s))
+        | None -> fun s -> (
+            match int_of_string_opt s with
+            | Some id -> id
+            | None -> failwith ("Io.load_solution: unknown property " ^ s))
+      in
+      let sets = ref [] in
+      (try
+         while true do
+           let line = String.trim (input_line ic) in
+           if line <> "" && line.[0] <> '#' then begin
+             match String.split_on_char ' ' line with
+             | [ "select"; props; _cost ] ->
+                 let set =
+                   Propset.of_list
+                     (List.map name_to_id (String.split_on_char ';' props))
+                 in
+                 if Instance.classifier_id inst set = None then
+                   failwith "Io.load_solution: classifier not in the instance universe";
+                 sets := set :: !sets
+             | _ -> failwith ("Io.load_solution: malformed line: " ^ line)
+           end
+         done
+       with End_of_file -> ());
+      Solution.of_sets inst !sets)

@@ -1,0 +1,70 @@
+module Instance = Bcc_core.Instance
+module Propset = Bcc_core.Propset
+module Symtab = Bcc_core.Symtab
+
+type stats = { lines : int; queries : int; dropped_too_long : int }
+
+let tokenize s =
+  String.split_on_char ' ' (String.lowercase_ascii s)
+  |> List.filter_map (fun w ->
+         let w = String.trim w in
+         if w = "" then None else Some w)
+
+let parse_string ?(max_length = 6) text =
+  let names = Symtab.create () in
+  let merged = Propset.Tbl.create 256 in
+  let lines = ref 0 and dropped = ref 0 in
+  List.iter
+    (fun line ->
+      let line = String.trim line in
+      if line <> "" && line.[0] <> '#' then begin
+        incr lines;
+        let query_text, count =
+          match String.index_opt line '\t' with
+          | Some i ->
+              let count_str = String.trim (String.sub line (i + 1) (String.length line - i - 1)) in
+              (match float_of_string_opt count_str with
+              | Some c when c >= 0.0 -> (String.sub line 0 i, c)
+              | _ -> failwith ("Log_parser: malformed count: " ^ count_str))
+          | None -> (line, 1.0)
+        in
+        let words = tokenize query_text in
+        if words = [] then ()
+        else if List.length (List.sort_uniq compare words) > max_length then incr dropped
+        else begin
+          let q = Propset.of_list (List.map (Symtab.intern names) words) in
+          let prev = try Propset.Tbl.find merged q with Not_found -> 0.0 in
+          Propset.Tbl.replace merged q (prev +. count)
+        end
+      end)
+    (String.split_on_char '\n' text);
+  let queries = Propset.Tbl.fold (fun q c acc -> (q, c) :: acc) merged [] in
+  let queries = List.sort (fun (a, _) (b, _) -> Propset.compare a b) queries in
+  ( names,
+    Array.of_list queries,
+    { lines = !lines; queries = List.length queries; dropped_too_long = !dropped } )
+
+let default_cost ~seed =
+  let singleton = Costs.hashed_skewed ~seed ~mean:8.0 ~cap:50.0 in
+  Costs.subadditive ~seed:(seed lxor 0xC0), singleton
+
+let load ?max_length ?cost ~budget path =
+  let ic = open_in path in
+  let text =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let names, queries, stats = parse_string ?max_length text in
+  let cost =
+    match cost with
+    | Some f -> f
+    | None ->
+        let seed = Hashtbl.hash path in
+        let sub, singleton = default_cost ~seed in
+        sub ~singleton ~discount:0.6
+  in
+  ( Instance.create
+      ~name:(Filename.remove_extension (Filename.basename path))
+      ~names ~budget ~queries ~cost (),
+    stats )

@@ -1,0 +1,38 @@
+(** Search-log ingestion: turn a raw query log into a BCC instance.
+
+    This is the front door a platform would actually use: the paper's
+    workloads are search-engine logs where each line is a query string
+    and its frequency (BestBuy's "number of times each query was
+    searched" becomes the utility, Section 6.1).
+
+    Accepted line formats (blank lines and [#] comments ignored):
+    {v
+    wooden table<TAB>35        # tab-separated count
+    running shoes              # no count: frequency 1
+    v}
+    Query strings are lowercased and tokenized on whitespace; duplicate
+    tokens within a query collapse; repeated queries accumulate their
+    counts.  Queries longer than [max_length] (default 6, the paper's
+    cap) are dropped, mirroring "companies do not allocate resources for
+    such rare queries". *)
+
+type stats = {
+  lines : int;
+  queries : int;  (** distinct after merging *)
+  dropped_too_long : int;
+}
+
+val parse_string :
+  ?max_length:int -> string -> Bcc_core.Symtab.t * (Bcc_core.Propset.t * float) array * stats
+(** Parse log text into (symbol table, merged (query, frequency) pairs,
+    stats).  @raise Failure on a malformed count. *)
+
+val load :
+  ?max_length:int ->
+  ?cost:(Bcc_core.Propset.t -> float) ->
+  budget:float ->
+  string ->
+  Bcc_core.Instance.t * stats
+(** Read a log file and build an instance.  [cost] defaults to the
+    skewed analyst-style oracle of {!Costs.hashed_skewed} (mean 8,
+    cap 50) with sub-additive conjunctions, seeded by the file name. *)

@@ -1,0 +1,109 @@
+module Instance = Bcc_core.Instance
+module Propset = Bcc_core.Propset
+module Rng = Bcc_util.Rng
+module Zipf = Bcc_util.Zipf
+
+type params = {
+  num_queries : int;
+  num_properties : int;
+  num_anchors : int;
+  cost_mean : float;
+  cost_cap : float;
+  free_classifier_fraction : float;
+  utility_cap : float;
+}
+
+let default_params =
+  {
+    num_queries = 5000;
+    num_properties = 2000;
+    num_anchors = 600;
+    cost_mean = 8.0;
+    cost_cap = 50.0;
+    free_classifier_fraction = 0.03;
+    utility_cap = 50.0;
+  }
+
+let generate ?(params = default_params) ~seed ~budget () =
+  let rng = Rng.create seed in
+  let prop_zipf = Zipf.create ~s:0.9 params.num_properties in
+  let draw_props len =
+    let seen = Hashtbl.create 4 in
+    let rec go acc k =
+      if k = 0 then acc
+      else begin
+        let p = Zipf.sample prop_zipf rng in
+        if Hashtbl.mem seen p then go acc k
+        else begin
+          Hashtbl.add seen p ();
+          go (p :: acc) (k - 1)
+        end
+      end
+    in
+    go [] len
+  in
+  let clamp_utility u = Float.round (min params.utility_cap (max 1.0 u)) in
+  let queries = ref [] in
+  let emit q u = queries := (q, clamp_utility u) :: !queries in
+  (* Anchor families: a popular conjunction of length 2-5 plus its
+     length-1 and length-2 subqueries with correlated (higher)
+     popularity — subqueries are more general, hence searched more. *)
+  let emitted = ref 0 in
+  let anchor_rank = Zipf.create ~s:1.0 params.num_anchors in
+  for a = 0 to params.num_anchors - 1 do
+    if !emitted < params.num_queries then begin
+      let len = 2 + Rng.int rng 4 (* 2..5 *) in
+      let props = draw_props len in
+      let anchor = Propset.of_list props in
+      let base = 5.0 +. (300.0 *. Zipf.weight anchor_rank a) in
+      emit anchor base;
+      incr emitted;
+      (* Singleton subqueries. *)
+      List.iter
+        (fun p ->
+          if !emitted < params.num_queries && Rng.float rng 1.0 < 0.8 then begin
+            emit (Propset.singleton p) (base *. (1.5 +. Rng.float rng 1.5));
+            incr emitted
+          end)
+        props;
+      (* A couple of length-2 subqueries. *)
+      let pairs = ref [] in
+      List.iteri
+        (fun i p -> List.iteri (fun j q -> if i < j then pairs := (p, q) :: !pairs) props)
+        props;
+      List.iteri
+        (fun i (p, q) ->
+          if i < 2 && !emitted < params.num_queries && Rng.float rng 1.0 < 0.7 then begin
+            emit (Propset.of_list [ p; q ]) (base *. (1.2 +. Rng.float rng 1.0));
+            incr emitted
+          end)
+        !pairs
+    end
+  done;
+  (* Fill the remainder with independent queries at the published length
+     mix (55 % length 1, >95 % length <= 2). *)
+  while !emitted < params.num_queries do
+    let r = Rng.float rng 1.0 in
+    let len =
+      if r < 0.55 then 1
+      else if r < 0.95 then 2
+      else if r < 0.98 then 3
+      else if r < 0.995 then 4
+      else 5
+    in
+    emit (Propset.of_list (draw_props len)) (1.0 +. Rng.float rng 30.0);
+    incr emitted
+  done;
+  let singleton_cost =
+    Costs.hashed_skewed ~seed:(seed lxor 0x9A1) ~mean:params.cost_mean ~cap:params.cost_cap
+  in
+  let base_cost =
+    Costs.subadditive ~seed:(seed lxor 0x5AB) ~singleton:singleton_cost ~discount:0.5
+  in
+  let cost c =
+    (* A small fraction of classifiers already exist (cost 0). *)
+    let h = Rng.create ((Propset.hash c * 31) lxor seed lxor 0xF4EE) in
+    if Rng.float h 1.0 < params.free_classifier_fraction then 0.0
+    else min (base_cost c) params.cost_cap
+  in
+  Instance.create ~name:"private-like" ~budget ~queries:(Array.of_list !queries) ~cost ()

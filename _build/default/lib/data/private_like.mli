@@ -1,0 +1,33 @@
+(** The Private-like (P) dataset generator.
+
+    The paper's Private dataset (5K priority queries from a large
+    e-commerce company's Q1-2021 search logs) is proprietary; this
+    generator reproduces every statistic the paper publishes about it
+    (Sections 6.1–6.2):
+
+    - 5K queries over 2K distinct properties, lengths 1–5;
+    - 55 % of the queries of length 1, more than 95 % of length at most
+      2;
+    - classifier costs in [0, 50] with average around 8 (skewed), a few
+      already-constructed classifiers at cost 0, conjunction classifiers
+      slightly cheaper than the sum of their parts (Example 1.1);
+    - analyst utility scores scaled into [1, 50], combining category
+      importance and search frequency;
+    - the structural property the paper highlights: {e popular queries
+      have popular subqueries} ("black Adidas shoes" implies "Adidas
+      shoes" and "black shoes") — realized by generating popular anchor
+      conjunctions and then emitting their subqueries with correlated
+      utilities. *)
+
+type params = {
+  num_queries : int;
+  num_properties : int;
+  num_anchors : int;  (** popular long conjunctions seeding subquery families *)
+  cost_mean : float;
+  cost_cap : float;
+  free_classifier_fraction : float;
+  utility_cap : float;
+}
+
+val default_params : params
+val generate : ?params:params -> seed:int -> budget:float -> unit -> Bcc_core.Instance.t

@@ -1,0 +1,45 @@
+module Instance = Bcc_core.Instance
+module Propset = Bcc_core.Propset
+module Rng = Bcc_util.Rng
+
+type params = {
+  num_queries : int;
+  num_properties : int;
+  max_length : int;
+  cost_lo : float;
+  cost_hi : float;
+  utility_lo : float;
+  utility_hi : float;
+}
+
+let default_params =
+  {
+    num_queries = 100_000;
+    num_properties = 10_000;
+    max_length = 6;
+    cost_lo = 0.0;
+    cost_hi = 50.0;
+    utility_lo = 1.0;
+    utility_hi = 50.0;
+  }
+
+(* Geometric length: P(i) = 1/2^i, redrawn above the cap. *)
+let rec draw_length rng max_length =
+  let rec flips i = if i >= 30 || Rng.bool rng then i else flips (i + 1) in
+  let len = 1 + flips 0 in
+  if len > max_length then draw_length rng max_length else len
+
+let generate ?(params = default_params) ~seed ~budget () =
+  let rng = Rng.create seed in
+  let queries =
+    Array.init params.num_queries (fun _ ->
+        let len = draw_length rng params.max_length in
+        let props = Rng.sample_without_replacement rng len params.num_properties in
+        let u =
+          float_of_int
+            (Rng.int_in rng (int_of_float params.utility_lo) (int_of_float params.utility_hi))
+        in
+        (Propset.of_array props, u))
+  in
+  let cost = Costs.hashed_uniform ~seed:(seed lxor 0x51DE) ~lo:params.cost_lo ~hi:params.cost_hi in
+  Instance.create ~name:"synthetic" ~budget ~queries ~cost ()

@@ -1,0 +1,26 @@
+(** The Synthetic (S) dataset generator — the exact recipe of
+    Section 6.1:
+
+    - query length [i] with probability [1/2^i], lengths above 6
+      redrawn (companies do not target such rare queries);
+    - properties drawn uniformly from a pool;
+    - utilities: integers uniform in [1, 50];
+    - classifier costs: integers uniform in [0, 50] (stable per
+      classifier via a hashed oracle);
+    - the dataset is regenerated (new seed) for each experiment. *)
+
+type params = {
+  num_queries : int;
+  num_properties : int;
+  max_length : int;
+  cost_lo : float;
+  cost_hi : float;
+  utility_lo : float;
+  utility_hi : float;
+}
+
+val default_params : params
+(** 100_000 queries over 10_000 properties, as in the paper (benches
+    scale [num_queries] down; EXPERIMENTS.md records the scaling). *)
+
+val generate : ?params:params -> seed:int -> budget:float -> unit -> Bcc_core.Instance.t

@@ -1,0 +1,55 @@
+module Instance = Bcc_core.Instance
+module Propset = Bcc_core.Propset
+
+type t = {
+  num_queries : int;
+  num_properties : int;
+  num_classifiers : int;
+  max_length : int;
+  avg_length : float;
+  length_fractions : float array;
+  total_utility : float;
+  avg_cost : float;
+  zero_cost_classifiers : int;
+}
+
+let compute inst =
+  let nq = Instance.num_queries inst in
+  let max_length = Instance.max_length inst in
+  let counts = Array.make (max max_length 1) 0 in
+  let total_len = ref 0 in
+  for qi = 0 to nq - 1 do
+    let len = Propset.length (Instance.query inst qi) in
+    counts.(len - 1) <- counts.(len - 1) + 1;
+    total_len := !total_len + len
+  done;
+  let ncl = Instance.num_classifiers inst in
+  let cost_sum = ref 0.0 and zero = ref 0 in
+  for id = 0 to ncl - 1 do
+    let c = Instance.cost inst id in
+    cost_sum := !cost_sum +. c;
+    if c <= 0.0 then incr zero
+  done;
+  {
+    num_queries = nq;
+    num_properties = Instance.num_properties inst;
+    num_classifiers = ncl;
+    max_length;
+    avg_length = (if nq = 0 then 0.0 else float_of_int !total_len /. float_of_int nq);
+    length_fractions =
+      Array.map (fun c -> if nq = 0 then 0.0 else float_of_int c /. float_of_int nq) counts;
+    total_utility = Instance.total_utility inst;
+    avg_cost = (if ncl = 0 then 0.0 else !cost_sum /. float_of_int ncl);
+    zero_cost_classifiers = !zero;
+  }
+
+let pp fmt t =
+  Format.fprintf fmt
+    "@[<v>queries: %d@ properties: %d@ classifiers: %d (%d free)@ max length: %d@ avg \
+     length: %.2f@ total utility: %g@ avg classifier cost: %.2f@ length mix:"
+    t.num_queries t.num_properties t.num_classifiers t.zero_cost_classifiers t.max_length
+    t.avg_length t.total_utility t.avg_cost;
+  Array.iteri
+    (fun i f -> Format.fprintf fmt "@ %d: %.1f%%" (i + 1) (100.0 *. f))
+    t.length_fractions;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,18 @@
+(** Workload shape statistics — used by tests to assert that the
+    generators reproduce the statistics the paper reports (Section 6.1)
+    and by the CLI's [stats] command. *)
+
+type t = {
+  num_queries : int;
+  num_properties : int;
+  num_classifiers : int;
+  max_length : int;
+  avg_length : float;
+  length_fractions : float array;  (** index [i] = fraction of queries of length i+1 *)
+  total_utility : float;
+  avg_cost : float;
+  zero_cost_classifiers : int;
+}
+
+val compute : Bcc_core.Instance.t -> t
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/dks/densest.ml: Array Bcc_graph Bcc_util

@@ -1,0 +1,1 @@
+lib/dks/densest.mli: Bcc_graph

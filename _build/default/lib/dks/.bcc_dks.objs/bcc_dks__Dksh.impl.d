@@ -1,0 +1,1 @@
+lib/dks/dksh.ml: Array Bcc_graph Bcc_util

@@ -1,0 +1,1 @@
+lib/dks/dksh.mli: Bcc_graph

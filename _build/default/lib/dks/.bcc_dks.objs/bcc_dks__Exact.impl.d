@@ -1,0 +1,1 @@
+lib/dks/exact.ml: Array Bcc_graph List

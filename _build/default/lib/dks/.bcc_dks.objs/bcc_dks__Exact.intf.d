@@ -1,0 +1,1 @@
+lib/dks/exact.mli: Bcc_graph

@@ -1,0 +1,1 @@
+lib/dks/hks.ml: Array Bcc_graph Bcc_util List

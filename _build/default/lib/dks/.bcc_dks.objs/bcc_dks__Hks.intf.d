@@ -1,0 +1,1 @@
+lib/dks/hks.mli: Bcc_graph

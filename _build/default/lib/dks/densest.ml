@@ -1,0 +1,128 @@
+module Hypergraph = Bcc_graph.Hypergraph
+module Graph = Bcc_graph.Graph
+module Closure = Bcc_graph.Closure
+module Heap = Bcc_util.Heap
+
+let ratio_of weight cost =
+  if cost > 1e-12 then weight /. cost else if weight > 1e-12 then infinity else 0.0
+
+let peel h =
+  let n = Hypergraph.n h in
+  if n = 0 then ([||], 0.0)
+  else begin
+    let alive = Array.make n true in
+    let missing = Array.make (Hypergraph.m h) 0 in
+    let cur_weight = ref (Hypergraph.total_edge_weight h) in
+    let cur_cost = ref 0.0 in
+    for v = 0 to n - 1 do
+      cur_cost := !cur_cost +. Hypergraph.node_cost h v
+    done;
+    let best_sel = ref (Array.copy alive) in
+    let best_ratio = ref (ratio_of !cur_weight !cur_cost) in
+    let heap = Heap.create n in
+    let degree v =
+      Array.fold_left
+        (fun acc e -> if missing.(e) = 0 then acc +. Hypergraph.edge_weight h e else acc)
+        0.0 (Hypergraph.incident_edges h v)
+    in
+    (* Peel the node whose removal hurts the ratio least: smallest
+       degree loss per unit of cost saved.  Zero-cost nodes with zero
+       degree are removed first (they can never help); zero-cost nodes
+       with positive degree are kept forever (priority infinity). *)
+    let priority v =
+      let d = degree v and c = Hypergraph.node_cost h v in
+      if c > 1e-12 then d /. c else if d > 1e-12 then infinity else -1.0
+    in
+    for v = 0 to n - 1 do
+      Heap.insert heap v (priority v)
+    done;
+    let continue_ = ref true in
+    while !continue_ do
+      match Heap.pop heap with
+      | None -> continue_ := false
+      | Some (v, _) ->
+          alive.(v) <- false;
+          cur_cost := !cur_cost -. Hypergraph.node_cost h v;
+          Array.iter
+            (fun e ->
+              if missing.(e) = 0 then begin
+                cur_weight := !cur_weight -. Hypergraph.edge_weight h e;
+                Array.iter
+                  (fun u ->
+                    if u <> v && alive.(u) && Heap.mem heap u then begin
+                      (* Degree of [u] dropped; refresh its priority. *)
+                      let d = ref 0.0 in
+                      Array.iter
+                        (fun e' -> if missing.(e') = 0 && e' <> e then d := !d +. Hypergraph.edge_weight h e')
+                        (Hypergraph.incident_edges h u);
+                      let c = Hypergraph.node_cost h u in
+                      let p =
+                        if c > 1e-12 then !d /. c else if !d > 1e-12 then infinity else -1.0
+                      in
+                      Heap.update heap u p
+                    end)
+                  (Hypergraph.edge_nodes h e)
+              end;
+              missing.(e) <- missing.(e) + 1)
+            (Hypergraph.incident_edges h v);
+          let r = ratio_of !cur_weight !cur_cost in
+          if r > !best_ratio then begin
+            best_ratio := r;
+            best_sel := Array.copy alive
+          end
+    done;
+    (!best_sel, !best_ratio)
+  end
+
+let exact_graph g =
+  let n = Graph.n g in
+  let m = Graph.m g in
+  if n = 0 || m = 0 then (Array.make n false, 0.0)
+  else begin
+    let edges = Graph.edges g in
+    (* Closure network: one project node per edge (profit w), machines =
+       graph nodes (cost lambda * c). *)
+    let solve_at lambda =
+      let weights = Array.make (n + m) 0.0 in
+      for v = 0 to n - 1 do
+        weights.(v) <- -.(lambda *. Graph.node_cost g v)
+      done;
+      let arcs = ref [] in
+      Array.iteri
+        (fun e (u, v, w) ->
+          weights.(n + e) <- w;
+          arcs := (n + e, u) :: (n + e, v) :: !arcs)
+        edges;
+      let value, sel = Closure.solve ~weights ~edges:!arcs in
+      (value, Array.sub sel 0 n)
+    in
+    (* Zero-cost positive-weight subgraphs have infinite density. *)
+    let huge = 1e12 in
+    let v_inf, sel_inf = solve_at huge in
+    if v_inf > 1e-3 then (sel_inf, infinity)
+    else begin
+      let density sel =
+        let w = Graph.induced_weight g sel and c = Graph.induced_cost g sel in
+        ratio_of w c
+      in
+      let lambda = ref 0.0 in
+      let best_sel = ref (Array.make n false) in
+      let continue_ = ref true in
+      let rounds = ref 0 in
+      while !continue_ && !rounds < 100 do
+        incr rounds;
+        let value, sel = solve_at !lambda in
+        let nonempty = Array.exists (fun b -> b) sel in
+        if value > 1e-9 && nonempty then begin
+          let d = density sel in
+          if d > !lambda +. 1e-12 then begin
+            lambda := d;
+            best_sel := sel
+          end
+          else continue_ := false
+        end
+        else continue_ := false
+      done;
+      (!best_sel, !lambda)
+    end
+  end

@@ -1,0 +1,24 @@
+(** Densest-Subgraph (ratio objective) greedy peeling on weighted
+    hypergraphs.
+
+    This is the engine of the ECC algorithm (Theorem 5.4): maximize
+    [edge weight / node cost] over all subhypergraphs.  We implement the
+    greedy [r]-approximation of Hu, Wu & Chan [35] (the paper's authors
+    likewise used the greedy variant, not the exact flow algorithms):
+    repeatedly peel the node with the smallest degree-to-cost
+    contribution and return the best prefix encountered. *)
+
+val peel : Bcc_graph.Hypergraph.t -> bool array * float
+(** Returns the best selection found and its ratio.  Zero-cost selections
+    with positive weight yield [infinity].  An empty hypergraph yields
+    ([[||]], 0). *)
+
+val exact_graph : Bcc_graph.Graph.t -> bool array * float
+(** Exact densest subgraph on ordinary graphs (edge weight over node
+    cost), via Dinkelbach iteration on the parametric maximum-weight
+    closure: a subgraph of density above [lambda] exists iff the closure
+    with edge profits [w_e] and node costs [lambda * c_v] has positive
+    value.  Each iteration is one min-cut; Dinkelbach converges after
+    finitely many (each strictly increases the ratio).  This realizes
+    the exact PTIME algorithm Theorem 5.4 relies on for [l = 2]
+    (the paper cites the flow-based algorithms of [35]). *)

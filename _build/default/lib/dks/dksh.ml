@@ -1,0 +1,45 @@
+module Hypergraph = Bcc_graph.Hypergraph
+module Heap = Bcc_util.Heap
+
+let value = Hypergraph.induced_weight
+
+let peel h ~k =
+  let n = Hypergraph.n h in
+  let alive = Array.make n true in
+  let remaining = ref n in
+  if k >= n then Array.make n true
+  else begin
+    (* missing.(e): number of dropped nodes of edge e; an edge contributes
+       to degrees only while fully alive. *)
+    let missing = Array.make (Hypergraph.m h) 0 in
+    let heap = Heap.create n in
+    let degree v =
+      Array.fold_left
+        (fun acc e -> if missing.(e) = 0 then acc +. Hypergraph.edge_weight h e else acc)
+        0.0 (Hypergraph.incident_edges h v)
+    in
+    for v = 0 to n - 1 do
+      Heap.insert heap v (degree v)
+    done;
+    while !remaining > max k 0 do
+      match Heap.pop heap with
+      | None -> remaining := max k 0
+      | Some (v, _) ->
+          alive.(v) <- false;
+          decr remaining;
+          Array.iter
+            (fun e ->
+              if missing.(e) = 0 then begin
+                (* The edge just died: its weight leaves the degree of
+                   every other alive member. *)
+                Array.iter
+                  (fun u ->
+                    if u <> v && alive.(u) && Heap.mem heap u then
+                      Heap.add_to heap u (-.Hypergraph.edge_weight h e))
+                  (Hypergraph.edge_nodes h e)
+              end;
+              missing.(e) <- missing.(e) + 1)
+            (Hypergraph.incident_edges h v)
+    done;
+    alive
+  end

@@ -1,0 +1,12 @@
+(** Densest-k-Subhypergraph (DkSH) greedy peeling.
+
+    [BCC(l>=3)] restricted to the [I_l] inputs of Definition 3.2 is
+    exactly DkSH (Theorem 3.3); this solver backs that special case and
+    the corresponding tests. *)
+
+val peel : Bcc_graph.Hypergraph.t -> k:int -> bool array
+(** Keep [k] nodes: repeatedly drop the node with the smallest total
+    weight of still-fully-alive incident hyperedges. *)
+
+val value : Bcc_graph.Hypergraph.t -> bool array -> float
+(** Total weight of hyperedges whose nodes are all selected. *)

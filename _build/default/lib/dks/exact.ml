@@ -1,0 +1,121 @@
+module Graph = Bcc_graph.Graph
+module Hypergraph = Bcc_graph.Hypergraph
+
+let popcount mask =
+  let rec go m acc = if m = 0 then acc else go (m lsr 1) (acc + (m land 1)) in
+  go mask 0
+
+let sel_of_mask n mask = Array.init n (fun v -> mask land (1 lsl v) <> 0)
+
+let dks g ~k =
+  let n = Graph.n g in
+  if n > 30 then invalid_arg "Exact.dks: too many nodes";
+  let best_mask = ref 0 and best_value = ref neg_infinity in
+  for mask = 0 to (1 lsl n) - 1 do
+    if popcount mask = min k n then begin
+      let sel = sel_of_mask n mask in
+      let v = Graph.induced_weight g sel in
+      if v > !best_value then begin
+        best_value := v;
+        best_mask := mask
+      end
+    end
+  done;
+  (sel_of_mask n !best_mask, max !best_value 0.0)
+
+let qk g ~budget =
+  let n = Graph.n g in
+  if n > 30 then invalid_arg "Exact.qk: too many nodes";
+  let best_mask = ref 0 and best_value = ref 0.0 in
+  for mask = 0 to (1 lsl n) - 1 do
+    let sel = sel_of_mask n mask in
+    if Graph.induced_cost g sel <= budget +. 1e-9 then begin
+      let v = Graph.induced_weight g sel in
+      if v > !best_value then begin
+        best_value := v;
+        best_mask := mask
+      end
+    end
+  done;
+  (sel_of_mask n !best_mask, !best_value)
+
+let densest_ratio h =
+  let n = Hypergraph.n h in
+  if n > 20 then invalid_arg "Exact.densest_ratio: too many nodes";
+  let best_sel = ref (Array.make n false) and best_ratio = ref neg_infinity in
+  for mask = 1 to (1 lsl n) - 1 do
+    let sel = sel_of_mask n mask in
+    let w = Hypergraph.induced_weight h sel and c = Hypergraph.induced_cost h sel in
+    let ratio = if c > 0.0 then w /. c else if w > 0.0 then infinity else 0.0 in
+    if ratio > !best_ratio then begin
+      best_ratio := ratio;
+      best_sel := sel
+    end
+  done;
+  (!best_sel, !best_ratio)
+
+let dks_bnb g ~k =
+  let n = Graph.n g in
+  let k = min k n in
+  if k <= 0 then (Array.make n false, 0.0)
+  else begin
+    (* Branch order: heaviest vertices first tighten the bound early. *)
+    let order = Array.init n (fun v -> v) in
+    Array.sort (fun a b -> compare (Graph.weighted_degree g b) (Graph.weighted_degree g a)) order;
+    let pos = Array.make n 0 in
+    Array.iteri (fun i v -> pos.(v) <- i) order;
+    let chosen = Array.make n false in
+    let best_sel = ref (Array.make n false) in
+    let best = ref neg_infinity in
+    (* weight_into.(v): current weight from v into the chosen set. *)
+    let weight_into = Array.make n 0.0 in
+    (* For the bound: half of v's weight toward vertices not yet decided
+       (recomputed lazily against the DFS frontier). *)
+    let rec dfs i taken current =
+      if current > !best then begin
+        best := current;
+        best_sel := Array.copy chosen
+      end;
+      if i < n && taken < k then begin
+        let slots = k - taken in
+        (* Upper bound: the [slots] best candidates by optimistic
+           contribution. *)
+        let contribs = ref [] in
+        for j = i to n - 1 do
+          let v = order.(j) in
+          let future =
+            Graph.fold_neighbors g v
+              (fun acc u w -> if (not chosen.(u)) && pos.(u) >= i then acc +. w else acc)
+              0.0
+          in
+          contribs := (weight_into.(v) +. (0.5 *. future)) :: !contribs
+        done;
+        let contribs = List.sort (fun a b -> compare b a) !contribs in
+        let ub =
+          List.fold_left ( +. ) 0.0
+            (List.filteri (fun idx _ -> idx < slots) contribs)
+        in
+        if current +. ub > !best +. 1e-12 then begin
+          let v = order.(i) in
+          (* Include v. *)
+          chosen.(v) <- true;
+          Graph.iter_neighbors g v (fun u w -> weight_into.(u) <- weight_into.(u) +. w);
+          dfs (i + 1) (taken + 1) (current +. weight_into.(v) -. 0.0);
+          Graph.iter_neighbors g v (fun u w -> weight_into.(u) <- weight_into.(u) -. w);
+          chosen.(v) <- false;
+          (* Exclude v (only if enough vertices remain to fill k). *)
+          if n - i - 1 >= slots then dfs (i + 1) taken current
+        end
+      end
+    in
+    dfs 0 0 0.0;
+    if !best < 0.0 then begin
+      (* No positive subgraph found (e.g. k=1): any k vertices. *)
+      let sel = Array.make n false in
+      for j = 0 to k - 1 do
+        sel.(order.(j)) <- true
+      done;
+      (sel, 0.0)
+    end
+    else (!best_sel, !best)
+  end

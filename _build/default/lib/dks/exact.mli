@@ -1,0 +1,27 @@
+(** Brute-force test oracles for the subgraph-density problems.
+
+    Exponential — intended only for small instances in tests and for the
+    paper's brute-force comparison (Figure 3d methodology). *)
+
+val dks : Bcc_graph.Graph.t -> k:int -> bool array * float
+(** Optimal k-node subgraph by induced edge weight (HkS when the graph
+    is weighted).  @raise Invalid_argument if the graph has more than 30
+    nodes. *)
+
+val dks_bnb : Bcc_graph.Graph.t -> k:int -> bool array * float
+(** Same optimum via best-first branch and bound (in the spirit of the
+    exact/superpolynomial algorithms the paper's Section 7 points to,
+    [9, 43]): vertices are branched in decreasing weighted-degree order
+    and a subtree is cut when [current weight + sum over the r best
+    remaining vertices of (weight into chosen + half weight among
+    candidates)] cannot beat the incumbent.  Practical well beyond the
+    subset-enumeration limit (~50-60 nodes at moderate k). *)
+
+val qk : Bcc_graph.Graph.t -> budget:float -> bool array * float
+(** Optimal Quadratic Knapsack: maximize induced edge weight subject to
+    a total node-cost budget.  Same size restriction as {!dks}. *)
+
+val densest_ratio : Bcc_graph.Hypergraph.t -> bool array * float
+(** Optimal (edge weight / node cost) ratio over all non-empty
+    subhypergraphs; the ratio is [infinity] when a positive-weight
+    selection has zero cost.  @raise Invalid_argument above 20 nodes. *)

@@ -1,0 +1,1 @@
+lib/graph/closure.ml: Array List Maxflow

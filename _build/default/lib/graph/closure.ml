@@ -1,0 +1,18 @@
+let solve ~weights ~edges =
+  let n = Array.length weights in
+  let s = n and t = n + 1 in
+  let net = Maxflow.create (n + 2) in
+  let positive_total = ref 0.0 in
+  Array.iteri
+    (fun v w ->
+      if w > 0.0 then begin
+        positive_total := !positive_total +. w;
+        Maxflow.add_edge net s v w
+      end
+      else if w < 0.0 then Maxflow.add_edge net v t (-.w))
+    weights;
+  List.iter (fun (u, v) -> Maxflow.add_edge net u v Maxflow.infinity_cap) edges;
+  let cut = Maxflow.max_flow net s t in
+  let side = Maxflow.min_cut_side net s in
+  let sel = Array.init n (fun v -> side.(v)) in
+  (!positive_total -. cut, sel)

@@ -1,0 +1,16 @@
+(** Maximum-weight closure via minimum cut.
+
+    A closure of a directed graph is a node set with no outgoing edges:
+    if [u] is selected and [u -> v] exists, [v] must be selected too.
+    Given node weights (positive = profit, negative = cost), the
+    maximum-weight closure is found with one s-t minimum cut
+    (Picard 1976).  The exact MC3 solver for [l <= 2] is an instance:
+    each length-2 query is a "project" with profit [c(XY)] (the saving
+    from not building the pair classifier) requiring both endpoint
+    singletons (costs). *)
+
+val solve : weights:float array -> edges:(int * int) list -> float * bool array
+(** [solve ~weights ~edges] returns the value of the maximum-weight
+    closure and its indicator vector.  [edges] are the prerequisite arcs
+    [u -> v] ("selecting [u] forces [v]").  The empty closure (value 0)
+    is always feasible, so the returned value is non-negative. *)

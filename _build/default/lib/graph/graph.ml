@@ -1,0 +1,177 @@
+type t = {
+  n : int;
+  node_cost : float array;
+  (* CSR adjacency: neighbours of v are nbr.(idx.(v)) .. nbr.(idx.(v+1)-1). *)
+  idx : int array;
+  nbr : int array;
+  w : float array;
+  (* Each undirected edge once, u < v. *)
+  eu : int array;
+  ev : int array;
+  ew : float array;
+}
+
+type builder = {
+  bn : int;
+  bcost : float array;
+  btbl : (int * int, float) Hashtbl.t;
+}
+
+let builder n =
+  if n < 0 then invalid_arg "Graph.builder";
+  { bn = n; bcost = Array.make (max n 1) 0.0; btbl = Hashtbl.create (4 * max n 1) }
+
+let set_node_cost b v c =
+  if v < 0 || v >= b.bn then invalid_arg "Graph.set_node_cost";
+  b.bcost.(v) <- c
+
+let add_edge b u v w =
+  if u = v then invalid_arg "Graph.add_edge: self loop";
+  if u < 0 || v < 0 || u >= b.bn || v >= b.bn then invalid_arg "Graph.add_edge: out of range";
+  let key = if u < v then (u, v) else (v, u) in
+  let prev = try Hashtbl.find b.btbl key with Not_found -> 0.0 in
+  Hashtbl.replace b.btbl key (prev +. w)
+
+let build b =
+  let m = Hashtbl.length b.btbl in
+  let eu = Array.make (max m 1) 0
+  and ev = Array.make (max m 1) 0
+  and ew = Array.make (max m 1) 0.0 in
+  let i = ref 0 in
+  Hashtbl.iter
+    (fun (u, v) w ->
+      eu.(!i) <- u;
+      ev.(!i) <- v;
+      ew.(!i) <- w;
+      incr i)
+    b.btbl;
+  (* Sort edges for deterministic iteration order regardless of hash
+     internals. *)
+  let order = Array.init m (fun i -> i) in
+  Array.sort (fun a bi -> compare (eu.(a), ev.(a)) (eu.(bi), ev.(bi))) order;
+  let eu' = Array.init (max m 1) (fun i -> if i < m then eu.(order.(i)) else 0)
+  and ev' = Array.init (max m 1) (fun i -> if i < m then ev.(order.(i)) else 0)
+  and ew' = Array.init (max m 1) (fun i -> if i < m then ew.(order.(i)) else 0.0) in
+  let deg = Array.make (b.bn + 1) 0 in
+  for i = 0 to m - 1 do
+    deg.(eu'.(i)) <- deg.(eu'.(i)) + 1;
+    deg.(ev'.(i)) <- deg.(ev'.(i)) + 1
+  done;
+  let idx = Array.make (b.bn + 1) 0 in
+  for v = 1 to b.bn do
+    idx.(v) <- idx.(v - 1) + deg.(v - 1)
+  done;
+  let fill = Array.copy idx in
+  let nbr = Array.make (max (2 * m) 1) 0
+  and w = Array.make (max (2 * m) 1) 0.0 in
+  for i = 0 to m - 1 do
+    let u = eu'.(i) and v = ev'.(i) and x = ew'.(i) in
+    nbr.(fill.(u)) <- v;
+    w.(fill.(u)) <- x;
+    fill.(u) <- fill.(u) + 1;
+    nbr.(fill.(v)) <- u;
+    w.(fill.(v)) <- x;
+    fill.(v) <- fill.(v) + 1
+  done;
+  {
+    n = b.bn;
+    node_cost = Array.sub b.bcost 0 (max b.bn 1);
+    idx;
+    nbr;
+    w;
+    eu = (if m = 0 then [||] else Array.sub eu' 0 m);
+    ev = (if m = 0 then [||] else Array.sub ev' 0 m);
+    ew = (if m = 0 then [||] else Array.sub ew' 0 m);
+  }
+
+let of_edges ?node_costs n edge_list =
+  let b = builder n in
+  (match node_costs with
+  | Some costs -> Array.iteri (fun v c -> if v < n then set_node_cost b v c) costs
+  | None -> ());
+  List.iter (fun (u, v, w) -> add_edge b u v w) edge_list;
+  build b
+
+let n t = t.n
+let m t = Array.length t.eu
+let node_cost t v = t.node_cost.(v)
+let node_costs t = if t.n = 0 then [||] else Array.sub t.node_cost 0 t.n
+let total_edge_weight t = Array.fold_left ( +. ) 0.0 t.ew
+let degree t v = t.idx.(v + 1) - t.idx.(v)
+
+let iter_neighbors t v f =
+  for i = t.idx.(v) to t.idx.(v + 1) - 1 do
+    f t.nbr.(i) t.w.(i)
+  done
+
+let fold_neighbors t v f init =
+  let acc = ref init in
+  iter_neighbors t v (fun u w -> acc := f !acc u w);
+  !acc
+
+let weighted_degree t v = fold_neighbors t v (fun acc _ w -> acc +. w) 0.0
+
+let iter_edges t f =
+  for i = 0 to Array.length t.eu - 1 do
+    f t.eu.(i) t.ev.(i) t.ew.(i)
+  done
+
+let edges t = Array.init (Array.length t.eu) (fun i -> (t.eu.(i), t.ev.(i), t.ew.(i)))
+
+let edge_weight t u v =
+  let result = ref None in
+  iter_neighbors t u (fun x w -> if x = v then result := Some w);
+  !result
+
+let induced_weight t sel =
+  let acc = ref 0.0 in
+  iter_edges t (fun u v w -> if sel.(u) && sel.(v) then acc := !acc +. w);
+  !acc
+
+let induced_cost t sel =
+  let acc = ref 0.0 in
+  for v = 0 to t.n - 1 do
+    if sel.(v) then acc := !acc +. t.node_cost.(v)
+  done;
+  !acc
+
+let subgraph t sel =
+  let map = Array.make t.n (-1) in
+  let back = ref [] in
+  let count = ref 0 in
+  for v = 0 to t.n - 1 do
+    if sel.(v) then begin
+      map.(v) <- !count;
+      back := v :: !back;
+      incr count
+    end
+  done;
+  let back = Array.of_list (List.rev !back) in
+  let b = builder !count in
+  Array.iteri (fun i v -> set_node_cost b i t.node_cost.(v)) back;
+  iter_edges t (fun u v w -> if sel.(u) && sel.(v) then add_edge b map.(u) map.(v) w);
+  (build b, back)
+
+let connected_components t =
+  let comp = Array.make t.n (-1) in
+  let next = ref 0 in
+  let stack = Stack.create () in
+  for start = 0 to t.n - 1 do
+    if comp.(start) < 0 then begin
+      let id = !next in
+      incr next;
+      Stack.push start stack;
+      comp.(start) <- id;
+      while not (Stack.is_empty stack) do
+        let v = Stack.pop stack in
+        iter_neighbors t v (fun u _ ->
+            if comp.(u) < 0 then begin
+              comp.(u) <- id;
+              Stack.push u stack
+            end)
+      done
+    end
+  done;
+  (comp, !next)
+
+let complement_weight t = Array.fold_left ( +. ) 0.0 (node_costs t)

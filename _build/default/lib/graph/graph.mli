@@ -1,0 +1,72 @@
+(** Undirected graphs with node costs and edge weights.
+
+    This is the substrate shared by the DkS/HkS solvers, the Quadratic
+    Knapsack algorithm ([A^QK_H], Section 4.1 of the paper) and the exact
+    MC3 reduction.  Graphs are built through a mutable {!builder} and
+    frozen into a compact CSR (compressed sparse row) representation for
+    fast neighbour iteration. *)
+
+type t
+
+(** {1 Construction} *)
+
+type builder
+
+val builder : int -> builder
+(** [builder n] starts a graph on nodes [0 .. n-1] with zero node costs
+    and no edges. *)
+
+val set_node_cost : builder -> int -> float -> unit
+
+val add_edge : builder -> int -> int -> float -> unit
+(** [add_edge b u v w] adds an undirected edge; parallel edges are merged
+    by summing weights.  Self loops are rejected.
+    @raise Invalid_argument on a self loop or out-of-range endpoint. *)
+
+val build : builder -> t
+
+val of_edges : ?node_costs:float array -> int -> (int * int * float) list -> t
+(** Convenience wrapper over the builder. *)
+
+(** {1 Accessors} *)
+
+val n : t -> int
+(** Number of nodes. *)
+
+val m : t -> int
+(** Number of (merged) undirected edges. *)
+
+val node_cost : t -> int -> float
+val node_costs : t -> float array
+(** Fresh copy of the node-cost vector. *)
+
+val total_edge_weight : t -> float
+val degree : t -> int -> int
+val weighted_degree : t -> int -> float
+
+val iter_neighbors : t -> int -> (int -> float -> unit) -> unit
+val fold_neighbors : t -> int -> ('a -> int -> float -> 'a) -> 'a -> 'a
+val iter_edges : t -> (int -> int -> float -> unit) -> unit
+val edges : t -> (int * int * float) array
+(** Each undirected edge once, as [(u, v, w)] with [u < v]. *)
+
+val edge_weight : t -> int -> int -> float option
+
+(** {1 Derived quantities} *)
+
+val induced_weight : t -> bool array -> float
+(** Total weight of edges with both endpoints selected. *)
+
+val induced_cost : t -> bool array -> float
+(** Total node cost of the selected set. *)
+
+val subgraph : t -> bool array -> t * int array
+(** [subgraph g sel] keeps selected nodes and the edges among them;
+    returns the new graph and the mapping from new ids to original ids. *)
+
+val connected_components : t -> int array * int
+(** [connected_components g] labels each node with a component id in
+    [0, k) and returns [k]. *)
+
+val complement_weight : t -> float
+(** Sum of node costs, for sanity checks and normalization. *)

@@ -1,0 +1,61 @@
+type t = {
+  node_cost : float array;
+  enodes : int array array;
+  eweight : float array;
+  incident : int array array;
+}
+
+let create ~node_costs ~edges =
+  let n = Array.length node_costs in
+  let enodes =
+    Array.map
+      (fun (nodes, _) ->
+        let nodes = Array.copy nodes in
+        Array.sort compare nodes;
+        let dedup = ref [] in
+        Array.iteri
+          (fun i v ->
+            if v < 0 || v >= n then invalid_arg "Hypergraph.create: node out of range";
+            if i = 0 || nodes.(i - 1) <> v then dedup := v :: !dedup)
+          nodes;
+        let nodes = Array.of_list (List.rev !dedup) in
+        if Array.length nodes = 0 then invalid_arg "Hypergraph.create: empty edge";
+        nodes)
+      edges
+  in
+  let eweight = Array.map snd edges in
+  let deg = Array.make n 0 in
+  Array.iter (fun nodes -> Array.iter (fun v -> deg.(v) <- deg.(v) + 1) nodes) enodes;
+  let incident = Array.map (fun d -> Array.make d 0) deg in
+  let fill = Array.make n 0 in
+  Array.iteri
+    (fun e nodes ->
+      Array.iter
+        (fun v ->
+          incident.(v).(fill.(v)) <- e;
+          fill.(v) <- fill.(v) + 1)
+        nodes)
+    enodes;
+  { node_cost = Array.copy node_costs; enodes; eweight; incident }
+
+let n t = Array.length t.node_cost
+let m t = Array.length t.enodes
+let node_cost t v = t.node_cost.(v)
+let edge_nodes t e = t.enodes.(e)
+let edge_weight t e = t.eweight.(e)
+let incident_edges t v = t.incident.(v)
+let total_edge_weight t = Array.fold_left ( +. ) 0.0 t.eweight
+
+let induced_weight t sel =
+  let acc = ref 0.0 in
+  Array.iteri
+    (fun e nodes -> if Array.for_all (fun v -> sel.(v)) nodes then acc := !acc +. t.eweight.(e))
+    t.enodes;
+  !acc
+
+let induced_cost t sel =
+  let acc = ref 0.0 in
+  Array.iteri (fun v c -> if sel.(v) then acc := !acc +. c) t.node_cost;
+  !acc
+
+let max_edge_cardinality t = Array.fold_left (fun acc e -> max acc (Array.length e)) 0 t.enodes

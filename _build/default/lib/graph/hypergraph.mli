@@ -1,0 +1,29 @@
+(** Hypergraphs with node costs and hyperedge weights.
+
+    Used for the DkSH hardness special case ([I_3], Theorem 3.3), for the
+    densest-subhypergraph peeling that powers the ECC algorithm for
+    [l > 2] (Theorem 5.4), and by tests. *)
+
+type t
+
+val create : node_costs:float array -> edges:(int array * float) array -> t
+(** Each edge is a set of distinct node ids with a weight.  Edge node
+    arrays are sorted and deduplicated internally.
+    @raise Invalid_argument on an out-of-range node or an empty edge. *)
+
+val n : t -> int
+val m : t -> int
+val node_cost : t -> int -> float
+val edge_nodes : t -> int -> int array
+val edge_weight : t -> int -> float
+val incident_edges : t -> int -> int array
+(** Ids of edges containing the node. *)
+
+val total_edge_weight : t -> float
+
+val induced_weight : t -> bool array -> float
+(** Total weight of hyperedges all of whose nodes are selected. *)
+
+val induced_cost : t -> bool array -> float
+
+val max_edge_cardinality : t -> int

@@ -1,0 +1,125 @@
+(* Dinic's algorithm with edge arrays.  Edges are stored in pairs so the
+   reverse edge of edge [e] is [e lxor 1]. *)
+
+type t = {
+  n : int;
+  mutable head : int array; (* node -> first edge id or -1 *)
+  mutable nxt : int array; (* edge -> next edge id or -1 *)
+  mutable dst : int array; (* edge -> destination *)
+  mutable cap : float array; (* edge -> remaining capacity *)
+  mutable m : int;
+  mutable level : int array;
+  mutable cursor : int array;
+}
+
+let infinity_cap = 1e18
+
+let create n =
+  {
+    n;
+    head = Array.make (max n 1) (-1);
+    nxt = Array.make 16 (-1);
+    dst = Array.make 16 0;
+    cap = Array.make 16 0.0;
+    m = 0;
+    level = Array.make (max n 1) (-1);
+    cursor = Array.make (max n 1) (-1);
+  }
+
+let ensure_capacity t needed =
+  let len = Array.length t.dst in
+  if needed > len then begin
+    let len' = max needed (2 * len) in
+    let grow_int a = Array.append a (Array.make (len' - len) (-1)) in
+    let grow_float a = Array.append a (Array.make (len' - len) 0.0) in
+    t.nxt <- grow_int t.nxt;
+    t.dst <- grow_int t.dst;
+    t.cap <- grow_float t.cap
+  end
+
+let add_directed t u v c =
+  let e = t.m in
+  ensure_capacity t (e + 1);
+  t.dst.(e) <- v;
+  t.cap.(e) <- c;
+  t.nxt.(e) <- t.head.(u);
+  t.head.(u) <- e;
+  t.m <- e + 1
+
+let add_edge t u v c =
+  if c < 0.0 then invalid_arg "Maxflow.add_edge: negative capacity";
+  if u < 0 || v < 0 || u >= t.n || v >= t.n then invalid_arg "Maxflow.add_edge: out of range";
+  add_directed t u v c;
+  add_directed t v u 0.0
+
+let bfs t s sink =
+  Array.fill t.level 0 t.n (-1);
+  let q = Queue.create () in
+  Queue.push s q;
+  t.level.(s) <- 0;
+  while not (Queue.is_empty q) do
+    let v = Queue.pop q in
+    let e = ref t.head.(v) in
+    while !e >= 0 do
+      let u = t.dst.(!e) in
+      if t.cap.(!e) > 1e-12 && t.level.(u) < 0 then begin
+        t.level.(u) <- t.level.(v) + 1;
+        Queue.push u q
+      end;
+      e := t.nxt.(!e)
+    done
+  done;
+  t.level.(sink) >= 0
+
+let rec dfs t v sink pushed =
+  if v = sink then pushed
+  else begin
+    let result = ref 0.0 in
+    while !result = 0.0 && t.cursor.(v) >= 0 do
+      let e = t.cursor.(v) in
+      let u = t.dst.(e) in
+      if t.cap.(e) > 1e-12 && t.level.(u) = t.level.(v) + 1 then begin
+        let got = dfs t u sink (min pushed t.cap.(e)) in
+        if got > 0.0 then begin
+          t.cap.(e) <- t.cap.(e) -. got;
+          t.cap.(e lxor 1) <- t.cap.(e lxor 1) +. got;
+          result := got
+        end
+        else t.cursor.(v) <- t.nxt.(e)
+      end
+      else t.cursor.(v) <- t.nxt.(e)
+    done;
+    !result
+  end
+
+let max_flow t s sink =
+  if s = sink then invalid_arg "Maxflow.max_flow: s = sink";
+  let flow = ref 0.0 in
+  while bfs t s sink do
+    Array.blit t.head 0 t.cursor 0 t.n;
+    let pushed = ref (dfs t s sink infinity_cap) in
+    while !pushed > 0.0 do
+      flow := !flow +. !pushed;
+      pushed := dfs t s sink infinity_cap
+    done
+  done;
+  !flow
+
+let min_cut_side t s =
+  let side = Array.make t.n false in
+  let q = Queue.create () in
+  Queue.push s q;
+  side.(s) <- true;
+  while not (Queue.is_empty q) do
+    let v = Queue.pop q in
+    let e = ref t.head.(v) in
+    while !e >= 0 do
+      let u = t.dst.(!e) in
+      if t.cap.(!e) > 1e-12 && not side.(u) then begin
+        side.(u) <- true;
+        Queue.push u q
+      end;
+      e := t.nxt.(!e)
+    done
+  done;
+  side

@@ -1,0 +1,29 @@
+(** Dinic's maximum-flow / minimum-cut algorithm on directed networks.
+
+    This is the engine behind the exact MC3 solver for [l <= 2]
+    (minimum-cut formulation of "cover xy with XY or with both X and Y")
+    and the maximum-weight closure solver. *)
+
+type t
+
+val create : int -> t
+(** [create n] makes an empty network on nodes [0 .. n-1]. *)
+
+val add_edge : t -> int -> int -> float -> unit
+(** [add_edge t u v cap] adds a directed edge with the given capacity
+    (and an implicit residual reverse edge of capacity 0).
+    @raise Invalid_argument on negative capacity or bad endpoints. *)
+
+val max_flow : t -> int -> int -> float
+(** [max_flow t s sink] computes the maximum flow value.  The network
+    retains the final flow, so {!min_cut_side} is meaningful
+    afterwards. *)
+
+val min_cut_side : t -> int -> bool array
+(** [min_cut_side t s] returns the set of nodes reachable from [s] in
+    the residual network — the source side of a minimum cut.  Call after
+    {!max_flow}. *)
+
+val infinity_cap : float
+(** A capacity that behaves as infinity for the problem sizes in this
+    library (no overflow under summation). *)

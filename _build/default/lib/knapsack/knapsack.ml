@@ -1,0 +1,200 @@
+type solution = { value : float; weight : float; items : int list }
+
+let check_inputs values weights =
+  if Array.length values <> Array.length weights then
+    invalid_arg "Knapsack: values and weights must have equal length"
+
+let total_of values weights items =
+  List.fold_left
+    (fun (v, w) i -> (v +. values.(i), w +. weights.(i)))
+    (0.0, 0.0) items
+
+let make_solution values weights items =
+  let items = List.sort_uniq compare items in
+  let value, weight = total_of values weights items in
+  { value; weight; items }
+
+let greedy ~values ~weights ~budget =
+  check_inputs values weights;
+  let n = Array.length values in
+  let order = Array.init n (fun i -> i) in
+  let density i =
+    if weights.(i) <= 0.0 then infinity else values.(i) /. weights.(i)
+  in
+  Array.sort (fun a b -> compare (density b) (density a)) order;
+  let remaining = ref budget in
+  let chosen = ref [] in
+  Array.iter
+    (fun i ->
+      if values.(i) > 0.0 && weights.(i) <= !remaining then begin
+        remaining := !remaining -. weights.(i);
+        chosen := i :: !chosen
+      end)
+    order;
+  let greedy_sol = make_solution values weights !chosen in
+  (* Best single item fallback completes the 1/2-approximation bound. *)
+  let best_single = ref None in
+  for i = 0 to n - 1 do
+    if weights.(i) <= budget then
+      match !best_single with
+      | Some j when values.(j) >= values.(i) -> ()
+      | _ -> best_single := Some i
+  done;
+  match !best_single with
+  | Some i when values.(i) > greedy_sol.value -> make_solution values weights [ i ]
+  | _ -> greedy_sol
+
+let exact_int ~values ~weights ~budget =
+  check_inputs values (Array.map float_of_int weights);
+  if budget < 0 then invalid_arg "Knapsack.exact_int: negative budget";
+  Array.iter (fun w -> if w < 0 then invalid_arg "Knapsack.exact_int: negative weight") weights;
+  let n = Array.length values in
+  let width = budget + 1 in
+  let dp = Array.make width 0.0 in
+  (* One bit per (item, residual budget) pair records whether the item is
+     taken at that budget during the backward reconstruction. *)
+  let bits = Bytes.make (((n * width) + 7) / 8) '\000' in
+  let set_bit i b =
+    let k = (i * width) + b in
+    let byte = Bytes.get_uint8 bits (k lsr 3) in
+    Bytes.set_uint8 bits (k lsr 3) (byte lor (1 lsl (k land 7)))
+  in
+  let get_bit i b =
+    let k = (i * width) + b in
+    Bytes.get_uint8 bits (k lsr 3) land (1 lsl (k land 7)) <> 0
+  in
+  for i = 0 to n - 1 do
+    let w = weights.(i) and v = values.(i) in
+    if v > 0.0 && w <= budget then
+      for b = budget downto w do
+        let candidate = dp.(b - w) +. v in
+        if candidate > dp.(b) then begin
+          dp.(b) <- candidate;
+          set_bit i b
+        end
+      done
+  done;
+  let items = ref [] in
+  let b = ref budget in
+  for i = n - 1 downto 0 do
+    if get_bit i !b then begin
+      items := i :: !items;
+      b := !b - weights.(i)
+    end
+  done;
+  let values_f = values and weights_f = Array.map float_of_int weights in
+  make_solution values_f weights_f !items
+
+let fptas ~epsilon ~values ~weights ~budget =
+  check_inputs values weights;
+  if epsilon <= 0.0 then invalid_arg "Knapsack.fptas: epsilon must be positive";
+  let n = Array.length values in
+  let eligible = Array.init n (fun i -> weights.(i) <= budget && values.(i) > 0.0) in
+  let vmax = Array.fold_left max 0.0 (Array.mapi (fun i v -> if eligible.(i) then v else 0.0) values) in
+  if vmax <= 0.0 then make_solution values weights []
+  else begin
+    let k = epsilon *. vmax /. float_of_int (max n 1) in
+    let scaled = Array.mapi (fun i v -> if eligible.(i) then int_of_float (v /. k) else 0) values in
+    let total = Array.fold_left ( + ) 0 scaled in
+    (* dp.(j) = minimum weight achieving scaled value exactly j. *)
+    let dp = Array.make (total + 1) infinity in
+    dp.(0) <- 0.0;
+    let width = total + 1 in
+    let bits = Bytes.make (((n * width) + 7) / 8) '\000' in
+    let set_bit i j =
+      let kbit = (i * width) + j in
+      Bytes.set_uint8 bits (kbit lsr 3)
+        (Bytes.get_uint8 bits (kbit lsr 3) lor (1 lsl (kbit land 7)))
+    in
+    let get_bit i j =
+      let kbit = (i * width) + j in
+      Bytes.get_uint8 bits (kbit lsr 3) land (1 lsl (kbit land 7)) <> 0
+    in
+    for i = 0 to n - 1 do
+      if scaled.(i) > 0 then
+        for j = total downto scaled.(i) do
+          let cand = dp.(j - scaled.(i)) +. weights.(i) in
+          if cand < dp.(j) then begin
+            dp.(j) <- cand;
+            set_bit i j
+          end
+        done
+    done;
+    let best = ref 0 in
+    for j = 0 to total do
+      if dp.(j) <= budget +. 1e-9 then best := j
+    done;
+    let items = ref [] in
+    let j = ref !best in
+    for i = n - 1 downto 0 do
+      if !j > 0 && get_bit i !j then begin
+        items := i :: !items;
+        j := !j - scaled.(i)
+      end
+    done;
+    make_solution values weights !items
+  end
+
+let branch_and_bound ~values ~weights ~budget =
+  check_inputs values weights;
+  let n = Array.length values in
+  let order = Array.init n (fun i -> i) in
+  let density i = if weights.(i) <= 0.0 then infinity else values.(i) /. weights.(i) in
+  Array.sort (fun a b -> compare (density b) (density a)) order;
+  let v = Array.map (fun i -> values.(i)) order in
+  let w = Array.map (fun i -> weights.(i)) order in
+  (* Dantzig bound: fill greedily in density order, last item fractional. *)
+  let fractional_bound start cap =
+    let rec go i cap acc =
+      if i >= n || cap <= 0.0 then acc
+      else if w.(i) <= cap then go (i + 1) (cap -. w.(i)) (acc +. v.(i))
+      else if w.(i) > 0.0 then acc +. (v.(i) *. cap /. w.(i))
+      else go (i + 1) cap (acc +. v.(i))
+    in
+    go start cap 0.0
+  in
+  let best_value = ref 0.0 in
+  let best_items = ref [] in
+  let rec dfs i cap acc taken =
+    if acc > !best_value then begin
+      best_value := acc;
+      best_items := taken
+    end;
+    if i < n && acc +. fractional_bound i cap > !best_value +. 1e-12 then begin
+      if w.(i) <= cap then dfs (i + 1) (cap -. w.(i)) (acc +. v.(i)) (order.(i) :: taken);
+      dfs (i + 1) cap acc taken
+    end
+  in
+  dfs 0 budget 0.0 [];
+  make_solution values weights !best_items
+
+let solve ?(grid = 10_000) ~values ~weights budget =
+  check_inputs values weights;
+  let n = Array.length values in
+  if budget <= 0.0 || n = 0 then
+    make_solution values weights
+      (List.filter (fun i -> weights.(i) <= 0.0 && values.(i) > 0.0)
+         (List.init n (fun i -> i)))
+  else begin
+    let greedy_sol = greedy ~values ~weights ~budget in
+    (* Keep the DP table below ~2e8 cells. *)
+    let grid = max 1 (min grid (200_000_000 / max n 1)) in
+    let integral x = Float.is_integer x && x >= 0.0 && x <= 1e9 in
+    let dp_sol =
+      if integral budget && budget <= float_of_int grid && Array.for_all integral weights
+      then
+        (* Exact: integer weights fit the table directly, no rounding
+           loss (all the paper's datasets use integer costs). *)
+        exact_int ~values
+          ~weights:(Array.map int_of_float weights)
+          ~budget:(int_of_float budget)
+      else begin
+        let tick = budget /. float_of_int grid in
+        let rounded = Array.map (fun w -> int_of_float (ceil (max w 0.0 /. tick))) weights in
+        exact_int ~values ~weights:rounded ~budget:grid
+      end
+    in
+    (* Recompute the true weight; rounding up guarantees feasibility. *)
+    let sol = make_solution values weights dp_sol.items in
+    if sol.value >= greedy_sol.value then sol else greedy_sol
+  end

@@ -1,0 +1,46 @@
+(** 0/1 knapsack solvers.
+
+    The paper shows [BCC(l=1)] is exactly the Knapsack problem
+    (Theorem 3.1) and the [BCC(1)] subproblem of the general algorithm is
+    solved through it (Observation 4.3).  Knapsack admits an FPTAS
+    (Theorem 2.3), so this subproblem never limits the quality of
+    [A^BCC].
+
+    All solvers take non-negative float values and weights.  Items of
+    weight 0 and positive value are always selected; items of weight
+    above the budget are never selected. *)
+
+type solution = { value : float; weight : float; items : int list }
+(** [items] are indices into the input arrays, ascending. *)
+
+val greedy : values:float array -> weights:float array -> budget:float -> solution
+(** Density-ordered greedy, returning the better of the greedy fill and
+    the single best item — the classic 1/2-approximation. *)
+
+val exact_int : values:float array -> weights:int array -> budget:int -> solution
+(** Exact dynamic program over integer weights, O(n * budget) time and
+    O(n * budget / 8) bytes for choice reconstruction.
+    @raise Invalid_argument on a negative weight or budget. *)
+
+val fptas :
+  epsilon:float -> values:float array -> weights:float array -> budget:float -> solution
+(** The classic value-scaling FPTAS (Theorem 2.3's [(1+epsilon)]
+    guarantee): values are floored onto a grid of [epsilon * vmax / n],
+    then an exact minimum-weight-per-value DP runs on the scaled
+    instance.  Returned value is at least [(1 - epsilon)] times the
+    optimum; always budget-feasible.
+    @raise Invalid_argument if [epsilon <= 0]. *)
+
+val branch_and_bound : values:float array -> weights:float array -> budget:float -> solution
+(** Exact best-first search with the fractional (Dantzig) upper bound.
+    Exponential in the worst case — intended for small instances and as
+    a test oracle. *)
+
+val solve : ?grid:int -> values:float array -> weights:float array -> float -> solution
+(** [solve ~values ~weights budget] — near-optimal dispatcher used by [A^BCC]: rounds weights up onto a
+    grid of [grid] (default 10_000) budget ticks, runs the exact DP on
+    the rounded instance (shrinking the grid first if [n * grid] would
+    be too large), and returns the better of that and {!greedy}.
+    Rounding weights {e up} keeps every returned solution feasible for
+    the original instance; the loss is bounded by one grid tick per
+    item, mirroring the epsilon-rounding step of Section 4.1. *)

@@ -1,0 +1,1 @@
+lib/qk/qk.ml: Array Bcc_dks Bcc_graph Bcc_util List Seq

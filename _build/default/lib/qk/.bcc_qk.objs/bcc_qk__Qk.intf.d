@@ -1,0 +1,1 @@
+lib/qk/qk.mli: Bcc_graph

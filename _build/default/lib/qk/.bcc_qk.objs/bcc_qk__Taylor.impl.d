@@ -1,0 +1,1 @@
+lib/qk/taylor.ml: Array Bcc_dks Bcc_graph Hashtbl List Option Qk

@@ -1,0 +1,1 @@
+lib/qk/taylor.mli: Qk

@@ -1,0 +1,59 @@
+(** Quadratic Knapsack (Definition 2.6): select a node set whose total
+    cost is within the budget, maximizing the induced edge weight.
+
+    [BCC_{l=2}(2)] is exactly this problem (Observation 4.4): nodes are
+    singleton classifiers with their costs, edges are length-2 queries
+    weighted by utility.
+
+    {!solve} implements the paper's heuristic [A^QK_H] (Section 4.1):
+
+    + {b Preprocessing} — prune nodes costing more than the budget;
+      branch on "expensive" nodes (cost in [B/2, B]): no expensive node,
+      one expensive node with a reduced-budget residual, or a pair of
+      expensive nodes (at most two fit).
+    + {b Integer scaling} — round costs up onto a budget grid (the
+      epsilon-rounding of the paper) so each node has an integer
+      multiplicity for the blow-up.
+    + {b Random bipartition} — repeat [O(log n)] times: split the nodes
+      uniformly into L and R and keep only the crossing edges (the
+      spectral-DkS trick of [53] the paper adopts); each iteration runs
+      the full pipeline and the best outcome wins.
+    + {b Implicit blow-up + HkS} — replace node [v] by [cost(v)] copies
+      and ask the {!Bcc_dks.Hks} portfolio for the heaviest
+      [k = B/2]-copy subgraph (half the budget is held in reserve, as in
+      the paper).
+    + {b Copy swapping} — reassign selected copies side-by-side so that
+      at most one node per side is partially selected (the paper's
+      two-phase swap is equivalent to a greedy refill in decreasing
+      per-copy weighted degree).
+    + {b Final selection} — complete partial nodes from the reserve
+      budget when possible; otherwise apply the paper's case I (drop
+      the mutual edge and consolidate into the better endpoint) or
+      case II (keep just the two partial nodes) rule.
+    + {b Greedy fill} — spend any remaining budget on nodes with the
+      best marginal-weight-to-cost ratio, evaluated on the original
+      (non-bipartite) graph. *)
+
+type instance = { graph : Bcc_graph.Graph.t; budget : float }
+(** Node costs and edge weights live on the graph; both non-negative. *)
+
+type solution = { nodes : int list; cost : float; value : float }
+
+type options = {
+  bipartitions : int;  (** random bipartition restarts (default: [log2 n], clamped to [2, 8]) *)
+  resolution : int;  (** budget grid ticks for integer cost scaling (default 2000) *)
+  max_expensive_branches : int;
+      (** cap on single-expensive-node branches explored (default 24) *)
+  seed : int;  (** PRNG seed (default 0x5EED) *)
+}
+
+val default_options : options
+
+val solve : ?options:options -> instance -> solution
+val verify : instance -> solution -> bool
+(** Recompute cost and value from scratch and check budget
+    feasibility. *)
+
+val evaluate : instance -> int list -> solution
+(** Build a {!solution} record (recomputed cost/value) for a node
+    list. *)

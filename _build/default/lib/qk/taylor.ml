@@ -1,0 +1,223 @@
+module Graph = Bcc_graph.Graph
+
+let degree_greedy (inst : Qk.instance) =
+  let g = inst.graph in
+  let n = Graph.n g in
+  let order = Array.init n (fun i -> i) in
+  let score v =
+    let c = Graph.node_cost g v in
+    let d = Graph.weighted_degree g v in
+    if c <= 1e-12 then if d > 0.0 then infinity else 0.0 else d /. c
+  in
+  Array.sort (fun a b -> compare (score b) (score a)) order;
+  let sel = Array.make n false in
+  let remaining = ref inst.budget in
+  Array.iter
+    (fun v ->
+      let c = Graph.node_cost g v in
+      if c <= !remaining +. 1e-12 && score v > 0.0 then begin
+        sel.(v) <- true;
+        remaining := !remaining -. c
+      end)
+    order;
+  (* Drop selected nodes with no selected neighbour: they pay cost for
+     nothing. *)
+  let contributes v =
+    Graph.fold_neighbors g v (fun acc u _ -> acc || sel.(u)) false
+  in
+  for v = 0 to n - 1 do
+    if sel.(v) && Graph.node_cost g v > 0.0 && not (contributes v) then sel.(v) <- false
+  done;
+  let nodes = ref [] in
+  for v = n - 1 downto 0 do
+    if sel.(v) then nodes := v :: !nodes
+  done;
+  Qk.evaluate inst !nodes
+
+let best_star ?(max_centers = 200) (inst : Qk.instance) =
+  let g = inst.graph in
+  let n = Graph.n g in
+  let centers = Array.init n (fun i -> i) in
+  Array.sort
+    (fun a b -> compare (Graph.weighted_degree g b) (Graph.weighted_degree g a))
+    centers;
+  let best = ref (Qk.evaluate inst []) in
+  let try_center v =
+    let c = Graph.node_cost g v in
+    if c <= inst.budget +. 1e-12 then begin
+      let neighbours = Graph.fold_neighbors g v (fun acc u w -> (u, w) :: acc) [] in
+      let ratio (u, w) =
+        let cu = Graph.node_cost g u in
+        if cu <= 1e-12 then infinity else w /. cu
+      in
+      let neighbours =
+        List.sort (fun a b -> compare (ratio b) (ratio a)) neighbours
+      in
+      let remaining = ref (inst.budget -. c) in
+      let chosen = ref [ v ] in
+      List.iter
+        (fun (u, w) ->
+          let cu = Graph.node_cost g u in
+          if w > 0.0 && cu <= !remaining +. 1e-12 then begin
+            chosen := u :: !chosen;
+            remaining := !remaining -. cu
+          end)
+        neighbours;
+      let sol = Qk.evaluate inst !chosen in
+      if sol.value > !best.value then best := sol
+    end
+  in
+  Array.iteri (fun i v -> if i < max_centers then try_center v) centers;
+  !best
+
+let combined inst =
+  let a = degree_greedy inst and b = best_star inst in
+  if a.value >= b.value then a else b
+
+module Hks = Bcc_dks.Hks
+
+(* Trim a candidate node set to the true budget (most expensive first),
+   then evaluate against the original instance. *)
+let evaluate_trimmed (inst : Qk.instance) nodes =
+  let g = inst.Qk.graph in
+  let nodes = List.sort_uniq compare nodes in
+  let cost = ref (List.fold_left (fun acc v -> acc +. Graph.node_cost g v) 0.0 nodes) in
+  let by_cost_desc =
+    List.sort (fun a b -> compare (Graph.node_cost g b) (Graph.node_cost g a)) nodes
+  in
+  let kept =
+    List.filter
+      (fun v ->
+        if !cost > inst.Qk.budget +. 1e-9 then begin
+          cost := !cost -. Graph.node_cost g v;
+          false
+        end
+        else true)
+      by_cost_desc
+  in
+  Qk.evaluate inst kept
+
+let log2_ceil x = max 0 (int_of_float (ceil (log x /. log 2.0)))
+
+let full (inst : Qk.instance) =
+  let g = inst.Qk.graph in
+  let n = Graph.n g in
+  let budget = inst.Qk.budget in
+  if n = 0 || budget <= 0.0 then Qk.evaluate inst []
+  else begin
+    let affordable v = Graph.node_cost g v <= budget +. 1e-12 in
+    (* Normalization: weights scaled by n^2 / w_max, edges below 1
+       dropped, weights rounded down to powers of 2; costs scaled by
+       n / B, rounded up to powers of 2; scaled budget n. *)
+    let w_max = ref 0.0 in
+    Graph.iter_edges g (fun u v w ->
+        if affordable u && affordable v && w > !w_max then w_max := w);
+    if !w_max <= 0.0 then Qk.evaluate inst []
+    else begin
+      let nf = float_of_int n in
+      let w_scale = nf *. nf /. !w_max in
+      let c_scale = nf /. budget in
+      let scaled_budget = nf in
+      (* Edge classes: (i, j, t) with i >= j. *)
+      let classes : (int * int * int, (int * int) list ref) Hashtbl.t = Hashtbl.create 64 in
+      let cost_exp v = log2_ceil (max 1.0 (Graph.node_cost g v *. c_scale)) in
+      Graph.iter_edges g (fun u v w ->
+          if affordable u && affordable v then begin
+            let sw = w *. w_scale in
+            if sw >= 1.0 then begin
+              let t = int_of_float (floor (log sw /. log 2.0)) in
+              let iu = cost_exp u and iv = cost_exp v in
+              let i = max iu iv and j = min iu iv in
+              let key = (i, j, t) in
+              let edge = if iu >= iv then (u, v) else (v, u) in
+              match Hashtbl.find_opt classes key with
+              | Some cell -> cell := edge :: !cell
+              | None -> Hashtbl.add classes key (ref [ edge ])
+            end
+          end);
+      let best = ref (Qk.evaluate inst []) in
+      let consider nodes =
+        let sol = evaluate_trimmed inst nodes in
+        if sol.Qk.value > !best.Qk.value then best := sol
+      in
+      Hashtbl.iter
+        (fun (i, j, _) cell ->
+          let edges = !cell in
+          (* Node set of the class, split into the expensive side (cost
+             exponent i, first components) and the cheap side (j). *)
+          let members = Hashtbl.create 16 in
+          List.iter
+            (fun (u, v) ->
+              Hashtbl.replace members u ();
+              Hashtbl.replace members v ())
+            edges;
+          let budget_ticks = int_of_float scaled_budget in
+          if i = j then begin
+            (* Uniform costs: a DkS instance with k = B' / 2^i. *)
+            let k = max 1 (budget_ticks / (1 lsl i)) in
+            let b = Graph.builder n in
+            List.iter (fun (u, v) -> Graph.add_edge b u v 1.0) edges;
+            let sub = Graph.build b in
+            let sel = Hks.solve (Hks.make sub ~k) in
+            let nodes = ref [] in
+            Array.iteri (fun v t -> if t > 0 then nodes := v :: !nodes) sel;
+            consider (List.filter (Hashtbl.mem members) !nodes)
+          end
+          else begin
+            (* Bipartite class: expensive side R (2^i), cheap side L
+               (2^j).  Degrees within the class only. *)
+            let deg = Hashtbl.create 16 in
+            let bump v =
+              Hashtbl.replace deg v (1 + Option.value ~default:0 (Hashtbl.find_opt deg v))
+            in
+            List.iter
+              (fun (r, l) ->
+                bump r;
+                bump l)
+              edges;
+            let degree v = Option.value ~default:0 (Hashtbl.find_opt deg v) in
+            let r_side = List.sort_uniq compare (List.map fst edges) in
+            let l_side = List.sort_uniq compare (List.map snd edges) in
+            let w_ratio = 1 lsl (i - j) in
+            (* P1: top B'/(2 * 2^i) R nodes by degree, then top B'/(2 * 2^j)
+               L nodes by degree into the chosen R'. *)
+            let take k xs = List.filteri (fun idx _ -> idx < k) xs in
+            let by_degree xs = List.sort (fun a b -> compare (degree b) (degree a)) xs in
+            let kr = max 1 (budget_ticks / (2 * (1 lsl i))) in
+            let r' = take kr (by_degree r_side) in
+            let r_set = Hashtbl.create 8 in
+            List.iter (fun v -> Hashtbl.replace r_set v ()) r';
+            let deg_into v =
+              List.fold_left
+                (fun acc (r, l) -> if l = v && Hashtbl.mem r_set r then acc + 1 else acc)
+                0 edges
+            in
+            let kl = max 1 (budget_ticks / (2 * (1 lsl j))) in
+            let l' =
+              take kl
+                (List.sort (fun a b -> compare (deg_into b) (deg_into a)) l_side)
+            in
+            consider (r' @ l');
+            (* P3: the best star — highest-degree R node plus its
+               neighbours. *)
+            (match by_degree r_side with
+            | center :: _ ->
+                let leaves = List.filter_map (fun (r, l) -> if r = center then Some l else None) edges in
+                consider (center :: leaves)
+            | [] -> ());
+            (* P2: blow-up DkS — R nodes carry multiplicity 2^(i-j). *)
+            let mult = Array.make n 1 in
+            List.iter (fun v -> mult.(v) <- w_ratio) r_side;
+            let b = Graph.builder n in
+            List.iter (fun (u, v) -> Graph.add_edge b u v 1.0) edges;
+            let sub = Graph.build b in
+            let k = max 1 (budget_ticks / (2 * (1 lsl j))) in
+            let sel = Hks.solve (Hks.make ~mult sub ~k) in
+            let nodes = ref [] in
+            Array.iteri (fun v t -> if t > 0 then nodes := v :: !nodes) sel;
+            consider (List.filter (Hashtbl.mem members) !nodes)
+          end)
+        classes;
+      !best
+    end
+  end

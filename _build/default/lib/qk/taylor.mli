@@ -1,0 +1,45 @@
+(** Heuristic adaptations of the procedures from Taylor's QK algorithm
+    ([A^QK_T], Lemma 4.6), kept as ablation baselines.
+
+    The paper's worst-case algorithm runs three procedures on normalized
+    bipartite graphs and keeps the best: [P1] (top-degree selection on
+    each side), [P2] (blow-up + DkS — in this library that role is
+    played by {!Qk.solve}'s main pipeline), and [P3] (the best star:
+    one high-degree centre plus as many neighbours as the budget
+    allows).  Here [P1] and [P3] are generalized to arbitrary
+    cost-weighted graphs so they can serve as standalone baselines. *)
+
+val degree_greedy : Qk.instance -> Qk.solution
+(** [P1]-style: repeatedly take the node with the best
+    weighted-degree-to-cost ratio that still fits, then prune selected
+    nodes that ended up contributing nothing. *)
+
+val best_star : ?max_centers:int -> Qk.instance -> Qk.solution
+(** [P3]-style: for each candidate centre [v] (the [max_centers]
+    highest-weighted-degree nodes, default 200), select [v] and then its
+    neighbours in decreasing [w(u,v)/cost(u)] order while the budget
+    lasts; return the best star found. *)
+
+val combined : Qk.instance -> Qk.solution
+(** Best of {!degree_greedy} and {!best_star} — the ablation contender
+    representing [A^QK_T] without the blow-up machinery. *)
+
+val full : Qk.instance -> Qk.solution
+(** The complete worst-case algorithm of Lemma 4.6:
+
+    + normalize — rescale edge weights by [n^2 / w_max], drop the
+      (cumulatively negligible) edges below 1, round weights down and
+      costs up to powers of two, rescale costs by [n / B];
+    + partition the edges into classes [G_{i,j,t}] by endpoint-cost
+      exponents [i >= j] and weight exponent [t];
+    + solve each class: a DkS instance (cardinality [B'/2^i]) when
+      [i = j]; the bipartite procedures [P1] (top-degree selection),
+      [P2] (blow-up DkS — the copies are implicit multiplicities) and
+      [P3] (best star) when [i > j];
+    + return the best class solution, re-evaluated and budget-trimmed
+      against the {e original} costs and weights.
+
+    Quality is worst-case-oriented ([O(n^{1/3})] in theory); the
+    heuristic {!Qk.solve} dominates it on realistic inputs — that
+    contrast is exactly the paper's motivation for [A^QK_H], reproduced
+    by the abl-hks bench. *)

@@ -1,0 +1,1 @@
+lib/setcover/mc3.ml: Array Bcc_graph Hashtbl List Set_cover

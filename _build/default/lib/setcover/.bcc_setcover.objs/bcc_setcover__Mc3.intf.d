@@ -1,0 +1,1 @@
+lib/setcover/mc3.mli:

@@ -1,0 +1,1 @@
+lib/setcover/set_cover.mli:

@@ -1,0 +1,276 @@
+type instance = {
+  queries : int array array;
+  classifiers : (int array * float) array;
+}
+
+type solution = { cost : float; chosen : int list }
+
+let infinite_cost = 1e15
+
+let max_query_length t =
+  Array.fold_left (fun acc q -> max acc (Array.length q)) 0 t.queries
+
+let is_subset small big =
+  (* Both sorted ascending. *)
+  let ns = Array.length small and nb = Array.length big in
+  let rec go i j =
+    if i >= ns then true
+    else if j >= nb then false
+    else if small.(i) = big.(j) then go (i + 1) (j + 1)
+    else if small.(i) > big.(j) then go i (j + 1)
+    else false
+  in
+  go 0 0
+
+let covers t chosen =
+  let chosen_sets = List.map (fun i -> fst t.classifiers.(i)) chosen in
+  Array.for_all
+    (fun q ->
+      let mask = Array.make (Array.length q) false in
+      List.iter
+        (fun c ->
+          if is_subset c q then
+            Array.iter
+              (fun p ->
+                (* Mark position of p within q. *)
+                let rec find lo hi =
+                  if lo > hi then ()
+                  else begin
+                    let mid = (lo + hi) / 2 in
+                    if q.(mid) = p then mask.(mid) <- true
+                    else if q.(mid) < p then find (mid + 1) hi
+                    else find lo (mid - 1)
+                  end
+                in
+                find 0 (Array.length q - 1))
+              c)
+        chosen_sets;
+      Array.for_all (fun b -> b) mask)
+    t.queries
+
+let solution_cost t chosen =
+  List.fold_left (fun acc i -> acc +. snd t.classifiers.(i)) 0.0 chosen
+
+(* ------------------------------------------------------------------ *)
+(* Exact solver for l <= 2 via maximum-weight closure.                 *)
+(* ------------------------------------------------------------------ *)
+
+let solve_exact_l2 t =
+  if max_query_length t > 2 then invalid_arg "Mc3.solve_exact_l2: query longer than 2";
+  (* Relabel the properties that actually appear. *)
+  let prop_ids = Hashtbl.create 64 in
+  let next = ref 0 in
+  let intern p =
+    match Hashtbl.find_opt prop_ids p with
+    | Some i -> i
+    | None ->
+        let i = !next in
+        Hashtbl.add prop_ids p i;
+        incr next;
+        i
+  in
+  Array.iter (fun q -> Array.iter (fun p -> ignore (intern p)) q) t.queries;
+  let nprops = !next in
+  (* Cheapest available classifier per property set (there may be
+     duplicates in the candidate list). *)
+  let singleton_cost = Array.make nprops infinity in
+  let singleton_idx = Array.make nprops (-1) in
+  let pair_cost = Hashtbl.create 64 in
+  Array.iteri
+    (fun i (props, cost) ->
+      match Array.map (fun p -> Hashtbl.find_opt prop_ids p) props with
+      | [| Some a |] ->
+          if cost < singleton_cost.(a) then begin
+            singleton_cost.(a) <- cost;
+            singleton_idx.(a) <- i
+          end
+      | [| Some a; Some b |] ->
+          let key = (min a b, max a b) in
+          let keep =
+            match Hashtbl.find_opt pair_cost key with
+            | Some (c, _) -> cost < c
+            | None -> true
+          in
+          if keep then Hashtbl.replace pair_cost key (cost, i)
+      | _ -> () (* classifiers with foreign or 3+ properties are irrelevant *))
+    t.classifiers;
+  let forced = Array.make nprops false in
+  let infeasible = ref false in
+  let edge_list = ref [] in
+  let seen_edges = Hashtbl.create 64 in
+  Array.iter
+    (fun q ->
+      match Array.map (fun p -> Hashtbl.find prop_ids p) q with
+      | [| a |] ->
+          if singleton_cost.(a) >= infinite_cost || singleton_cost.(a) = infinity then
+            infeasible := true
+          else forced.(a) <- true
+      | [| a; b |] ->
+          let key = (min a b, max a b) in
+          if not (Hashtbl.mem seen_edges key) then begin
+            Hashtbl.add seen_edges key ();
+            edge_list := key :: !edge_list
+          end
+      | [||] -> ()
+      | _ -> assert false)
+    t.queries;
+  (* Pair queries whose pair classifier is unavailable force both
+     singletons. *)
+  List.iter
+    (fun (a, b) ->
+      let pc = match Hashtbl.find_opt pair_cost (a, b) with Some (c, _) -> c | None -> infinity in
+      if pc >= infinite_cost || pc = infinity then begin
+        List.iter
+          (fun v ->
+            if singleton_cost.(v) = infinity || singleton_cost.(v) >= infinite_cost then
+              infeasible := true
+            else forced.(v) <- true)
+          [ a; b ]
+      end)
+    !edge_list;
+  if !infeasible then None
+  else begin
+    (* Closure nodes: 0..nprops-1 singleton machines, then one project
+       node per edge that still has a choice. *)
+    let open_edges =
+      List.filter
+        (fun (a, b) ->
+          not (forced.(a) && forced.(b))
+          &&
+          match Hashtbl.find_opt pair_cost (a, b) with
+          | Some (c, _) -> c < infinite_cost
+          | None -> false)
+        !edge_list
+    in
+    let nedges = List.length open_edges in
+    let weights = Array.make (nprops + nedges) 0.0 in
+    for v = 0 to nprops - 1 do
+      if forced.(v) then weights.(v) <- 0.0
+      else if singleton_cost.(v) = infinity || singleton_cost.(v) >= infinite_cost then
+        weights.(v) <- -.infinite_cost
+      else weights.(v) <- -.singleton_cost.(v)
+    done;
+    let arcs = ref [] in
+    List.iteri
+      (fun e (a, b) ->
+        let pc = fst (Hashtbl.find pair_cost (a, b)) in
+        (* Cap the profit: beyond the cost of buying both endpoints the
+           project is always worth selecting, so the argmax is unchanged. *)
+        let cap =
+          let c v = if forced.(v) then 0.0 else min singleton_cost.(v) infinite_cost in
+          c a +. c b +. 1.0
+        in
+        weights.(nprops + e) <- min pc cap;
+        if not forced.(a) then arcs := (nprops + e, a) :: !arcs;
+        if not forced.(b) then arcs := (nprops + e, b) :: !arcs)
+      open_edges;
+    let _, sel = Bcc_graph.Closure.solve ~weights ~edges:!arcs in
+    let selected v = forced.(v) || sel.(v) in
+    let chosen = ref [] in
+    for v = 0 to nprops - 1 do
+      if selected v then chosen := singleton_idx.(v) :: !chosen
+    done;
+    List.iter
+      (fun (a, b) ->
+        if not (selected a && selected b) then begin
+          match Hashtbl.find_opt pair_cost (a, b) with
+          | Some (c, i) when c < infinite_cost -> chosen := i :: !chosen
+          | _ -> assert false (* would have been forced *)
+        end)
+      !edge_list;
+    let chosen = List.sort_uniq compare !chosen in
+    Some { cost = solution_cost t chosen; chosen }
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Greedy set cover over (query, property) incidence elements.         *)
+(* ------------------------------------------------------------------ *)
+
+let subsets_of q =
+  let n = Array.length q in
+  let out = ref [] in
+  for mask = 1 to (1 lsl n) - 1 do
+    let members = ref [] in
+    for i = n - 1 downto 0 do
+      if mask land (1 lsl i) <> 0 then members := q.(i) :: !members
+    done;
+    out := Array.of_list !members :: !out
+  done;
+  !out
+
+let solve_greedy t =
+  let nq = Array.length t.queries in
+  (* Element ids: prefix-sum offsets per query. *)
+  let offsets = Array.make (nq + 1) 0 in
+  for i = 0 to nq - 1 do
+    offsets.(i + 1) <- offsets.(i) + Array.length t.queries.(i)
+  done;
+  let universe = offsets.(nq) in
+  (* Map a property set to the classifier indices that realize it. *)
+  let by_props : (int array, int) Hashtbl.t = Hashtbl.create (Array.length t.classifiers) in
+  Array.iteri
+    (fun i (props, cost) ->
+      if cost < infinite_cost then begin
+        match Hashtbl.find_opt by_props props with
+        | Some j when snd t.classifiers.(j) <= cost -> ()
+        | _ -> Hashtbl.replace by_props props i
+      end)
+    t.classifiers;
+  (* For each classifier, the incidence elements it covers. *)
+  let elements = Array.make (Array.length t.classifiers) [] in
+  Array.iteri
+    (fun qi q ->
+      List.iter
+        (fun sub ->
+          match Hashtbl.find_opt by_props sub with
+          | None -> ()
+          | Some ci ->
+              (* Elements covered: positions of [sub]'s properties in q. *)
+              Array.iteri
+                (fun pos p ->
+                  ignore pos;
+                  let rec find lo hi =
+                    if lo > hi then assert false
+                    else begin
+                      let mid = (lo + hi) / 2 in
+                      if q.(mid) = p then mid
+                      else if q.(mid) < p then find (mid + 1) hi
+                      else find lo (mid - 1)
+                    end
+                  in
+                  let j = find 0 (Array.length q - 1) in
+                  elements.(ci) <- (offsets.(qi) + j) :: elements.(ci))
+                sub)
+        (subsets_of q))
+    t.queries;
+  let sets =
+    Array.mapi (fun i (_, cost) -> (Array.of_list elements.(i), cost)) t.classifiers
+  in
+  match Set_cover.solve ~universe ~sets with
+  | None -> None
+  | Some { cost = _; sets = chosen } ->
+      let chosen = List.sort_uniq compare chosen in
+      Some { cost = solution_cost t chosen; chosen }
+
+let solve t =
+  if max_query_length t <= 2 then solve_exact_l2 t
+  else solve_greedy t
+
+let brute_force t =
+  let n = Array.length t.classifiers in
+  let best = ref None in
+  let rec go i acc_cost acc =
+    let bound = match !best with Some { cost; _ } -> cost | None -> infinity in
+    if acc_cost < bound then begin
+      if i >= n then begin
+        if covers t acc then best := Some { cost = acc_cost; chosen = List.rev acc }
+      end
+      else begin
+        let cost = snd t.classifiers.(i) in
+        if cost < infinite_cost then go (i + 1) (acc_cost +. cost) (i :: acc);
+        go (i + 1) acc_cost acc
+      end
+    end
+  in
+  go 0 0.0 [];
+  !best

@@ -1,0 +1,49 @@
+(** MC3 — Minimization of Classifier Construction Costs (Definition 2.4).
+
+    Given queries (property-id sets) and candidate classifiers with
+    costs, find a minimum-cost classifier set covering {e all} queries,
+    where a query is covered when a subset of selected classifiers,
+    each contained in the query, unions to exactly its property set.
+
+    Per Theorem 2.5 (due to [23]): solvable exactly in PTIME for
+    [l <= 2] — realized here as a maximum-weight-closure minimum cut
+    ("cover xy with the pair classifier XY or with both singletons
+    X and Y" is a submodular pseudo-boolean objective) — and NP-hard
+    for [l >= 3], where we use the greedy set-cover reduction
+    (elements are (query, property) incidences).
+
+    [A^BCC] (Algorithm 1, line 3) calls this as a local-search step: a
+    cheaper cover of the already-covered queries frees budget for the
+    residual problem. *)
+
+type instance = {
+  queries : int array array;  (** each query: sorted distinct property ids *)
+  classifiers : (int array * float) array;
+      (** available classifiers (sorted property-id sets) and their
+          costs; a classifier not listed is unavailable; [infinity]
+          costs are allowed and treated as unavailable *)
+}
+
+type solution = { cost : float; chosen : int list  (** classifier indices *) }
+
+val max_query_length : instance -> int
+
+val covers : instance -> int list -> bool
+(** Do the chosen classifiers cover every query? *)
+
+val solution_cost : instance -> int list -> float
+
+val solve_exact_l2 : instance -> solution option
+(** Exact minimum via one min-cut.  @raise Invalid_argument if some
+    query has length above 2.  [None] when no full cover exists. *)
+
+val solve_greedy : instance -> solution option
+(** Greedy set cover over (query, property) incidence elements;
+    [min{2^(l-1), O(log n)}]-approximate per Theorem 2.5. *)
+
+val solve : instance -> solution option
+(** Dispatcher: exact cut for [l <= 2], greedy otherwise (keeping the
+    better of greedy and, when applicable, exact). *)
+
+val brute_force : instance -> solution option
+(** Exhaustive test oracle; exponential in the number of classifiers. *)

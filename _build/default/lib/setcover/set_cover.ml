@@ -1,0 +1,71 @@
+type solution = { cost : float; sets : int list }
+
+let validate ~universe ~sets =
+  Array.iter
+    (fun (members, cost) ->
+      if cost < 0.0 then invalid_arg "Set_cover: negative cost";
+      Array.iter
+        (fun e -> if e < 0 || e >= universe then invalid_arg "Set_cover: element out of range")
+        members)
+    sets
+
+let is_cover ~universe ~sets chosen =
+  if universe = 0 then true
+  else begin
+    let covered = Array.make universe false in
+    List.iter (fun s -> Array.iter (fun e -> covered.(e) <- true) (fst sets.(s))) chosen;
+    Array.for_all (fun c -> c) covered
+  end
+
+let solve ~universe ~sets =
+  validate ~universe ~sets;
+  let nsets = Array.length sets in
+  let covered = Array.make (max universe 1) false in
+  let remaining = ref universe in
+  let chosen = ref [] in
+  let total = ref 0.0 in
+  let select s =
+    chosen := s :: !chosen;
+    total := !total +. snd sets.(s);
+    Array.iter
+      (fun e ->
+        if not covered.(e) then begin
+          covered.(e) <- true;
+          decr remaining
+        end)
+      (fst sets.(s))
+  in
+  let gain s =
+    Array.fold_left (fun acc e -> if covered.(e) then acc else acc + 1) 0 (fst sets.(s))
+  in
+  (* Free sets can never hurt. *)
+  Array.iteri (fun s (_, cost) -> if cost = 0.0 && gain s > 0 then select s) sets;
+  let ratio s =
+    let g = gain s in
+    if g = 0 then 0.0
+    else begin
+      let cost = snd sets.(s) in
+      if cost = 0.0 then infinity else float_of_int g /. cost
+    end
+  in
+  let heap = Bcc_util.Heap.create ~max:true nsets in
+  Array.iteri
+    (fun s (_, cost) ->
+      if cost < infinity then begin
+        let r = ratio s in
+        if r > 0.0 then Bcc_util.Heap.insert heap s r
+      end)
+    sets;
+  let exception Stuck in
+  (try
+     while !remaining > 0 do
+       match Bcc_util.Heap.pop heap with
+       | None -> raise Stuck
+       | Some (s, stale) ->
+           let fresh = ratio s in
+           if fresh <= 0.0 then ()
+           else if fresh < stale -. 1e-12 then Bcc_util.Heap.insert heap s fresh
+           else select s
+     done
+   with Stuck -> ());
+  if !remaining > 0 then None else Some { cost = !total; sets = List.rev !chosen }

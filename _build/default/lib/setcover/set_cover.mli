@@ -1,0 +1,19 @@
+(** Greedy weighted set cover.
+
+    The classic [H_n]-approximation: repeatedly select the set with the
+    best ratio of newly covered elements to cost.  Implemented with a
+    lazy-evaluation priority queue — coverage gain is submodular
+    (monotonically shrinking), so re-evaluating only the current top of
+    the queue reproduces the exact greedy choice. *)
+
+type solution = { cost : float; sets : int list }
+
+val solve : universe:int -> sets:(int array * float) array -> solution option
+(** [solve ~universe ~sets] covers elements [0 .. universe-1] with the
+    given [(members, cost)] sets.  Returns [None] when some element
+    appears in no finite-cost set.  Sets of cost 0 are always selected
+    when useful.  @raise Invalid_argument on a negative cost or an
+    out-of-range element. *)
+
+val is_cover : universe:int -> sets:(int array * float) array -> int list -> bool
+(** Check that the chosen set indices cover the whole universe. *)

@@ -1,0 +1,55 @@
+(** Deterministic splittable pseudo-random number generator (splitmix64).
+
+    Every randomized component of the library takes an explicit [Rng.t] so
+    that whole runs are reproducible from a single seed.  The generator is
+    the standard splitmix64 mixer, which is fast, has a full 2^64 period
+    per stream, and supports cheap splitting into independent streams. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int -> t
+(** [create seed] returns a fresh generator deterministically derived
+    from [seed]. *)
+
+val copy : t -> t
+(** [copy t] duplicates the current state; the copy evolves
+    independently. *)
+
+val split : t -> t
+(** [split t] advances [t] and returns a new generator whose stream is
+    independent of the remainder of [t]'s stream. *)
+
+val int64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform over [0, bound).  @raise Invalid_argument
+    if [bound <= 0]. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in t lo hi] is uniform over the inclusive range [lo, hi]. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform over [0, bound). *)
+
+val float_in : t -> float -> float -> float
+(** [float_in t lo hi] is uniform over [lo, hi). *)
+
+val bool : t -> bool
+(** Fair coin flip. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)
+
+val choose : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. *)
+
+val sample_without_replacement : t -> int -> int -> int array
+(** [sample_without_replacement t k n] draws [k] distinct integers from
+    [0, n), in uniformly random order.  @raise Invalid_argument if
+    [k > n] or [k < 0]. *)
+
+val weighted_index : t -> float array -> int
+(** [weighted_index t w] draws index [i] with probability proportional
+    to [w.(i)].  Weights must be non-negative with a positive sum. *)

@@ -1,0 +1,58 @@
+let sum xs = Array.fold_left ( +. ) 0.0 xs
+
+let mean xs =
+  let n = Array.length xs in
+  if n = 0 then 0.0 else sum xs /. float_of_int n
+
+let variance xs =
+  let n = Array.length xs in
+  if n < 2 then 0.0
+  else begin
+    let m = mean xs in
+    let acc = Array.fold_left (fun acc x -> acc +. ((x -. m) ** 2.0)) 0.0 xs in
+    acc /. float_of_int (n - 1)
+  end
+
+let stddev xs = sqrt (variance xs)
+
+let min xs =
+  if Array.length xs = 0 then invalid_arg "Stats.min: empty";
+  Array.fold_left Stdlib.min xs.(0) xs
+
+let max xs =
+  if Array.length xs = 0 then invalid_arg "Stats.max: empty";
+  Array.fold_left Stdlib.max xs.(0) xs
+
+let percentile xs p =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Stats.percentile: empty";
+  if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p out of range";
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  let rank = p /. 100.0 *. float_of_int (n - 1) in
+  let lo = int_of_float (floor rank) and hi = int_of_float (ceil rank) in
+  if lo = hi then sorted.(lo)
+  else begin
+    let frac = rank -. float_of_int lo in
+    (sorted.(lo) *. (1.0 -. frac)) +. (sorted.(hi) *. frac)
+  end
+
+let median xs = percentile xs 50.0
+
+let histogram bins xs =
+  if bins <= 0 then invalid_arg "Stats.histogram: bins must be positive";
+  if Array.length xs = 0 then [||]
+  else begin
+    let lo = min xs and hi = max xs in
+    let width = if hi > lo then (hi -. lo) /. float_of_int bins else 1.0 in
+    let counts = Array.make bins 0 in
+    Array.iter
+      (fun x ->
+        let b = int_of_float ((x -. lo) /. width) in
+        let b = Stdlib.min b (bins - 1) in
+        counts.(b) <- counts.(b) + 1)
+      xs;
+    Array.mapi
+      (fun i c -> (lo +. (float_of_int i *. width), lo +. (float_of_int (i + 1) *. width), c))
+      counts
+  end

@@ -1,0 +1,20 @@
+(** Small descriptive-statistics helpers used by the bench harness and
+    the dataset generators. *)
+
+val mean : float array -> float
+val variance : float array -> float
+(** Sample variance (divides by [n - 1]; 0 for fewer than 2 points). *)
+
+val stddev : float array -> float
+val min : float array -> float
+val max : float array -> float
+val sum : float array -> float
+
+val percentile : float array -> float -> float
+(** [percentile xs p] with [p] in [0, 100], linear interpolation between
+    order statistics.  @raise Invalid_argument on an empty array. *)
+
+val median : float array -> float
+
+val histogram : int -> float array -> (float * float * int) array
+(** [histogram bins xs] returns [(lo, hi, count)] per equal-width bin. *)

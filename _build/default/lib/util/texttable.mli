@@ -1,0 +1,16 @@
+(** Fixed-width text tables for bench output, shaped like the rows the
+    paper's figures report. *)
+
+type t
+
+val create : string list -> t
+(** [create headers] starts a table with the given column headers. *)
+
+val add_row : t -> string list -> unit
+(** Rows shorter than the header are right-padded with empty cells. *)
+
+val render : t -> string
+(** Render with aligned columns and a separator under the header. *)
+
+val print : t -> unit
+(** [render] to stdout followed by a newline. *)

@@ -1,0 +1,19 @@
+(** Disjoint-set forest with union by rank and path compression. *)
+
+type t
+
+val create : int -> t
+(** [create n] makes [n] singleton sets labelled [0 .. n-1]. *)
+
+val find : t -> int -> int
+(** Canonical representative of the set containing the element. *)
+
+val union : t -> int -> int -> bool
+(** Merge the two sets; returns [false] when already in the same set. *)
+
+val same : t -> int -> int -> bool
+val count : t -> int
+(** Number of disjoint sets remaining. *)
+
+val size_of : t -> int -> int
+(** Size of the set containing the element. *)

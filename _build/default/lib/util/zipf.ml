@@ -1,0 +1,25 @@
+type t = { cdf : float array; s : float }
+
+let create ?(s = 1.0) n =
+  if n <= 0 then invalid_arg "Zipf.create";
+  let cdf = Array.make n 0.0 in
+  let acc = ref 0.0 in
+  for rank = 0 to n - 1 do
+    acc := !acc +. (1.0 /. (float_of_int (rank + 1) ** s));
+    cdf.(rank) <- !acc
+  done;
+  { cdf; s }
+
+let weight t rank = 1.0 /. (float_of_int (rank + 1) ** t.s)
+
+let sample t rng =
+  let total = t.cdf.(Array.length t.cdf - 1) in
+  let target = Rng.float rng total in
+  (* Binary search for the first rank whose cumulative weight exceeds the
+     target. *)
+  let lo = ref 0 and hi = ref (Array.length t.cdf - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if t.cdf.(mid) > target then hi := mid else lo := mid + 1
+  done;
+  !lo

@@ -1,0 +1,15 @@
+(** Zipf-distributed sampling over ranks [1 .. n], used by the dataset
+    generators to model query popularity and property reuse (popular
+    queries/properties recur far more often than the tail). *)
+
+type t
+
+val create : ?s:float -> int -> t
+(** [create ~s n] precomputes the CDF of a Zipf law with exponent [s]
+    (default 1.0) over [n] ranks.  @raise Invalid_argument if [n <= 0]. *)
+
+val sample : t -> Rng.t -> int
+(** Draw a rank in [0, n), rank 0 being the most likely. *)
+
+val weight : t -> int -> float
+(** Unnormalized weight of a rank ([1 / (rank+1)^s]). *)

@@ -1,0 +1,1 @@
+test/fixtures.ml: Array Bcc_core Bcc_graph Bcc_util

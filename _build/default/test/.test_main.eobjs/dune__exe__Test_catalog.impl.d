@@ -1,0 +1,1 @@
+test/test_catalog.ml: Alcotest Bcc_catalog Bcc_core Fixtures List Printf

@@ -1,0 +1,1 @@
+test/test_core_model.ml: Alcotest Array Bcc_core Bcc_graph Bcc_qk Bcc_util Fixtures Format Gen List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_data.ml: Alcotest Array Bcc_core Bcc_data Bcc_util Filename Fixtures List Printf Sys

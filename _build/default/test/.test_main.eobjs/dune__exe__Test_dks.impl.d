@@ -1,0 +1,1 @@
+test/test_dks.ml: Alcotest Array Bcc_dks Bcc_graph Bcc_util Fixtures List Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Bcc_core Bcc_util Fixtures List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_gmc3_ecc.ml: Alcotest Bcc_core Bcc_util Fixtures List Printf QCheck QCheck_alcotest

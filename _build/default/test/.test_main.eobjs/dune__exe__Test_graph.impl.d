@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Array Bcc_graph Bcc_util Fixtures Fun List QCheck QCheck_alcotest

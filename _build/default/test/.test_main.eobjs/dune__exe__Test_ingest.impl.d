@@ -1,0 +1,1 @@
+test/test_ingest.ml: Alcotest Array Bcc_core Bcc_data Bcc_dks Bcc_graph Bcc_util Filename Fixtures Printf QCheck QCheck_alcotest Sys

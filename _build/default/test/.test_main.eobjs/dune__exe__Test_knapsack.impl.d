@@ -1,0 +1,1 @@
+test/test_knapsack.ml: Alcotest Array Bcc_knapsack Bcc_util List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_misc.ml: Alcotest Array Bcc_core Bcc_data Bcc_graph Bcc_util Fixtures Format String Sys

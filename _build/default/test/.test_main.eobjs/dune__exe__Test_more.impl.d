@@ -1,0 +1,1 @@
+test/test_more.ml: Alcotest Array Bcc_catalog Bcc_core Bcc_data Bcc_dks Bcc_graph Bcc_knapsack Bcc_qk Bcc_util Filename Fixtures List Printf QCheck QCheck_alcotest Sys

@@ -1,0 +1,1 @@
+test/test_paper_examples.ml: Alcotest Array Bcc_core Bcc_graph Bcc_qk Fixtures List

@@ -1,0 +1,1 @@
+test/test_qk.ml: Alcotest Array Bcc_dks Bcc_graph Bcc_qk Bcc_util Fixtures List QCheck QCheck_alcotest

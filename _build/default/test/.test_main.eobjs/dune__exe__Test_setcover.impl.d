@@ -1,0 +1,1 @@
+test/test_setcover.ml: Alcotest Array Bcc_setcover Bcc_util QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_solver.ml: Alcotest Array Bcc_core Bcc_dks Bcc_graph Bcc_knapsack Bcc_util Fixtures Fun List Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_theory.ml: Alcotest Array Bcc_core Bcc_dks Bcc_graph Bcc_knapsack Bcc_qk Bcc_util Fixtures List QCheck QCheck_alcotest

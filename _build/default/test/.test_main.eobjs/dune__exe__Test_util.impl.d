@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Bcc_util Gen Hashtbl List QCheck QCheck_alcotest String

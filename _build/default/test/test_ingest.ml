@@ -1,0 +1,112 @@
+(* Tests for the query-log ingestion front end and the branch-and-bound
+   exact HkS. *)
+
+module Propset = Bcc_core.Propset
+module Instance = Bcc_core.Instance
+module Symtab = Bcc_core.Symtab
+module Log_parser = Bcc_data.Log_parser
+module Graph = Bcc_graph.Graph
+module Exact = Bcc_dks.Exact
+module Rng = Bcc_util.Rng
+
+let qtest = QCheck_alcotest.to_alcotest
+
+(* --- log parser --- *)
+
+let sample_log =
+  "# top queries, Q1\n\
+   wooden table\t35\n\
+   running shoes\t20\n\
+   Wooden  Table\t5\n\
+   table\n\
+   \n\
+   a b c d e f g\t3\n"
+
+let parse_sample () =
+  let names, queries, stats = Log_parser.parse_string sample_log in
+  Alcotest.(check int) "five payload lines" 5 stats.Log_parser.lines;
+  Alcotest.(check int) "one dropped (7 words)" 1 stats.Log_parser.dropped_too_long;
+  Alcotest.(check int) "three distinct queries" 3 stats.Log_parser.queries;
+  (* "wooden table" + "Wooden  Table" merge (case/whitespace). *)
+  let wooden = Symtab.intern names "wooden" and table = Symtab.intern names "table" in
+  let wt = Propset.of_list [ wooden; table ] in
+  let count =
+    Array.fold_left
+      (fun acc (q, c) -> if Propset.equal q wt then acc +. c else acc)
+      0.0 queries
+  in
+  Alcotest.(check (float 1e-9)) "counts accumulate across casings" 40.0 count;
+  (* "table" without a count defaults to frequency 1. *)
+  let t = Propset.singleton table in
+  let count_t =
+    Array.fold_left
+      (fun acc (q, c) -> if Propset.equal q t then acc +. c else acc)
+      0.0 queries
+  in
+  Alcotest.(check (float 1e-9)) "count defaults to 1" 1.0 count_t
+
+let parse_rejects_bad_count () =
+  Alcotest.(check bool) "malformed count raises" true
+    (try
+       ignore (Log_parser.parse_string "shoes\tnotanumber\n");
+       false
+     with Failure _ -> true)
+
+let load_roundtrip () =
+  let path = Filename.temp_file "bcclog" ".tsv" in
+  let oc = open_out path in
+  output_string oc sample_log;
+  close_out oc;
+  let inst, stats = Log_parser.load ~budget:50.0 path in
+  Sys.remove path;
+  Alcotest.(check int) "instance carries the distinct queries" stats.Log_parser.queries
+    (Instance.num_queries inst);
+  Alcotest.(check (float 1e-9)) "budget set" 50.0 (Instance.budget inst);
+  (* Solvable end to end. *)
+  let sol = Bcc_core.Solver.solve inst in
+  Alcotest.(check bool) "solution verifies" true (Bcc_core.Solution.verify inst sol)
+
+(* --- branch-and-bound exact HkS --- *)
+
+let bnb_matches_enumeration =
+  QCheck.Test.make ~name:"dks_bnb matches subset enumeration" ~count:80 QCheck.small_int
+    (fun seed ->
+      let rng = Rng.create seed in
+      let n = 4 + Rng.int rng 8 in
+      let g =
+        Fixtures.random_graph ~seed:(seed * 7 + 1) ~n ~density:0.4 ~max_cost:1 ~max_weight:9
+      in
+      let k = 1 + Rng.int rng n in
+      let _, enum = Exact.dks g ~k in
+      let sel, bnb = Exact.dks_bnb g ~k in
+      abs_float (enum -. bnb) < 1e-9
+      && abs_float (Graph.induced_weight g sel -. bnb) < 1e-9
+      && Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 sel <= k)
+
+let bnb_scales_past_enumeration () =
+  (* 40 nodes would need 2^40 subsets; the bound makes it quick. *)
+  let g = Fixtures.random_graph ~seed:3 ~n:40 ~density:0.2 ~max_cost:1 ~max_weight:9 in
+  let (sel, v), t = Bcc_util.Timer.time (fun () -> Exact.dks_bnb g ~k:6) in
+  Alcotest.(check bool) (Printf.sprintf "finished in %.2fs" t) true (t < 30.0);
+  Alcotest.(check (float 1e-9)) "selection value consistent" v (Graph.induced_weight g sel);
+  (* The heuristic portfolio must not beat the exact optimum. *)
+  let inst = Bcc_dks.Hks.make g ~k:6 in
+  let heur = Bcc_dks.Hks.value inst (Bcc_dks.Hks.solve inst) in
+  Alcotest.(check bool) "exact >= heuristic" true (v +. 1e-9 >= heur)
+
+let bnb_k_extremes () =
+  let g = Graph.of_edges 3 [ (0, 1, 2.0) ] in
+  let _, v0 = Exact.dks_bnb g ~k:0 in
+  Alcotest.(check (float 1e-9)) "k=0" 0.0 v0;
+  let _, vall = Exact.dks_bnb g ~k:10 in
+  Alcotest.(check (float 1e-9)) "k >= n takes everything" 2.0 vall
+
+let suite =
+  [
+    Alcotest.test_case "parse sample log" `Quick parse_sample;
+    Alcotest.test_case "parse rejects bad count" `Quick parse_rejects_bad_count;
+    Alcotest.test_case "load + solve roundtrip" `Quick load_roundtrip;
+    qtest bnb_matches_enumeration;
+    Alcotest.test_case "bnb scales past enumeration" `Slow bnb_scales_past_enumeration;
+    Alcotest.test_case "bnb k extremes" `Quick bnb_k_extremes;
+  ]

@@ -1,0 +1,96 @@
+(* Tests for the knapsack solvers (BCC(1) engine, Theorem 3.1 /
+   Observation 4.3). *)
+
+module Knapsack = Bcc_knapsack.Knapsack
+module Rng = Bcc_util.Rng
+
+let qtest = QCheck_alcotest.to_alcotest
+
+let known_instance () =
+  let values = [| 60.0; 100.0; 120.0 |] and weights = [| 10.0; 20.0; 30.0 |] in
+  let sol = Knapsack.branch_and_bound ~values ~weights ~budget:50.0 in
+  Alcotest.(check (float 1e-9)) "classic optimum" 220.0 sol.Knapsack.value;
+  Alcotest.(check (list int)) "items 1 and 2" [ 1; 2 ] sol.Knapsack.items
+
+let exact_int_known () =
+  let sol =
+    Knapsack.exact_int ~values:[| 60.0; 100.0; 120.0 |] ~weights:[| 10; 20; 30 |] ~budget:50
+  in
+  Alcotest.(check (float 1e-9)) "DP optimum" 220.0 sol.Knapsack.value
+
+let zero_weight_items () =
+  let sol = Knapsack.solve ~values:[| 5.0; 3.0 |] ~weights:[| 0.0; 1.0 |] 0.5 in
+  Alcotest.(check (float 1e-9)) "free item always taken" 5.0 sol.Knapsack.value
+
+let empty_instance () =
+  let sol = Knapsack.solve ~values:[||] ~weights:[||] 10.0 in
+  Alcotest.(check (float 1e-9)) "empty" 0.0 sol.Knapsack.value;
+  Alcotest.(check (list int)) "no items" [] sol.Knapsack.items
+
+let random_inputs seed =
+  let rng = Rng.create seed in
+  let n = 1 + Rng.int rng 12 in
+  let values = Array.init n (fun _ -> float_of_int (Rng.int_in rng 0 30)) in
+  let weights = Array.init n (fun _ -> Rng.int_in rng 0 15) in
+  let budget = Rng.int_in rng 0 40 in
+  (values, weights, budget)
+
+let feasible weights budget items =
+  List.fold_left (fun acc i -> acc +. weights.(i)) 0.0 items <= budget +. 1e-9
+
+let exact_matches_bnb =
+  QCheck.Test.make ~name:"exact_int matches branch_and_bound" ~count:150 QCheck.small_int
+    (fun seed ->
+      let values, weights, budget = random_inputs seed in
+      let a = Knapsack.exact_int ~values ~weights ~budget in
+      let b =
+        Knapsack.branch_and_bound ~values
+          ~weights:(Array.map float_of_int weights)
+          ~budget:(float_of_int budget)
+      in
+      abs_float (a.Knapsack.value -. b.Knapsack.value) < 1e-9)
+
+let greedy_half_approx =
+  QCheck.Test.make ~name:"greedy achieves at least half the optimum" ~count:150
+    QCheck.small_int (fun seed ->
+      let values, weights, budget = random_inputs seed in
+      let weights_f = Array.map float_of_int weights in
+      let budget_f = float_of_int budget in
+      let g = Knapsack.greedy ~values ~weights:weights_f ~budget:budget_f in
+      let opt = Knapsack.exact_int ~values ~weights ~budget in
+      g.Knapsack.value +. 1e-9 >= opt.Knapsack.value /. 2.0
+      && feasible weights_f budget_f g.Knapsack.items)
+
+let solve_near_optimal =
+  QCheck.Test.make ~name:"solve is feasible and near-optimal" ~count:150 QCheck.small_int
+    (fun seed ->
+      let values, weights, budget = random_inputs seed in
+      let weights_f = Array.map float_of_int weights in
+      let budget_f = float_of_int budget in
+      let s = Knapsack.solve ~values ~weights:weights_f budget_f in
+      let opt = Knapsack.exact_int ~values ~weights ~budget in
+      feasible weights_f budget_f s.Knapsack.items
+      && s.Knapsack.value +. 1e-9 >= 0.95 *. opt.Knapsack.value)
+
+let reconstruction_consistent =
+  QCheck.Test.make ~name:"reported value equals the sum over returned items" ~count:150
+    QCheck.small_int (fun seed ->
+      let values, weights, budget = random_inputs seed in
+      let sol = Knapsack.exact_int ~values ~weights ~budget in
+      let v = List.fold_left (fun acc i -> acc +. values.(i)) 0.0 sol.Knapsack.items in
+      let w =
+        List.fold_left (fun acc i -> acc + weights.(i)) 0 sol.Knapsack.items
+      in
+      abs_float (v -. sol.Knapsack.value) < 1e-9 && w <= budget)
+
+let suite =
+  [
+    Alcotest.test_case "known optimum (branch and bound)" `Quick known_instance;
+    Alcotest.test_case "known optimum (DP)" `Quick exact_int_known;
+    Alcotest.test_case "zero-weight items" `Quick zero_weight_items;
+    Alcotest.test_case "empty instance" `Quick empty_instance;
+    qtest exact_matches_bnb;
+    qtest greedy_half_approx;
+    qtest solve_near_optimal;
+    qtest reconstruction_consistent;
+  ]

@@ -1,0 +1,21 @@
+let () =
+  Alcotest.run "bcc"
+    [
+      ("util", Test_util.suite);
+      ("graph", Test_graph.suite);
+      ("knapsack", Test_knapsack.suite);
+      ("setcover", Test_setcover.suite);
+      ("dks", Test_dks.suite);
+      ("qk", Test_qk.suite);
+      ("core-model", Test_core_model.suite);
+      ("paper-examples", Test_paper_examples.suite);
+      ("solver", Test_solver.suite);
+      ("gmc3-ecc", Test_gmc3_ecc.suite);
+      ("data", Test_data.suite);
+      ("catalog", Test_catalog.suite);
+      ("extensions", Test_extensions.suite);
+      ("more", Test_more.suite);
+      ("theory", Test_theory.suite);
+      ("misc", Test_misc.suite);
+      ("ingest", Test_ingest.suite);
+    ]

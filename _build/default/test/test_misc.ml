@@ -1,0 +1,90 @@
+(* Remaining small-module coverage: timers, stats printing, leverage
+   scores, workload stats, solution utilities. *)
+
+module Propset = Bcc_core.Propset
+module Instance = Bcc_core.Instance
+module Solution = Bcc_core.Solution
+module Cover = Bcc_core.Cover
+module Decompose = Bcc_core.Decompose
+module Prune = Bcc_core.Prune
+module Graph = Bcc_graph.Graph
+module Workload_stats = Bcc_data.Workload_stats
+module Timer = Bcc_util.Timer
+
+let ps = Fixtures.ps
+
+let timer_measures () =
+  let (), t = Timer.time (fun () -> ignore (Sys.opaque_identity (Array.make 1000 0))) in
+  Alcotest.(check bool) "non-negative duration" true (t >= 0.0);
+  let t0 = Timer.start () in
+  Alcotest.(check bool) "elapsed grows" true (Timer.elapsed_s t0 >= 0.0)
+
+let solution_better_prefers_utility_then_cost () =
+  let a = { Solution.classifiers = []; cost = 5.0; utility = 10.0 } in
+  let b = { Solution.classifiers = []; cost = 1.0; utility = 8.0 } in
+  Alcotest.(check (float 1e-12)) "higher utility wins" 10.0
+    (Solution.better a b).Solution.utility;
+  let c = { Solution.classifiers = []; cost = 3.0; utility = 10.0 } in
+  Alcotest.(check (float 1e-12)) "ties go to lower cost" 3.0
+    (Solution.better a c).Solution.cost
+
+let solution_pp_renders () =
+  let inst = Fixtures.figure1 ~budget:3.0 in
+  let sol = Bcc_core.Solver.solve inst in
+  let s = Format.asprintf "%a" (Solution.pp ?names:None) sol in
+  Alcotest.(check bool) "mentions cost" true (String.length s > 10)
+
+let leverage_scores_rank_hubs () =
+  (* A star: the hub must get the top leverage score. *)
+  let g = Graph.of_edges 5 [ (0, 1, 1.0); (0, 2, 1.0); (0, 3, 1.0); (0, 4, 1.0) ] in
+  let scores = Decompose.leverage_scores g in
+  Array.iteri
+    (fun v s ->
+      if v <> 0 then
+        Alcotest.(check bool) "hub dominates" true (scores.(0) >= s -. 1e-12))
+    scores;
+  Array.iter (fun s -> Alcotest.(check bool) "non-negative" true (s >= 0.0)) scores
+
+let prune_kept_count () =
+  Alcotest.(check int) "count" 2 (Prune.kept_count [| true; false; true |]);
+  Alcotest.(check int) "empty" 0 (Prune.kept_count [||])
+
+let workload_stats_on_figure1 () =
+  let inst = Fixtures.figure1 ~budget:3.0 in
+  let stats = Workload_stats.compute inst in
+  Alcotest.(check int) "queries" 3 stats.Workload_stats.num_queries;
+  Alcotest.(check int) "properties" 3 stats.Workload_stats.num_properties;
+  Alcotest.(check int) "max length" 3 stats.Workload_stats.max_length;
+  Alcotest.(check (float 1e-9)) "total utility" 11.0 stats.Workload_stats.total_utility;
+  Alcotest.(check (float 1e-6)) "avg length 7/3" (7.0 /. 3.0) stats.Workload_stats.avg_length;
+  (* YZ is the only free classifier. *)
+  Alcotest.(check int) "one free classifier" 1 stats.Workload_stats.zero_cost_classifiers;
+  let rendered = Format.asprintf "%a" Workload_stats.pp stats in
+  Alcotest.(check bool) "pp renders" true (String.length rendered > 20)
+
+let instance_pp_summary () =
+  let inst = Fixtures.figure1 ~budget:3.0 in
+  let s = Format.asprintf "%a" Instance.pp_summary inst in
+  Alcotest.(check bool) "mentions the name" true (String.length s > 10)
+
+let cover_full_mask_consistency () =
+  let inst = Fixtures.figure1 ~budget:11.0 in
+  let state = Cover.create inst in
+  for qi = 0 to Instance.num_queries inst - 1 do
+    let len = Propset.length (Instance.query inst qi) in
+    Alcotest.(check int) "full mask is 2^len - 1" ((1 lsl len) - 1)
+      (Cover.full_mask state qi);
+    Alcotest.(check int) "initially nothing covered" 0 (Cover.mask state qi)
+  done
+
+let suite =
+  [
+    Alcotest.test_case "timer measures" `Quick timer_measures;
+    Alcotest.test_case "solution better ordering" `Quick solution_better_prefers_utility_then_cost;
+    Alcotest.test_case "solution pp renders" `Quick solution_pp_renders;
+    Alcotest.test_case "leverage scores rank hubs" `Quick leverage_scores_rank_hubs;
+    Alcotest.test_case "prune kept_count" `Quick prune_kept_count;
+    Alcotest.test_case "workload stats on figure1" `Quick workload_stats_on_figure1;
+    Alcotest.test_case "instance pp summary" `Quick instance_pp_summary;
+    Alcotest.test_case "cover mask consistency" `Quick cover_full_mask_consistency;
+  ]

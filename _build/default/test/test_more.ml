@@ -1,0 +1,323 @@
+(* Second coverage pass: determinism, boundary conditions, structural
+   invariants across libraries. *)
+
+module Propset = Bcc_core.Propset
+module Instance = Bcc_core.Instance
+module Solution = Bcc_core.Solution
+module Solver = Bcc_core.Solver
+module Cover = Bcc_core.Cover
+module Covers = Bcc_core.Covers
+module Gmc3 = Bcc_core.Gmc3
+module Graph = Bcc_graph.Graph
+module Hypergraph = Bcc_graph.Hypergraph
+module Maxflow = Bcc_graph.Maxflow
+module Hks = Bcc_dks.Hks
+module Dksh = Bcc_dks.Dksh
+module Qk = Bcc_qk.Qk
+module Knapsack = Bcc_knapsack.Knapsack
+module Rng = Bcc_util.Rng
+module Heap = Bcc_util.Heap
+
+let qtest = QCheck_alcotest.to_alcotest
+let ps = Fixtures.ps
+
+(* --- determinism --- *)
+
+let solver_deterministic =
+  QCheck.Test.make ~name:"A^BCC is deterministic" ~count:20 QCheck.small_int (fun seed ->
+      let inst = Fixtures.random_instance ~seed ~budget:9.0 () in
+      let a = Solver.solve inst and b = Solver.solve inst in
+      a.Solution.utility = b.Solution.utility && a.Solution.cost = b.Solution.cost)
+
+let qk_deterministic =
+  QCheck.Test.make ~name:"A^QK_H is deterministic" ~count:20 QCheck.small_int (fun seed ->
+      let g = Fixtures.random_graph ~seed ~n:10 ~density:0.4 ~max_cost:5 ~max_weight:9 in
+      let inst = { Qk.graph = g; budget = 8.0 } in
+      (Qk.solve inst).Qk.value = (Qk.solve inst).Qk.value)
+
+let generators_deterministic () =
+  let a = Bcc_data.Bestbuy.generate ~seed:9 ~budget:10.0 () in
+  let b = Bcc_data.Bestbuy.generate ~seed:9 ~budget:10.0 () in
+  Alcotest.(check (float 1e-12)) "bestbuy determinism" (Instance.total_utility a)
+    (Instance.total_utility b);
+  let c = Bcc_data.Private_like.generate ~seed:9 ~budget:10.0 () in
+  let d = Bcc_data.Private_like.generate ~seed:9 ~budget:10.0 () in
+  Alcotest.(check int) "private determinism" (Instance.num_classifiers c)
+    (Instance.num_classifiers d)
+
+(* --- solver boundaries --- *)
+
+let solver_paper_prune_feasible =
+  QCheck.Test.make ~name:"A^BCC with the paper's prune rule stays feasible" ~count:25
+    QCheck.small_int (fun seed ->
+      let inst = Fixtures.random_instance ~seed ~budget:9.0 () in
+      let options = { Solver.default_options with prune_mode = `Paper } in
+      Solution.verify inst (Solver.solve ~options inst))
+
+let solver_l1_matches_knapsack_quality =
+  QCheck.Test.make ~name:"on singleton-only workloads A^BCC is knapsack-optimal" ~count:30
+    QCheck.small_int (fun seed ->
+      let rng = Rng.create seed in
+      let n = 1 + Rng.int rng 10 in
+      let values = Array.init n (fun _ -> float_of_int (1 + Rng.int rng 9)) in
+      let weights = Array.init n (fun _ -> 1 + Rng.int rng 5) in
+      let budget = 1 + Rng.int rng 20 in
+      let queries = Array.init n (fun i -> (Propset.singleton i, values.(i))) in
+      let cost c =
+        match Propset.to_list c with [ p ] -> float_of_int weights.(p) | _ -> infinity
+      in
+      let inst = Instance.create ~budget:(float_of_int budget) ~queries ~cost () in
+      let opt = Knapsack.exact_int ~values ~weights ~budget in
+      abs_float ((Solver.solve inst).Solution.utility -. opt.Knapsack.value) < 1e-9)
+
+let gmc3_budget_monotone_in_target () =
+  let inst = Fixtures.figure1 ~budget:0.0 in
+  let cost_for target = (Gmc3.solve inst ~target).Gmc3.solution.Solution.cost in
+  let c8 = cost_for 8.0 and c9 = cost_for 9.0 and c11 = cost_for 11.0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "costs grow with targets: %.0f <= %.0f <= %.0f" c8 c9 c11)
+    true
+    (c8 <= c9 +. 1e-9 && c9 <= c11 +. 1e-9)
+
+let empty_instance_everything () =
+  let inst = Instance.create ~budget:5.0 ~queries:[||] ~cost:(fun _ -> 1.0) () in
+  Alcotest.(check int) "no queries" 0 (Instance.num_queries inst);
+  Alcotest.(check int) "no classifiers" 0 (Instance.num_classifiers inst);
+  let sol = Solver.solve inst in
+  Alcotest.(check (float 1e-12)) "empty solution" 0.0 sol.Solution.utility;
+  Alcotest.(check bool) "verified" true (Solution.verify inst sol)
+
+(* --- covers invariants --- *)
+
+let two_covers_sound =
+  QCheck.Test.make ~name:"two_covers: pairs cover jointly, never alone" ~count:60
+    QCheck.small_int (fun seed ->
+      let inst = Fixtures.random_instance ~seed ~max_len:3 ~budget:100.0 () in
+      let state = Cover.create inst in
+      let ok = ref true in
+      for qi = 0 to Instance.num_queries inst - 1 do
+        let cands, target = Covers.candidates state qi in
+        List.iter
+          (fun ((a : Covers.candidate), (b : Covers.candidate)) ->
+            if
+              (a.bits lor b.bits) land target <> target
+              || a.bits land target = target
+              || b.bits land target = target
+            then ok := false)
+          (Covers.two_covers cands ~target);
+        List.iter
+          (fun (c : Covers.candidate) -> if c.bits land target <> target then ok := false)
+          (Covers.one_covers cands ~target)
+      done;
+      !ok)
+
+let candidates_exclude_selected =
+  QCheck.Test.make ~name:"candidates never include selected classifiers" ~count:40
+    QCheck.small_int (fun seed ->
+      let inst = Fixtures.random_instance ~seed ~budget:100.0 () in
+      if Instance.num_classifiers inst = 0 then true
+      else begin
+        let state = Cover.create inst in
+        let rng = Rng.create (seed * 3 + 1) in
+        for _ = 1 to 3 do
+          Cover.select state (Rng.int rng (Instance.num_classifiers inst))
+        done;
+        let ok = ref true in
+        for qi = 0 to Instance.num_queries inst - 1 do
+          let cands, _ = Covers.candidates state qi in
+          List.iter
+            (fun (c : Covers.candidate) ->
+              if Cover.is_selected state c.id then ok := false)
+            cands
+        done;
+        !ok
+      end)
+
+(* --- graph boundaries --- *)
+
+let empty_graph () =
+  let g = Graph.of_edges 0 [] in
+  Alcotest.(check int) "no nodes" 0 (Graph.n g);
+  Alcotest.(check int) "no edges" 0 (Graph.m g);
+  let comp, k = Graph.connected_components g in
+  Alcotest.(check int) "no components" 0 k;
+  Alcotest.(check int) "empty labels" 0 (Array.length comp)
+
+let maxflow_bipartite_matching () =
+  (* 3x3 bipartite graph with a perfect matching of size 3. *)
+  let n = 8 in
+  let s = 6 and t = 7 in
+  let net = Maxflow.create n in
+  List.iter (fun v -> Maxflow.add_edge net s v 1.0) [ 0; 1; 2 ];
+  List.iter (fun v -> Maxflow.add_edge net v t 1.0) [ 3; 4; 5 ];
+  List.iter
+    (fun (u, v) -> Maxflow.add_edge net u v 1.0)
+    [ (0, 3); (0, 4); (1, 4); (1, 5); (2, 5) ];
+  Alcotest.(check (float 1e-9)) "perfect matching" 3.0 (Maxflow.max_flow net s t)
+
+let maxflow_parallel_arcs () =
+  let net = Maxflow.create 2 in
+  Maxflow.add_edge net 0 1 2.0;
+  Maxflow.add_edge net 0 1 3.0;
+  Alcotest.(check (float 1e-9)) "parallel arcs add" 5.0 (Maxflow.max_flow net 0 1)
+
+(* --- HkS / DkSH extras --- *)
+
+let hks_peel_value_monotone_in_k () =
+  let g = Fixtures.random_graph ~seed:5 ~n:14 ~density:0.4 ~max_cost:1 ~max_weight:9 in
+  let prev = ref 0.0 in
+  for k = 1 to 14 do
+    let inst = Hks.make g ~k in
+    let v = Hks.value inst (Hks.solve inst) in
+    Alcotest.(check bool)
+      (Printf.sprintf "value at k=%d (%.1f) >= value at k-1 (%.1f)" k v !prev)
+      true
+      (v +. 1e-9 >= !prev);
+    prev := v
+  done
+
+let dksh_matches_small_brute () =
+  let h =
+    Hypergraph.create ~node_costs:(Array.make 6 1.0)
+      ~edges:
+        [|
+          ([| 0; 1; 2 |], 2.0); ([| 0; 1; 3 |], 1.0); ([| 3; 4; 5 |], 3.0);
+          ([| 1; 2; 3 |], 1.0);
+        |]
+  in
+  let k = 3 in
+  (* Brute force over 3-subsets. *)
+  let best = ref 0.0 in
+  for mask = 0 to 63 do
+    let sel = Array.init 6 (fun v -> mask land (1 lsl v) <> 0) in
+    if Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 sel = k then begin
+      let v = Hypergraph.induced_weight h sel in
+      if v > !best then best := v
+    end
+  done;
+  let got = Dksh.value h (Dksh.peel h ~k) in
+  Alcotest.(check (float 1e-9)) "peel finds the best triple here" !best got
+
+(* --- QK extras --- *)
+
+let qk_all_nodes_expensive () =
+  (* Every node costs more than B/2; the expensive branches must still
+     find the best affordable pair. *)
+  let g =
+    Graph.of_edges ~node_costs:[| 4.0; 4.0; 4.0 |] 3 [ (0, 1, 5.0); (1, 2, 9.0) ]
+  in
+  let sol = Qk.solve { Qk.graph = g; budget = 8.0 } in
+  Alcotest.(check (float 1e-9)) "best expensive pair" 9.0 sol.Qk.value
+
+let qk_disconnected_components () =
+  let g =
+    Graph.of_edges ~node_costs:[| 1.0; 1.0; 1.0; 1.0 |] 4 [ (0, 1, 3.0); (2, 3, 4.0) ]
+  in
+  let sol = Qk.solve { Qk.graph = g; budget = 4.0 } in
+  Alcotest.(check (float 1e-9)) "takes both components" 7.0 sol.Qk.value
+
+(* --- util extras --- *)
+
+let heap_to_sorted_list () =
+  let h = Heap.create 5 in
+  List.iteri (fun i p -> Heap.insert h i p) [ 3.0; 1.0; 2.0 ];
+  let sorted = Heap.to_sorted_list h in
+  Alcotest.(check (list (pair int (float 1e-12)))) "sorted pop order"
+    [ (1, 1.0); (2, 2.0); (0, 3.0) ]
+    sorted;
+  Alcotest.(check int) "non-destructive" 3 (Heap.size h)
+
+let stats_empty_raises () =
+  Alcotest.check_raises "min of empty" (Invalid_argument "Stats.min: empty") (fun () ->
+      ignore (Bcc_util.Stats.min [||]))
+
+(* --- io on a generated dataset --- *)
+
+let io_roundtrip_generated () =
+  let inst =
+    Bcc_data.Private_like.generate
+      ~params:{ Bcc_data.Private_like.default_params with num_queries = 120; num_anchors = 25 }
+      ~seed:3 ~budget:50.0 ()
+  in
+  let path = Filename.temp_file "bccgen" ".inst" in
+  Bcc_data.Io.save path inst;
+  let loaded = Bcc_data.Io.load path in
+  Sys.remove path;
+  Alcotest.(check int) "queries preserved" (Instance.num_queries inst)
+    (Instance.num_queries loaded);
+  Alcotest.(check (float 1e-3)) "total utility preserved" (Instance.total_utility inst)
+    (Instance.total_utility loaded);
+  (* Property ids are relabelled on load, which legitimately changes
+     heuristic tie-breaking; both solutions must verify and land in the
+     same quality band. *)
+  let a = Solver.solve inst and b = Solver.solve loaded in
+  Alcotest.(check bool) "original verifies" true (Solution.verify inst a);
+  Alcotest.(check bool) "loaded verifies" true (Solution.verify loaded b);
+  let lo = 0.9 *. max a.Solution.utility b.Solution.utility in
+  Alcotest.(check bool)
+    (Printf.sprintf "same quality band (%.0f vs %.0f)" a.Solution.utility b.Solution.utility)
+    true
+    (a.Solution.utility >= lo && b.Solution.utility >= lo)
+
+(* --- catalog extras --- *)
+
+let trained_predictions_stable () =
+  let params =
+    {
+      Bcc_catalog.Catalog.num_items = 300;
+      num_properties = 30;
+      props_per_item_lo = 2;
+      props_per_item_hi = 5;
+      visibility = 0.5;
+    }
+  in
+  let c = Bcc_catalog.Catalog.generate ~params ~seed:4 () in
+  let cl = Bcc_catalog.Trained.construct ~seed:5 ~props:(ps [ 0; 1 ]) ~cost:10.0 ~accuracy_floor:0.9 in
+  for item = 0 to 50 do
+    Alcotest.(check bool) "same prediction twice"
+      (Bcc_catalog.Trained.predict cl c item)
+      (Bcc_catalog.Trained.predict cl c item)
+  done
+
+let pipeline_with_baseline_solver () =
+  let params =
+    {
+      Bcc_catalog.Catalog.num_items = 1500;
+      num_properties = 50;
+      props_per_item_lo = 3;
+      props_per_item_hi = 6;
+      visibility = 0.4;
+    }
+  in
+  let c = Bcc_catalog.Catalog.generate ~params ~seed:6 () in
+  let wl = { Bcc_catalog.Pipeline.default_workload with num_queries = 80; budget = 80.0 } in
+  let with_solver solve = Bcc_catalog.Pipeline.run ~params:wl ~solve c ~seed:7 in
+  let ours = with_solver (fun i -> Solver.solve i) in
+  let rand = with_solver (fun i -> Bcc_core.Baselines.rand ~seed:1 i Bcc_core.Baselines.Budget) in
+  Alcotest.(check bool) "A^BCC covers at least as many queries as RAND" true
+    (ours.Bcc_catalog.Pipeline.queries_covered >= rand.Bcc_catalog.Pipeline.queries_covered)
+
+let suite =
+  [
+    qtest solver_deterministic;
+    qtest qk_deterministic;
+    Alcotest.test_case "generator determinism" `Quick generators_deterministic;
+    qtest solver_paper_prune_feasible;
+    qtest solver_l1_matches_knapsack_quality;
+    Alcotest.test_case "gmc3 cost monotone in target" `Quick gmc3_budget_monotone_in_target;
+    Alcotest.test_case "empty instance" `Quick empty_instance_everything;
+    qtest two_covers_sound;
+    qtest candidates_exclude_selected;
+    Alcotest.test_case "empty graph" `Quick empty_graph;
+    Alcotest.test_case "maxflow bipartite matching" `Quick maxflow_bipartite_matching;
+    Alcotest.test_case "maxflow parallel arcs" `Quick maxflow_parallel_arcs;
+    Alcotest.test_case "hks value monotone in k" `Quick hks_peel_value_monotone_in_k;
+    Alcotest.test_case "dksh vs small brute force" `Quick dksh_matches_small_brute;
+    Alcotest.test_case "qk all nodes expensive" `Quick qk_all_nodes_expensive;
+    Alcotest.test_case "qk disconnected components" `Quick qk_disconnected_components;
+    Alcotest.test_case "heap to_sorted_list" `Quick heap_to_sorted_list;
+    Alcotest.test_case "stats empty raises" `Quick stats_empty_raises;
+    Alcotest.test_case "io roundtrip on generated data" `Quick io_roundtrip_generated;
+    Alcotest.test_case "trained predictions stable" `Quick trained_predictions_stable;
+    Alcotest.test_case "pipeline with baseline solver" `Slow pipeline_with_baseline_solver;
+  ]

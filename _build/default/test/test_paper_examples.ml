@@ -1,0 +1,153 @@
+(* The worked examples of the paper, checked end to end: Example 2.1 /
+   Figure 1 (three budgets), Example 4.1 (i-covers), Example 4.5 /
+   Figure 2 (Knapsack/QK decomposition), Example 4.8 (residual
+   covering). *)
+
+module Propset = Bcc_core.Propset
+module Instance = Bcc_core.Instance
+module Cover = Bcc_core.Cover
+module Covers = Bcc_core.Covers
+module Solution = Bcc_core.Solution
+module Solver = Bcc_core.Solver
+module Exact = Bcc_core.Exact
+module Decompose = Bcc_core.Decompose
+
+let ps = Fixtures.ps
+
+let check_float = Alcotest.(check (float 1e-9))
+
+let optimal_utility ~budget expected () =
+  let inst = Fixtures.figure1 ~budget in
+  let exact = Exact.solve inst in
+  check_float "exact optimum" expected exact.Solution.utility;
+  Alcotest.(check bool) "exact verifies" true (Solution.verify inst exact);
+  let sol = Solver.solve inst in
+  Alcotest.(check bool) "solver verifies" true (Solution.verify inst sol);
+  check_float "A^BCC matches the optimum on Figure 1" expected sol.Solution.utility
+
+let figure1_infinite_classifier () =
+  let inst = Fixtures.figure1 ~budget:11.0 in
+  Alcotest.(check (option int)) "XY is not constructible" None
+    (Instance.classifier_id inst (ps [ 0; 1 ]));
+  check_float "free classifier YZ" 0.0 (Instance.cost_of inst (ps [ 1; 2 ]))
+
+let figure1_b4_solution_shape () =
+  (* At budget 4 the optimum is {YZ, XZ}: xz covered exactly, xyz by the
+     conjunction (Example 2.1). *)
+  let inst = Fixtures.figure1 ~budget:4.0 in
+  let state = Cover.create inst in
+  ignore (Cover.select_set state (ps [ 1; 2 ]));
+  ignore (Cover.select_set state (ps [ 0; 2 ]));
+  check_float "covers xyz and xz" 9.0 (Cover.covered_utility state);
+  Alcotest.(check bool) "xy uncovered" false
+    (List.for_all (fun qi -> Cover.is_covered state qi)
+       (List.init (Instance.num_queries inst) (fun i -> i)))
+
+let example_41_icovers () =
+  (* Q = {xyz, xy, x}; S = {X, XY, Z} covers all three; the 1-covers of S
+     are {x by X, xy by XY}; the only 2-cover is xyz by {XY, Z}. *)
+  let x = 0 and y = 1 and z = 2 in
+  let queries = [| (ps [ x; y; z ], 1.0); (ps [ x; y ], 1.0); (ps [ x ], 1.0) |] in
+  let inst = Instance.create ~budget:100.0 ~queries ~cost:(fun _ -> 1.0) () in
+  let state = Cover.create inst in
+  (* Before any selection: i-cover structure via the decomposition. *)
+  let find_query q =
+    let rec go i =
+      if Propset.equal (Instance.query inst i) q then i else go (i + 1)
+    in
+    go 0
+  in
+  let qi_xyz = find_query (ps [ x; y; z ]) in
+  let cands, target = Covers.candidates state qi_xyz in
+  let ones = Covers.one_covers cands ~target in
+  Alcotest.(check int) "xyz has exactly one 1-cover (XYZ)" 1 (List.length ones);
+  let twos = Covers.two_covers cands ~target in
+  (* 2-covers of xyz: {XY,Z} {XZ,Y} {YZ,X} {XY,YZ} {XY,XZ} {XZ,YZ} and
+     pairs involving a singleton with a pair that overlaps, e.g. {X,YZ};
+     minimality only requires that neither side alone covers. *)
+  Alcotest.(check bool) "xyz has multiple 2-covers" true (List.length twos >= 6);
+  (* After selecting X, XY, Z all queries are covered. *)
+  List.iter
+    (fun c -> Alcotest.(check bool) "selectable" true (Cover.select_set state c))
+    [ ps [ x ]; ps [ x; y ]; ps [ z ] ];
+  Alcotest.(check int) "all queries covered" 3 (Cover.covered_count state)
+
+let example_45_decomposition () =
+  (* Figure 2: the BCC(1) Knapsack instance has items X..Z, XY, YZ, XZ
+     with values = utilities of identical queries; the BCC(2) QK
+     instance is the triangle over X, Y, Z. *)
+  let inst = Fixtures.figure2 ~budget:2.0 in
+  let state = Cover.create inst in
+  let knap, qkp = Decompose.build state ~budget:2.0 in
+  (* Items: only classifiers that 1-cover a query, i.e. XY, YZ, XZ. *)
+  Alcotest.(check int) "three knapsack items" 3 (Array.length knap.Decompose.values);
+  Array.iteri
+    (fun i id ->
+      let c = Instance.classifier inst id in
+      Alcotest.(check int) "items are the pair classifiers" 2 (Propset.length c);
+      ignore i)
+    knap.Decompose.item_classifier;
+  let g = qkp.Decompose.qk.Bcc_qk.Qk.graph in
+  (* At budget 2 only the 2-cover {X, Y} is affordable (Y+Z and X+Z cost
+     3), so the QK graph holds X and Y, the three pair-classifier items
+     and the zero-cost virtual bonus node. *)
+  Alcotest.(check int) "QK nodes: X, Y, items, virtual" 6 (Bcc_graph.Graph.n g);
+  Alcotest.(check int) "QK edges: one affordable 2-cover + three bonus edges" 4
+    (Bcc_graph.Graph.m g);
+  (* Optimal QK solution at budget 2: {X, Y} with weight 2 (Example 4.5). *)
+  let qsol = Bcc_qk.Qk.solve qkp.Decompose.qk in
+  Alcotest.(check (float 1e-9)) "QK optimum weight 2" 2.0 qsol.Bcc_qk.Qk.value
+
+let example_48_residual () =
+  (* Q = {xyz, xyw}.  After selecting {XZ, Y}, the residual of xyw is xw:
+     XW and XYW are both residual 1-covers. *)
+  let x = 0 and y = 1 and z = 2 and w = 3 in
+  let queries = [| (ps [ x; y; z ], 1.0); (ps [ x; y; w ], 1.0) |] in
+  let inst = Instance.create ~budget:100.0 ~queries ~cost:(fun _ -> 1.0) () in
+  let state = Cover.create inst in
+  ignore (Cover.select_set state (ps [ x; z ]));
+  ignore (Cover.select_set state (ps [ y ]));
+  let qi_xyw =
+    let rec go i =
+      if Propset.equal (Instance.query inst i) (ps [ x; y; w ]) then i else go (i + 1)
+    in
+    go 0
+  in
+  Alcotest.(check bool) "xyz covered by {XZ, Y}" true
+    (Cover.is_covered state (1 - qi_xyw));
+  Alcotest.(check bool) "residual of xyw is xw" true
+    (Propset.equal (Cover.residual state qi_xyw) (ps [ x; w ]));
+  let cands, target = Covers.candidates state qi_xyw in
+  let one_ids =
+    List.map
+      (fun (c : Covers.candidate) -> Instance.classifier inst c.id)
+      (Covers.one_covers cands ~target)
+  in
+  let has set = List.exists (fun c -> Propset.equal c set) one_ids in
+  Alcotest.(check bool) "XW is a residual 1-cover" true (has (ps [ x; w ]));
+  Alcotest.(check bool) "XYW is a residual 1-cover" true (has (ps [ x; y; w ]));
+  (* And per the example, 2-covers now include {X, W}: *)
+  let twos = Covers.two_covers cands ~target in
+  let has_pair a b =
+    List.exists
+      (fun ((p : Covers.candidate), (q : Covers.candidate)) ->
+        let cp = Instance.classifier inst p.id and cq = Instance.classifier inst q.id in
+        (Propset.equal cp a && Propset.equal cq b)
+        || (Propset.equal cp b && Propset.equal cq a))
+      twos
+  in
+  Alcotest.(check bool) "{X, W} is a residual 2-cover" true
+    (has_pair (ps [ x ]) (ps [ w ]))
+
+let suite =
+  [
+    Alcotest.test_case "figure1 budget 3 -> utility 8" `Quick (optimal_utility ~budget:3.0 8.0);
+    Alcotest.test_case "figure1 budget 4 -> utility 9" `Quick (optimal_utility ~budget:4.0 9.0);
+    Alcotest.test_case "figure1 budget 11 -> utility 11" `Quick
+      (optimal_utility ~budget:11.0 11.0);
+    Alcotest.test_case "figure1 infinite/free classifiers" `Quick figure1_infinite_classifier;
+    Alcotest.test_case "figure1 budget-4 cover structure" `Quick figure1_b4_solution_shape;
+    Alcotest.test_case "example 4.1 i-covers" `Quick example_41_icovers;
+    Alcotest.test_case "example 4.5 decomposition" `Quick example_45_decomposition;
+    Alcotest.test_case "example 4.8 residual covering" `Quick example_48_residual;
+  ]

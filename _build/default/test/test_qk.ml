@@ -1,0 +1,138 @@
+(* Tests for the Quadratic Knapsack solver A^QK_H (Section 4.1) and the
+   Taylor-style baselines. *)
+
+module Graph = Bcc_graph.Graph
+module Qk = Bcc_qk.Qk
+module Taylor = Bcc_qk.Taylor
+module Exact = Bcc_dks.Exact
+module Rng = Bcc_util.Rng
+
+let qtest = QCheck_alcotest.to_alcotest
+
+let tiny_instance seed =
+  let rng = Rng.create seed in
+  let n = 4 + Rng.int rng 6 in
+  let g =
+    Fixtures.random_graph ~seed:(seed * 31 + 1) ~n ~density:0.4 ~max_cost:6 ~max_weight:9
+  in
+  let total_cost = Array.fold_left ( +. ) 0.0 (Graph.node_costs g) in
+  let budget = 1.0 +. Rng.float rng total_cost in
+  { Qk.graph = g; budget }
+
+let evaluate_roundtrip () =
+  let g = Graph.of_edges ~node_costs:[| 1.0; 2.0; 3.0 |] 3 [ (0, 1, 5.0); (1, 2, 1.0) ] in
+  let inst = { Qk.graph = g; budget = 3.0 } in
+  let sol = Qk.evaluate inst [ 0; 1; 1 ] in
+  Alcotest.(check (float 1e-9)) "dedup cost" 3.0 sol.Qk.cost;
+  Alcotest.(check (float 1e-9)) "value" 5.0 sol.Qk.value;
+  Alcotest.(check bool) "verify" true (Qk.verify inst sol)
+
+let verify_rejects_overbudget () =
+  let g = Graph.of_edges ~node_costs:[| 5.0 |] 1 [] in
+  let inst = { Qk.graph = g; budget = 1.0 } in
+  Alcotest.(check bool) "over budget rejected" false
+    (Qk.verify inst { Qk.nodes = [ 0 ]; cost = 5.0; value = 0.0 })
+
+let solve_known_pair () =
+  (* Budget affords exactly the heavy edge's endpoints. *)
+  let g =
+    Graph.of_edges ~node_costs:[| 2.0; 2.0; 1.0; 1.0 |] 4
+      [ (0, 1, 10.0); (2, 3, 1.0) ]
+  in
+  let sol = Qk.solve { Qk.graph = g; budget = 4.0 } in
+  Alcotest.(check (float 1e-9)) "takes the heavy pair" 10.0 sol.Qk.value
+
+let solve_prefers_many_light () =
+  (* Four unit-cost nodes in a clique of weight 1 edges beat one heavy
+     pair of cost 4 each at budget 4: clique weight 6 > 10?  No - make
+     the clique weigh more. *)
+  let edges = [ (0, 1, 3.0); (0, 2, 3.0); (0, 3, 3.0); (1, 2, 3.0); (1, 3, 3.0); (2, 3, 3.0) ] in
+  let g =
+    Graph.of_edges ~node_costs:[| 1.0; 1.0; 1.0; 1.0; 4.0; 4.0 |] 6
+      ((4, 5, 10.0) :: edges)
+  in
+  let sol = Qk.solve { Qk.graph = g; budget = 4.0 } in
+  Alcotest.(check (float 1e-9)) "clique wins" 18.0 sol.Qk.value
+
+let expensive_node_branch () =
+  (* A single expensive hub with cheap satellites: the expensive branch
+     must find hub + satellites. *)
+  let g =
+    Graph.of_edges ~node_costs:[| 6.0; 1.0; 1.0; 1.0 |] 4
+      [ (0, 1, 5.0); (0, 2, 5.0); (0, 3, 5.0); (1, 2, 0.5) ]
+  in
+  let sol = Qk.solve { Qk.graph = g; budget = 9.0 } in
+  Alcotest.(check bool) "hub selected" true (List.mem 0 sol.Qk.nodes);
+  Alcotest.(check bool) "value includes satellites" true (sol.Qk.value >= 15.0)
+
+let expensive_pair_branch () =
+  (* Two expensive nodes joined by a huge edge; nothing else matters. *)
+  let g =
+    Graph.of_edges ~node_costs:[| 5.0; 5.0; 1.0; 1.0 |] 4
+      [ (0, 1, 100.0); (2, 3, 1.0) ]
+  in
+  let sol = Qk.solve { Qk.graph = g; budget = 10.0 } in
+  Alcotest.(check (float 1e-9)) "the pair is found" 100.0 sol.Qk.value
+
+let zero_budget () =
+  let g = Graph.of_edges ~node_costs:[| 1.0; 1.0 |] 2 [ (0, 1, 5.0) ] in
+  let sol = Qk.solve { Qk.graph = g; budget = 0.0 } in
+  Alcotest.(check (float 1e-9)) "no budget, no value" 0.0 sol.Qk.value;
+  Alcotest.(check bool) "feasible" true (Qk.verify { Qk.graph = g; budget = 0.0 } sol)
+
+let solve_always_feasible =
+  QCheck.Test.make ~name:"A^QK_H output is always budget-feasible" ~count:60 QCheck.small_int
+    (fun seed ->
+      let inst = tiny_instance seed in
+      let sol = Qk.solve inst in
+      Qk.verify inst sol)
+
+let solve_quality_vs_exact () =
+  (* Deterministic seeds; require >= 60% of optimal everywhere and a high
+     average (the paper's HkS black box reports 65-80%; A^QK_H adds
+     repair and greedy fill on top). *)
+  let ratios =
+    List.map
+      (fun seed ->
+        let inst = tiny_instance seed in
+        let sol = Qk.solve inst in
+        let _, opt = Exact.qk inst.Qk.graph ~budget:inst.Qk.budget in
+        if opt <= 0.0 then 1.0 else sol.Qk.value /. opt)
+      [ 1; 2; 3; 4; 5; 6; 7; 8; 9; 10; 11; 12; 13; 14; 15; 16; 17; 18; 19; 20 ]
+  in
+  let avg = List.fold_left ( +. ) 0.0 ratios /. 20.0 in
+  List.iter
+    (fun r -> Alcotest.(check bool) "at least 60% of optimal" true (r >= 0.6))
+    ratios;
+  Alcotest.(check bool) "average at least 90%" true (avg >= 0.9)
+
+let taylor_feasible =
+  QCheck.Test.make ~name:"Taylor baselines are budget-feasible" ~count:60 QCheck.small_int
+    (fun seed ->
+      let inst = tiny_instance seed in
+      Qk.verify inst (Taylor.degree_greedy inst)
+      && Qk.verify inst (Taylor.best_star inst)
+      && Qk.verify inst (Taylor.combined inst))
+
+let taylor_star_finds_hub () =
+  let g =
+    Graph.of_edges ~node_costs:[| 1.0; 1.0; 1.0; 1.0 |] 4
+      [ (0, 1, 5.0); (0, 2, 5.0); (0, 3, 5.0) ]
+  in
+  let sol = Taylor.best_star { Qk.graph = g; budget = 4.0 } in
+  Alcotest.(check (float 1e-9)) "whole star" 15.0 sol.Qk.value
+
+let suite =
+  [
+    Alcotest.test_case "evaluate roundtrip" `Quick evaluate_roundtrip;
+    Alcotest.test_case "verify rejects over budget" `Quick verify_rejects_overbudget;
+    Alcotest.test_case "solve known pair" `Quick solve_known_pair;
+    Alcotest.test_case "solve prefers the light clique" `Quick solve_prefers_many_light;
+    Alcotest.test_case "expensive single-node branch" `Quick expensive_node_branch;
+    Alcotest.test_case "expensive pair branch" `Quick expensive_pair_branch;
+    Alcotest.test_case "zero budget" `Quick zero_budget;
+    qtest solve_always_feasible;
+    Alcotest.test_case "quality vs exact" `Slow solve_quality_vs_exact;
+    qtest taylor_feasible;
+    Alcotest.test_case "taylor star heuristic" `Quick taylor_star_finds_hub;
+  ]

@@ -1,0 +1,185 @@
+(* Tests for greedy set cover and the MC3 solver (Definition 2.4 /
+   Theorem 2.5), including the exact min-cut solver for l <= 2 against a
+   brute-force oracle. *)
+
+module Set_cover = Bcc_setcover.Set_cover
+module Mc3 = Bcc_setcover.Mc3
+module Rng = Bcc_util.Rng
+
+let qtest = QCheck_alcotest.to_alcotest
+
+(* --- Set cover --- *)
+
+let set_cover_known () =
+  let sets = [| ([| 0; 1 |], 2.0); ([| 1; 2 |], 2.0); ([| 0; 1; 2 |], 3.0) |] in
+  match Set_cover.solve ~universe:3 ~sets with
+  | None -> Alcotest.fail "expected a cover"
+  | Some { Set_cover.cost; sets = chosen } ->
+      Alcotest.(check bool) "covers" true (Set_cover.is_cover ~universe:3 ~sets chosen);
+      Alcotest.(check bool) "greedy picks the ratio-best set" true (cost <= 4.0)
+
+let set_cover_infeasible () =
+  Alcotest.(check bool) "uncoverable element" true
+    (Set_cover.solve ~universe:2 ~sets:[| ([| 0 |], 1.0) |] = None)
+
+let set_cover_free_sets () =
+  let sets = [| ([| 0 |], 0.0); ([| 1 |], 5.0) |] in
+  match Set_cover.solve ~universe:2 ~sets with
+  | None -> Alcotest.fail "expected a cover"
+  | Some { Set_cover.cost; _ } -> Alcotest.(check (float 1e-9)) "free set costs nothing" 5.0 cost
+
+let set_cover_empty_universe () =
+  match Set_cover.solve ~universe:0 ~sets:[||] with
+  | Some { Set_cover.cost; sets } ->
+      Alcotest.(check (float 1e-9)) "zero cost" 0.0 cost;
+      Alcotest.(check (list int)) "no sets" [] sets
+  | None -> Alcotest.fail "empty universe is trivially covered"
+
+let set_cover_always_covers =
+  QCheck.Test.make ~name:"greedy result is always a cover (when one exists)" ~count:150
+    QCheck.small_int (fun seed ->
+      let rng = Rng.create seed in
+      let universe = 1 + Rng.int rng 12 in
+      let nsets = 1 + Rng.int rng 10 in
+      let sets =
+        Array.init nsets (fun _ ->
+            let k = 1 + Rng.int rng universe in
+            ( Rng.sample_without_replacement rng k universe,
+              float_of_int (Rng.int_in rng 0 9) ))
+      in
+      match Set_cover.solve ~universe ~sets with
+      | Some { Set_cover.sets = chosen; _ } -> Set_cover.is_cover ~universe ~sets chosen
+      | None ->
+          (* Verify genuinely infeasible: some element in no set. *)
+          let covered = Array.make universe false in
+          Array.iter (fun (m, _) -> Array.iter (fun e -> covered.(e) <- true) m) sets;
+          not (Array.for_all (fun c -> c) covered))
+
+(* --- MC3 --- *)
+
+(* Random l<=2 MC3 instance over a small property universe. *)
+let random_mc3_l2 seed =
+  let rng = Rng.create seed in
+  let nprops = 2 + Rng.int rng 4 in
+  let nqueries = 1 + Rng.int rng 5 in
+  let queries =
+    Array.init nqueries (fun _ ->
+        if Rng.bool rng then [| Rng.int rng nprops |]
+        else begin
+          let pair = Rng.sample_without_replacement rng 2 nprops in
+          Array.sort compare pair;
+          pair
+        end)
+  in
+  (* Candidate classifiers: all singletons and all pairs that appear, with
+     occasional infinite cost. *)
+  let classifiers = ref [] in
+  for p = 0 to nprops - 1 do
+    let c = if Rng.int rng 8 = 0 then infinity else float_of_int (Rng.int_in rng 0 9) in
+    classifiers := ([| p |], c) :: !classifiers
+  done;
+  Array.iter
+    (fun q ->
+      if Array.length q = 2 then begin
+        let c = if Rng.int rng 4 = 0 then infinity else float_of_int (Rng.int_in rng 0 9) in
+        classifiers := (q, c) :: !classifiers
+      end)
+    queries;
+  { Mc3.queries; classifiers = Array.of_list !classifiers }
+
+let mc3_exact_matches_brute =
+  QCheck.Test.make ~name:"exact l<=2 solver matches brute force" ~count:200 QCheck.small_int
+    (fun seed ->
+      let inst = random_mc3_l2 seed in
+      match (Mc3.solve_exact_l2 inst, Mc3.brute_force inst) with
+      | None, None -> true
+      | Some a, Some b ->
+          Mc3.covers inst a.Mc3.chosen && abs_float (a.Mc3.cost -. b.Mc3.cost) < 1e-6
+      | Some _, None | None, Some _ -> false)
+
+let mc3_greedy_covers =
+  QCheck.Test.make ~name:"greedy MC3 output covers all queries" ~count:200 QCheck.small_int
+    (fun seed ->
+      let inst = random_mc3_l2 seed in
+      match Mc3.solve_greedy inst with
+      | Some sol -> Mc3.covers inst sol.Mc3.chosen
+      | None -> Mc3.brute_force inst = None)
+
+let mc3_l3_greedy () =
+  (* Example 4.8 flavour: cover {xyz} with {XZ, Y} cheaper than {YZ, XZ}. *)
+  let queries = [| [| 0; 1; 2 |] |] in
+  let classifiers =
+    [| ([| 1; 2 |], 5.0); ([| 0; 2 |], 2.0); ([| 1 |], 1.0); ([| 0 |], 4.0) |]
+  in
+  let inst = { Mc3.queries; classifiers } in
+  match Mc3.solve inst with
+  | None -> Alcotest.fail "coverable instance"
+  | Some sol ->
+      Alcotest.(check bool) "covers" true (Mc3.covers inst sol.Mc3.chosen);
+      Alcotest.(check (float 1e-9)) "picks {XZ, Y} at cost 3" 3.0 sol.Mc3.cost
+
+let mc3_pair_vs_singletons () =
+  (* Covering xy: pair classifier at 3 vs singletons at 2+2; exact solver
+     must take the pair... no wait, 3 < 4, so the pair. *)
+  let inst =
+    {
+      Mc3.queries = [| [| 0; 1 |] |];
+      classifiers = [| ([| 0 |], 2.0); ([| 1 |], 2.0); ([| 0; 1 |], 3.0) |];
+    }
+  in
+  match Mc3.solve_exact_l2 inst with
+  | Some sol -> Alcotest.(check (float 1e-9)) "pair wins" 3.0 sol.Mc3.cost
+  | None -> Alcotest.fail "coverable"
+
+let mc3_shared_singletons () =
+  (* Triangle xy, yz, xz with expensive pairs: sharing singletons beats
+     three pair classifiers. *)
+  let inst =
+    {
+      Mc3.queries = [| [| 0; 1 |]; [| 1; 2 |]; [| 0; 2 |] |];
+      classifiers =
+        [|
+          ([| 0 |], 2.0); ([| 1 |], 2.0); ([| 2 |], 2.0);
+          ([| 0; 1 |], 5.0); ([| 1; 2 |], 5.0); ([| 0; 2 |], 5.0);
+        |];
+    }
+  in
+  match Mc3.solve_exact_l2 inst with
+  | Some sol ->
+      Alcotest.(check (float 1e-9)) "three singletons" 6.0 sol.Mc3.cost;
+      Alcotest.(check bool) "covers" true (Mc3.covers inst sol.Mc3.chosen)
+  | None -> Alcotest.fail "coverable"
+
+let mc3_infeasible () =
+  let inst =
+    { Mc3.queries = [| [| 0; 1 |] |]; classifiers = [| ([| 0 |], 1.0) |] }
+  in
+  Alcotest.(check bool) "no cover exists" true (Mc3.solve inst = None)
+
+let mc3_forced_by_infinite_pair () =
+  (* XY unavailable: must buy both singletons. *)
+  let inst =
+    {
+      Mc3.queries = [| [| 0; 1 |] |];
+      classifiers = [| ([| 0 |], 1.0); ([| 1 |], 2.0); ([| 0; 1 |], infinity) |];
+    }
+  in
+  match Mc3.solve_exact_l2 inst with
+  | Some sol -> Alcotest.(check (float 1e-9)) "both singletons" 3.0 sol.Mc3.cost
+  | None -> Alcotest.fail "coverable"
+
+let suite =
+  [
+    Alcotest.test_case "set cover known" `Quick set_cover_known;
+    Alcotest.test_case "set cover infeasible" `Quick set_cover_infeasible;
+    Alcotest.test_case "set cover free sets" `Quick set_cover_free_sets;
+    Alcotest.test_case "set cover empty universe" `Quick set_cover_empty_universe;
+    qtest set_cover_always_covers;
+    qtest mc3_exact_matches_brute;
+    qtest mc3_greedy_covers;
+    Alcotest.test_case "mc3 greedy on l=3" `Quick mc3_l3_greedy;
+    Alcotest.test_case "mc3 pair vs singletons" `Quick mc3_pair_vs_singletons;
+    Alcotest.test_case "mc3 shared singletons" `Quick mc3_shared_singletons;
+    Alcotest.test_case "mc3 infeasible" `Quick mc3_infeasible;
+    Alcotest.test_case "mc3 forced by infinite pair" `Quick mc3_forced_by_infinite_pair;
+  ]

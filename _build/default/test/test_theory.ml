@@ -1,0 +1,171 @@
+(* Tests for the theoretical machinery added on top of the heuristics:
+   exact densest subgraph (Dinkelbach + min-cut), the knapsack FPTAS,
+   the full A^QK_T (Lemma 4.6) and ECC's exactness at l <= 2. *)
+
+module Propset = Bcc_core.Propset
+module Instance = Bcc_core.Instance
+module Solution = Bcc_core.Solution
+module Ecc = Bcc_core.Ecc
+module Graph = Bcc_graph.Graph
+module Hypergraph = Bcc_graph.Hypergraph
+module Densest = Bcc_dks.Densest
+module DksExact = Bcc_dks.Exact
+module Knapsack = Bcc_knapsack.Knapsack
+module Qk = Bcc_qk.Qk
+module Taylor = Bcc_qk.Taylor
+module Rng = Bcc_util.Rng
+
+let qtest = QCheck_alcotest.to_alcotest
+
+(* --- exact densest subgraph --- *)
+
+let hypergraph_of_graph g =
+  let edges = Array.map (fun (u, v, w) -> ([| u; v |], w)) (Graph.edges g) in
+  Hypergraph.create ~node_costs:(Graph.node_costs g) ~edges
+
+let densest_exact_matches_brute =
+  QCheck.Test.make ~name:"exact DS (Dinkelbach) matches brute force" ~count:80
+    QCheck.small_int (fun seed ->
+      let g = Fixtures.random_graph ~seed ~n:8 ~density:0.4 ~max_cost:4 ~max_weight:9 in
+      if Graph.m g = 0 then true
+      else begin
+        let _, got = Densest.exact_graph g in
+        let _, opt = DksExact.densest_ratio (hypergraph_of_graph g) in
+        (got = infinity && opt = infinity) || abs_float (got -. opt) < 1e-6
+      end)
+
+let densest_exact_known () =
+  (* Heavy pair vs light triangle: density 10/2 = 5 wins. *)
+  let g =
+    Graph.of_edges
+      ~node_costs:[| 1.0; 1.0; 1.0; 1.0; 1.0 |]
+      5
+      [ (0, 1, 10.0); (2, 3, 1.0); (3, 4, 1.0); (2, 4, 1.0) ]
+  in
+  let sel, ratio = Densest.exact_graph g in
+  Alcotest.(check (float 1e-9)) "density 5" 5.0 ratio;
+  Alcotest.(check bool) "the heavy pair selected" true (sel.(0) && sel.(1))
+
+let densest_exact_zero_cost () =
+  let g = Graph.of_edges ~node_costs:[| 0.0; 0.0 |] 2 [ (0, 1, 3.0) ] in
+  let _, ratio = Densest.exact_graph g in
+  Alcotest.(check bool) "free positive weight = infinity" true (ratio = infinity)
+
+let densest_exact_no_edges () =
+  let g = Graph.of_edges ~node_costs:[| 1.0 |] 1 [] in
+  let _, ratio = Densest.exact_graph g in
+  Alcotest.(check (float 1e-9)) "no edges, ratio 0" 0.0 ratio
+
+let densest_exact_beats_peel =
+  QCheck.Test.make ~name:"exact DS >= greedy peel" ~count:60 QCheck.small_int (fun seed ->
+      let g = Fixtures.random_graph ~seed ~n:10 ~density:0.35 ~max_cost:5 ~max_weight:9 in
+      if Graph.m g = 0 then true
+      else begin
+        let _, exact = Densest.exact_graph g in
+        let _, peel = Densest.peel (hypergraph_of_graph g) in
+        exact = infinity || exact +. 1e-6 >= peel
+      end)
+
+(* --- FPTAS --- *)
+
+let fptas_bound =
+  QCheck.Test.make ~name:"FPTAS achieves (1 - eps) of the optimum, feasibly" ~count:120
+    QCheck.small_int (fun seed ->
+      let rng = Rng.create seed in
+      let n = 1 + Rng.int rng 10 in
+      let values = Array.init n (fun _ -> float_of_int (Rng.int_in rng 0 40)) in
+      let weights = Array.init n (fun _ -> Rng.int_in rng 0 12) in
+      let budget = Rng.int_in rng 0 30 in
+      let opt = Knapsack.exact_int ~values ~weights ~budget in
+      let eps = 0.1 in
+      let sol =
+        Knapsack.fptas ~epsilon:eps ~values
+          ~weights:(Array.map float_of_int weights)
+          ~budget:(float_of_int budget)
+      in
+      sol.Knapsack.weight <= float_of_int budget +. 1e-9
+      && sol.Knapsack.value +. 1e-9 >= (1.0 -. eps) *. opt.Knapsack.value)
+
+let fptas_rejects_bad_epsilon () =
+  Alcotest.check_raises "epsilon 0" (Invalid_argument "Knapsack.fptas: epsilon must be positive")
+    (fun () -> ignore (Knapsack.fptas ~epsilon:0.0 ~values:[| 1.0 |] ~weights:[| 1.0 |] ~budget:1.0))
+
+(* --- full A^QK_T --- *)
+
+let taylor_full_feasible =
+  QCheck.Test.make ~name:"A^QK_T (full) is budget-feasible" ~count:50 QCheck.small_int
+    (fun seed ->
+      let g = Fixtures.random_graph ~seed ~n:12 ~density:0.35 ~max_cost:6 ~max_weight:9 in
+      let rng = Rng.create (seed + 7) in
+      let total = Array.fold_left ( +. ) 0.0 (Graph.node_costs g) in
+      let inst = { Qk.graph = g; budget = 1.0 +. Rng.float rng total } in
+      Qk.verify inst (Taylor.full inst))
+
+let taylor_full_finds_structure () =
+  (* A clear hub star with uniform costs: the (i=j) DkS class must find
+     it. *)
+  let g =
+    Graph.of_edges
+      ~node_costs:[| 1.0; 1.0; 1.0; 1.0; 1.0 |]
+      5
+      [ (0, 1, 4.0); (0, 2, 4.0); (0, 3, 4.0); (0, 4, 4.0) ]
+  in
+  let sol = Taylor.full { Qk.graph = g; budget = 5.0 } in
+  Alcotest.(check (float 1e-9)) "the whole star" 16.0 sol.Qk.value
+
+let heuristic_dominates_taylor_on_average () =
+  (* The paper's point: A^QK_H outperforms the worst-case-oriented
+     A^QK_T on realistic inputs.  Checked in aggregate over seeds. *)
+  let margin = ref 0.0 in
+  List.iter
+    (fun seed ->
+      let g = Fixtures.random_graph ~seed ~n:14 ~density:0.35 ~max_cost:5 ~max_weight:9 in
+      let rng = Rng.create (seed + 3) in
+      let total = Array.fold_left ( +. ) 0.0 (Graph.node_costs g) in
+      let inst = { Qk.graph = g; budget = 1.0 +. Rng.float rng (total /. 2.0) } in
+      margin := !margin +. ((Qk.solve inst).Qk.value -. (Taylor.full inst).Qk.value))
+    [ 1; 2; 3; 4; 5; 6; 7; 8 ];
+  Alcotest.(check bool) "A^QK_H at least matches A^QK_T in aggregate" true (!margin >= -1e-9)
+
+(* --- ECC exactness at l <= 2 --- *)
+
+let ecc_brute_force inst =
+  (* Best utility/cost ratio over every classifier subset. *)
+  let n = Instance.num_classifiers inst in
+  let best = ref 0.0 in
+  for mask = 1 to (1 lsl n) - 1 do
+    let ids = List.filter (fun i -> mask land (1 lsl i) <> 0) (List.init n (fun i -> i)) in
+    let sol = Solution.of_ids inst ids in
+    let r = Ecc.ratio_of sol in
+    if r > !best then best := r
+  done;
+  !best
+
+let ecc_exact_at_l2 =
+  QCheck.Test.make ~name:"A^ECC matches brute force at l <= 2" ~count:40 QCheck.small_int
+    (fun seed ->
+      let inst =
+        Fixtures.random_instance ~seed ~max_len:2 ~num_props:4 ~num_queries:4
+          ~budget:0.0 ()
+      in
+      if Instance.num_classifiers inst > 14 then true
+      else begin
+        let ours = Ecc.ratio_of (Ecc.solve inst) in
+        let opt = ecc_brute_force inst in
+        (ours = infinity && opt = infinity) || abs_float (ours -. opt) < 1e-6
+      end)
+
+let suite =
+  [
+    qtest densest_exact_matches_brute;
+    Alcotest.test_case "exact DS known" `Quick densest_exact_known;
+    Alcotest.test_case "exact DS zero cost" `Quick densest_exact_zero_cost;
+    Alcotest.test_case "exact DS no edges" `Quick densest_exact_no_edges;
+    qtest densest_exact_beats_peel;
+    qtest fptas_bound;
+    Alcotest.test_case "fptas rejects bad epsilon" `Quick fptas_rejects_bad_epsilon;
+    qtest taylor_full_feasible;
+    Alcotest.test_case "taylor full finds the star" `Quick taylor_full_finds_structure;
+    Alcotest.test_case "A^QK_H vs A^QK_T aggregate" `Slow heuristic_dominates_taylor_on_average;
+    qtest ecc_exact_at_l2;
+  ]
