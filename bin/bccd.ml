@@ -1,0 +1,97 @@
+(* bccd — resident BCC solver daemon.
+
+   Serves POST /solve, /gmc3, /ecc plus GET /instances, /healthz and
+   /metrics over plain HTTP/1.1 (see lib/server/server.mli for the wire
+   format).  SIGINT/SIGTERM trigger a graceful shutdown that drains
+   in-flight solves before exiting. *)
+
+open Cmdliner
+module Server = Bcc_server.Server
+
+let port_arg =
+  Arg.(
+    value
+    & opt int Server.default_config.Server.port
+    & info [ "p"; "port" ] ~docv:"PORT" ~doc:"Listen port; 0 picks an ephemeral port.")
+
+let host_arg =
+  Arg.(
+    value
+    & opt string Server.default_config.Server.host
+    & info [ "host" ] ~docv:"ADDR" ~doc:"Listen address.")
+
+let workers_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "w"; "workers" ] ~docv:"N"
+        ~doc:"Worker threads; 0 sizes the pool to the machine (recommended domain count).")
+
+let queue_depth_arg =
+  Arg.(
+    value
+    & opt int Server.default_config.Server.queue_depth
+    & info [ "queue-depth" ] ~docv:"N"
+        ~doc:"Bounded request queue; further connections get 503.")
+
+let cache_entries_arg =
+  Arg.(
+    value
+    & opt int Server.default_config.Server.cache_entries
+    & info [ "cache-entries" ] ~docv:"N"
+        ~doc:"Capacity of the instance and solution LRU caches.")
+
+let timeout_arg =
+  Arg.(
+    value
+    & opt float Server.default_config.Server.timeout_s
+    & info [ "t"; "timeout" ] ~docv:"SECONDS"
+        ~doc:"Socket read/write timeout and maximum queue wait per request.")
+
+let load_arg =
+  Arg.(
+    value
+    & opt_all (pair ~sep:'=' string string) []
+    & info [ "load" ] ~docv:"NAME=FILE"
+        ~doc:"Preload an instance file under NAME (repeatable); clients may then \
+              POST {\"instance\": \"NAME\"} instead of a full instance body.")
+
+let run host port workers queue_depth cache_entries timeout preload =
+  let cfg =
+    {
+      Server.host;
+      port;
+      workers;
+      queue_depth;
+      cache_entries;
+      timeout_s = timeout;
+      preload;
+    }
+  in
+  match Server.create cfg with
+  | exception Failure msg -> `Error (false, msg)
+  | exception Unix.Unix_error (e, _, _) ->
+      `Error (false, Printf.sprintf "cannot bind %s:%d: %s" host port (Unix.error_message e))
+  | srv ->
+      let stop _ = Server.request_stop srv in
+      Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
+      Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
+      List.iter
+        (fun (name, _) -> Printf.printf "bccd: loaded instance %s\n%!" name)
+        preload;
+      Printf.printf "bccd: listening on %s:%d (%d workers, queue %d, cache %d, timeout %gs)\n%!"
+        host (Server.port srv) (Server.num_workers srv) queue_depth cache_entries timeout;
+      Server.run srv;
+      Printf.printf "bccd: shutdown complete\n%!";
+      `Ok ()
+
+let cmd =
+  let term =
+    Term.(
+      ret
+        (const run $ host_arg $ port_arg $ workers_arg $ queue_depth_arg
+       $ cache_entries_arg $ timeout_arg $ load_arg))
+  in
+  let doc = "resident BCC solver service with request batching and a solution cache" in
+  Cmd.v (Cmd.info "bccd" ~doc) term
+
+let () = exit (Cmd.eval cmd)

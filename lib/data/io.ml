@@ -7,28 +7,42 @@ let prop_name inst p =
   | Some tbl -> Symtab.name tbl p
   | None -> string_of_int p
 
+(* Fields are separated by runs of blanks (spaces or tabs), and lines may
+   end in "\r\n" — instance bodies arrive over HTTP where CRLF is the
+   norm, and hand-edited files often carry doubled spaces. *)
+let tokens line =
+  let line = String.map (fun c -> if c = '\t' || c = '\r' then ' ' else c) line in
+  List.filter (fun s -> s <> "") (String.split_on_char ' ' line)
+
+let write_instance buf inst =
+  Printf.bprintf buf "# bcc instance %s\n" (Instance.name inst);
+  Printf.bprintf buf "budget %.9g\n" (Instance.budget inst);
+  for qi = 0 to Instance.num_queries inst - 1 do
+    let q = Instance.query inst qi in
+    let names = List.map (prop_name inst) (Propset.to_list q) in
+    Printf.bprintf buf "query %s %.9g\n" (String.concat ";" names)
+      (Instance.utility inst qi)
+  done;
+  for id = 0 to Instance.num_classifiers inst - 1 do
+    let c = Instance.classifier inst id in
+    let names = List.map (prop_name inst) (Propset.to_list c) in
+    Printf.bprintf buf "classifier %s %.9g\n" (String.concat ";" names)
+      (Instance.cost inst id)
+  done
+
+let to_string inst =
+  let buf = Buffer.create 4096 in
+  write_instance buf inst;
+  Buffer.contents buf
+
 let save path inst =
   let oc = open_out path in
   Fun.protect
     ~finally:(fun () -> close_out oc)
-    (fun () ->
-      Printf.fprintf oc "# bcc instance %s\n" (Instance.name inst);
-      Printf.fprintf oc "budget %.9g\n" (Instance.budget inst);
-      for qi = 0 to Instance.num_queries inst - 1 do
-        let q = Instance.query inst qi in
-        let names = List.map (prop_name inst) (Propset.to_list q) in
-        Printf.fprintf oc "query %s %.9g\n" (String.concat ";" names)
-          (Instance.utility inst qi)
-      done;
-      for id = 0 to Instance.num_classifiers inst - 1 do
-        let c = Instance.classifier inst id in
-        let names = List.map (prop_name inst) (Propset.to_list c) in
-        Printf.fprintf oc "classifier %s %.9g\n" (String.concat ";" names)
-          (Instance.cost inst id)
-      done)
+    (fun () -> output_string oc (to_string inst))
 
-let load path =
-  let ic = open_in path in
+(* Core parser over a line producer ([next_line ()] = [None] at EOF). *)
+let load_lines ~name next_line =
   let names = Symtab.create () in
   let budget = ref 0.0 in
   let queries = ref [] in
@@ -41,31 +55,54 @@ let load path =
     | Some f -> f
     | None -> if s = "inf" then infinity else failwith ("Io.load: bad " ^ what ^ ": " ^ s)
   in
+  let rec loop () =
+    match next_line () with
+    | None -> ()
+    | Some line ->
+        let line = String.trim line in
+        if line <> "" && line.[0] <> '#' then begin
+          match tokens line with
+          | [ "budget"; b ] -> budget := parse_float "budget" b
+          | [ "query"; props; u ] ->
+              queries := (parse_props props, parse_float "utility" u) :: !queries
+          | [ "classifier"; props; c ] ->
+              Propset.Tbl.replace costs (parse_props props) (parse_float "cost" c)
+          | _ -> failwith ("Io.load: malformed line: " ^ line)
+        end;
+        loop ()
+  in
+  loop ();
+  let cost c =
+    match Propset.Tbl.find_opt costs c with Some x -> x | None -> infinity
+  in
+  Instance.create ~name ~names ~budget:!budget
+    ~queries:(Array.of_list (List.rev !queries))
+    ~cost ()
+
+let load path =
+  let ic = open_in path in
   Fun.protect
     ~finally:(fun () -> close_in ic)
     (fun () ->
-      (try
-         while true do
-           let line = String.trim (input_line ic) in
-           if line <> "" && line.[0] <> '#' then begin
-             match String.split_on_char ' ' line with
-             | [ "budget"; b ] -> budget := parse_float "budget" b
-             | [ "query"; props; u ] ->
-                 queries := (parse_props props, parse_float "utility" u) :: !queries
-             | [ "classifier"; props; c ] ->
-                 Propset.Tbl.replace costs (parse_props props) (parse_float "cost" c)
-             | _ -> failwith ("Io.load: malformed line: " ^ line)
-           end
-         done
-       with End_of_file -> ());
-      let cost c =
-        match Propset.Tbl.find_opt costs c with Some x -> x | None -> infinity
-      in
-      Instance.create
+      load_lines
         ~name:(Filename.remove_extension (Filename.basename path))
-        ~names ~budget:!budget
-        ~queries:(Array.of_list (List.rev !queries))
-        ~cost ())
+        (fun () -> In_channel.input_line ic))
+
+let load_string ?(name = "<string>") s =
+  let pos = ref 0 in
+  let next_line () =
+    if !pos >= String.length s then None
+    else
+      let stop =
+        match String.index_from_opt s !pos '\n' with
+        | Some i -> i
+        | None -> String.length s
+      in
+      let line = String.sub s !pos (stop - !pos) in
+      pos := stop + 1;
+      Some line
+  in
+  load_lines ~name next_line
 
 module Solution = Bcc_core.Solution
 
@@ -104,7 +141,7 @@ let load_solution inst path =
          while true do
            let line = String.trim (input_line ic) in
            if line <> "" && line.[0] <> '#' then begin
-             match String.split_on_char ' ' line with
+             match tokens line with
              | [ "select"; props; _cost ] ->
                  let set =
                    Propset.of_list

@@ -1,0 +1,109 @@
+(* Classic Hashtbl + doubly-linked-list LRU.  The list is intrusive with
+   option pointers; [head] is most recently used, [tail] next to evict.
+   All operations take the lock, so a cache can be shared by the whole
+   worker pool. *)
+
+type 'a entry = {
+  key : string;
+  mutable value : 'a;
+  mutable prev : 'a entry option;  (* towards head *)
+  mutable next : 'a entry option;  (* towards tail *)
+}
+
+type 'a t = {
+  capacity : int;
+  tbl : (string, 'a entry) Hashtbl.t;
+  mutable head : 'a entry option;
+  mutable tail : 'a entry option;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+  lock : Mutex.t;
+}
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Cache.create: capacity must be positive";
+  {
+    capacity;
+    tbl = Hashtbl.create (2 * capacity);
+    head = None;
+    tail = None;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+    lock = Mutex.create ();
+  }
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let unlink t e =
+  (match e.prev with Some p -> p.next <- e.next | None -> t.head <- e.next);
+  (match e.next with Some n -> n.prev <- e.prev | None -> t.tail <- e.prev);
+  e.prev <- None;
+  e.next <- None
+
+let push_front t e =
+  e.next <- t.head;
+  e.prev <- None;
+  (match t.head with Some h -> h.prev <- Some e | None -> t.tail <- Some e);
+  t.head <- Some e
+
+let find t key =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.tbl key with
+      | Some e ->
+          t.hits <- t.hits + 1;
+          unlink t e;
+          push_front t e;
+          Some e.value
+      | None ->
+          t.misses <- t.misses + 1;
+          None)
+
+let put t key value =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.tbl key with
+      | Some e ->
+          e.value <- value;
+          unlink t e;
+          push_front t e
+      | None ->
+          if Hashtbl.length t.tbl >= t.capacity then begin
+            match t.tail with
+            | Some victim ->
+                unlink t victim;
+                Hashtbl.remove t.tbl victim.key;
+                t.evictions <- t.evictions + 1
+            | None -> ()
+          end;
+          let e = { key; value; prev = None; next = None } in
+          Hashtbl.replace t.tbl key e;
+          push_front t e)
+
+let find_or_add t key compute =
+  match find t key with
+  | Some v -> (v, true)
+  | None ->
+      (* Computed outside the lock: solves can take seconds and must not
+         serialize the pool.  Concurrent misses on the same key may both
+         compute; last write wins, which is harmless for pure values. *)
+      let v = compute () in
+      put t key v;
+      (v, false)
+
+let mem t key = locked t (fun () -> Hashtbl.mem t.tbl key)
+let length t = locked t (fun () -> Hashtbl.length t.tbl)
+let capacity t = t.capacity
+let hits t = locked t (fun () -> t.hits)
+let misses t = locked t (fun () -> t.misses)
+let evictions t = locked t (fun () -> t.evictions)
+
+let keys_mru t =
+  locked t (fun () ->
+      let rec go acc = function
+        | None -> List.rev acc
+        | Some e -> go (e.key :: acc) e.next
+      in
+      go [] t.head)

@@ -1,0 +1,39 @@
+(** Thread-safe LRU cache with string keys.
+
+    Backs the server's two memoization layers: parsed+pruned instances
+    keyed by content digest, and solve results keyed by
+    (digest, endpoint, budget/target) — so a budget sweep over a fixed
+    workload re-pays neither the instance parse nor the solve.
+
+    All operations are O(1) (Hashtbl + intrusive doubly-linked recency
+    list) and lock-protected. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** @raise Invalid_argument when [capacity < 1]. *)
+
+val find : 'a t -> string -> 'a option
+(** Bumps recency on hit; counts a hit or a miss. *)
+
+val put : 'a t -> string -> 'a -> unit
+(** Inserts or refreshes; evicts the least recently used entry when at
+    capacity. *)
+
+val find_or_add : 'a t -> string -> (unit -> 'a) -> 'a * bool
+(** Cached value plus [was_hit].  The compute function runs {e outside}
+    the lock (solves are slow); concurrent misses on one key may compute
+    twice — last write wins, harmless for pure values. *)
+
+val mem : 'a t -> string -> bool
+val length : 'a t -> int
+val capacity : 'a t -> int
+
+(** {1 Statistics} — fed into {!Metrics} by the server *)
+
+val hits : 'a t -> int
+val misses : 'a t -> int
+val evictions : 'a t -> int
+
+val keys_mru : 'a t -> string list
+(** Keys most-recently-used first (test/debug aid). *)

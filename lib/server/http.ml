@@ -1,0 +1,227 @@
+type request = {
+  meth : string;
+  path : string;
+  query : (string * string) list;
+  headers : (string * string) list;
+  body : string;
+}
+
+type response = {
+  status : int;
+  reason : string;
+  headers : (string * string) list;
+  body : string;
+}
+
+let status_reason = function
+  | 200 -> "OK"
+  | 201 -> "Created"
+  | 204 -> "No Content"
+  | 400 -> "Bad Request"
+  | 404 -> "Not Found"
+  | 405 -> "Method Not Allowed"
+  | 408 -> "Request Timeout"
+  | 413 -> "Payload Too Large"
+  | 500 -> "Internal Server Error"
+  | 503 -> "Service Unavailable"
+  | 504 -> "Gateway Timeout"
+  | c -> if c < 400 then "OK" else "Error"
+
+let response ?(content_type = "text/plain; charset=utf-8") ?(headers = []) status
+    body =
+  { status; reason = status_reason status; headers = ("content-type", content_type) :: headers; body }
+
+let json_response status json =
+  response ~content_type:"application/json" status (Json.to_string json ^ "\n")
+
+let error_response status msg =
+  json_response status (Json.Obj [ ("error", Json.Str msg) ])
+
+let header (req : request) name =
+  List.assoc_opt (String.lowercase_ascii name) req.headers
+
+let query_param (req : request) name = List.assoc_opt name req.query
+
+(* %XX and '+' decoding for query strings. *)
+let url_decode s =
+  let buf = Buffer.create (String.length s) in
+  let hex c =
+    match c with
+    | '0' .. '9' -> Some (Char.code c - Char.code '0')
+    | 'a' .. 'f' -> Some (Char.code c - Char.code 'a' + 10)
+    | 'A' .. 'F' -> Some (Char.code c - Char.code 'A' + 10)
+    | _ -> None
+  in
+  let n = String.length s in
+  let i = ref 0 in
+  while !i < n do
+    (match s.[!i] with
+    | '+' -> Buffer.add_char buf ' '
+    | '%' when !i + 2 < n -> (
+        match (hex s.[!i + 1], hex s.[!i + 2]) with
+        | Some h, Some l ->
+            Buffer.add_char buf (Char.chr ((h lsl 4) lor l));
+            i := !i + 2
+        | _ -> Buffer.add_char buf '%')
+    | c -> Buffer.add_char buf c);
+    incr i
+  done;
+  Buffer.contents buf
+
+let parse_query s =
+  if s = "" then []
+  else
+    String.split_on_char '&' s
+    |> List.filter_map (fun kv ->
+           if kv = "" then None
+           else
+             match String.index_opt kv '=' with
+             | None -> Some (url_decode kv, "")
+             | Some i ->
+                 Some
+                   ( url_decode (String.sub kv 0 i),
+                     url_decode (String.sub kv (i + 1) (String.length kv - i - 1)) ))
+
+let parse_target target =
+  match String.index_opt target '?' with
+  | None -> (url_decode target, [])
+  | Some i ->
+      ( url_decode (String.sub target 0 i),
+        parse_query (String.sub target (i + 1) (String.length target - i - 1)) )
+
+(* Errors carry the HTTP status the caller should answer with. *)
+type error = { status_hint : int; message : string }
+
+let err status_hint message = Error { status_hint; message }
+
+let read_request ?(max_header = 16 * 1024) ?(max_body = 16 * 1024 * 1024) fd =
+  let buf = Buffer.create 1024 in
+  let chunk = Bytes.create 4096 in
+  (* Returns the offset just past "\r\n\r\n" (or "\n\n"), or None. *)
+  let find_header_end () =
+    let s = Buffer.contents buf in
+    let n = String.length s in
+    let rec go i =
+      if i + 1 >= n then None
+      else if s.[i] = '\n' && s.[i + 1] = '\n' then Some (i + 2)
+      else if
+        i + 3 < n && s.[i] = '\r' && s.[i + 1] = '\n' && s.[i + 2] = '\r'
+        && s.[i + 3] = '\n'
+      then Some (i + 4)
+      else go (i + 1)
+    in
+    go 0
+  in
+  let read_more () =
+    match Unix.read fd chunk 0 (Bytes.length chunk) with
+    | 0 -> `Eof
+    | n -> Buffer.add_subbytes buf chunk 0 n; `Ok
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+        `Timeout
+    | exception Unix.Unix_error (e, _, _) -> `Error (Unix.error_message e)
+  in
+  let rec fill_headers () =
+    match find_header_end () with
+    | Some stop -> Ok stop
+    | None ->
+        if Buffer.length buf > max_header then err 400 "header section too large"
+        else (
+          match read_more () with
+          | `Ok -> fill_headers ()
+          | `Eof ->
+              if Buffer.length buf = 0 then err 400 "empty request"
+              else err 400 "connection closed mid-header"
+          | `Timeout -> err 408 "timed out reading request"
+          | `Error m -> err 400 ("read error: " ^ m))
+  in
+  match fill_headers () with
+  | Error _ as e -> e
+  | Ok header_end -> (
+      let raw = Buffer.contents buf in
+      let head = String.sub raw 0 header_end in
+      let lines =
+        String.split_on_char '\n' head
+        |> List.map (fun l ->
+               let n = String.length l in
+               if n > 0 && l.[n - 1] = '\r' then String.sub l 0 (n - 1) else l)
+        |> List.filter (fun l -> l <> "")
+      in
+      match lines with
+      | [] -> err 400 "missing request line"
+      | request_line :: header_lines -> (
+          let parts =
+            List.filter (fun s -> s <> "") (String.split_on_char ' ' request_line)
+          in
+          match parts with
+          | [ meth; target; version ]
+            when String.length version >= 5 && String.sub version 0 5 = "HTTP/" -> (
+              let headers =
+                List.filter_map
+                  (fun l ->
+                    match String.index_opt l ':' with
+                    | None -> None
+                    | Some i ->
+                        Some
+                          ( String.lowercase_ascii (String.trim (String.sub l 0 i)),
+                            String.trim
+                              (String.sub l (i + 1) (String.length l - i - 1)) ))
+                  header_lines
+              in
+              let content_length =
+                match List.assoc_opt "content-length" headers with
+                | None -> Ok 0
+                | Some s -> (
+                    match int_of_string_opt (String.trim s) with
+                    | Some n when n >= 0 -> Ok n
+                    | _ -> err 400 "bad content-length")
+              in
+              match content_length with
+              | Error _ as e -> e
+              | Ok len ->
+                  if len > max_body then err 413 "body too large"
+                  else begin
+                    let rec fill_body () =
+                      if Buffer.length buf - header_end >= len then Ok ()
+                      else
+                        match read_more () with
+                        | `Ok -> fill_body ()
+                        | `Eof -> err 400 "connection closed mid-body"
+                        | `Timeout -> err 408 "timed out reading body"
+                        | `Error m -> err 400 ("read error: " ^ m)
+                    in
+                    match fill_body () with
+                    | Error _ as e -> e
+                    | Ok () ->
+                        let raw = Buffer.contents buf in
+                        let body = String.sub raw header_end len in
+                        let path, query = parse_target target in
+                        Ok
+                          {
+                            meth = String.uppercase_ascii meth;
+                            path;
+                            query;
+                            headers;
+                            body;
+                          }
+                  end)
+          | _ -> err 400 ("malformed request line: " ^ request_line)))
+
+let write_response fd resp =
+  let buf = Buffer.create (String.length resp.body + 256) in
+  Printf.bprintf buf "HTTP/1.1 %d %s\r\n" resp.status resp.reason;
+  List.iter (fun (k, v) -> Printf.bprintf buf "%s: %s\r\n" k v) resp.headers;
+  Printf.bprintf buf "content-length: %d\r\n" (String.length resp.body);
+  Buffer.add_string buf "connection: close\r\n\r\n";
+  Buffer.add_string buf resp.body;
+  let bytes = Buffer.to_bytes buf in
+  let n = Bytes.length bytes in
+  let rec write_all off =
+    if off < n then
+      match Unix.write fd bytes off (n - off) with
+      | written -> write_all (off + written)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> write_all off
+  in
+  try write_all 0
+  with Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) ->
+    (* Client went away; nothing useful to do. *)
+    ()

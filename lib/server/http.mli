@@ -1,0 +1,51 @@
+(** Hand-rolled HTTP/1.1 request/response handling over [Unix] file
+    descriptors — just enough protocol for the {!Server} endpoints, no
+    opam dependencies.
+
+    One request per connection: every response carries
+    [connection: close] and the server closes the socket after writing
+    it.  Read timeouts are the socket's [SO_RCVTIMEO] (set by the
+    caller); a timed-out read surfaces as a 408 {!error}. *)
+
+type request = {
+  meth : string;  (** uppercased *)
+  path : string;  (** percent-decoded, query string stripped *)
+  query : (string * string) list;  (** decoded key/value pairs *)
+  headers : (string * string) list;  (** names lowercased *)
+  body : string;
+}
+
+type response = {
+  status : int;
+  reason : string;
+  headers : (string * string) list;
+  body : string;
+}
+
+type error = { status_hint : int; message : string }
+(** Parse/IO failure plus the status code to answer with. *)
+
+val status_reason : int -> string
+
+val response :
+  ?content_type:string -> ?headers:(string * string) list -> int -> string -> response
+
+val json_response : int -> Json.t -> response
+val error_response : int -> string -> response
+(** [{"error": msg}] as JSON. *)
+
+val header : request -> string -> string option
+(** Case-insensitive header lookup. *)
+
+val query_param : request -> string -> string option
+
+val url_decode : string -> string
+
+val read_request :
+  ?max_header:int -> ?max_body:int -> Unix.file_descr -> (request, error) result
+(** Blocking read of one full request (headers + [content-length] body).
+    Defaults: 16 KiB of headers, 16 MiB of body. *)
+
+val write_response : Unix.file_descr -> response -> unit
+(** Adds [content-length] and [connection: close]; swallows
+    [EPIPE]/[ECONNRESET] (client already gone). *)

@@ -1,0 +1,42 @@
+(** Minimal JSON encoder/decoder for the server wire format.
+
+    Hand-rolled so the daemon adds no opam dependencies.  Covers full
+    RFC 8259 parsing (escapes incl. [\uXXXX] surrogate pairs decoded to
+    UTF-8, nested values, strict trailing-garbage rejection) and compact
+    single-line encoding.
+
+    One deliberate deviation: JSON has no literal for non-finite
+    numbers, so [Num infinity] encodes as the string ["inf"] (resp.
+    ["-inf"], ["nan"]) and {!get_num} maps those strings back — mirroring
+    the ["inf"] spelling of the plain-text instance format. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+val to_string : t -> string
+(** Compact (no whitespace) rendering. *)
+
+val of_string : string -> (t, string) result
+(** Rejects trailing garbage after the top-level value. *)
+
+val of_string_exn : string -> t
+(** @raise Parse_error on malformed input. *)
+
+(** {1 Accessors} — shallow, [None] on shape mismatch *)
+
+val member : string -> t -> t option
+(** Field of an [Obj]. *)
+
+val get_string : t -> string option
+val get_num : t -> float option
+(** Also maps the strings ["inf"]/["-inf"]/["nan"] back to floats. *)
+
+val get_bool : t -> bool option
+val get_list : t -> t list option

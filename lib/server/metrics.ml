@@ -1,0 +1,170 @@
+(* A tiny Prometheus-style registry: families keyed by metric name, each
+   holding one series per label set.  Everything is mutex-protected; the
+   hot-path cost is one lock + Hashtbl probe per update. *)
+
+type histogram = {
+  buckets : float array;  (* upper bounds, ascending; +Inf implicit *)
+  counts : int array;  (* per-bucket (non-cumulative) counts *)
+  mutable sum : float;
+  mutable count : int;
+}
+
+type value = Counter of float ref | Gauge of float ref | Histogram of histogram
+
+type family = {
+  kind : string;  (* "counter" | "gauge" | "histogram" *)
+  help : string;
+  series : (string (* rendered label set *), value) Hashtbl.t;
+}
+
+type t = { families : (string, family) Hashtbl.t; lock : Mutex.t }
+
+let create () = { families = Hashtbl.create 32; lock = Mutex.create () }
+
+let default_buckets =
+  [| 0.001; 0.0025; 0.005; 0.01; 0.025; 0.05; 0.1; 0.25; 0.5; 1.0; 2.5; 5.0; 10.0 |]
+
+let escape_label_value s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let render_labels labels =
+  match labels with
+  | [] -> ""
+  | _ ->
+      let pairs =
+        List.map (fun (k, v) -> Printf.sprintf "%s=\"%s\"" k (escape_label_value v)) labels
+      in
+      "{" ^ String.concat "," pairs ^ "}"
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let family t ~kind ~help name =
+  match Hashtbl.find_opt t.families name with
+  | Some f ->
+      if f.kind <> kind then
+        invalid_arg
+          (Printf.sprintf "Metrics: %s registered as %s, used as %s" name f.kind kind);
+      f
+  | None ->
+      let f = { kind; help; series = Hashtbl.create 4 } in
+      Hashtbl.replace t.families name f;
+      f
+
+let series fam labels make =
+  let key = render_labels labels in
+  match Hashtbl.find_opt fam.series key with
+  | Some v -> v
+  | None ->
+      let v = make () in
+      Hashtbl.replace fam.series key v;
+      v
+
+let inc ?(labels = []) ?(by = 1.0) ?(help = "") t name =
+  locked t (fun () ->
+      let fam = family t ~kind:"counter" ~help name in
+      match series fam labels (fun () -> Counter (ref 0.0)) with
+      | Counter r -> r := !r +. by
+      | _ -> assert false)
+
+let set ?(labels = []) ?(help = "") t name x =
+  locked t (fun () ->
+      let fam = family t ~kind:"gauge" ~help name in
+      match series fam labels (fun () -> Gauge (ref 0.0)) with
+      | Gauge r -> r := x
+      | _ -> assert false)
+
+let observe ?(labels = []) ?(buckets = default_buckets) ?(help = "") t name x =
+  locked t (fun () ->
+      let fam = family t ~kind:"histogram" ~help name in
+      let h =
+        match
+          series fam labels (fun () ->
+              Histogram
+                {
+                  buckets;
+                  counts = Array.make (Array.length buckets) 0;
+                  sum = 0.0;
+                  count = 0;
+                })
+        with
+        | Histogram h -> h
+        | _ -> assert false
+      in
+      (match
+         Array.find_index (fun ub -> x <= ub) h.buckets
+       with
+      | Some i -> h.counts.(i) <- h.counts.(i) + 1
+      | None -> () (* lands only in the implicit +Inf bucket *));
+      h.sum <- h.sum +. x;
+      h.count <- h.count + 1)
+
+let counter_value ?(labels = []) t name =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.families name with
+      | None -> 0.0
+      | Some fam -> (
+          match Hashtbl.find_opt fam.series (render_labels labels) with
+          | Some (Counter r) -> !r
+          | Some (Gauge r) -> !r
+          | _ -> 0.0))
+
+let format_value x =
+  if Float.is_integer x && Float.abs x < 1e15 then Printf.sprintf "%.0f" x
+  else Printf.sprintf "%.9g" x
+
+(* Labels rendered as "{a=\"b\"}" or ""; splice an extra le="..." pair
+   into an existing rendered label set for histogram bucket lines. *)
+let with_le rendered le =
+  let le = Printf.sprintf "le=\"%s\"" le in
+  if rendered = "" then "{" ^ le ^ "}"
+  else
+    String.sub rendered 0 (String.length rendered - 1) ^ "," ^ le ^ "}"
+
+let render t =
+  locked t (fun () ->
+      let buf = Buffer.create 1024 in
+      let names =
+        Hashtbl.fold (fun name _ acc -> name :: acc) t.families []
+        |> List.sort String.compare
+      in
+      List.iter
+        (fun name ->
+          let fam = Hashtbl.find t.families name in
+          if fam.help <> "" then Printf.bprintf buf "# HELP %s %s\n" name fam.help;
+          Printf.bprintf buf "# TYPE %s %s\n" name fam.kind;
+          let keys =
+            Hashtbl.fold (fun k _ acc -> k :: acc) fam.series []
+            |> List.sort String.compare
+          in
+          List.iter
+            (fun key ->
+              match Hashtbl.find fam.series key with
+              | Counter r | Gauge r ->
+                  Printf.bprintf buf "%s%s %s\n" name key (format_value !r)
+              | Histogram h ->
+                  let cumulative = ref 0 in
+                  Array.iteri
+                    (fun i ub ->
+                      cumulative := !cumulative + h.counts.(i);
+                      Printf.bprintf buf "%s_bucket%s %d\n" name
+                        (with_le key (format_value ub))
+                        !cumulative)
+                    h.buckets;
+                  Printf.bprintf buf "%s_bucket%s %d\n" name (with_le key "+Inf")
+                    h.count;
+                  Printf.bprintf buf "%s_sum%s %s\n" name key (format_value h.sum);
+                  Printf.bprintf buf "%s_count%s %d\n" name key h.count)
+            keys)
+        names;
+      Buffer.contents buf)

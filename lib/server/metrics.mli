@@ -1,0 +1,40 @@
+(** Counters, gauges and latency histograms rendered in the Prometheus
+    text exposition format (the daemon's [GET /metrics]).
+
+    Families are created implicitly on first use; each family holds one
+    series per label set.  All updates are lock-protected and O(1).
+    Durations fed to {!observe} come from {!Bcc_util.Timer}. *)
+
+type t
+
+val create : unit -> t
+
+val default_buckets : float array
+(** Latency buckets in seconds: 1ms .. 10s, then the implicit +Inf. *)
+
+val inc :
+  ?labels:(string * string) list -> ?by:float -> ?help:string -> t -> string -> unit
+(** Increment a counter (created at 0 on first sight).
+    @raise Invalid_argument if [name] already exists with another kind. *)
+
+val set : ?labels:(string * string) list -> ?help:string -> t -> string -> float -> unit
+(** Set a gauge. *)
+
+val observe :
+  ?labels:(string * string) list ->
+  ?buckets:float array ->
+  ?help:string ->
+  t ->
+  string ->
+  float ->
+  unit
+(** Record an observation (seconds) into a histogram. *)
+
+val counter_value : ?labels:(string * string) list -> t -> string -> float
+(** Current value of a counter or gauge series; [0.] when absent (also
+    used by tests to assert on cache-hit counts). *)
+
+val render : t -> string
+(** Prometheus text format: [# HELP]/[# TYPE] per family, series sorted
+    by name then label set; histograms emit cumulative [_bucket] lines
+    plus [_sum] and [_count]. *)

@@ -1,0 +1,424 @@
+module Instance = Bcc_core.Instance
+module Propset = Bcc_core.Propset
+module Symtab = Bcc_core.Symtab
+module Solution = Bcc_core.Solution
+module Solver = Bcc_core.Solver
+module Gmc3 = Bcc_core.Gmc3
+module Ecc = Bcc_core.Ecc
+module Io = Bcc_data.Io
+module Timer = Bcc_util.Timer
+
+type config = {
+  host : string;
+  port : int;
+  workers : int;
+  queue_depth : int;
+  cache_entries : int;
+  timeout_s : float;
+  preload : (string * string) list;
+}
+
+let default_config =
+  {
+    host = "127.0.0.1";
+    port = 8080;
+    workers = 0;
+    queue_depth = 64;
+    cache_entries = 256;
+    timeout_s = 30.0;
+    preload = [];
+  }
+
+type loaded = { digest : string; inst : Instance.t }
+
+type t = {
+  cfg : config;
+  sock : Unix.file_descr;
+  actual_port : int;
+  num_workers : int;
+  queue : (Unix.file_descr * float) Queue.t;
+  qlock : Mutex.t;
+  qcond : Condition.t;
+  stop : bool Atomic.t;
+  named : (string, loaded) Hashtbl.t;
+  inst_cache : loaded Cache.t;  (* raw body digest -> parsed instance *)
+  sol_cache : Json.t Cache.t;  (* canonical digest + endpoint + params -> result *)
+  metrics : Metrics.t;
+}
+
+(* Content-addressed identity: the serialized instance minus its header
+   comment, so the digest depends on budget/queries/costs but not on the
+   (arbitrary) instance name — an inline body and a preloaded file with
+   the same content share cache entries. *)
+let canonical_digest inst =
+  let s = Io.to_string inst in
+  let body =
+    match String.index_opt s '\n' with
+    | Some i when String.length s > 0 && s.[0] = '#' ->
+        String.sub s (i + 1) (String.length s - i - 1)
+    | _ -> s
+  in
+  Digest.to_hex (Digest.string body)
+
+let create cfg =
+  let named = Hashtbl.create 8 in
+  List.iter
+    (fun (name, file) ->
+      let inst = Io.load file in
+      Hashtbl.replace named name { digest = canonical_digest inst; inst })
+    cfg.preload;
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt sock Unix.SO_REUSEADDR true;
+  (try Unix.bind sock (Unix.ADDR_INET (Unix.inet_addr_of_string cfg.host, cfg.port))
+   with e -> (try Unix.close sock with _ -> ()); raise e);
+  Unix.listen sock 128;
+  let actual_port =
+    match Unix.getsockname sock with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> cfg.port
+  in
+  let num_workers =
+    if cfg.workers > 0 then cfg.workers else Domain.recommended_domain_count ()
+  in
+  {
+    cfg;
+    sock;
+    actual_port;
+    num_workers;
+    queue = Queue.create ();
+    qlock = Mutex.create ();
+    qcond = Condition.create ();
+    stop = Atomic.make false;
+    named;
+    inst_cache = Cache.create ~capacity:(max 1 cfg.cache_entries);
+    sol_cache = Cache.create ~capacity:(max 1 cfg.cache_entries);
+    metrics = Metrics.create ();
+  }
+
+let port t = t.actual_port
+let num_workers t = t.num_workers
+let metrics t = t.metrics
+let request_stop t = Atomic.set t.stop true
+
+(* --- request handling --- *)
+
+let prop_name inst p =
+  match Instance.names inst with
+  | Some tbl -> Symtab.name tbl p
+  | None -> string_of_int p
+
+let classifiers_json inst (sol : Solution.t) =
+  Json.List
+    (List.map
+       (fun c ->
+         Json.List
+           (List.map (fun p -> Json.Str (prop_name inst p)) (Propset.to_list c)))
+       sol.Solution.classifiers)
+
+let solution_fields inst (sol : Solution.t) =
+  [
+    ("cost", Json.Num sol.Solution.cost);
+    ("utility", Json.Num sol.Solution.utility);
+    ("classifiers", classifiers_json inst sol);
+    ("verified", Json.Bool (Solution.verify inst sol));
+  ]
+
+type endpoint = E_solve | E_gmc3 | E_ecc
+
+let endpoint_name = function
+  | E_solve -> "solve"
+  | E_gmc3 -> "gmc3"
+  | E_ecc -> "ecc"
+
+(* Instance source + optional budget/target from the body (raw instance
+   text, or a JSON object) merged with ?budget=/?target= query params
+   (query wins, so a raw-text body can still be swept over budgets). *)
+let parse_params (req : Http.request) =
+  let body = req.Http.body in
+  let trimmed = String.trim body in
+  let from_body =
+    if trimmed = "" then Error "empty body: send instance text or a JSON object"
+    else if trimmed.[0] = '{' then
+      match Json.of_string trimmed with
+      | Error msg -> Error ("bad JSON body: " ^ msg)
+      | Ok j -> (
+          let field name get = Option.bind (Json.member name j) get in
+          let name = field "instance" Json.get_string in
+          let text = field "text" Json.get_string in
+          let budget = field "budget" Json.get_num in
+          let target = field "target" Json.get_num in
+          match (name, text) with
+          | Some n, None -> Ok (`Named n, budget, target)
+          | None, Some s -> Ok (`Inline s, budget, target)
+          | Some _, Some _ -> Error {|provide either "instance" or "text", not both|}
+          | None, None -> Error {|JSON body needs an "instance" name or inline "text"|})
+    else Ok (`Inline body, None, None)
+  in
+  match from_body with
+  | Error _ as e -> e
+  | Ok (src, budget, target) -> (
+      let num_param name fallback =
+        match Http.query_param req name with
+        | None -> Ok fallback
+        | Some s -> (
+            match float_of_string_opt s with
+            | Some f -> Ok (Some f)
+            | None -> Error (Printf.sprintf "bad ?%s=%s" name s))
+      in
+      match (num_param "budget" budget, num_param "target" target) with
+      | Ok budget, Ok target -> Ok (src, budget, target)
+      | Error e, _ | _, Error e -> Error e)
+
+let resolve_instance t src =
+  match src with
+  | `Named name -> (
+      match Hashtbl.find_opt t.named name with
+      | Some l -> Ok l
+      | None -> Error (404, "unknown instance: " ^ name))
+  | `Inline text -> (
+      let raw_digest = Digest.to_hex (Digest.string text) in
+      match Cache.find t.inst_cache raw_digest with
+      | Some l ->
+          Metrics.inc t.metrics "bccd_cache_hits_total"
+            ~labels:[ ("cache", "instance") ];
+          Ok l
+      | None -> (
+          Metrics.inc t.metrics "bccd_cache_misses_total"
+            ~labels:[ ("cache", "instance") ];
+          match Io.load_string ~name:("inline-" ^ String.sub raw_digest 0 8) text with
+          | inst ->
+              let l = { digest = canonical_digest inst; inst } in
+              Cache.put t.inst_cache raw_digest l;
+              Ok l
+          | exception Failure msg -> Error (400, msg)))
+
+let handle_solve t ep req =
+  match parse_params req with
+  | Error msg -> Http.error_response 400 msg
+  | Ok (src, budget, target) -> (
+      match resolve_instance t src with
+      | Error (status, msg) -> Http.error_response status msg
+      | Ok { digest; inst } -> (
+          match (ep, target) with
+          | E_gmc3, None -> Http.error_response 400 "gmc3 needs a \"target\" utility"
+          | _ -> (
+              let inst =
+                match budget with
+                | Some b when b >= 0.0 -> Instance.with_budget inst b
+                | _ -> inst
+              in
+              let fmt_opt = function
+                | None -> "-"
+                | Some x -> Printf.sprintf "%.17g" x
+              in
+              let key =
+                Printf.sprintf "%s|%s|b=%s|t=%s" digest (endpoint_name ep)
+                  (fmt_opt budget) (fmt_opt target)
+              in
+              let compute () =
+                let timer = Timer.start () in
+                let fields =
+                  match ep with
+                  | E_solve ->
+                      let sol = Solver.solve inst in
+                      solution_fields inst sol
+                  | E_gmc3 ->
+                      let r = Gmc3.solve inst ~target:(Option.get target) in
+                      solution_fields inst r.Gmc3.solution
+                      @ [
+                          ("reached", Json.Bool r.Gmc3.reached);
+                          ("budget_used", Json.Num r.Gmc3.budget_used);
+                        ]
+                  | E_ecc ->
+                      let sol = Ecc.solve inst in
+                      solution_fields inst sol
+                      @ [ ("ratio", Json.Num (Ecc.ratio_of sol)) ]
+                in
+                Metrics.observe t.metrics "bccd_solve_duration_seconds"
+                  ~labels:[ ("endpoint", endpoint_name ep) ]
+                  ~help:"Time spent computing uncached solves."
+                  (Timer.elapsed_s timer);
+                Json.Obj
+                  (( "instance",
+                     Json.Str
+                       (match src with
+                       | `Named n -> n
+                       | `Inline _ -> Instance.name inst) )
+                  :: ("digest", Json.Str digest)
+                  :: ("budget", Json.Num (Instance.budget inst))
+                  :: fields)
+              in
+              match Cache.find_or_add t.sol_cache key compute with
+              | json, was_hit ->
+                  Metrics.inc t.metrics
+                    (if was_hit then "bccd_cache_hits_total"
+                     else "bccd_cache_misses_total")
+                    ~labels:[ ("cache", "solution") ];
+                  let json =
+                    match json with
+                    | Json.Obj fields ->
+                        Json.Obj (fields @ [ ("cached", Json.Bool was_hit) ])
+                    | j -> j
+                  in
+                  Http.json_response 200 json
+              | exception Failure msg -> Http.error_response 400 msg)))
+
+let handle_instances t =
+  let entries =
+    Hashtbl.fold
+      (fun name { digest; inst } acc ->
+        Json.Obj
+          [
+            ("name", Json.Str name);
+            ("digest", Json.Str digest);
+            ("budget", Json.Num (Instance.budget inst));
+            ("queries", Json.Num (float_of_int (Instance.num_queries inst)));
+            ("classifiers", Json.Num (float_of_int (Instance.num_classifiers inst)));
+            ("properties", Json.Num (float_of_int (Instance.num_properties inst)));
+          ]
+        :: acc)
+      t.named []
+  in
+  Http.json_response 200 (Json.Obj [ ("instances", Json.List entries) ])
+
+let handle_metrics t =
+  let cache_gauges name cache =
+    Metrics.set t.metrics "bccd_cache_entries" ~labels:[ ("cache", name) ]
+      ~help:"Live entries per cache."
+      (float_of_int (Cache.length cache));
+    Metrics.inc t.metrics "bccd_cache_evictions_total" ~labels:[ ("cache", name) ]
+      ~by:(float_of_int (Cache.evictions cache)
+          -. Metrics.counter_value t.metrics "bccd_cache_evictions_total"
+               ~labels:[ ("cache", name) ])
+  in
+  cache_gauges "solution" t.sol_cache;
+  cache_gauges "instance" t.inst_cache;
+  Metrics.set t.metrics "bccd_workers" ~help:"Worker pool size."
+    (float_of_int t.num_workers);
+  Metrics.set t.metrics "bccd_uptime_seconds" ~help:"Process uptime."
+    (Timer.now_s ());
+  Http.response ~content_type:"text/plain; version=0.0.4; charset=utf-8" 200
+    (Metrics.render t.metrics)
+
+let handle t (req : Http.request) =
+  match (req.meth, req.path) with
+  | "GET", "/healthz" -> Http.response 200 "ok\n"
+  | "GET", "/metrics" -> handle_metrics t
+  | "GET", "/instances" -> handle_instances t
+  | "POST", "/solve" -> handle_solve t E_solve req
+  | "POST", "/gmc3" -> handle_solve t E_gmc3 req
+  | "POST", "/ecc" -> handle_solve t E_ecc req
+  | _, ("/solve" | "/gmc3" | "/ecc") ->
+      Http.error_response 405 ("use POST for " ^ req.path)
+  | _, ("/healthz" | "/metrics" | "/instances") ->
+      Http.error_response 405 ("use GET for " ^ req.path)
+  | _ -> Http.error_response 404 ("no such endpoint: " ^ req.path)
+
+(* --- connection plumbing --- *)
+
+let count_request t ~endpoint ~status =
+  Metrics.inc t.metrics "bccd_requests_total"
+    ~labels:[ ("endpoint", endpoint); ("status", string_of_int status) ]
+    ~help:"Requests by endpoint and response status."
+
+let respond_error t fd ~endpoint ~status msg =
+  count_request t ~endpoint ~status;
+  Http.write_response fd (Http.error_response status msg)
+
+let serve_conn t fd enqueued_at =
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      if Atomic.get t.stop then begin
+        Metrics.inc t.metrics "bccd_rejected_total" ~labels:[ ("reason", "shutdown") ];
+        respond_error t fd ~endpoint:"-" ~status:503 "shutting down"
+      end
+      else if Timer.now_s () -. enqueued_at > t.cfg.timeout_s then begin
+        (* The request waited out its deadline in the queue; solving it
+           now would only add to the pile-up. *)
+        Metrics.inc t.metrics "bccd_rejected_total"
+          ~labels:[ ("reason", "queue_timeout") ];
+        respond_error t fd ~endpoint:"-" ~status:503 "timed out in queue"
+      end
+      else
+        match Http.read_request fd with
+        | Error { status_hint; message } ->
+            respond_error t fd ~endpoint:"-" ~status:status_hint message
+        | Ok req ->
+            let timer = Timer.start () in
+            let resp =
+              try handle t req with
+              | Failure msg -> Http.error_response 400 msg
+              | e -> Http.error_response 500 (Printexc.to_string e)
+            in
+            Metrics.observe t.metrics "bccd_request_duration_seconds"
+              ~labels:[ ("endpoint", req.path) ]
+              ~help:"End-to-end request handling time."
+              (Timer.elapsed_s timer);
+            count_request t ~endpoint:req.path ~status:resp.Http.status;
+            Http.write_response fd resp)
+
+let worker_loop t =
+  let rec loop () =
+    Mutex.lock t.qlock;
+    while Queue.is_empty t.queue && not (Atomic.get t.stop) do
+      Condition.wait t.qcond t.qlock
+    done;
+    if Queue.is_empty t.queue then Mutex.unlock t.qlock (* stop + drained: exit *)
+    else begin
+      let fd, enqueued_at = Queue.pop t.queue in
+      Metrics.set t.metrics "bccd_queue_depth" ~help:"Connections waiting for a worker."
+        (float_of_int (Queue.length t.queue));
+      Mutex.unlock t.qlock;
+      (try serve_conn t fd enqueued_at with _ -> ());
+      loop ()
+    end
+  in
+  loop ()
+
+let enqueue_conn t fd =
+  (* Socket-level timeouts bound slow readers/writers per request. *)
+  (try
+     Unix.setsockopt_float fd Unix.SO_RCVTIMEO t.cfg.timeout_s;
+     Unix.setsockopt_float fd Unix.SO_SNDTIMEO t.cfg.timeout_s
+   with Unix.Unix_error _ -> ());
+  Mutex.lock t.qlock;
+  if Queue.length t.queue >= t.cfg.queue_depth then begin
+    Mutex.unlock t.qlock;
+    (* Backpressure: refuse at the door rather than buffer unbounded work. *)
+    Metrics.inc t.metrics "bccd_rejected_total" ~labels:[ ("reason", "queue_full") ]
+      ~help:"Connections refused or abandoned.";
+    respond_error t fd ~endpoint:"-" ~status:503 "server busy, queue full";
+    try Unix.close fd with Unix.Unix_error _ -> ()
+  end
+  else begin
+    Queue.push (fd, Timer.now_s ()) t.queue;
+    Metrics.set t.metrics "bccd_queue_depth" (float_of_int (Queue.length t.queue));
+    Condition.signal t.qcond;
+    Mutex.unlock t.qlock
+  end
+
+let run t =
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let workers = List.init t.num_workers (fun _ -> Thread.create worker_loop t) in
+  let rec accept_loop () =
+    if not (Atomic.get t.stop) then begin
+      (match Unix.select [ t.sock ] [] [] 0.25 with
+      | [], _, _ -> ()
+      | _ -> (
+          match Unix.accept t.sock with
+          | fd, _ -> enqueue_conn t fd
+          | exception Unix.Unix_error ((Unix.EINTR | Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+            -> ())
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+      accept_loop ()
+    end
+  in
+  accept_loop ();
+  (* Shutdown: wake every worker; they drain the queue (late arrivals get
+     503) and finish whatever solve is in flight before exiting. *)
+  Mutex.lock t.qlock;
+  Condition.broadcast t.qcond;
+  Mutex.unlock t.qlock;
+  List.iter Thread.join workers;
+  try Unix.close t.sock with Unix.Unix_error _ -> ()

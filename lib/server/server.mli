@@ -1,0 +1,61 @@
+(** [bccd] — a resident BCC solver service.
+
+    Architecture: one acceptor thread feeds a {e bounded} queue drained
+    by a pool of worker threads; when the queue is full new connections
+    are refused with [503] at the door (backpressure) instead of
+    buffering unbounded work, and requests that outwait the timeout in
+    the queue are answered [503] without being solved.  Results are
+    memoized in a content-addressed LRU ({!Cache}) keyed by
+    (instance digest, endpoint, budget, target), so a budget sweep over
+    a fixed workload — the paper's Section 6 evaluation pattern — pays
+    the instance parse and the [A^BCC] run once per distinct budget and
+    the parse once overall.
+
+    Endpoints:
+    - [POST /solve], [POST /gmc3], [POST /ecc] — body is either the
+      plain-text instance format of {!Bcc_data.Io} or a JSON object
+      [{"instance": <preloaded name>}] / [{"text": <instance text>}]
+      with optional ["budget"]/["target"] fields ([?budget=]/[?target=]
+      query parameters override);
+    - [GET /instances] — the instances preloaded at startup;
+    - [GET /healthz], [GET /metrics] (Prometheus text format).
+
+    Shutdown ({!request_stop}, wired to SIGINT/SIGTERM by the daemon):
+    stop accepting, answer queued-but-unstarted connections [503], let
+    workers finish in-flight solves, join every worker, close the
+    socket. *)
+
+type config = {
+  host : string;
+  port : int;  (** 0 picks an ephemeral port; see {!port} *)
+  workers : int;  (** <= 0 means [Domain.recommended_domain_count ()] *)
+  queue_depth : int;
+  cache_entries : int;  (** capacity of each of the two LRU caches *)
+  timeout_s : float;  (** socket read/write timeout and max queue wait *)
+  preload : (string * string) list;  (** (name, instance file) pairs *)
+}
+
+val default_config : config
+(** 127.0.0.1:8080, auto-sized workers, queue 64, 256 cache entries,
+    30 s timeout, nothing preloaded. *)
+
+type t
+
+val create : config -> t
+(** Loads the [preload] instances, binds and listens.
+    @raise Unix.Unix_error when the address is unavailable
+    @raise Failure on an unparseable preload file. *)
+
+val port : t -> int
+(** The actually bound port (useful with [port = 0]). *)
+
+val num_workers : t -> int
+val metrics : t -> Metrics.t
+
+val run : t -> unit
+(** Blocks serving requests until {!request_stop}; returns only after
+    workers are drained and joined and the socket is closed. *)
+
+val request_stop : t -> unit
+(** Async-signal-safe (just an atomic store): safe to call from a
+    [Sys.Signal_handle] or any thread.  [run] notices within ~250 ms. *)

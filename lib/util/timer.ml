@@ -1,9 +1,42 @@
+(* The stdlib exposes no monotonic clock ([Unix.clock_gettime] never made
+   it into the Unix module), so [now_s] derives one: wall-clock deltas
+   from a process-start epoch, clamped to be non-decreasing across calls
+   (an NTP step or manual clock change can move [gettimeofday] backwards;
+   a stopwatch must never run backwards).  The clamp is a lock-free CAS
+   loop so concurrent server threads can stamp timestamps safely. *)
+
+let epoch = Unix.gettimeofday ()
+let last = Atomic.make 0.0
+
+let now_s () =
+  let raw = Unix.gettimeofday () -. epoch in
+  let rec clamp () =
+    let prev = Atomic.get last in
+    if raw <= prev then prev
+    else if Atomic.compare_and_set last prev raw then raw
+    else clamp ()
+  in
+  clamp ()
+
+let cpu_s () = Sys.time ()
+
 type t = float
 
-let start () = Unix.gettimeofday ()
-let elapsed_s t = Unix.gettimeofday () -. t
+let start () = now_s ()
+let elapsed_s t = now_s () -. t
+let elapsed_ms t = 1000.0 *. elapsed_s t
 
 let time f =
   let t = start () in
   let result = f () in
   (result, elapsed_s t)
+
+let time_ms f =
+  let result, s = time f in
+  (result, 1000.0 *. s)
+
+let pp_s ppf s =
+  if s < 1e-3 then Format.fprintf ppf "%.0fus" (s *. 1e6)
+  else if s < 1.0 then Format.fprintf ppf "%.1fms" (s *. 1e3)
+  else if s < 60.0 then Format.fprintf ppf "%.2fs" s
+  else Format.fprintf ppf "%dm%02.0fs" (int_of_float s / 60) (Float.rem s 60.0)

@@ -1,11 +1,34 @@
-(** Wall-clock timing for the bench harness. *)
+(** Monotonic stopwatch — used by the bench harness's log lines and the
+    server's latency histograms ({!Bcc_server.Metrics}).
+
+    The clock is wall time relative to process start, clamped to be
+    non-decreasing (system clock steps can move [Unix.gettimeofday]
+    backwards; elapsed times here never go negative or shrink).  Safe to
+    call from multiple threads. *)
+
+val now_s : unit -> float
+(** Monotone non-decreasing seconds since process start. *)
+
+val cpu_s : unit -> float
+(** Processor time ([Sys.time]) — the complementary clock for
+    cpu-vs-wall comparisons. *)
+
+(** {1 Stopwatch} *)
 
 type t
 
 val start : unit -> t
 val elapsed_s : t -> float
-(** Seconds since [start]. *)
+(** Seconds since [start]; never negative. *)
+
+val elapsed_ms : t -> float
 
 val time : (unit -> 'a) -> 'a * float
 (** [time f] runs [f ()] and also returns its wall-clock duration in
     seconds. *)
+
+val time_ms : (unit -> 'a) -> 'a * float
+
+val pp_s : Format.formatter -> float -> unit
+(** Human-friendly duration: ["740us"], ["12.3ms"], ["2.51s"],
+    ["4m08s"]. *)

@@ -1,0 +1,332 @@
+(* End-to-end test of the bccd daemon: spawns the real binary on an
+   ephemeral port, fires concurrent /solve requests at two budgets,
+   verifies every returned solution client-side, asserts the repeated
+   (instance, budget) pairs hit the solution cache (via /metrics), and
+   checks the daemon drains and exits cleanly on SIGTERM. *)
+
+module Instance = Bcc_core.Instance
+module Propset = Bcc_core.Propset
+module Symtab = Bcc_core.Symtab
+module Solution = Bcc_core.Solution
+module Io = Bcc_data.Io
+module Json = Bcc_server.Json
+
+let bccd_exe = Filename.concat ".." "bin/bccd.exe"
+
+(* --- a tiny HTTP client (one request per connection, read to EOF) --- *)
+
+let request ~port ~meth ~path ?(body = "") () =
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close sock with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.connect sock
+        (Unix.ADDR_INET (Unix.inet_addr_of_string "127.0.0.1", port));
+      let req =
+        Printf.sprintf "%s %s HTTP/1.1\r\nhost: localhost\r\ncontent-length: %d\r\n\r\n%s"
+          meth path (String.length body) body
+      in
+      let b = Bytes.of_string req in
+      let rec write_all off =
+        if off < Bytes.length b then
+          write_all (off + Unix.write sock b off (Bytes.length b - off))
+      in
+      write_all 0;
+      let buf = Buffer.create 1024 in
+      let chunk = Bytes.create 4096 in
+      let rec drain () =
+        match Unix.read sock chunk 0 (Bytes.length chunk) with
+        | 0 -> ()
+        | n -> Buffer.add_subbytes buf chunk 0 n; drain ()
+      in
+      drain ();
+      let raw = Buffer.contents buf in
+      let status =
+        try Scanf.sscanf raw "HTTP/1.1 %d" (fun s -> s)
+        with Scanf.Scan_failure _ | End_of_file -> -1
+      in
+      let body =
+        let rec find i =
+          if i + 3 >= String.length raw then String.length raw
+          else if String.sub raw i 4 = "\r\n\r\n" then i + 4
+          else find (i + 1)
+        in
+        let start = find 0 in
+        String.sub raw start (String.length raw - start)
+      in
+      (status, body))
+
+(* --- daemon process management --- *)
+
+type daemon = { pid : int; out : in_channel; port : int }
+
+let start_daemon args =
+  if not (Sys.file_exists bccd_exe) then
+    Alcotest.failf "daemon binary %s not built" bccd_exe;
+  let out_r, out_w = Unix.pipe () in
+  let argv = Array.of_list ((bccd_exe :: "--port" :: "0" :: args)) in
+  let pid = Unix.create_process bccd_exe argv Unix.stdin out_w Unix.stderr in
+  Unix.close out_w;
+  let out = Unix.in_channel_of_descr out_r in
+  let rec find_port tries =
+    if tries = 0 then Alcotest.fail "daemon never reported its port";
+    match input_line out with
+    | line -> (
+        match
+          Scanf.sscanf line "bccd: listening on %s@:%d" (fun _ p -> p)
+        with
+        | port -> port
+        | exception (Scanf.Scan_failure _ | End_of_file | Failure _) ->
+            find_port (tries - 1))
+    | exception End_of_file -> Alcotest.fail "daemon exited before listening"
+  in
+  let port = find_port 50 in
+  { pid; out; port }
+
+let wait_exit d =
+  (* Bounded wait so a wedged daemon fails the test instead of hanging it. *)
+  let deadline = Unix.gettimeofday () +. 10.0 in
+  let rec poll () =
+    match Unix.waitpid [ Unix.WNOHANG ] d.pid with
+    | 0, _ ->
+        if Unix.gettimeofday () > deadline then begin
+          Unix.kill d.pid Sys.sigkill;
+          ignore (Unix.waitpid [] d.pid);
+          Alcotest.fail "daemon did not exit within 10s of SIGTERM"
+        end
+        else (Thread.delay 0.05; poll ())
+    | _, status -> status
+  in
+  poll ()
+
+let drain_output d =
+  let buf = Buffer.create 256 in
+  (try
+     while true do
+       Buffer.add_string buf (input_line d.out);
+       Buffer.add_char buf '\n'
+     done
+   with End_of_file -> ());
+  close_in d.out;
+  Buffer.contents buf
+
+(* --- fixtures --- *)
+
+let fixture_file () =
+  let inst = Fixtures.figure1 ~budget:4.0 in
+  let file = Filename.temp_file "bccd_fixture" ".inst" in
+  (* figure1 has no symtab; rebuild it with named properties so the wire
+     format and the client-side verification exercise name interning. *)
+  let names = Symtab.create () in
+  List.iter (fun n -> ignore (Symtab.intern names n)) [ "x"; "y"; "z" ];
+  let named =
+    Instance.create ~name:"figure1" ~names ~budget:(Instance.budget inst)
+      ~queries:
+        (Array.init (Instance.num_queries inst) (fun qi ->
+             (Instance.query inst qi, Instance.utility inst qi)))
+      ~cost:(fun c -> Instance.cost_of inst c)
+      ()
+  in
+  Io.save file named;
+  (file, named)
+
+let get_field name json =
+  match Json.member name json with
+  | Some v -> v
+  | None -> Alcotest.failf "response field %S missing in %s" name (Json.to_string json)
+
+let num_field name json =
+  match Json.get_num (get_field name json) with
+  | Some x -> x
+  | None -> Alcotest.failf "field %S is not a number" name
+
+(* Rebuild the solution client-side from the returned classifier names
+   and verify it against the locally loaded instance. *)
+let verify_response inst ~budget json =
+  let inst = Instance.with_budget inst budget in
+  let tbl = Option.get (Instance.names inst) in
+  let classifiers =
+    match Json.get_list (get_field "classifiers" json) with
+    | None -> Alcotest.fail "classifiers is not a list"
+    | Some sets ->
+        List.map
+          (fun set ->
+            match Json.get_list set with
+            | None -> Alcotest.fail "classifier is not a list"
+            | Some names ->
+                Propset.of_list
+                  (List.map
+                     (fun n ->
+                       match Json.get_string n with
+                       | Some s -> Option.get (Symtab.find tbl s)
+                       | None -> Alcotest.fail "classifier member is not a string")
+                     names))
+          sets
+  in
+  let sol = Solution.of_sets inst classifiers in
+  Alcotest.(check bool) "client-side Solution.verify" true (Solution.verify inst sol);
+  Alcotest.(check (float 1e-6)) "server utility matches recomputation"
+    sol.Solution.utility (num_field "utility" json);
+  Alcotest.(check (float 1e-6)) "server cost matches recomputation"
+    sol.Solution.cost (num_field "cost" json);
+  Alcotest.(check bool) "server-side verified flag" true
+    (Json.get_bool (get_field "verified" json) = Some true)
+
+let metric_value body name =
+  (* Find "name value" or "name{labels} value" in Prometheus text. *)
+  String.split_on_char '\n' body
+  |> List.find_map (fun line ->
+         if
+           String.length line > String.length name
+           && String.sub line 0 (String.length name) = name
+         then
+           match String.rindex_opt line ' ' with
+           | Some i ->
+               float_of_string_opt
+                 (String.sub line (i + 1) (String.length line - i - 1))
+           | None -> None
+         else None)
+
+(* --- the end-to-end scenario --- *)
+
+let e2e_concurrent_solves_and_shutdown () =
+  let file, inst = fixture_file () in
+  let d =
+    start_daemon [ "--workers"; "4"; "--load"; "fig=" ^ file; "--timeout"; "30" ]
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.kill d.pid Sys.sigkill with Unix.Unix_error _ -> ());
+      (try ignore (Unix.waitpid [ Unix.WNOHANG ] d.pid) with Unix.Unix_error _ -> ());
+      Sys.remove file)
+    (fun () ->
+      (* health + preloaded listing *)
+      let status, body = request ~port:d.port ~meth:"GET" ~path:"/healthz" () in
+      Alcotest.(check int) "healthz status" 200 status;
+      Alcotest.(check string) "healthz body" "ok\n" body;
+      let status, body = request ~port:d.port ~meth:"GET" ~path:"/instances" () in
+      Alcotest.(check int) "instances status" 200 status;
+      let listing = Json.of_string_exn (String.trim body) in
+      (match Json.get_list (get_field "instances" listing) with
+      | Some [ entry ] ->
+          Alcotest.(check (option string)) "preloaded name" (Some "fig")
+            (Json.get_string (get_field "name" entry))
+      | _ -> Alcotest.fail "expected exactly one preloaded instance");
+
+      (* >= 8 concurrent /solve requests for the same instance at two
+         budgets (the paper's budget-sweep-over-fixed-workload pattern) *)
+      let budgets = [| 4.0; 11.0; 4.0; 11.0; 4.0; 11.0; 4.0; 11.0 |] in
+      let results = Array.make (Array.length budgets) (-1, "") in
+      let fire i =
+        let body = Printf.sprintf {|{"instance":"fig","budget":%g}|} budgets.(i) in
+        results.(i) <- request ~port:d.port ~meth:"POST" ~path:"/solve" ~body ()
+      in
+      let threads =
+        Array.to_list (Array.mapi (fun i _ -> Thread.create fire i) budgets)
+      in
+      List.iter Thread.join threads;
+      Array.iteri
+        (fun i (status, body) ->
+          Alcotest.(check int) (Printf.sprintf "solve[%d] status" i) 200 status;
+          let json = Json.of_string_exn (String.trim body) in
+          verify_response inst ~budget:budgets.(i) json;
+          (* Figure 1 optima: utility 9 at budget 4, utility 11 at 11. *)
+          Alcotest.(check (float 1e-6))
+            (Printf.sprintf "solve[%d] optimal utility" i)
+            (if budgets.(i) = 4.0 then 9.0 else 11.0)
+            (num_field "utility" json))
+        results;
+
+      (* Sequential re-solves of both (instance, budget) pairs must be
+         cache hits regardless of how the concurrent batch raced. *)
+      List.iter
+        (fun b ->
+          let body = Printf.sprintf {|{"instance":"fig","budget":%g}|} b in
+          let status, body = request ~port:d.port ~meth:"POST" ~path:"/solve" ~body () in
+          Alcotest.(check int) "re-solve status" 200 status;
+          let json = Json.of_string_exn (String.trim body) in
+          Alcotest.(check (option bool)) "re-solve served from cache" (Some true)
+            (Json.get_bool (get_field "cached" json)))
+        [ 4.0; 11.0 ];
+
+      (* /metrics reports the cache hits *)
+      let status, body = request ~port:d.port ~meth:"GET" ~path:"/metrics" () in
+      Alcotest.(check int) "metrics status" 200 status;
+      let hits =
+        match metric_value body {|bccd_cache_hits_total{cache="solution"}|} with
+        | Some x -> x
+        | None -> Alcotest.fail "bccd_cache_hits_total{cache=\"solution\"} missing"
+      in
+      Alcotest.(check bool) "solution cache hit recorded" true (hits >= 2.0);
+      (match metric_value body "bccd_requests_total{endpoint=\"/solve\",status=\"200\"}" with
+      | Some n -> Alcotest.(check bool) "request counter >= 10" true (n >= 10.0)
+      | None -> Alcotest.fail "bccd_requests_total missing");
+
+      (* graceful shutdown on SIGTERM: clean exit, workers drained *)
+      Unix.kill d.pid Sys.sigterm;
+      (match wait_exit d with
+      | Unix.WEXITED 0 -> ()
+      | Unix.WEXITED c -> Alcotest.failf "daemon exited with code %d" c
+      | Unix.WSIGNALED s -> Alcotest.failf "daemon killed by signal %d" s
+      | Unix.WSTOPPED _ -> Alcotest.fail "daemon stopped unexpectedly");
+      let tail = drain_output d in
+      Alcotest.(check bool) "drained workers before exiting" true
+        (let needle = "shutdown complete" in
+         let n = String.length needle and m = String.length tail in
+         let rec go i = i + n <= m && (String.sub tail i n = needle || go (i + 1)) in
+         go 0))
+
+let error_paths () =
+  let file, _inst = fixture_file () in
+  let d = start_daemon [ "--workers"; "2"; "--load"; "fig=" ^ file ] in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.kill d.pid Sys.sigkill with Unix.Unix_error _ -> ());
+      (try ignore (Unix.waitpid [] d.pid) with Unix.Unix_error _ -> ());
+      close_in d.out;
+      Sys.remove file)
+    (fun () ->
+      let post path body = request ~port:d.port ~meth:"POST" ~path ~body () in
+      Alcotest.(check int) "unknown instance -> 404" 404
+        (fst (post "/solve" {|{"instance":"nope"}|}));
+      Alcotest.(check int) "bad json -> 400" 400 (fst (post "/solve" {|{"instance|}));
+      Alcotest.(check int) "empty body -> 400" 400 (fst (post "/solve" ""));
+      Alcotest.(check int) "malformed instance text -> 400" 400
+        (fst (post "/solve" "budget nope\n"));
+      Alcotest.(check int) "gmc3 without target -> 400" 400
+        (fst (post "/gmc3" {|{"instance":"fig"}|}));
+      Alcotest.(check int) "GET on solve -> 405" 405
+        (fst (request ~port:d.port ~meth:"GET" ~path:"/solve" ()));
+      Alcotest.(check int) "unknown path -> 404" 404
+        (fst (request ~port:d.port ~meth:"GET" ~path:"/nope" ()));
+      (* gmc3 + ecc happy paths over the wire *)
+      let status, body = post "/gmc3" {|{"instance":"fig","target":9}|} in
+      Alcotest.(check int) "gmc3 status" 200 status;
+      let json = Json.of_string_exn (String.trim body) in
+      Alcotest.(check (option bool)) "gmc3 reached" (Some true)
+        (Json.get_bool (get_field "reached" json));
+      let status, body = post "/ecc" {|{"instance":"fig"}|} in
+      Alcotest.(check int) "ecc status" 200 status;
+      let json = Json.of_string_exn (String.trim body) in
+      Alcotest.(check bool) "ecc ratio positive" true (num_field "ratio" json > 0.0);
+      (* CRLF + repeated-blank instance text over HTTP parses (the Io fix) *)
+      let crlf_body =
+        "budget  4\r\nquery x;y;z\t8\r\nquery x;z  1\r\nquery x;y 2\r\n"
+        ^ "classifier x 5\r\nclassifier y  3\r\nclassifier z 3\r\n"
+        ^ "classifier x;y;z 3\r\nclassifier x;z 4\r\nclassifier y;z 0\r\n"
+      in
+      let status, body = post "/solve" crlf_body in
+      Alcotest.(check int) "crlf instance solves" 200 status;
+      let json = Json.of_string_exn (String.trim body) in
+      Alcotest.(check (float 1e-6)) "crlf instance optimal" 9.0
+        (num_field "utility" json);
+      Unix.kill d.pid Sys.sigterm;
+      match wait_exit d with
+      | Unix.WEXITED 0 -> ()
+      | _ -> Alcotest.fail "daemon did not exit cleanly")
+
+let suite =
+  [
+    ("e2e: concurrent solves, cache, metrics, SIGTERM", `Quick, e2e_concurrent_solves_and_shutdown);
+    ("e2e: error paths, gmc3/ecc, CRLF bodies", `Quick, error_paths);
+  ]

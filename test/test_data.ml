@@ -190,6 +190,89 @@ let solution_load_rejects_foreign () =
        Sys.remove path;
        true)
 
+(* qcheck: Io.load_string (Io.to_string inst) reconstructs inst — names,
+   budget, utilities and costs preserved within float tolerance. *)
+let io_string_roundtrip_prop =
+  let gen_instance =
+    QCheck.Gen.(
+      let prop_id = 0 -- 7 in
+      let propset = map Propset.of_list (list_size (1 -- 4) prop_id) in
+      let utility = map (fun u -> float_of_int u /. 4.0) (1 -- 200) in
+      triple
+        (list_size (1 -- 12) (pair propset utility))
+        (map (fun b -> float_of_int b /. 2.0) (0 -- 100))
+        (0 -- 1000))
+  in
+  let make (queries, budget, cost_seed) =
+    let names = Bcc_core.Symtab.create () in
+    for p = 0 to 7 do
+      ignore (Bcc_core.Symtab.intern names (Printf.sprintf "p%d" p))
+    done;
+    (* Deterministic pseudo-random cost oracle; ~1/7 classifiers priced
+       infinity exercises universe-membership round-tripping. *)
+    let cost c =
+      let h = Propset.hash c + cost_seed in
+      if h mod 7 = 0 then infinity else 0.5 +. float_of_int (abs h mod 400) /. 8.0
+    in
+    Instance.create ~name:"prop" ~names ~budget
+      ~queries:(Array.of_list queries) ~cost ()
+  in
+  QCheck.Test.make ~name:"Io.load_string (Io.to_string inst) = inst" ~count:200
+    (QCheck.make gen_instance ~print:(fun args ->
+         Bcc_data.Io.to_string (make args)))
+    (fun args ->
+      let inst = make args in
+      let loaded = Bcc_data.Io.load_string (Bcc_data.Io.to_string inst) in
+      let close a b = Float.abs (a -. b) <= 1e-6 *. (1.0 +. Float.abs a) in
+      let tbl_of i = Option.get (Instance.names i) in
+      (* queries matched by property-name sets, utilities compared *)
+      let key i qi =
+        Instance.query i qi |> Propset.to_list
+        |> List.map (Bcc_core.Symtab.name (tbl_of i))
+        |> List.sort String.compare |> String.concat ";"
+      in
+      let utilities i =
+        List.init (Instance.num_queries i) (fun qi -> (key i qi, Instance.utility i qi))
+        |> List.sort compare
+      in
+      let costs i =
+        List.init (Instance.num_classifiers i) (fun id ->
+            ( Instance.classifier i id |> Propset.to_list
+              |> List.map (Bcc_core.Symtab.name (tbl_of i))
+              |> List.sort String.compare |> String.concat ";",
+              Instance.cost i id ))
+        |> List.sort compare
+      in
+      close (Instance.budget inst) (Instance.budget loaded)
+      && Instance.num_queries inst = Instance.num_queries loaded
+      && Instance.num_classifiers inst = Instance.num_classifiers loaded
+      && List.for_all2
+           (fun (k1, u1) (k2, u2) -> k1 = k2 && close u1 u2)
+           (utilities inst) (utilities loaded)
+      && List.for_all2
+           (fun (k1, c1) (k2, c2) -> k1 = k2 && close c1 c2)
+           (costs inst) (costs loaded))
+
+let io_tolerant_whitespace () =
+  (* Runs of spaces, tabs and CRLF line endings all parse (instance
+     bodies arrive over HTTP where CRLF is the norm). *)
+  let text =
+    "# comment\r\nbudget   4\r\nquery a;b\t\t8\r\nquery  a  1\r\n"
+    ^ "classifier a  5\r\nclassifier b\t3\r\nclassifier a;b 3\r\n"
+  in
+  let inst = Io.load_string text in
+  Alcotest.(check (float 1e-9)) "budget" 4.0 (Instance.budget inst);
+  Alcotest.(check int) "queries" 2 (Instance.num_queries inst);
+  Alcotest.(check int) "classifiers" 3 (Instance.num_classifiers inst);
+  let path = Filename.temp_file "bcc_crlf" ".inst" in
+  let oc = open_out_bin path in
+  output_string oc text;
+  close_out oc;
+  let from_file = Io.load path in
+  Sys.remove path;
+  Alcotest.(check int) "file load agrees" (Instance.num_classifiers inst)
+    (Instance.num_classifiers from_file)
+
 let suite =
   [
     Alcotest.test_case "synthetic shape" `Slow synthetic_shape;
@@ -198,6 +281,8 @@ let suite =
     Alcotest.test_case "bestbuy shape" `Quick bestbuy_shape;
     Alcotest.test_case "private-like shape" `Slow private_shape;
     Alcotest.test_case "io roundtrip" `Quick io_roundtrip;
+    QCheck_alcotest.to_alcotest io_string_roundtrip_prop;
+    Alcotest.test_case "io tolerates runs of blanks and CRLF" `Quick io_tolerant_whitespace;
     Alcotest.test_case "io rejects malformed input" `Quick io_rejects_malformed;
     Alcotest.test_case "cost oracles" `Quick costs_oracles;
     Alcotest.test_case "solution roundtrip" `Quick solution_roundtrip;

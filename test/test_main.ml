@@ -18,4 +18,6 @@ let () =
       ("theory", Test_theory.suite);
       ("misc", Test_misc.suite);
       ("ingest", Test_ingest.suite);
+      ("server", Test_server.suite);
+      ("bccd", Test_bccd.suite);
     ]
