@@ -6,6 +6,8 @@
      main.exe fig3a fig4e ...  run selected experiments
      main.exe --quick ...      scaled-down sizes (CI-friendly)
      main.exe --bechamel       Bechamel micro-timings, one per experiment
+     main.exe --trace FILE     write a Chrome trace_event JSON of the run
+     main.exe --profile        print a per-stage wall-time summary
 
    Absolute numbers differ from the paper (different hardware, OCaml vs
    Python, generated stand-ins for the proprietary datasets); the shapes
@@ -701,16 +703,37 @@ let experiments =
   ]
 
 let () =
-  let args = List.tl (Array.to_list Sys.argv) in
-  let args =
-    List.filter
-      (fun a ->
-        if a = "--quick" then begin
-          quick := true;
-          false
-        end
-        else true)
-      args
+  let trace_file = ref None in
+  let profile = ref false in
+  (* A loop rather than List.filter: --trace consumes a value. *)
+  let rec parse acc = function
+    | [] -> List.rev acc
+    | "--quick" :: rest ->
+        quick := true;
+        parse acc rest
+    | "--profile" :: rest ->
+        profile := true;
+        parse acc rest
+    | "--trace" :: file :: rest ->
+        trace_file := Some file;
+        parse acc rest
+    | [ "--trace" ] ->
+        prerr_endline "--trace needs a FILE argument";
+        exit 2
+    | a :: rest -> parse (a :: acc) rest
+  in
+  let args = parse [] (List.tl (Array.to_list Sys.argv)) in
+  if !trace_file <> None then Bcc_obs.Trace.set_tracing ~capacity:65_536 true;
+  if !profile then Bcc_obs.Trace.set_profiling true;
+  let finish () =
+    (match !trace_file with
+    | Some file ->
+        let oc = open_out file in
+        output_string oc (Bcc_obs.Trace.chrome_json (Bcc_obs.Trace.spans ()));
+        close_out oc;
+        Printf.printf "wrote trace to %s\n%!" file
+    | None -> ());
+    if !profile then print_string (Bcc_obs.Stage.summary ())
   in
   if List.mem "--bechamel" args then bechamel_suite ()
   else begin
@@ -731,5 +754,6 @@ let () =
             end
         | None -> Printf.printf "unknown experiment: %s\n%!" name)
       selected;
-    Printf.printf "\ntotal: %.1fs\n" (Timer.elapsed_s total_timer)
+    Printf.printf "\ntotal: %.1fs\n" (Timer.elapsed_s total_timer);
+    finish ()
   end

@@ -36,13 +36,61 @@ let budget_arg =
 let seed_arg =
   Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
 
-let setup_logs verbose =
-  Fmt_tty.setup_std_outputs ();
-  Logs.set_reporter (Logs_fmt.reporter ());
-  Logs.set_level (if verbose then Some Logs.Debug else Some Logs.Warning)
-
 let verbose_arg =
-  Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Log solver progress.")
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Log solver progress (same as --log-level debug).")
+
+let log_level_arg =
+  let levels =
+    [
+      ("debug", Logs.Debug);
+      ("info", Logs.Info);
+      ("warning", Logs.Warning);
+      ("error", Logs.Error);
+    ]
+  in
+  Arg.(
+    value
+    & opt (some (enum levels)) None
+    & info [ "log-level" ] ~docv:"LEVEL"
+        ~doc:"Stderr log verbosity: $(b,debug), $(b,info), $(b,warning) or $(b,error).")
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:"Write a Chrome trace_event JSON of the run to FILE (load in \
+              chrome://tracing or Perfetto).")
+
+let profile_arg =
+  Arg.(
+    value & flag
+    & info [ "profile" ] ~doc:"Print a per-stage wall-time summary when done.")
+
+(* Shared observability setup.  Evaluating the term configures logging
+   and tracing and yields a [finish] closure the subcommand calls after
+   its work to flush the trace file and the profile summary. *)
+let obs_term =
+  let setup verbose level trace profile =
+    let level =
+      match level with
+      | Some l -> l
+      | None -> if verbose then Logs.Debug else Logs.Warning
+    in
+    Bcc_obs.Log_reporter.install ~level ();
+    if trace <> None then Bcc_obs.Trace.set_tracing ~capacity:65_536 true;
+    if profile then Bcc_obs.Trace.set_profiling true;
+    fun () ->
+      (match trace with
+      | Some file ->
+          let oc = open_out file in
+          output_string oc (Bcc_obs.Trace.chrome_json (Bcc_obs.Trace.spans ()));
+          close_out oc;
+          Format.printf "wrote trace to %s@." file
+      | None -> ());
+      if profile then print_string (Bcc_obs.Stage.summary ())
+  in
+  Term.(const setup $ verbose_arg $ log_level_arg $ trace_arg $ profile_arg)
 
 let load_instance file budget =
   let inst = Io.load file in
@@ -125,8 +173,7 @@ let solve_cmd =
       & opt (some string) None
       & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Save the solution to a file.")
   in
-  let run file budget algo seed verbose out =
-    setup_logs verbose;
+  let run finish file budget algo seed out =
     let inst = load_instance file budget in
     let sol =
       match algo with
@@ -136,15 +183,16 @@ let solve_cmd =
       | `Ig2 -> Baselines.ig2 inst Baselines.Budget
     in
     pp_solution inst sol;
-    match out with
+    (match out with
     | Some path ->
         Io.save_solution path inst sol;
         Format.printf "wrote %s@." path
-    | None -> ()
+    | None -> ());
+    finish ()
   in
   Cmd.v
     (Cmd.info "solve" ~doc:"Solve the BCC problem on an instance file.")
-    Term.(const run $ file_arg $ budget_arg $ algo_arg $ seed_arg $ verbose_arg $ out)
+    Term.(const run $ obs_term $ file_arg $ budget_arg $ algo_arg $ seed_arg $ out)
 
 (* --- compare --- *)
 
@@ -155,7 +203,7 @@ let compare_cmd =
       & opt (list float) []
       & info [ "budgets" ] ~docv:"B1,B2,..." ~doc:"Budgets to sweep (default: instance budget).")
   in
-  let run file budgets =
+  let run finish file budgets =
     let inst = Io.load file in
     let budgets = if budgets = [] then [ Instance.budget inst ] else budgets in
     let table = Texttable.create [ "budget"; "RAND"; "IG1"; "IG2"; "A^BCC" ] in
@@ -172,11 +220,12 @@ let compare_cmd =
             u (Solver.solve inst);
           ])
       budgets;
-    Texttable.print table
+    Texttable.print table;
+    finish ()
   in
   Cmd.v
     (Cmd.info "compare" ~doc:"Compare A^BCC against the baselines across budgets.")
-    Term.(const run $ file_arg $ budgets)
+    Term.(const run $ obs_term $ file_arg $ budgets)
 
 (* --- gmc3 --- *)
 
@@ -186,28 +235,30 @@ let gmc3_cmd =
       required & opt (some float) None
       & info [ "t"; "target" ] ~docv:"UTILITY" ~doc:"Utility target to reach.")
   in
-  let run file target =
+  let run finish file target =
     let inst = Io.load file in
     let r = Gmc3.solve inst ~target in
     Format.printf "reached: %b (budget used: %.1f)@." r.Gmc3.reached r.Gmc3.budget_used;
-    pp_solution (Instance.with_budget inst infinity) r.Gmc3.solution
+    pp_solution (Instance.with_budget inst infinity) r.Gmc3.solution;
+    finish ()
   in
   Cmd.v
     (Cmd.info "gmc3" ~doc:"Minimum-cost classifier set reaching a utility target.")
-    Term.(const run $ file_arg $ target)
+    Term.(const run $ obs_term $ file_arg $ target)
 
 (* --- ecc --- *)
 
 let ecc_cmd =
-  let run file =
+  let run finish file =
     let inst = Io.load file in
     let sol = Ecc.solve inst in
     Format.printf "best utility/cost ratio: %.3f@." (Ecc.ratio_of sol);
-    pp_solution (Instance.with_budget inst infinity) sol
+    pp_solution (Instance.with_budget inst infinity) sol;
+    finish ()
   in
   Cmd.v
     (Cmd.info "ecc" ~doc:"Classifier set maximizing the utility-to-cost ratio.")
-    Term.(const run $ file_arg)
+    Term.(const run $ obs_term $ file_arg)
 
 (* --- partial / overlap extensions --- *)
 
@@ -224,7 +275,7 @@ let partial_cmd =
       & opt (some float) None
       & info [ "threshold" ] ~docv:"THETA" ~doc:"Threshold credit instead of linear.")
   in
-  let run file budget linear threshold =
+  let run finish file budget linear threshold =
     let inst = load_instance file budget in
     let credit =
       match (linear, threshold) with
@@ -234,11 +285,12 @@ let partial_cmd =
     in
     let r = Partial.solve ~credit inst in
     Format.printf "credited utility: %.2f@." r.Partial.credited;
-    pp_solution inst r.Partial.solution
+    pp_solution inst r.Partial.solution;
+    finish ()
   in
   Cmd.v
     (Cmd.info "partial" ~doc:"Solve under partial-cover utilities (Section 8 extension).")
-    Term.(const run $ file_arg $ budget_arg $ credit $ threshold)
+    Term.(const run $ obs_term $ file_arg $ budget_arg $ credit $ threshold)
 
 let overlap_cmd =
   let beta =
@@ -246,16 +298,17 @@ let overlap_cmd =
       value & opt float 0.3
       & info [ "beta" ] ~docv:"BETA" ~doc:"Shared-training-data discount factor.")
   in
-  let run file budget beta =
+  let run finish file budget beta =
     let inst = load_instance file budget in
     let r = Overlap.solve ~beta inst in
     Format.printf "overlap-discounted cost: %.2f (budget %.2f)@." r.Overlap.overlap_cost
       (Instance.budget inst);
-    pp_solution (Instance.with_budget inst infinity) r.Overlap.solution
+    pp_solution (Instance.with_budget inst infinity) r.Overlap.solution;
+    finish ()
   in
   Cmd.v
     (Cmd.info "overlap" ~doc:"Solve under overlapping construction costs (Section 8 extension).")
-    Term.(const run $ file_arg $ budget_arg $ beta)
+    Term.(const run $ obs_term $ file_arg $ budget_arg $ beta)
 
 let ingest_cmd =
   let log_file =
@@ -286,16 +339,17 @@ let e2e_cmd =
   let budget =
     Arg.(value & opt float 120.0 & info [ "b"; "budget" ] ~docv:"BUDGET" ~doc:"Budget.")
   in
-  let run items budget seed =
+  let run finish items budget seed =
     let params = { Bcc_catalog.Catalog.default_params with num_items = items } in
     let catalog = Bcc_catalog.Catalog.generate ~params ~seed () in
     let wparams = { Bcc_catalog.Pipeline.default_workload with budget } in
     let report = Bcc_catalog.Pipeline.run ~params:wparams catalog ~seed:(seed + 1) in
-    Format.printf "%a@." Bcc_catalog.Pipeline.pp_report report
+    Format.printf "%a@." Bcc_catalog.Pipeline.pp_report report;
+    finish ()
   in
   Cmd.v
     (Cmd.info "e2e" ~doc:"End-to-end simulation: solve, construct, measure result sets.")
-    Term.(const run $ items $ budget $ seed_arg)
+    Term.(const run $ obs_term $ items $ budget $ seed_arg)
 
 let () =
   let doc = "Budgeted Classifier Construction (SIGMOD 2022) toolkit" in

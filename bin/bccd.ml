@@ -1,9 +1,9 @@
 (* bccd — resident BCC solver daemon.
 
-   Serves POST /solve, /gmc3, /ecc plus GET /instances, /healthz and
-   /metrics over plain HTTP/1.1 (see lib/server/server.mli for the wire
-   format).  SIGINT/SIGTERM trigger a graceful shutdown that drains
-   in-flight solves before exiting. *)
+   Serves POST /solve, /gmc3, /ecc plus GET /instances, /healthz,
+   /metrics and /debug/trace over plain HTTP/1.1 (see
+   lib/server/server.mli for the wire format).  SIGINT/SIGTERM trigger a
+   graceful shutdown that drains in-flight solves before exiting. *)
 
 open Cmdliner
 module Server = Bcc_server.Server
@@ -55,7 +55,31 @@ let load_arg =
         ~doc:"Preload an instance file under NAME (repeatable); clients may then \
               POST {\"instance\": \"NAME\"} instead of a full instance body.")
 
-let run host port workers queue_depth cache_entries timeout preload =
+let trace_buffer_arg =
+  Arg.(
+    value
+    & opt int Server.default_config.Server.trace_spans
+    & info [ "trace-buffer" ] ~docv:"N"
+        ~doc:"Span ring-buffer capacity backing GET /debug/trace and the per-stage \
+              latency histograms; 0 disables tracing and profiling entirely.")
+
+let log_level_arg =
+  let levels =
+    [
+      ("debug", Logs.Debug);
+      ("info", Logs.Info);
+      ("warning", Logs.Warning);
+      ("error", Logs.Error);
+    ]
+  in
+  Arg.(
+    value
+    & opt (enum levels) Logs.Warning
+    & info [ "log-level" ] ~docv:"LEVEL"
+        ~doc:"Stderr log verbosity: $(b,debug), $(b,info), $(b,warning) or $(b,error).")
+
+let run host port workers queue_depth cache_entries timeout preload trace_spans level =
+  Bcc_obs.Log_reporter.install ~level ();
   let cfg =
     {
       Server.host;
@@ -65,6 +89,7 @@ let run host port workers queue_depth cache_entries timeout preload =
       cache_entries;
       timeout_s = timeout;
       preload;
+      trace_spans;
     }
   in
   match Server.create cfg with
@@ -89,7 +114,8 @@ let cmd =
     Term.(
       ret
         (const run $ host_arg $ port_arg $ workers_arg $ queue_depth_arg
-       $ cache_entries_arg $ timeout_arg $ load_arg))
+       $ cache_entries_arg $ timeout_arg $ load_arg $ trace_buffer_arg
+       $ log_level_arg))
   in
   let doc = "resident BCC solver service with request batching and a solution cache" in
   Cmd.v (Cmd.info "bccd" ~doc) term

@@ -1,4 +1,5 @@
 module Graph = Bcc_graph.Graph
+module Trace = Bcc_obs.Trace
 
 type knapsack_part = {
   values : float array;  (* cheapest-credit values *)
@@ -24,6 +25,7 @@ let leverage_scores g =
   Array.init n (fun v -> (x.(v) *. x.(v)) +. (1e-9 *. Graph.weighted_degree g v))
 
 let build ?(allowed = fun _ -> true) ?(max_qk_nodes = 50_000) state ~budget =
+  Trace.with_span ~name:"decompose" @@ fun sp ->
   let inst = Cover.instance state in
   let item_value : (int, float ref) Hashtbl.t = Hashtbl.create 256 in
   let item_value_all : (int, float ref) Hashtbl.t = Hashtbl.create 256 in
@@ -163,5 +165,11 @@ let build ?(allowed = fun _ -> true) ?(max_qk_nodes = 50_000) state ~budget =
       (g', Array.map (fun v -> node_classifier.(v)) back)
     end
   in
+  if Trace.recording sp then begin
+    Trace.add_attr sp "knap_items" (Trace.Int (Array.length item_classifier));
+    Trace.add_attr sp "qk_nodes" (Trace.Int (Graph.n g));
+    Trace.add_attr sp "qk_edges" (Trace.Int (Graph.m g));
+    Trace.add_attr sp "budget" (Trace.Float budget)
+  end;
   ( { values; values_all; weights; item_classifier },
     { qk = { Bcc_qk.Qk.graph = g; budget }; node_classifier } )

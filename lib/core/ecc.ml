@@ -1,5 +1,6 @@
 module Hypergraph = Bcc_graph.Hypergraph
 module Densest = Bcc_dks.Densest
+module Trace = Bcc_obs.Trace
 
 let ratio_of (sol : Solution.t) =
   if sol.Solution.cost > 1e-12 then sol.Solution.utility /. sol.Solution.cost
@@ -53,6 +54,7 @@ let minimal_covers inst q ~vertex_len ~max_size =
   !out
 
 let solve inst =
+  Trace.with_span ~name:"ecc" @@ fun sp ->
   let l = max (Instance.max_length inst) 2 in
   let vertex_len = l - 1 in
   (* Vertex table: participating classifiers + the auxiliary v*. *)
@@ -139,4 +141,10 @@ let solve inst =
       Solution.of_sets inst !classifiers
     end
   in
-  if ratio_of densest_sol >= ratio_of !best_single then densest_sol else !best_single
+  let win_densest = ratio_of densest_sol >= ratio_of !best_single in
+  if Trace.recording sp then begin
+    Trace.add_attr sp "vertices" (Trace.Int n);
+    Trace.add_attr sp "hyperedges" (Trace.Int (Array.length edge_array));
+    Trace.add_attr sp "arm" (Trace.Str (if win_densest then "densest" else "single"))
+  end;
+  if win_densest then densest_sol else !best_single

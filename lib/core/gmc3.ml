@@ -1,4 +1,5 @@
 module Mc3 = Bcc_setcover.Mc3
+module Trace = Bcc_obs.Trace
 
 let log_src = Logs.Src.create "bcc.gmc3" ~doc:"A^GMC3 binary-search progress"
 
@@ -56,15 +57,26 @@ let iterative_cover ?options inst ~target ~budget =
   Solution.of_sets inst !selections
 
 let solve ?options ?(search_steps = 10) inst ~target =
+  Trace.with_span ~name:"gmc3" @@ fun sp ->
+  if Trace.recording sp then Trace.add_attr sp "target" (Trace.Float target);
   let hi0 =
     match full_cover_cost inst with Some c -> c | None -> sum_costs inst
   in
   let hi0 = max hi0 1e-9 in
+  let attempts = ref 0 in
   let attempt budget =
+    Trace.with_span ~name:"gmc3.attempt" @@ fun asp ->
+    incr attempts;
     let sol = Solver.solve ?options (Instance.with_budget inst budget) in
     Log.debug (fun m ->
         m "budget %.1f -> utility %.1f (target %.1f)" budget sol.Solution.utility target);
-    (sol, sol.Solution.utility >= target -. 1e-9)
+    let ok = sol.Solution.utility >= target -. 1e-9 in
+    if Trace.recording asp then begin
+      Trace.add_attr asp "budget" (Trace.Float budget);
+      Trace.add_attr asp "utility" (Trace.Float sol.Solution.utility);
+      Trace.add_attr asp "reached" (Trace.Bool ok)
+    end;
+    (sol, ok)
   in
   let best = ref None in
   let lo = ref 0.0 and hi = ref hi0 in
@@ -82,14 +94,22 @@ let solve ?options ?(search_steps = 10) inst ~target =
       end
       else lo := mid
     done;
-  match !best with
-  | Some (sol, b) -> { solution = sol; reached = true; budget_used = b }
-  | None ->
-      (* Heuristic shortfall at the full-cover budget: fall back to the
-         accumulation loop of Theorem 5.3. *)
-      let sol = iterative_cover ?options inst ~target ~budget:hi0 in
-      {
-        solution = sol;
-        reached = sol.Solution.utility >= target -. 1e-9;
-        budget_used = hi0;
-      }
+  let result =
+    match !best with
+    | Some (sol, b) -> { solution = sol; reached = true; budget_used = b }
+    | None ->
+        (* Heuristic shortfall at the full-cover budget: fall back to the
+           accumulation loop of Theorem 5.3. *)
+        let sol = iterative_cover ?options inst ~target ~budget:hi0 in
+        {
+          solution = sol;
+          reached = sol.Solution.utility >= target -. 1e-9;
+          budget_used = hi0;
+        }
+  in
+  if Trace.recording sp then begin
+    Trace.add_attr sp "attempts" (Trace.Int !attempts);
+    Trace.add_attr sp "reached" (Trace.Bool result.reached);
+    Trace.add_attr sp "budget_used" (Trace.Float result.budget_used)
+  end;
+  result

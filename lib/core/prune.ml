@@ -1,8 +1,11 @@
+module Trace = Bcc_obs.Trace
+
 type mode = [ `Lossless | `Paper ]
 
 let kept_count mask = Array.fold_left (fun acc k -> if k then acc + 1 else acc) 0 mask
 
 let rule1 ?budget ?(mode = `Lossless) inst =
+  Trace.with_span ~name:"prune" @@ fun sp ->
   let budget = match budget with Some b -> b | None -> Instance.budget inst in
   let n = Instance.num_classifiers inst in
   let keep = Array.make n true in
@@ -53,4 +56,10 @@ let rule1 ?budget ?(mode = `Lossless) inst =
       end
     end
   done;
+  if Trace.recording sp then begin
+    Trace.add_attr sp "total" (Trace.Int n);
+    Trace.add_attr sp "kept" (Trace.Int (kept_count keep));
+    Trace.add_attr sp "mode"
+      (Trace.Str (match mode with `Lossless -> "lossless" | `Paper -> "paper"))
+  end;
   keep

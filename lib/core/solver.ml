@@ -1,6 +1,7 @@
 module Knapsack = Bcc_knapsack.Knapsack
 module Qk = Bcc_qk.Qk
 module Mc3 = Bcc_setcover.Mc3
+module Trace = Bcc_obs.Trace
 
 let log_src = Logs.Src.create "bcc.solver" ~doc:"A^BCC round-by-round progress"
 
@@ -48,8 +49,11 @@ let marginal_cost inst state ids =
    cover of the already-covered queries.  Returns a replacement state
    when it strictly improves the spent cost without losing utility. *)
 let mc3_improvement inst state options =
+  Trace.with_span ~name:"mc3" @@ fun sp ->
   let covered = Cover.covered_queries state in
   let n_covered = List.length covered in
+  if Trace.recording sp then Trace.add_attr sp "covered" (Trace.Int n_covered);
+  let result =
   if n_covered = 0 then None
   else if Instance.max_length inst > 2 && n_covered > options.mc3_max_queries then None
   else begin
@@ -88,12 +92,23 @@ let mc3_improvement inst state options =
         else None
     | _ -> None
   end
+  in
+  if Trace.recording sp then begin
+    Trace.add_attr sp "improved" (Trace.Bool (Option.is_some result));
+    match result with
+    | Some s' ->
+        Trace.add_attr sp "reclaimed"
+          (Trace.Float (Cover.spent state -. Cover.spent s'))
+    | None -> ()
+  end;
+  result
 
 (* Ratio-greedy sweep: repeatedly buy the whole cheapest cover with the
    best utility/cost ratio until [limit] is exhausted.  Mutates [state];
    used both as a portfolio candidate (from a clone) and as the final
    leftover-budget sweep. *)
 let greedy_sweep ?allowed state ~limit =
+  Trace.with_span ~name:"sweep" @@ fun sp ->
   let inst = Cover.instance state in
   let spent0 = Cover.spent state in
   let heap = Bcc_util.Heap.create ~max:true (Instance.num_queries inst) in
@@ -144,10 +159,20 @@ let greedy_sweep ?allowed state ~limit =
               end
               else parked := (qi, r) :: !parked
         end
-  done
+  done;
+  if Trace.recording sp then begin
+    Trace.add_attr sp "limit" (Trace.Float limit);
+    Trace.add_attr sp "spent" (Trace.Float (Cover.spent state -. spent0))
+  end
 
 let solve ?(options = default_options) inst =
+  Trace.with_span ~name:"solve" @@ fun sp ->
   let budget = Instance.budget inst in
+  if Trace.recording sp then begin
+    Trace.add_attr sp "classifiers" (Trace.Int (Instance.num_classifiers inst));
+    Trace.add_attr sp "queries" (Trace.Int (Instance.num_queries inst));
+    Trace.add_attr sp "budget" (Trace.Float budget)
+  end;
   let state = ref (Cover.create inst) in
   (* Zero-cost classifiers are free wins (paper preprocessing). *)
   for id = 0 to Instance.num_classifiers inst - 1 do
@@ -165,6 +190,11 @@ let solve ?(options = default_options) inst =
     let remaining = budget -. Cover.spent !state in
     if remaining <= 1e-9 then continue_ := false
     else begin
+      Trace.with_span ~name:"round" @@ fun rsp ->
+      if Trace.recording rsp then begin
+        Trace.add_attr rsp "round" (Trace.Int !round);
+        Trace.add_attr rsp "remaining" (Trace.Float remaining)
+      end;
       let base_utility = Cover.covered_utility !state in
       let evaluate ids =
         let s = Cover.clone !state in
@@ -226,25 +256,38 @@ let solve ?(options = default_options) inst =
                   if id >= 0 then Some id else None)
                 qsol.Qk.nodes
             in
-            [ kids; kids_all; cover_ids; qids ])
+            (* Label each arm for the round span; a ":half" suffix marks
+               the round-0 half-budget allocation. *)
+            let tag base = if alloc < remaining -. 1e-12 then base ^ ":half" else base in
+            [
+              (tag "knap", kids);
+              (tag "knap-all", kids_all);
+              (tag "cover", cover_ids);
+              (tag "qk", qids);
+            ])
           allocs
       in
-      let gain, chosen_state, chosen_ids =
+      let gain, chosen_state, chosen_ids, chosen_arm =
         List.fold_left
-          (fun (bg, bs, bi) ids ->
+          (fun (bg, bs, bi, ba) (arm, ids) ->
             let g, s = evaluate ids in
             if
               g > bg +. 1e-12
               || (g > bg -. 1e-12 && marginal_cost inst !state ids < marginal_cost inst !state bi)
-            then (g, s, ids)
-            else (bg, bs, bi))
-          (neg_infinity, !state, []) candidates
+            then (g, s, ids, arm)
+            else (bg, bs, bi, ba))
+          (neg_infinity, !state, [], "none") candidates
       in
       (* Feasibility guard: both subproblems were budgeted at [alloc]. *)
       let cost_added = marginal_cost inst !state chosen_ids in
+      if Trace.recording rsp then begin
+        Trace.add_attr rsp "arm" (Trace.Str chosen_arm);
+        Trace.add_attr rsp "gain" (Trace.Float gain);
+        Trace.add_attr rsp "cost" (Trace.Float cost_added)
+      end;
       Log.debug (fun m ->
-          m "round %d: remaining=%.1f best gain=%.1f (cost %.1f, %d classifiers)" !round
-            remaining gain cost_added (List.length chosen_ids));
+          m "round %d: remaining=%.1f best arm=%s gain=%.1f (cost %.1f, %d classifiers)" !round
+            remaining chosen_arm gain cost_added (List.length chosen_ids));
       if gain > 1e-9 && cost_added <= remaining +. 1e-6 then begin
         state := chosen_state;
         if options.mc3_improve && !mc3_failures < 2 then begin
@@ -271,17 +314,25 @@ let solve ?(options = default_options) inst =
   (* Top-level portfolio: a pure ratio-greedy run occasionally beats the
      decomposition on workloads dominated by long queries (it exploits
      classifier sharing sequentially); keep whichever realizes more. *)
-  if not options.final_sweep then structured
-  else begin
-    let greedy_state = Cover.create inst in
-    for id = 0 to Instance.num_classifiers inst - 1 do
-      if Instance.cost inst id <= 0.0 then Cover.select greedy_state id
-    done;
-    greedy_sweep greedy_state ~limit:(budget -. Cover.spent greedy_state);
-    let by_query = Solution.of_ids inst (Cover.selected greedy_state) in
-    (* And a per-classifier greedy arm (the IG2 rule), which sometimes
-       wins on workloads where one classifier contributes to many
-       queries without completing any single cover cheaply. *)
-    let by_classifier = Baselines.ig2 inst Baselines.Budget in
-    Solution.better structured (Solution.better by_query by_classifier)
-  end
+  let result =
+    if not options.final_sweep then structured
+    else begin
+      let greedy_state = Cover.create inst in
+      for id = 0 to Instance.num_classifiers inst - 1 do
+        if Instance.cost inst id <= 0.0 then Cover.select greedy_state id
+      done;
+      greedy_sweep greedy_state ~limit:(budget -. Cover.spent greedy_state);
+      let by_query = Solution.of_ids inst (Cover.selected greedy_state) in
+      (* And a per-classifier greedy arm (the IG2 rule), which sometimes
+         wins on workloads where one classifier contributes to many
+         queries without completing any single cover cheaply. *)
+      let by_classifier = Baselines.ig2 inst Baselines.Budget in
+      Solution.better structured (Solution.better by_query by_classifier)
+    end
+  in
+  if Trace.recording sp then begin
+    Trace.add_attr sp "rounds" (Trace.Int !round);
+    Trace.add_attr sp "utility" (Trace.Float result.Solution.utility);
+    Trace.add_attr sp "cost" (Trace.Float result.Solution.cost)
+  end;
+  result

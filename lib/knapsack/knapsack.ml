@@ -1,3 +1,5 @@
+module Trace = Bcc_obs.Trace
+
 type solution = { value : float; weight : float; items : int list }
 
 let check_inputs values weights =
@@ -169,32 +171,47 @@ let branch_and_bound ~values ~weights ~budget =
   make_solution values weights !best_items
 
 let solve ?(grid = 10_000) ~values ~weights budget =
+  Trace.with_span ~name:"knapsack" @@ fun sp ->
   check_inputs values weights;
   let n = Array.length values in
-  if budget <= 0.0 || n = 0 then
-    make_solution values weights
-      (List.filter (fun i -> weights.(i) <= 0.0 && values.(i) > 0.0)
-         (List.init n (fun i -> i)))
-  else begin
-    let greedy_sol = greedy ~values ~weights ~budget in
-    (* Keep the DP table below ~2e8 cells. *)
-    let grid = max 1 (min grid (200_000_000 / max n 1)) in
-    let integral x = Float.is_integer x && x >= 0.0 && x <= 1e9 in
-    let dp_sol =
-      if integral budget && budget <= float_of_int grid && Array.for_all integral weights
-      then
-        (* Exact: integer weights fit the table directly, no rounding
-           loss (all the paper's datasets use integer costs). *)
-        exact_int ~values
-          ~weights:(Array.map int_of_float weights)
-          ~budget:(int_of_float budget)
-      else begin
-        let tick = budget /. float_of_int grid in
-        let rounded = Array.map (fun w -> int_of_float (ceil (max w 0.0 /. tick))) weights in
-        exact_int ~values ~weights:rounded ~budget:grid
-      end
-    in
-    (* Recompute the true weight; rounding up guarantees feasibility. *)
-    let sol = make_solution values weights dp_sol.items in
-    if sol.value >= greedy_sol.value then sol else greedy_sol
-  end
+  if Trace.recording sp then Trace.add_attr sp "items" (Trace.Int n);
+  let sol =
+    if budget <= 0.0 || n = 0 then
+      make_solution values weights
+        (List.filter (fun i -> weights.(i) <= 0.0 && values.(i) > 0.0)
+           (List.init n (fun i -> i)))
+    else begin
+      let greedy_sol = greedy ~values ~weights ~budget in
+      (* Keep the DP table below ~2e8 cells. *)
+      let grid = max 1 (min grid (200_000_000 / max n 1)) in
+      let integral x = Float.is_integer x && x >= 0.0 && x <= 1e9 in
+      let dp_sol =
+        if integral budget && budget <= float_of_int grid && Array.for_all integral weights
+        then begin
+          (* Exact: integer weights fit the table directly, no rounding
+             loss (all the paper's datasets use integer costs). *)
+          if Trace.recording sp then Trace.add_attr sp "dp" (Trace.Str "exact");
+          exact_int ~values
+            ~weights:(Array.map int_of_float weights)
+            ~budget:(int_of_float budget)
+        end
+        else begin
+          let tick = budget /. float_of_int grid in
+          if Trace.recording sp then begin
+            Trace.add_attr sp "dp" (Trace.Str "gridded");
+            Trace.add_attr sp "grid" (Trace.Int grid)
+          end;
+          let rounded = Array.map (fun w -> int_of_float (ceil (max w 0.0 /. tick))) weights in
+          exact_int ~values ~weights:rounded ~budget:grid
+        end
+      in
+      (* Recompute the true weight; rounding up guarantees feasibility. *)
+      let sol = make_solution values weights dp_sol.items in
+      if sol.value >= greedy_sol.value then sol else greedy_sol
+    end
+  in
+  if Trace.recording sp then begin
+    Trace.add_attr sp "picked" (Trace.Int (List.length sol.items));
+    Trace.add_attr sp "value" (Trace.Float sol.value)
+  end;
+  sol

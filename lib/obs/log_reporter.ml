@@ -1,0 +1,30 @@
+let pp_level ppf level =
+  Format.pp_print_string ppf
+    (match level with
+    | Logs.App -> "APP"
+    | Logs.Error -> "ERROR"
+    | Logs.Warning -> "WARN"
+    | Logs.Info -> "INFO"
+    | Logs.Debug -> "DEBUG")
+
+let reporter () =
+  let report src level ~over k msgf =
+    let k _ =
+      over ();
+      k ()
+    in
+    msgf @@ fun ?header ?tags:_ fmt ->
+    let t = Unix.gettimeofday () in
+    let tm = Unix.localtime t in
+    let ms = int_of_float (Float.rem t 1.0 *. 1000.0) in
+    Format.kfprintf k Format.err_formatter
+      ("%02d:%02d:%02d.%03d [%a] %s: %s@[" ^^ fmt ^^ "@]@.")
+      tm.Unix.tm_hour tm.Unix.tm_min tm.Unix.tm_sec ms pp_level level
+      (Logs.Src.name src)
+      (match header with Some h -> h ^ " " | None -> "")
+  in
+  { Logs.report }
+
+let install ?(level = Logs.Warning) () =
+  Logs.set_reporter (reporter ());
+  Logs.set_level (Some level)

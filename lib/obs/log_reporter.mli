@@ -1,0 +1,16 @@
+(** A timestamped stderr {!Logs} reporter.
+
+    The library code already logs through named sources ([bcc.solver],
+    [bcc.gmc3]); without a reporter installed those lines vanish.  Both
+    binaries install this one (via their [--log-level] flag), rendering
+
+    {v 14:02:07.513 [DEBUG] bcc.solver: round 2: remaining=160.0 ... v}
+
+    on stderr: wall-clock [HH:MM:SS.mmm], the level, the source name,
+    then the message. *)
+
+val reporter : unit -> Logs.reporter
+
+val install : ?level:Logs.level -> unit -> unit
+(** [install ~level ()] sets this reporter and the global level
+    (default [Warning]). *)

@@ -1,0 +1,40 @@
+(** Per-stage wall-time aggregation.
+
+    The solver pipeline is instrumented with {!Trace.with_span}; when
+    stage profiling is on ({!Trace.set_profiling}) every completed span
+    is also folded into this process-global accumulator keyed by the
+    span (= stage) name: call count, total and maximum wall time.
+    Reading is cheap and lock-protected; the aggregate survives any
+    number of solves until {!reset}.
+
+    An optional {e observer} receives every (stage, duration) sample as
+    it is recorded — [bccd] uses it to feed per-stage latency histograms
+    into its Prometheus registry without this library depending on the
+    server. *)
+
+type stat = {
+  stage : string;
+  count : int;  (** completed spans with this name *)
+  total_s : float;  (** summed wall time, seconds *)
+  max_s : float;  (** worst single span, seconds *)
+}
+
+val record : string -> float -> unit
+(** [record stage seconds] folds one sample into the accumulator and
+    forwards it to the observer, if any.  Normally called by
+    {!Trace.with_span}; exposed for out-of-band samples. *)
+
+val stats : unit -> stat list
+(** Snapshot, sorted by [total_s] descending. *)
+
+val summary : unit -> string
+(** Human-readable table of {!stats} (one line per stage), e.g. printed
+    by [bcc_cli --profile] and [bench/main.exe --profile]. *)
+
+val reset : unit -> unit
+(** Drop all accumulated samples (the observer stays installed). *)
+
+val set_observer : (string -> float -> unit) -> unit
+(** Install the sample observer (replaces any previous one). *)
+
+val clear_observer : unit -> unit

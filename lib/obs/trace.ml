@@ -1,0 +1,221 @@
+module Timer = Bcc_util.Timer
+
+type value = Bool of bool | Int of int | Float of float | Str of string
+
+type span = {
+  id : int;
+  parent : int;
+  tid : int;
+  name : string;
+  start_s : float;
+  mutable end_s : float;
+  mutable attrs : (string * value) list;
+}
+
+let null_span =
+  { id = -1; parent = -1; tid = 0; name = ""; start_s = 0.0; end_s = 0.0; attrs = [] }
+
+(* One atomic word gates the instrumented path: bit 0 = record spans,
+   bit 1 = feed Stage.  The disabled fast path in [with_span] is a
+   single [Atomic.get]. *)
+let bit_trace = 1
+let bit_profile = 2
+let state = Atomic.make 0
+
+let tracing () = Atomic.get state land bit_trace <> 0
+let profiling () = Atomic.get state land bit_profile <> 0
+
+let lock = Mutex.create ()
+let ring = ref (Array.make 4096 None)
+let head = ref 0  (* next write slot *)
+let filled = ref 0
+let dropped_count = ref 0
+let next_id = ref 0
+
+(* Innermost open span per thread; spans nest within a thread (bccd
+   workers each solve their own request), never across threads. *)
+let stacks : (int, span list ref) Hashtbl.t = Hashtbl.create 8
+
+let locked f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+let set_flag bit on =
+  let rec go () =
+    let s = Atomic.get state in
+    let s' = if on then s lor bit else s land lnot bit in
+    if not (Atomic.compare_and_set state s s') then go ()
+  in
+  go ()
+
+let clear () =
+  locked (fun () ->
+      Array.fill !ring 0 (Array.length !ring) None;
+      head := 0;
+      filled := 0;
+      dropped_count := 0;
+      Hashtbl.reset stacks)
+
+let set_tracing ?capacity on =
+  if on then begin
+    locked (fun () ->
+        match capacity with
+        | Some c when c <> Array.length !ring -> ring := Array.make (max 1 c) None
+        | _ -> ());
+    clear ()
+  end;
+  set_flag bit_trace on
+
+let set_profiling on = set_flag bit_profile on
+
+let recording sp = sp.id >= 0
+let add_attr sp k v = if sp.id >= 0 then sp.attrs <- (k, v) :: sp.attrs
+
+(* Lock held. *)
+let push_completed sp =
+  let cap = Array.length !ring in
+  if !ring.(!head) <> None then incr dropped_count;
+  !ring.(!head) <- Some sp;
+  head := (!head + 1) mod cap;
+  if !filled < cap then incr filled
+
+let open_span ~attrs ~name t0 =
+  let tid = Thread.id (Thread.self ()) in
+  locked (fun () ->
+      let id = !next_id in
+      incr next_id;
+      let stack =
+        match Hashtbl.find_opt stacks tid with
+        | Some s -> s
+        | None ->
+            let s = ref [] in
+            Hashtbl.add stacks tid s;
+            s
+      in
+      let parent = match !stack with sp :: _ -> sp.id | [] -> -1 in
+      let sp =
+        {
+          id;
+          parent;
+          tid;
+          name;
+          start_s = t0;
+          end_s = t0;
+          attrs = (match attrs with Some a -> List.rev a | None -> []);
+        }
+      in
+      stack := sp :: !stack;
+      sp)
+
+let close_span sp t1 =
+  sp.end_s <- t1;
+  locked (fun () ->
+      (match Hashtbl.find_opt stacks sp.tid with
+      | Some stack ->
+          (* Defensive: pop down to (and including) [sp]; an exception
+             escaping a nested [f] already unwound via Fun.protect, so
+             normally [sp] is exactly the top. *)
+          let rec pop = function
+            | top :: rest -> if top.id = sp.id then stack := rest else pop rest
+            | [] -> ()
+          in
+          pop !stack
+      | None -> ());
+      push_completed sp)
+
+let with_span ?attrs ~name f =
+  let s = Atomic.get state in
+  if s = 0 then f null_span
+  else begin
+    let t0 = Timer.now_s () in
+    let sp = if s land bit_trace <> 0 then open_span ~attrs ~name t0 else null_span in
+    Fun.protect
+      ~finally:(fun () ->
+        let t1 = Timer.now_s () in
+        if s land bit_profile <> 0 then Stage.record name (t1 -. t0);
+        if sp.id >= 0 then close_span sp t1)
+      (fun () -> f sp)
+  end
+
+let spans ?last () =
+  let all =
+    locked (fun () ->
+        let cap = Array.length !ring in
+        let start = (!head - !filled + cap) mod cap in
+        List.filter_map
+          (fun i -> !ring.((start + i) mod cap))
+          (List.init !filled (fun i -> i)))
+  in
+  match last with
+  | Some n when n >= 0 && List.length all > n ->
+      List.filteri (fun i _ -> i >= List.length all - n) all
+  | _ -> all
+
+let dropped () = locked (fun () -> !dropped_count)
+
+(* ------------------------------------------------------------------ *)
+(* Chrome trace_event export.  Self-contained JSON emission: bcc_obs   *)
+(* sits below bcc_server in the dependency order, so it cannot use the *)
+(* server's codec — but the output must stay parseable by it.          *)
+(* ------------------------------------------------------------------ *)
+
+let escape buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let number x =
+  (* JSON has no non-finite literals; mirror Bcc_server.Json and emit
+     them as strings so the round-trip stays lossless. *)
+  if Float.is_nan x then "\"nan\""
+  else if x = infinity then "\"inf\""
+  else if x = neg_infinity then "\"-inf\""
+  else if Float.is_integer x && Float.abs x < 1e15 then Printf.sprintf "%.0f" x
+  else Printf.sprintf "%.17g" x
+
+let add_value buf = function
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float x -> Buffer.add_string buf (number x)
+  | Str s -> escape buf s
+
+let chrome_json ?(pid = 1) spans =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  List.iteri
+    (fun i sp ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf "{\"name\":";
+      escape buf sp.name;
+      Buffer.add_string buf ",\"cat\":\"bcc\",\"ph\":\"X\",\"pid\":";
+      Buffer.add_string buf (string_of_int pid);
+      Buffer.add_string buf ",\"tid\":";
+      Buffer.add_string buf (string_of_int sp.tid);
+      Printf.bprintf buf ",\"ts\":%.3f,\"dur\":%.3f" (sp.start_s *. 1e6)
+        ((sp.end_s -. sp.start_s) *. 1e6);
+      Buffer.add_string buf ",\"args\":{\"span_id\":";
+      Buffer.add_string buf (string_of_int sp.id);
+      Buffer.add_string buf ",\"parent_id\":";
+      Buffer.add_string buf (string_of_int sp.parent);
+      List.iter
+        (fun (k, v) ->
+          Buffer.add_char buf ',';
+          escape buf k;
+          Buffer.add_char buf ':';
+          add_value buf v)
+        (List.rev sp.attrs);
+      Buffer.add_string buf "}}")
+    spans;
+  Buffer.add_string buf "]}";
+  Buffer.contents buf

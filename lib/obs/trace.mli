@@ -1,0 +1,81 @@
+(** Hierarchical span tracing for the A^BCC pipeline.
+
+    Every stage of the solver (prune, decompose, knapsack, qk, mc3,
+    sweep, each residual round, ...) is wrapped in {!with_span}; when
+    tracing is enabled the completed spans land in a process-global,
+    lock-protected ring buffer, each carrying a monotonic start/end
+    timestamp (from {!Bcc_util.Timer}), the id of its enclosing span
+    (per-thread nesting) and arbitrary key/value attributes (round
+    number, QK node count, winning candidate arm, gain, cost, ...).
+
+    Cost when disabled: a single load of one atomic flag per
+    {!with_span} call — no timestamps, no allocation, no locking — so
+    the instrumentation can stay in the hot paths unconditionally.
+
+    The buffer can be exported as a span forest ({!spans}) or as Chrome
+    [trace_event] JSON ({!chrome_json}) loadable in [chrome://tracing]
+    and {{:https://ui.perfetto.dev}Perfetto}.  Profiling
+    ({!set_profiling}) independently folds span durations into {!Stage}
+    without recording individual spans. *)
+
+type value = Bool of bool | Int of int | Float of float | Str of string
+
+type span = {
+  id : int;  (** unique, increasing; [-1] on {!null_span} *)
+  parent : int;  (** id of the enclosing span, [-1] for roots *)
+  tid : int;  (** {!Thread.id} of the recording thread *)
+  name : string;  (** the stage name *)
+  start_s : float;  (** {!Bcc_util.Timer.now_s} at entry *)
+  mutable end_s : float;
+  mutable attrs : (string * value) list;  (** reverse addition order *)
+}
+
+val null_span : span
+(** The span handle passed to the callback when tracing is off;
+    {!add_attr} on it is a no-op. *)
+
+val set_tracing : ?capacity:int -> bool -> unit
+(** Turn span recording on or off.  Enabling clears the buffer and, when
+    [capacity] (default 4096, the initial size) is given, resizes it. *)
+
+val set_profiling : bool -> unit
+(** Turn {!Stage} aggregation of span durations on or off (independent
+    of tracing; either alone activates the instrumented path). *)
+
+val tracing : unit -> bool
+val profiling : unit -> bool
+
+val with_span : ?attrs:(string * value) list -> name:string -> (span -> 'a) -> 'a
+(** [with_span ~name f] runs [f] inside a fresh span nested under the
+    calling thread's innermost open span.  The span is recorded when [f]
+    returns {e or raises}.  With tracing and profiling both off this is
+    [f null_span].  [attrs] is evaluated by the caller; attributes that
+    are expensive to compute should instead be attached inside [f] via
+    {!add_attr}, guarded by {!recording}. *)
+
+val add_attr : span -> string -> value -> unit
+(** Attach an attribute to a live span; no-op on {!null_span}. *)
+
+val recording : span -> bool
+(** [false] exactly on {!null_span} — guards expensive attribute
+    computation at instrumentation sites. *)
+
+val spans : ?last:int -> unit -> span list
+(** Completed spans still in the ring, oldest first ([last] keeps only
+    the most recent [last]).  Attributes are in reverse addition
+    order. *)
+
+val dropped : unit -> int
+(** Completed spans overwritten by ring wraparound since the buffer was
+    last cleared. *)
+
+val clear : unit -> unit
+(** Empty the ring buffer and reset the dropped count (enabled flags and
+    open spans are unaffected). *)
+
+val chrome_json : ?pid:int -> span list -> string
+(** Chrome [trace_event] JSON (an object with a ["traceEvents"] array of
+    complete — ["ph":"X"] — events; timestamps in microseconds): load
+    the file in [chrome://tracing] or {{:https://ui.perfetto.dev}
+    Perfetto}.  The output is plain JSON and round-trips through
+    [Bcc_server.Json]. *)

@@ -2,6 +2,7 @@ module Graph = Bcc_graph.Graph
 module Hks = Bcc_dks.Hks
 module Heap = Bcc_util.Heap
 module Rng = Bcc_util.Rng
+module Trace = Bcc_obs.Trace
 
 type instance = { graph : Bcc_graph.Graph.t; budget : float }
 type solution = { nodes : int list; cost : float; value : float }
@@ -96,6 +97,8 @@ let greedy_fill inst selected =
    a selected node by an unselected one when that increases the induced
    weight within budget.  Skipped on very large graphs. *)
 let local_improve inst selected =
+  Trace.with_span ~name:"qk.repair" @@ fun sp ->
+  let swaps = ref 0 in
   let g = inst.graph in
   let n = Graph.n g in
   if n > 1500 then ()
@@ -141,10 +144,12 @@ let local_improve inst selected =
       | Some (v, u, _) ->
           apply v false;
           apply u true;
+          incr swaps;
           improved := true
       | None -> ()
     done
-  end
+  end;
+  if Trace.recording sp then Trace.add_attr sp "swaps" (Trace.Int !swaps)
 
 (* ------------------------------------------------------------------ *)
 (* The bipartite blow-up pipeline on a "cheap" subgraph.                *)
@@ -304,6 +309,7 @@ let full_pass cheap mult ~budget_ticks ~k =
 (* Solve over a subset of nodes (cheap nodes) with a given budget; the
    result is a candidate node set over the ORIGINAL instance ids. *)
 let solve_cheap inst opts rng ~allowed ~budget =
+  Trace.with_span ~name:"qk.pipeline" @@ fun sp ->
   let g = inst.graph in
   if budget <= 0.0 then []
   else begin
@@ -336,6 +342,12 @@ let solve_cheap inst opts rng ~allowed ~budget =
           min 8 (max 2 log2n)
         end
       in
+      if Trace.recording sp then begin
+        Trace.add_attr sp "nodes" (Trace.Int n);
+        Trace.add_attr sp "copies" (Trace.Int (Array.fold_left ( + ) 0 mult));
+        Trace.add_attr sp "ticks" (Trace.Int resolution);
+        Trace.add_attr sp "passes" (Trace.Int (iterations + 2))
+      end;
       let best = ref [] and best_value = ref neg_infinity in
       let passes =
         List.init iterations (fun _ () ->
@@ -386,8 +398,13 @@ let solve_cheap inst opts rng ~allowed ~budget =
   end
 
 let solve ?(options = default_options) inst =
+  Trace.with_span ~name:"qk" @@ fun sp ->
   let g = inst.graph in
   let n = Graph.n g in
+  if Trace.recording sp then begin
+    Trace.add_attr sp "nodes" (Trace.Int n);
+    Trace.add_attr sp "budget" (Trace.Float inst.budget)
+  end;
   let rng = Rng.create options.seed in
   let budget = inst.budget in
   let affordable = Array.init n (fun v -> Graph.node_cost g v <= budget +. 1e-12) in
@@ -453,4 +470,10 @@ let solve ?(options = default_options) inst =
         if sol.value > !best.value then best := sol
       end)
     !candidates;
+  if Trace.recording sp then begin
+    Trace.add_attr sp "candidates" (Trace.Int (List.length !candidates));
+    Trace.add_attr sp "picked" (Trace.Int (List.length !best.nodes));
+    Trace.add_attr sp "value" (Trace.Float !best.value);
+    Trace.add_attr sp "cost" (Trace.Float !best.cost)
+  end;
   !best

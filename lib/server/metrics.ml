@@ -40,6 +40,11 @@ let render_labels labels =
   match labels with
   | [] -> ""
   | _ ->
+      (* Sort by key so [("a",x);("b",y)] and [("b",y);("a",x)] name the
+         same series — label order must not split a series in two. *)
+      let labels =
+        List.sort (fun (a, _) (b, _) -> String.compare a b) labels
+      in
       let pairs =
         List.map (fun (k, v) -> Printf.sprintf "%s=\"%s\"" k (escape_label_value v)) labels
       in
@@ -109,15 +114,30 @@ let observe ?(labels = []) ?(buckets = default_buckets) ?(help = "") t name x =
       h.sum <- h.sum +. x;
       h.count <- h.count + 1)
 
-let counter_value ?(labels = []) t name =
+(* Shared scalar lookup: absent family or series reads as 0, but a
+   family of the wrong kind is a caller bug — same error as [family]. *)
+let scalar_value ~kind ~extract labels t name =
   locked t (fun () ->
       match Hashtbl.find_opt t.families name with
       | None -> 0.0
-      | Some fam -> (
-          match Hashtbl.find_opt fam.series (render_labels labels) with
-          | Some (Counter r) -> !r
-          | Some (Gauge r) -> !r
-          | _ -> 0.0))
+      | Some fam ->
+          if fam.kind <> kind then
+            invalid_arg
+              (Printf.sprintf "Metrics: %s registered as %s, used as %s" name fam.kind
+                 kind);
+          (match Hashtbl.find_opt fam.series (render_labels labels) with
+          | Some v -> extract v
+          | None -> 0.0))
+
+let counter_value ?(labels = []) t name =
+  scalar_value ~kind:"counter"
+    ~extract:(function Counter r -> !r | _ -> assert false)
+    labels t name
+
+let gauge_value ?(labels = []) t name =
+  scalar_value ~kind:"gauge"
+    ~extract:(function Gauge r -> !r | _ -> assert false)
+    labels t name
 
 let format_value x =
   if Float.is_integer x && Float.abs x < 1e15 then Printf.sprintf "%.0f" x

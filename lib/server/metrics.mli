@@ -31,8 +31,13 @@ val observe :
 (** Record an observation (seconds) into a histogram. *)
 
 val counter_value : ?labels:(string * string) list -> t -> string -> float
-(** Current value of a counter or gauge series; [0.] when absent (also
-    used by tests to assert on cache-hit counts). *)
+(** Current value of a counter series; [0.] when absent (also used by
+    tests to assert on cache-hit counts).
+    @raise Invalid_argument if [name] exists with another kind. *)
+
+val gauge_value : ?labels:(string * string) list -> t -> string -> float
+(** Current value of a gauge series; [0.] when absent.
+    @raise Invalid_argument if [name] exists with another kind. *)
 
 val render : t -> string
 (** Prometheus text format: [# HELP]/[# TYPE] per family, series sorted

@@ -7,6 +7,8 @@ module Gmc3 = Bcc_core.Gmc3
 module Ecc = Bcc_core.Ecc
 module Io = Bcc_data.Io
 module Timer = Bcc_util.Timer
+module Trace = Bcc_obs.Trace
+module Stage = Bcc_obs.Stage
 
 type config = {
   host : string;
@@ -16,6 +18,7 @@ type config = {
   cache_entries : int;
   timeout_s : float;
   preload : (string * string) list;
+  trace_spans : int;
 }
 
 let default_config =
@@ -27,6 +30,7 @@ let default_config =
     cache_entries = 256;
     timeout_s = 30.0;
     preload = [];
+    trace_spans = 4096;
   }
 
 type loaded = { digest : string; inst : Instance.t }
@@ -80,20 +84,34 @@ let create cfg =
   let num_workers =
     if cfg.workers > 0 then cfg.workers else Domain.recommended_domain_count ()
   in
-  {
-    cfg;
-    sock;
-    actual_port;
-    num_workers;
-    queue = Queue.create ();
-    qlock = Mutex.create ();
-    qcond = Condition.create ();
-    stop = Atomic.make false;
-    named;
-    inst_cache = Cache.create ~capacity:(max 1 cfg.cache_entries);
-    sol_cache = Cache.create ~capacity:(max 1 cfg.cache_entries);
-    metrics = Metrics.create ();
-  }
+  let t =
+    {
+      cfg;
+      sock;
+      actual_port;
+      num_workers;
+      queue = Queue.create ();
+      qlock = Mutex.create ();
+      qcond = Condition.create ();
+      stop = Atomic.make false;
+      named;
+      inst_cache = Cache.create ~capacity:(max 1 cfg.cache_entries);
+      sol_cache = Cache.create ~capacity:(max 1 cfg.cache_entries);
+      metrics = Metrics.create ();
+    }
+  in
+  if cfg.trace_spans > 0 then begin
+    Trace.set_tracing ~capacity:cfg.trace_spans true;
+    Trace.set_profiling true;
+    (* Solver stages run well below the default request-latency buckets;
+       start at 10 µs. *)
+    let stage_buckets = [| 1e-5; 1e-4; 1e-3; 0.01; 0.05; 0.1; 0.5; 1.0; 5.0; 30.0 |] in
+    Stage.set_observer (fun stage dt ->
+        Metrics.observe t.metrics "bcc_stage_duration_seconds"
+          ~labels:[ ("stage", stage) ] ~buckets:stage_buckets
+          ~help:"Wall time per solver pipeline stage." dt)
+  end;
+  t
 
 let port t = t.actual_port
 let num_workers t = t.num_workers
@@ -281,6 +299,59 @@ let handle_instances t =
   in
   Http.json_response 200 (Json.Obj [ ("instances", Json.List entries) ])
 
+let attr_json (v : Trace.value) =
+  match v with
+  | Trace.Bool b -> Json.Bool b
+  | Trace.Int n -> Json.Num (float_of_int n)
+  | Trace.Float x -> Json.Num x
+  | Trace.Str s -> Json.Str s
+
+let span_json (sp : Trace.span) children =
+  Json.Obj
+    ([
+       ("name", Json.Str sp.Trace.name);
+       ("id", Json.Num (float_of_int sp.Trace.id));
+       ("tid", Json.Num (float_of_int sp.Trace.tid));
+       ("start_s", Json.Num sp.Trace.start_s);
+       ("duration_s", Json.Num (sp.Trace.end_s -. sp.Trace.start_s));
+       ("attrs", Json.Obj (List.map (fun (k, v) -> (k, attr_json v)) (List.rev sp.Trace.attrs)));
+     ]
+    @ if children = [] then [] else [ ("children", Json.List children) ])
+
+(* Last-N completed spans as a forest.  Children complete before their
+   parents, so one chronological pass has every child's JSON built by
+   the time its parent is reached. *)
+let handle_trace req =
+  let last =
+    match Http.query_param req "last" with
+    | None -> 512
+    | Some s -> (
+        match int_of_string_opt s with Some n when n > 0 -> n | _ -> 512)
+  in
+  let spans = Trace.spans ~last () in
+  let present = Hashtbl.create 64 in
+  List.iter (fun (sp : Trace.span) -> Hashtbl.replace present sp.Trace.id ()) spans;
+  let children : (int, Json.t list) Hashtbl.t = Hashtbl.create 64 in
+  let take id =
+    match Hashtbl.find_opt children id with Some l -> List.rev l | None -> []
+  in
+  let roots = ref [] in
+  List.iter
+    (fun (sp : Trace.span) ->
+      let j = span_json sp (take sp.Trace.id) in
+      if Hashtbl.mem present sp.Trace.parent then
+        Hashtbl.replace children sp.Trace.parent
+          (j :: Option.value ~default:[] (Hashtbl.find_opt children sp.Trace.parent))
+      else roots := j :: !roots)
+    spans;
+  Http.json_response 200
+    (Json.Obj
+       [
+         ("enabled", Json.Bool (Trace.tracing ()));
+         ("dropped", Json.Num (float_of_int (Trace.dropped ())));
+         ("spans", Json.List (List.rev !roots));
+       ])
+
 let handle_metrics t =
   let cache_gauges name cache =
     Metrics.set t.metrics "bccd_cache_entries" ~labels:[ ("cache", name) ]
@@ -305,12 +376,13 @@ let handle t (req : Http.request) =
   | "GET", "/healthz" -> Http.response 200 "ok\n"
   | "GET", "/metrics" -> handle_metrics t
   | "GET", "/instances" -> handle_instances t
+  | "GET", "/debug/trace" -> handle_trace req
   | "POST", "/solve" -> handle_solve t E_solve req
   | "POST", "/gmc3" -> handle_solve t E_gmc3 req
   | "POST", "/ecc" -> handle_solve t E_ecc req
   | _, ("/solve" | "/gmc3" | "/ecc") ->
       Http.error_response 405 ("use POST for " ^ req.path)
-  | _, ("/healthz" | "/metrics" | "/instances") ->
+  | _, ("/healthz" | "/metrics" | "/instances" | "/debug/trace") ->
       Http.error_response 405 ("use GET for " ^ req.path)
   | _ -> Http.error_response 404 ("no such endpoint: " ^ req.path)
 

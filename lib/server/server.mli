@@ -18,7 +18,11 @@
       with optional ["budget"]/["target"] fields ([?budget=]/[?target=]
       query parameters override);
     - [GET /instances] — the instances preloaded at startup;
-    - [GET /healthz], [GET /metrics] (Prometheus text format).
+    - [GET /healthz], [GET /metrics] (Prometheus text format, including
+      [bcc_stage_duration_seconds] histograms labeled by pipeline stage);
+    - [GET /debug/trace?last=N] — the most recent completed
+      {!Bcc_obs.Trace} spans as a JSON forest (children nested under
+      their parents), for inspecting where a solve spent its time.
 
     Shutdown ({!request_stop}, wired to SIGINT/SIGTERM by the daemon):
     stop accepting, answer queued-but-unstarted connections [503], let
@@ -33,11 +37,14 @@ type config = {
   cache_entries : int;  (** capacity of each of the two LRU caches *)
   timeout_s : float;  (** socket read/write timeout and max queue wait *)
   preload : (string * string) list;  (** (name, instance file) pairs *)
+  trace_spans : int;
+      (** span ring-buffer capacity; [> 0] turns on {!Bcc_obs} tracing and
+          stage profiling at startup, [0] leaves both off *)
 }
 
 val default_config : config
 (** 127.0.0.1:8080, auto-sized workers, queue 64, 256 cache entries,
-    30 s timeout, nothing preloaded. *)
+    30 s timeout, nothing preloaded, 4096-span trace buffer. *)
 
 type t
 

@@ -262,6 +262,38 @@ let e2e_concurrent_solves_and_shutdown () =
       | Some n -> Alcotest.(check bool) "request counter >= 10" true (n >= 10.0)
       | None -> Alcotest.fail "bccd_requests_total missing");
 
+      (* per-stage latency histograms, fed by the span profiler *)
+      (match metric_value body {|bcc_stage_duration_seconds_count{stage="solve"}|} with
+      | Some n ->
+          (* cache hits bypass the solver, so only the two distinct
+             (instance, budget) pairs are guaranteed to have run it *)
+          Alcotest.(check bool) "solve stage histogram populated" true (n >= 2.0)
+      | None -> Alcotest.fail {|bcc_stage_duration_seconds_count{stage="solve"} missing|});
+      (match metric_value body {|bcc_stage_duration_seconds_count{stage="prune"}|} with
+      | Some n -> Alcotest.(check bool) "prune stage observed" true (n >= 1.0)
+      | None -> Alcotest.fail {|bcc_stage_duration_seconds_count{stage="prune"} missing|});
+
+      (* /debug/trace returns the recorded span forest *)
+      let status, body = request ~port:d.port ~meth:"GET" ~path:"/debug/trace" () in
+      Alcotest.(check int) "debug/trace status" 200 status;
+      let trace = Json.of_string_exn (String.trim body) in
+      Alcotest.(check (option bool)) "tracing enabled" (Some true)
+        (Json.get_bool (get_field "enabled" trace));
+      (match Json.get_list (get_field "spans" trace) with
+      | Some (_ :: _ as roots) ->
+          let name_of r = Json.get_string (get_field "name" r) in
+          let solve_root =
+            match List.find_opt (fun r -> name_of r = Some "solve") roots with
+            | Some r -> r
+            | None -> Alcotest.fail "no solve root span in /debug/trace"
+          in
+          (match Json.get_list (get_field "children" solve_root) with
+          | Some (_ :: _ as kids) ->
+              Alcotest.(check bool) "solve span has a prune child" true
+                (List.exists (fun k -> name_of k = Some "prune") kids)
+          | _ -> Alcotest.fail "solve span has no children")
+      | _ -> Alcotest.fail "debug/trace returned no spans");
+
       (* graceful shutdown on SIGTERM: clean exit, workers drained *)
       Unix.kill d.pid Sys.sigterm;
       (match wait_exit d with

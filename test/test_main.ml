@@ -19,5 +19,6 @@ let () =
       ("misc", Test_misc.suite);
       ("ingest", Test_ingest.suite);
       ("server", Test_server.suite);
+      ("obs", Test_obs.suite);
       ("bccd", Test_bccd.suite);
     ]

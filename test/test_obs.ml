@@ -1,0 +1,237 @@
+(* Tests for bcc_obs: span nesting, the bounded ring buffer, the
+   disabled fast path, the stage profiler, and the Chrome trace_event
+   export — parsed back with the server's JSON codec, which is the
+   compatibility bar the emitter promises. *)
+
+module Trace = Bcc_obs.Trace
+module Stage = Bcc_obs.Stage
+module Json = Bcc_server.Json
+module Solver = Bcc_core.Solver
+module Solution = Bcc_core.Solution
+
+(* Tracing state is global; every test that turns it on restores the
+   disabled default (and the default ring size) on the way out. *)
+let with_obs ?(capacity = 4096) f =
+  Trace.set_tracing ~capacity true;
+  Trace.set_profiling true;
+  Stage.reset ();
+  Fun.protect
+    ~finally:(fun () ->
+      Trace.set_tracing false;
+      Trace.set_profiling false;
+      Trace.clear ();
+      Stage.clear_observer ();
+      Stage.reset ())
+    f
+
+let names () = List.map (fun sp -> sp.Trace.name) (Trace.spans ())
+
+let contains ~needle s =
+  let n = String.length needle and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = needle || go (i + 1)) in
+  go 0
+
+let span_nesting () =
+  with_obs (fun () ->
+      Trace.with_span ~name:"outer" (fun outer ->
+          Alcotest.(check int) "outer is a root" (-1) outer.Trace.parent;
+          Trace.with_span ~name:"inner" (fun inner ->
+              Alcotest.(check int) "inner nested under outer" outer.Trace.id
+                inner.Trace.parent;
+              Trace.add_attr inner "k" (Trace.Int 7));
+          Trace.with_span ~name:"inner2" (fun inner2 ->
+              Alcotest.(check int) "sibling nested under outer" outer.Trace.id
+                inner2.Trace.parent));
+      Alcotest.(check (list string)) "completion order (children first)"
+        [ "inner"; "inner2"; "outer" ] (names ());
+      Trace.with_span ~name:"after" (fun sp ->
+          Alcotest.(check int) "stack unwound: next span is a root" (-1)
+            sp.Trace.parent);
+      (match Trace.spans () with
+      | inner :: _ ->
+          Alcotest.(check bool) "attr recorded" true
+            (List.mem_assoc "k" inner.Trace.attrs)
+      | [] -> Alcotest.fail "no spans recorded");
+      Alcotest.(check bool) "profiler fed from the same spans" true
+        (List.exists (fun s -> s.Stage.stage = "outer") (Stage.stats ())))
+
+let span_survives_exception () =
+  with_obs (fun () ->
+      (try Trace.with_span ~name:"boom" (fun _ -> failwith "x")
+       with Failure _ -> ());
+      Alcotest.(check (list string)) "span recorded despite the raise"
+        [ "boom" ] (names ());
+      Trace.with_span ~name:"next" (fun sp ->
+          Alcotest.(check int) "stack recovered" (-1) sp.Trace.parent))
+
+let per_thread_roots () =
+  with_obs (fun () ->
+      let spin name =
+        Thread.create
+          (fun () -> Trace.with_span ~name (fun _ -> Thread.delay 0.01))
+          ()
+      in
+      let t1 = spin "t1" and t2 = spin "t2" in
+      Thread.join t1;
+      Thread.join t2;
+      let spans = Trace.spans () in
+      Alcotest.(check int) "both spans kept" 2 (List.length spans);
+      List.iter
+        (fun sp ->
+          Alcotest.(check int) (sp.Trace.name ^ " is a root") (-1) sp.Trace.parent)
+        spans;
+      match spans with
+      | [ a; b ] ->
+          Alcotest.(check bool) "distinct thread ids" true (a.Trace.tid <> b.Trace.tid)
+      | _ -> ())
+
+let ring_wraparound () =
+  with_obs ~capacity:4 (fun () ->
+      for i = 1 to 10 do
+        Trace.with_span ~name:(Printf.sprintf "s%d" i) (fun _ -> ())
+      done;
+      Alcotest.(check (list string)) "last 4 kept, oldest first"
+        [ "s7"; "s8"; "s9"; "s10" ] (names ());
+      Alcotest.(check int) "dropped counter" 6 (Trace.dropped ());
+      Alcotest.(check (list string)) "spans ~last:2" [ "s9"; "s10" ]
+        (List.map (fun sp -> sp.Trace.name) (Trace.spans ~last:2 ())))
+
+let disabled_noop () =
+  Trace.set_tracing false;
+  Trace.set_profiling false;
+  Trace.clear ();
+  Stage.reset ();
+  let r =
+    Trace.with_span ~name:"off" (fun sp ->
+        Alcotest.(check bool) "null span" false (Trace.recording sp);
+        Trace.add_attr sp "k" (Trace.Int 1);
+        42)
+  in
+  Alcotest.(check int) "value passed through" 42 r;
+  Alcotest.(check int) "nothing recorded" 0 (List.length (Trace.spans ()));
+  Alcotest.(check int) "no stages recorded" 0 (List.length (Stage.stats ()));
+  Alcotest.(check bool) "null span not mutated" true
+    (Trace.null_span.Trace.attrs = [])
+
+let chrome_json_roundtrips () =
+  with_obs (fun () ->
+      Trace.with_span ~name:"outer" (fun sp ->
+          Trace.add_attr sp "count" (Trace.Int 3);
+          Trace.add_attr sp "ratio" (Trace.Float 0.5);
+          Trace.add_attr sp "unbounded" (Trace.Float infinity);
+          Trace.add_attr sp "label" (Trace.Str "qk \"half\"");
+          Trace.add_attr sp "ok" (Trace.Bool true);
+          Trace.with_span ~name:"inner" (fun _ -> ()));
+      let j = Json.of_string_exn (Trace.chrome_json (Trace.spans ())) in
+      Alcotest.(check (option string)) "displayTimeUnit" (Some "ms")
+        (Option.bind (Json.member "displayTimeUnit" j) Json.get_string);
+      let events =
+        match Option.bind (Json.member "traceEvents" j) Json.get_list with
+        | Some l -> l
+        | None -> Alcotest.fail "traceEvents missing or not a list"
+      in
+      Alcotest.(check int) "two events" 2 (List.length events);
+      let field name e =
+        match Json.member name e with
+        | Some v -> v
+        | None -> Alcotest.failf "event missing %S" name
+      in
+      List.iter
+        (fun e ->
+          List.iter
+            (fun f -> ignore (field f e))
+            [ "name"; "cat"; "ph"; "pid"; "tid"; "ts"; "dur"; "args" ];
+          Alcotest.(check (option string)) "complete event" (Some "X")
+            (Json.get_string (field "ph" e));
+          Alcotest.(check bool) "non-negative duration" true
+            (match Json.get_num (field "dur" e) with
+            | Some d -> d >= 0.0
+            | None -> false))
+        events;
+      let by_name n =
+        List.find (fun e -> Json.get_string (field "name" e) = Some n) events
+      in
+      let args = field "args" (by_name "outer") in
+      let num k = Option.bind (Json.member k args) Json.get_num in
+      Alcotest.(check (option (float 0.0))) "int attr" (Some 3.0) (num "count");
+      Alcotest.(check (option (float 0.0))) "float attr" (Some 0.5) (num "ratio");
+      Alcotest.(check (option (float 0.0))) "infinity round-trips" (Some infinity)
+        (num "unbounded");
+      Alcotest.(check (option string)) "escaped string attr" (Some "qk \"half\"")
+        (Option.bind (Json.member "label" args) Json.get_string);
+      Alcotest.(check (option bool)) "bool attr" (Some true)
+        (Option.bind (Json.member "ok" args) Json.get_bool);
+      let inner_args = field "args" (by_name "inner") in
+      Alcotest.(check bool) "parent_id links inner to outer" true
+        (let outer_id = num "span_id" in
+         outer_id <> None
+         && Option.bind (Json.member "parent_id" inner_args) Json.get_num = outer_id))
+
+let stage_stats_and_observer () =
+  Stage.reset ();
+  Fun.protect
+    ~finally:(fun () ->
+      Stage.clear_observer ();
+      Stage.reset ())
+    (fun () ->
+      let seen = ref [] in
+      Stage.set_observer (fun name dt -> seen := (name, dt) :: !seen);
+      Stage.record "alpha" 0.25;
+      Stage.record "alpha" 0.75;
+      Stage.record "beta" 0.1;
+      (match Stage.stats () with
+      | [ a; b ] ->
+          Alcotest.(check string) "sorted by total time desc" "alpha" a.Stage.stage;
+          Alcotest.(check int) "count" 2 a.Stage.count;
+          Alcotest.(check (float 1e-9)) "total" 1.0 a.Stage.total_s;
+          Alcotest.(check (float 1e-9)) "max" 0.75 a.Stage.max_s;
+          Alcotest.(check string) "beta second" "beta" b.Stage.stage
+      | l -> Alcotest.failf "expected 2 stats, got %d" (List.length l));
+      Alcotest.(check int) "observer saw every record" 3 (List.length !seen);
+      let summary = Stage.summary () in
+      List.iter
+        (fun needle ->
+          if not (contains ~needle summary) then
+            Alcotest.failf "summary lacks %S:\n%s" needle summary)
+        [ "alpha"; "beta"; "stage" ];
+      Stage.reset ();
+      Alcotest.(check int) "reset clears" 0 (List.length (Stage.stats ())))
+
+(* A real solve must light up the whole pipeline vocabulary. *)
+let solve_stage_coverage () =
+  with_obs (fun () ->
+      let inst = Fixtures.figure1 ~budget:4.0 in
+      let sol = Solver.solve inst in
+      Alcotest.(check (float 1e-6)) "figure1 optimum" 9.0 sol.Solution.utility;
+      let have = List.sort_uniq compare (names ()) in
+      List.iter
+        (fun required ->
+          if not (List.mem required have) then
+            Alcotest.failf "stage %S missing from trace (got: %s)" required
+              (String.concat ", " have))
+        [ "solve"; "prune"; "round"; "decompose"; "knapsack"; "qk"; "mc3"; "sweep" ];
+      let round = List.find (fun sp -> sp.Trace.name = "round") (Trace.spans ()) in
+      List.iter
+        (fun attr ->
+          Alcotest.(check bool) (Printf.sprintf "round records %s" attr) true
+            (List.mem_assoc attr round.Trace.attrs))
+        [ "arm"; "gain"; "cost" ];
+      (* and the whole trace exports to parseable Chrome JSON *)
+      let j = Json.of_string_exn (Trace.chrome_json (Trace.spans ())) in
+      match Option.bind (Json.member "traceEvents" j) Json.get_list with
+      | Some events ->
+          Alcotest.(check bool) "one event per span" true
+            (List.length events = List.length (Trace.spans ()))
+      | None -> Alcotest.fail "traceEvents missing")
+
+let suite =
+  [
+    ("span nesting and completion order", `Quick, span_nesting);
+    ("span survives exceptions", `Quick, span_survives_exception);
+    ("spans are per-thread roots", `Quick, per_thread_roots);
+    ("ring buffer wraparound", `Quick, ring_wraparound);
+    ("disabled path is a no-op", `Quick, disabled_noop);
+    ("chrome json parses via server codec", `Quick, chrome_json_roundtrips);
+    ("stage stats and observer", `Quick, stage_stats_and_observer);
+    ("real solve covers the stage vocabulary", `Quick, solve_stage_coverage);
+  ]

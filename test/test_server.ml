@@ -234,6 +234,81 @@ let metrics_kind_clash () =
     (Invalid_argument "Metrics: x registered as counter, used as gauge")
     (fun () -> Metrics.set m "x" 1.0)
 
+let metrics_label_order () =
+  (* The same label set in two textual orders must hit one series. *)
+  let m = Metrics.create () in
+  Metrics.inc m "lo" ~labels:[ ("a", "1"); ("b", "2") ];
+  Metrics.inc m "lo" ~labels:[ ("b", "2"); ("a", "1") ];
+  Alcotest.(check (float 0.0)) "one series" 2.0
+    (Metrics.counter_value m "lo" ~labels:[ ("b", "2"); ("a", "1") ]);
+  let r = Metrics.render m in
+  assert_contains r {|lo{a="1",b="2"} 2|};
+  if contains ~needle:{|lo{b="2",a="1"}|} r then
+    Alcotest.failf "unsorted label order leaked into render:\n%s" r
+
+let metrics_scalar_kinds () =
+  let m = Metrics.create () in
+  Metrics.inc m "c" ~by:3.0;
+  Metrics.set m "g" 7.0;
+  Alcotest.(check (float 0.0)) "counter read" 3.0 (Metrics.counter_value m "c");
+  Alcotest.(check (float 0.0)) "gauge read" 7.0 (Metrics.gauge_value m "g");
+  Alcotest.(check (float 0.0)) "absent family" 0.0 (Metrics.counter_value m "nope");
+  Alcotest.(check (float 0.0)) "absent series" 0.0
+    (Metrics.gauge_value m "g" ~labels:[ ("x", "y") ]);
+  Alcotest.check_raises "gauge read as counter"
+    (Invalid_argument "Metrics: g registered as gauge, used as counter")
+    (fun () -> ignore (Metrics.counter_value m "g"));
+  Alcotest.check_raises "counter read as gauge"
+    (Invalid_argument "Metrics: c registered as counter, used as gauge")
+    (fun () -> ignore (Metrics.gauge_value m "c"))
+
+(* Rendered histogram bucket lines must carry non-decreasing cumulative
+   counts, ending at the observation count on the +Inf bucket. *)
+let metrics_histogram_monotone =
+  let gen =
+    QCheck.Gen.(
+      pair
+        (list_size (0 -- 30) (float_bound_inclusive 50.0))
+        (list_size (0 -- 6) (float_bound_inclusive 50.0)))
+  in
+  let print (obs, bounds) =
+    Printf.sprintf "obs=[%s] bounds=[%s]"
+      (String.concat ";" (List.map string_of_float obs))
+      (String.concat ";" (List.map string_of_float bounds))
+  in
+  QCheck.Test.make ~name:"histogram buckets cumulative non-decreasing" ~count:200
+    (QCheck.make ~print gen)
+    (fun (obs, bounds) ->
+      let buckets =
+        match List.sort_uniq compare (List.filter (fun b -> b > 0.0) bounds) with
+        | [] -> [| 1.0 |]
+        | l -> Array.of_list l
+      in
+      let m = Metrics.create () in
+      List.iter (fun x -> Metrics.observe m "h" ~buckets x) obs;
+      if obs = [] then true
+      else
+        let lines = String.split_on_char '\n' (Metrics.render m) in
+        let counts =
+          List.filter_map
+            (fun line ->
+              if String.length line > 9 && String.sub line 0 9 = "h_bucket{" then
+                match String.rindex_opt line ' ' with
+                | Some i ->
+                    Some
+                      (int_of_float
+                         (float_of_string
+                            (String.sub line (i + 1) (String.length line - i - 1))))
+                | None -> None
+              else None)
+            lines
+        in
+        List.length counts = Array.length buckets + 1
+        && List.for_all2 ( <= )
+             (List.filteri (fun i _ -> i < List.length counts - 1) counts)
+             (List.tl counts)
+        && List.nth counts (List.length counts - 1) = List.length obs)
+
 (* --- http --- *)
 
 (* Feed raw bytes through a pipe and parse them as a request. *)
@@ -327,6 +402,9 @@ let suite =
     ("metrics histogram buckets", `Quick, metrics_histogram);
     ("metrics label escaping", `Quick, metrics_label_escaping);
     ("metrics kind clash rejected", `Quick, metrics_kind_clash);
+    ("metrics label order canonical", `Quick, metrics_label_order);
+    ("metrics scalar kind checks", `Quick, metrics_scalar_kinds);
+    qtest metrics_histogram_monotone;
     ("http parse basic", `Quick, http_parse_basic);
     ("http parse no body", `Quick, http_parse_no_body);
     ("http parse errors", `Quick, http_parse_errors);
