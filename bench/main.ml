@@ -5,6 +5,9 @@
      main.exe                  run every experiment (standard scale)
      main.exe fig3a fig4e ...  run selected experiments
      main.exe --quick ...      scaled-down sizes (CI-friendly)
+     main.exe --jobs N         run solver portfolios on N worker domains
+     main.exe --json FILE      write per-experiment wall times (and, with
+                               --jobs > 1, a parallel speedup probe) as JSON
      main.exe --bechamel       Bechamel micro-timings, one per experiment
      main.exe --trace FILE     write a Chrome trace_event JSON of the run
      main.exe --profile        print a per-stage wall-time summary
@@ -33,6 +36,7 @@ module Private_like = Bcc_data.Private_like
 module Timer = Bcc_util.Timer
 module Texttable = Bcc_util.Texttable
 module Rng = Bcc_util.Rng
+module Engine = Bcc_engine.Engine
 
 let quick = ref false
 
@@ -77,17 +81,24 @@ let s_instance ?(num_queries = 20_000) ~budget ~seed () =
 let utility_vs_budget name make_instance budgets =
   header name;
   let table = Texttable.create [ "budget"; "RAND"; "IG1"; "IG2"; "A^BCC"; "total-U" ] in
-  List.iter
-    (fun budget ->
-      let inst = make_instance ~budget in
-      let rand = rand_avg inst Baselines.Budget in
-      let ig1 = (Baselines.ig1 inst Baselines.Budget).Solution.utility in
-      let ig2 = (Baselines.ig2 inst Baselines.Budget).Solution.utility in
-      let ours = (Solver.solve inst).Solution.utility in
-      Texttable.add_row table
-        [ fmt_f budget; fmt_f rand; fmt_f ig1; fmt_f ig2; fmt_f ours;
-          fmt_f (Instance.total_utility inst) ])
-    budgets;
+  (* The budget sweep is an engine portfolio: one task per budget point,
+     rows collected in task (= budget) order, so the printed table is
+     identical at any job count. *)
+  let tasks =
+    List.map
+      (fun budget ->
+        Engine.Task.make ~label:"bench.budget" (fun _ ->
+            let inst = make_instance ~budget in
+            let rand = rand_avg inst Baselines.Budget in
+            let ig1 = (Baselines.ig1 inst Baselines.Budget).Solution.utility in
+            let ig2 = (Baselines.ig2 inst Baselines.Budget).Solution.utility in
+            let ours = (Solver.solve inst).Solution.utility in
+            [ fmt_f budget; fmt_f rand; fmt_f ig1; fmt_f ig2; fmt_f ours;
+              fmt_f (Instance.total_utility inst) ]))
+      budgets
+  in
+  List.iter (Texttable.add_row table)
+    (Engine.Portfolio.collect (Engine.default_pool ()) tasks);
   Texttable.print table
 
 let fig3a () =
@@ -702,10 +713,31 @@ let experiments =
     ("ext-overlap", ext_overlap);
   ]
 
+(* A solver-portfolio-heavy kernel for the --json speedup probe: the
+   same instance solved at 1 job and at the requested job count, timed,
+   and checked for identical output (the engine's determinism
+   contract). *)
+let parallel_probe ~jobs =
+  let inst = s_instance ~num_queries:4000 ~budget:2500.0 ~seed:3003 () in
+  let timed n =
+    Engine.set_default_jobs n;
+    Timer.time (fun () -> Solver.solve inst)
+  in
+  let sol1, t1 = timed 1 in
+  let soln, tn = timed jobs in
+  let identical =
+    sol1.Solution.utility = soln.Solution.utility
+    && sol1.Solution.cost = soln.Solution.cost
+    && sol1.Solution.classifiers = soln.Solution.classifiers
+  in
+  (t1, tn, identical)
+
 let () =
   let trace_file = ref None in
+  let json_file = ref None in
   let profile = ref false in
-  (* A loop rather than List.filter: --trace consumes a value. *)
+  let jobs = ref 1 in
+  (* A loop rather than List.filter: --trace/--json/--jobs consume a value. *)
   let rec parse acc = function
     | [] -> List.rev acc
     | "--quick" :: rest ->
@@ -717,15 +749,28 @@ let () =
     | "--trace" :: file :: rest ->
         trace_file := Some file;
         parse acc rest
-    | [ "--trace" ] ->
-        prerr_endline "--trace needs a FILE argument";
+    | "--json" :: file :: rest ->
+        json_file := Some file;
+        parse acc rest
+    | "--jobs" :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some n ->
+            jobs := max 1 n;
+            parse acc rest
+        | None ->
+            prerr_endline ("--jobs needs an integer, got " ^ n);
+            exit 2)
+    | [ ("--trace" | "--json" | "--jobs") ] ->
+        prerr_endline "--trace/--json/--jobs need an argument";
         exit 2
     | a :: rest -> parse (a :: acc) rest
   in
   let args = parse [] (List.tl (Array.to_list Sys.argv)) in
+  Engine.set_default_jobs !jobs;
   if !trace_file <> None then Bcc_obs.Trace.set_tracing ~capacity:65_536 true;
   if !profile then Bcc_obs.Trace.set_profiling true;
-  let finish () =
+  let timings = ref [] in
+  let finish ~total_s () =
     (match !trace_file with
     | Some file ->
         let oc = open_out file in
@@ -733,7 +778,36 @@ let () =
         close_out oc;
         Printf.printf "wrote trace to %s\n%!" file
     | None -> ());
-    if !profile then print_string (Bcc_obs.Stage.summary ())
+    if !profile then print_string (Bcc_obs.Stage.summary ());
+    match !json_file with
+    | None -> ()
+    | Some file ->
+        let parallel =
+          if !jobs <= 1 then ""
+          else begin
+            let t1, tn, identical = parallel_probe ~jobs:!jobs in
+            Printf.sprintf
+              ",\n  \"parallel\": {\"jobs_1_s\": %.3f, \"jobs_%d_s\": %.3f, \
+               \"speedup\": %.2f, \"identical\": %b}"
+              t1 !jobs tn
+              (if tn > 0.0 then t1 /. tn else 0.0)
+              identical
+          end
+        in
+        let rows =
+          List.rev_map
+            (fun (name, t) ->
+              Printf.sprintf "    {\"name\": %S, \"seconds\": %.3f}" name t)
+            !timings
+        in
+        let oc = open_out file in
+        Printf.fprintf oc
+          "{\n  \"jobs\": %d,\n  \"total_s\": %.3f,\n  \"experiments\": [\n%s\n  ]%s\n}\n"
+          !jobs total_s
+          (String.concat ",\n" rows)
+          parallel;
+        close_out oc;
+        Printf.printf "wrote timings to %s\n%!" file
   in
   if List.mem "--bechamel" args then bechamel_suite ()
   else begin
@@ -750,10 +824,12 @@ let () =
             if not (Hashtbl.mem seen key) then begin
               Hashtbl.add seen key ();
               let (), t = Timer.time f in
+              timings := (name, t) :: !timings;
               Printf.printf "[%s: %.1fs]\n%!" name t
             end
         | None -> Printf.printf "unknown experiment: %s\n%!" name)
       selected;
-    Printf.printf "\ntotal: %.1fs\n" (Timer.elapsed_s total_timer);
-    finish ()
+    let total_s = Timer.elapsed_s total_timer in
+    Printf.printf "\ntotal: %.1fs\n" total_s;
+    finish ~total_s ()
   end

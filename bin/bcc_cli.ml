@@ -67,17 +67,30 @@ let profile_arg =
     value & flag
     & info [ "profile" ] ~doc:"Print a per-stage wall-time summary when done.")
 
-(* Shared observability setup.  Evaluating the term configures logging
-   and tracing and yields a [finish] closure the subcommand calls after
-   its work to flush the trace file and the profile summary. *)
+let jobs_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:"Worker domains for solver portfolios (QK restarts, heuristic \
+              arms, round races).  Results are bit-identical at any value; \
+              defaults to $(b,BCC_JOBS) or sequential execution.")
+
+(* Shared observability setup.  Evaluating the term configures logging,
+   tracing and the execution-engine pool, and yields a [finish] closure
+   the subcommand calls after its work to flush the trace file and the
+   profile summary. *)
 let obs_term =
-  let setup verbose level trace profile =
+  let setup verbose level trace profile jobs =
     let level =
       match level with
       | Some l -> l
       | None -> if verbose then Logs.Debug else Logs.Warning
     in
     Bcc_obs.Log_reporter.install ~level ();
+    (match jobs with
+    | Some n -> Bcc_engine.Engine.set_default_jobs n
+    | None -> ());
     if trace <> None then Bcc_obs.Trace.set_tracing ~capacity:65_536 true;
     if profile then Bcc_obs.Trace.set_profiling true;
     fun () ->
@@ -90,7 +103,7 @@ let obs_term =
       | None -> ());
       if profile then print_string (Bcc_obs.Stage.summary ())
   in
-  Term.(const setup $ verbose_arg $ log_level_arg $ trace_arg $ profile_arg)
+  Term.(const setup $ verbose_arg $ log_level_arg $ trace_arg $ profile_arg $ jobs_arg)
 
 let load_instance file budget =
   let inst = Io.load file in

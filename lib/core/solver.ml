@@ -2,6 +2,7 @@ module Knapsack = Bcc_knapsack.Knapsack
 module Qk = Bcc_qk.Qk
 module Mc3 = Bcc_setcover.Mc3
 module Trace = Bcc_obs.Trace
+module Engine = Bcc_engine.Engine
 
 let log_src = Logs.Src.create "bcc.solver" ~doc:"A^BCC round-by-round progress"
 
@@ -206,7 +207,12 @@ let solve ?(options = default_options) inst =
          as well and keep whichever realizes more utility — a strict
          improvement that never violates the budget. *)
       let allocs = if !round = 0 then [ remaining /. 2.0; remaining ] else [ remaining ] in
-      let candidates =
+      let pool = Engine.default_pool () in
+      (* The per-round arm portfolio (Knapsack-vs-QK and friends), raced
+         through the engine.  The decompositions and [!state] are read
+         shared between arms — the cover state is not mutated until the
+         realized-gain arbiter below picks a winner. *)
+      let arm_tasks =
         List.concat_map
           (fun alloc ->
             let knap, qkp =
@@ -214,15 +220,13 @@ let solve ?(options = default_options) inst =
             in
             (* BCC(1): knapsack over residual 1-covers, under both credit
                schemes; the realized-gain arbiter picks the better. *)
-            let knap_candidate values =
+            let knap_candidate values () =
               let ksol =
                 Knapsack.solve ~grid:options.knapsack_grid ~values
                   ~weights:knap.Decompose.weights alloc
               in
               List.map (fun i -> knap.Decompose.item_classifier.(i)) ksol.Knapsack.items
             in
-            let kids = knap_candidate knap.Decompose.values in
-            let kids_all = knap_candidate knap.Decompose.values_all in
             (* Whole-cover knapsack: one composite item per uncovered
                query, weighing its cheapest complete cover.  This makes
                i-covers with i >= 3 (invisible to the BCC(1)/BCC(2)
@@ -230,7 +234,7 @@ let solve ?(options = default_options) inst =
                same round.  Shared classifiers across covers are charged
                repeatedly — a conservative overestimate; the realized
                evaluation and later rounds recover the sharing. *)
-            let cover_ids =
+            let cover_ids () =
               let entries =
                 List.filter_map
                   (fun qi ->
@@ -247,9 +251,10 @@ let solve ?(options = default_options) inst =
               List.sort_uniq compare
                 (List.concat_map (fun i -> covers.(i)) ksol.Knapsack.items)
             in
-            (* BCC(2): QK over residual 2-covers. *)
-            let qsol = Qk.solve ~options:options.qk qkp.Decompose.qk in
-            let qids =
+            (* BCC(2): QK over residual 2-covers (itself an engine
+               portfolio — batches nest). *)
+            let qk_ids () =
+              let qsol = Qk.solve ~options:options.qk qkp.Decompose.qk in
               List.filter_map
                 (fun v ->
                   let id = qkp.Decompose.node_classifier.(v) in
@@ -259,24 +264,41 @@ let solve ?(options = default_options) inst =
             (* Label each arm for the round span; a ":half" suffix marks
                the round-0 half-budget allocation. *)
             let tag base = if alloc < remaining -. 1e-12 then base ^ ":half" else base in
-            [
-              (tag "knap", kids);
-              (tag "knap-all", kids_all);
-              (tag "cover", cover_ids);
-              (tag "qk", qids);
-            ])
+            List.map
+              (fun (name, gen) ->
+                let arm = tag name in
+                Engine.Task.make ~label:("solver.arm:" ^ arm) (fun _ -> (arm, gen ())))
+              [
+                ("knap", knap_candidate knap.Decompose.values);
+                ("knap-all", knap_candidate knap.Decompose.values_all);
+                ("cover", cover_ids);
+                ("qk", qk_ids);
+              ])
           allocs
       in
+      let candidates = Engine.Portfolio.collect pool arm_tasks in
+      (* Realized gains, each on its own clone of the cover state. *)
+      let evaluated =
+        Engine.Portfolio.collect pool
+          (List.map
+             (fun (arm, ids) ->
+               Engine.Task.make ~label:("solver.eval:" ^ arm) (fun _ ->
+                   let g, s = evaluate ids in
+                   (arm, ids, g, s)))
+             candidates)
+      in
+      (* Reduce in fixed task order (never completion order): best gain,
+         near-ties broken toward the cheaper selection, exactly as the
+         old sequential scan did. *)
       let gain, chosen_state, chosen_ids, chosen_arm =
         List.fold_left
-          (fun (bg, bs, bi, ba) (arm, ids) ->
-            let g, s = evaluate ids in
+          (fun (bg, bs, bi, ba) (arm, ids, g, s) ->
             if
               g > bg +. 1e-12
               || (g > bg -. 1e-12 && marginal_cost inst !state ids < marginal_cost inst !state bi)
             then (g, s, ids, arm)
             else (bg, bs, bi, ba))
-          (neg_infinity, !state, [], "none") candidates
+          (neg_infinity, !state, [], "none") evaluated
       in
       (* Feasibility guard: both subproblems were budgeted at [alloc]. *)
       let cost_added = marginal_cost inst !state chosen_ids in
@@ -317,17 +339,27 @@ let solve ?(options = default_options) inst =
   let result =
     if not options.final_sweep then structured
     else begin
-      let greedy_state = Cover.create inst in
-      for id = 0 to Instance.num_classifiers inst - 1 do
-        if Instance.cost inst id <= 0.0 then Cover.select greedy_state id
-      done;
-      greedy_sweep greedy_state ~limit:(budget -. Cover.spent greedy_state);
-      let by_query = Solution.of_ids inst (Cover.selected greedy_state) in
-      (* And a per-classifier greedy arm (the IG2 rule), which sometimes
-         wins on workloads where one classifier contributes to many
-         queries without completing any single cover cheaply. *)
-      let by_classifier = Baselines.ig2 inst Baselines.Budget in
-      Solution.better structured (Solution.better by_query by_classifier)
+      let race =
+        [
+          Engine.Task.make ~label:"solver.race:greedy" (fun _ ->
+              let greedy_state = Cover.create inst in
+              for id = 0 to Instance.num_classifiers inst - 1 do
+                if Instance.cost inst id <= 0.0 then Cover.select greedy_state id
+              done;
+              greedy_sweep greedy_state ~limit:(budget -. Cover.spent greedy_state);
+              Solution.of_ids inst (Cover.selected greedy_state));
+          (* And a per-classifier greedy arm (the IG2 rule), which
+             sometimes wins on workloads where one classifier contributes
+             to many queries without completing any single cover
+             cheaply. *)
+          Engine.Task.make ~label:"solver.race:ig2" (fun _ ->
+              Baselines.ig2 inst Baselines.Budget);
+        ]
+      in
+      match Engine.Portfolio.collect (Engine.default_pool ()) race with
+      | [ by_query; by_classifier ] ->
+          Solution.better structured (Solution.better by_query by_classifier)
+      | _ -> structured
     end
   in
   if Trace.recording sp then begin

@@ -1,5 +1,6 @@
 module Graph = Bcc_graph.Graph
 module Heap = Bcc_util.Heap
+module Engine = Bcc_engine.Engine
 
 type instance = { g : Graph.t; mult : int array; k : int; total : int }
 
@@ -190,15 +191,17 @@ let local_search ?(max_rounds = 200) t sel0 =
     sel
   end
 
+(* The heuristic arm portfolio, raced through the execution engine.
+   Arms share [t] read-only and build their own selections, so they are
+   safe on the [Domains] backend; ranking is by value with ties going to
+   the earlier arm, exactly what the old sequential fold kept. *)
 let solve t =
-  let candidates = [ peel t; greedy_add t; spectral t ] in
-  let polished = List.map (fun sel -> local_search t sel) candidates in
-  let best = ref None in
-  List.iter
-    (fun sel ->
-      let v = value t sel in
-      match !best with
-      | Some (_, v') when v' >= v -> ()
-      | _ -> best := Some (sel, v))
-    polished;
-  match !best with Some (sel, _) -> sel | None -> Array.make (Graph.n t.g) 0
+  let arm label f =
+    Engine.Task.make ~label ~score:(value t) (fun _rng -> local_search t (f t))
+  in
+  let tasks =
+    [ arm "hks.peel" peel; arm "hks.greedy" greedy_add; arm "hks.spectral" spectral ]
+  in
+  match Engine.Portfolio.best (Engine.default_pool ()) tasks with
+  | Some r -> r.Engine.Portfolio.value
+  | None -> Array.make (Graph.n t.g) 0

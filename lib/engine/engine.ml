@@ -1,0 +1,359 @@
+module Rng = Bcc_util.Rng
+module Trace = Bcc_obs.Trace
+
+type backend = Seq | Domains
+
+(* ------------------------------------------------------------------ *)
+(* Process-wide completed-task counters (exported on /metrics).        *)
+(* ------------------------------------------------------------------ *)
+
+let n_seq_ok = Atomic.make 0
+let n_seq_err = Atomic.make 0
+let n_dom_ok = Atomic.make 0
+let n_dom_err = Atomic.make 0
+
+let count backend ~ok =
+  let c =
+    match (backend, ok) with
+    | Seq, true -> n_seq_ok
+    | Seq, false -> n_seq_err
+    | Domains, true -> n_dom_ok
+    | Domains, false -> n_dom_err
+  in
+  Atomic.incr c
+
+let task_counts () =
+  [
+    ((Seq, `Ok), Atomic.get n_seq_ok);
+    ((Seq, `Error), Atomic.get n_seq_err);
+    ((Domains, `Ok), Atomic.get n_dom_ok);
+    ((Domains, `Error), Atomic.get n_dom_err);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Tasks.                                                              *)
+(* ------------------------------------------------------------------ *)
+
+module Task = struct
+  type 'a t = {
+    label : string;
+    rng : Rng.t;
+    run : Rng.t -> 'a;
+    score : 'a -> float;
+  }
+
+  let make ?(label = "task") ?rng ?(score = fun _ -> 0.0) run =
+    let rng = match rng with Some r -> r | None -> Rng.create 0 in
+    { label; rng; run; score }
+
+  let label t = t.label
+end
+
+(* A task's body, wrapped in a span so portfolios show up in traces and
+   the per-stage profiler. *)
+let exec (task : 'a Task.t) =
+  Trace.with_span ~name:"engine.task" @@ fun sp ->
+  if Trace.recording sp then Trace.add_attr sp "label" (Trace.Str task.Task.label);
+  task.Task.run task.Task.rng
+
+(* ------------------------------------------------------------------ *)
+(* The domain pool.                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* A batch is one [Portfolio] call: workers and the submitting caller
+   claim task indices from [next]; claiming is the only way a task ever
+   runs, so each runs exactly once no matter how many tickets get
+   popped.  Results are stored and [unfinished] decremented under [bm],
+   which also gives the caller the happens-before edge it needs to read
+   the results after the final [Condition.broadcast]. *)
+type batch = {
+  mutable next : int;
+  mutable runs : (unit -> unit) array;
+  mutable unfinished : int;
+  bm : Mutex.t;
+  bc : Condition.t;
+}
+
+let claim b =
+  Mutex.lock b.bm;
+  let i = if b.next < Array.length b.runs then Some b.next else None in
+  (match i with Some _ -> b.next <- b.next + 1 | None -> ());
+  Mutex.unlock b.bm;
+  i
+
+type item = Job of (unit -> unit) | Ticket of batch
+
+type dpool = {
+  njobs : int;
+  q : item Queue.t;
+  qm : Mutex.t;
+  qc : Condition.t;
+  stop : bool Atomic.t;
+  mutable workers : unit Domain.t list;
+  mutable joined : bool;
+}
+
+let run_item = function
+  | Job f -> ( try f () with _ -> ())
+  | Ticket b -> ( match claim b with Some i -> b.runs.(i) () | None -> ())
+
+let worker_loop p =
+  let rec loop () =
+    Mutex.lock p.qm;
+    while Queue.is_empty p.q && not (Atomic.get p.stop) do
+      Condition.wait p.qc p.qm
+    done;
+    if Queue.is_empty p.q then Mutex.unlock p.qm (* stop and drained: exit *)
+    else begin
+      let item = Queue.pop p.q in
+      Mutex.unlock p.qm;
+      run_item item;
+      loop ()
+    end
+  in
+  loop ()
+
+module Pool = struct
+  type t = P_seq | P_domains of dpool
+
+  (* Every domain pool ever created, so [at_exit] can join lingering
+     workers — the runtime does not appreciate the main domain exiting
+     while spawned domains still run. *)
+  let registry : dpool list ref = ref []
+  let registry_lock = Mutex.create ()
+
+  let shutdown_dpool p =
+    Atomic.set p.stop true;
+    Mutex.lock p.qm;
+    Condition.broadcast p.qc;
+    Mutex.unlock p.qm;
+    let to_join =
+      Mutex.lock registry_lock;
+      let j = if p.joined then [] else p.workers in
+      p.joined <- true;
+      p.workers <- [];
+      Mutex.unlock registry_lock;
+      j
+    in
+    List.iter Domain.join to_join
+
+  let () = at_exit (fun () -> List.iter shutdown_dpool !registry)
+
+  let seq () = P_seq
+
+  let domains ~jobs =
+    let p =
+      {
+        njobs = max 1 jobs;
+        q = Queue.create ();
+        qm = Mutex.create ();
+        qc = Condition.create ();
+        stop = Atomic.make false;
+        workers = [];
+        joined = false;
+      }
+    in
+    p.workers <- List.init p.njobs (fun _ -> Domain.spawn (fun () -> worker_loop p));
+    Mutex.lock registry_lock;
+    registry := p :: !registry;
+    Mutex.unlock registry_lock;
+    p
+
+  let domains ~jobs = P_domains (domains ~jobs)
+  let create ~jobs = if jobs <= 1 then seq () else domains ~jobs
+  let backend = function P_seq -> Seq | P_domains _ -> Domains
+  let jobs = function P_seq -> 1 | P_domains p -> p.njobs
+
+  let push pool item =
+    match pool with
+    | P_seq -> false
+    | P_domains p ->
+        if Atomic.get p.stop then false
+        else begin
+          Mutex.lock p.qm;
+          let accepted = not (Atomic.get p.stop) in
+          if accepted then begin
+            Queue.push item p.q;
+            Condition.signal p.qc
+          end;
+          Mutex.unlock p.qm;
+          accepted
+        end
+
+  let submit pool f =
+    let counted () =
+      match try Ok (f ()) with e -> Error e with
+      | Ok () -> count (backend pool) ~ok:true
+      | Error e ->
+          count (backend pool) ~ok:false;
+          raise e
+    in
+    match pool with
+    | P_seq ->
+        counted ();
+        true
+    | P_domains _ -> push pool (Job counted)
+
+  let queue_depth = function
+    | P_seq -> 0
+    | P_domains p ->
+        Mutex.lock p.qm;
+        let n = Queue.length p.q in
+        Mutex.unlock p.qm;
+        n
+
+  let shutdown = function P_seq -> () | P_domains p -> shutdown_dpool p
+end
+
+(* ------------------------------------------------------------------ *)
+(* Portfolios.                                                         *)
+(* ------------------------------------------------------------------ *)
+
+module Portfolio = struct
+  type 'a ranked = { label : string; index : int; value : 'a; score : float }
+
+  type 'a outcome = Done of 'a | Failed of exn * Printexc.raw_backtrace
+
+  (* In task order; re-raises the lowest-indexed failure. *)
+  let collect_outcomes tasks results =
+    List.mapi
+      (fun i _ ->
+        match results.(i) with
+        | Some (Done v) -> v
+        | Some (Failed (e, bt)) -> Printexc.raise_with_backtrace e bt
+        | None -> assert false)
+      tasks
+
+  let collect_seq ~backend tasks =
+    List.map
+      (fun t ->
+        match exec t with
+        | v ->
+            count backend ~ok:true;
+            v
+        | exception e ->
+            count backend ~ok:false;
+            raise e)
+      tasks
+
+  let collect pool tasks =
+    match pool with
+    | Pool.P_seq -> collect_seq ~backend:Seq tasks
+    | Pool.P_domains p ->
+        let tasks_a = Array.of_list tasks in
+        let n = Array.length tasks_a in
+        if n = 0 then []
+        else begin
+          let results = Array.make n None in
+          let b =
+            {
+              next = 0;
+              runs = [||];
+              unfinished = n;
+              bm = Mutex.create ();
+              bc = Condition.create ();
+            }
+          in
+          b.runs <-
+            Array.mapi
+              (fun i task () ->
+                let out =
+                  try Done (exec task)
+                  with e -> Failed (e, Printexc.get_raw_backtrace ())
+                in
+                count Domains ~ok:(match out with Done _ -> true | Failed _ -> false);
+                Mutex.lock b.bm;
+                results.(i) <- Some out;
+                b.unfinished <- b.unfinished - 1;
+                if b.unfinished = 0 then Condition.broadcast b.bc;
+                Mutex.unlock b.bm)
+              tasks_a;
+          (* One ticket per task; workers that pop a ticket after the
+             batch is fully claimed simply drop it. *)
+          let offered =
+            (not (Atomic.get p.stop))
+            &&
+            begin
+              Mutex.lock p.qm;
+              let ok = not (Atomic.get p.stop) in
+              if ok then begin
+                for _ = 1 to n do
+                  Queue.push (Ticket b) p.q
+                done;
+                Condition.broadcast p.qc
+              end;
+              Mutex.unlock p.qm;
+              ok
+            end
+          in
+          ignore offered;
+          (* The caller participates: it claims and runs its own tasks
+             until none are left unclaimed, then waits for in-flight
+             ones.  This is what makes nested portfolios deadlock-free
+             (a worker can always drain the batch it submitted) and is
+             also the fallback when the pool is draining for shutdown. *)
+          let rec help () =
+            match claim b with
+            | Some i ->
+                b.runs.(i) ();
+                help ()
+            | None -> ()
+          in
+          help ();
+          Mutex.lock b.bm;
+          while b.unfinished > 0 do
+            Condition.wait b.bc b.bm
+          done;
+          Mutex.unlock b.bm;
+          collect_outcomes tasks results
+        end
+
+  let run pool tasks =
+    let values = collect pool tasks in
+    let ranked =
+      List.mapi
+        (fun index (task, value) ->
+          { label = Task.label task; index; value; score = task.Task.score value })
+        (List.combine tasks values)
+    in
+    (* Stable: equal scores keep task order, so the head is the same
+       winner a sequential first-strict-improvement scan would keep. *)
+    List.stable_sort (fun a b -> compare b.score a.score) ranked
+
+  let best pool tasks = match run pool tasks with [] -> None | r :: _ -> Some r
+end
+
+(* ------------------------------------------------------------------ *)
+(* Default pool.                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let default_lock = Mutex.create ()
+let default_ref : (Pool.t * bool) option ref = ref None (* pool, owned *)
+
+let jobs_from_env () =
+  match Sys.getenv_opt "BCC_JOBS" with
+  | None -> 1
+  | Some s -> ( match int_of_string_opt (String.trim s) with Some n -> n | None -> 1)
+
+let locked_default f =
+  Mutex.lock default_lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock default_lock) f
+
+let default_pool () =
+  locked_default (fun () ->
+      match !default_ref with
+      | Some (p, _) -> p
+      | None ->
+          let p = Pool.create ~jobs:(jobs_from_env ()) in
+          default_ref := Some (p, true);
+          p)
+
+let replace_default pool ~owned =
+  locked_default (fun () ->
+      (match !default_ref with
+      | Some (old, true) -> Pool.shutdown old
+      | _ -> ());
+      default_ref := Some (pool, owned))
+
+let set_default_jobs jobs = replace_default (Pool.create ~jobs) ~owned:true
+let install_default pool = replace_default pool ~owned:false

@@ -1,0 +1,132 @@
+(** Explicit execution engine: deterministic task portfolios over an
+    interchangeable sequential or domain-pool backend.
+
+    Every "try several things, keep the best" competition in the solver
+    pipeline (QK bipartition restarts and expensive-node branches, the
+    HkS heuristic arms, the solver's per-round arm race, bench budget
+    sweeps) submits through this module instead of hand-rolled [for]
+    loops, which makes the portfolios schedulable across OCaml 5
+    domains.
+
+    {2 Determinism contract}
+
+    Results are {e bit-identical at any job count}:
+
+    - every task carries its own {!Bcc_util.Rng.t}, derived by the caller
+      from (parent stream, task index) via {!Bcc_util.Rng.derive} before
+      submission, so no task ever observes another task's draws;
+    - {!Portfolio.collect} returns results in task order and
+      {!Portfolio.run} ranks by (score desc, task index asc) with a
+      stable sort — completion order is never observable;
+    - a task that raises aborts the batch deterministically: the
+      exception of the {e lowest-indexed} failing task is re-raised in
+      the caller once the batch has drained.
+
+    {2 Shared vs cloned state}
+
+    Tasks run concurrently on the [Domains] backend, so closures must
+    only share immutable data.  In this codebase: [Instance.t],
+    [Graph.t], [Hks.instance] and [Decompose] outputs are frozen after
+    construction and safe to share; [Cover.t] is mutable and must be
+    cloned per task ([Cover.clone]); scratch arrays must be allocated
+    inside the task.  [Bcc_obs.Trace]/[Stage] and the server metrics
+    registry are lock-protected and safe to call from any task.
+
+    {2 Nesting}
+
+    Portfolios nest freely (the solver races arms whose QK arm itself
+    runs a bipartition portfolio over HkS portfolios).  A caller waiting
+    on a batch participates in executing its {e own} tasks, so a worker
+    that submits a sub-portfolio can always drain it itself — nested
+    [Portfolio] calls cannot deadlock even when every worker is busy,
+    and never execute unrelated queued work (e.g. a daemon connection)
+    while waiting. *)
+
+type backend = Seq | Domains
+(** [Seq] runs tasks inline in submission order (the default, exactly
+    today's sequential behavior).  [Domains] executes on a fixed pool of
+    OCaml 5 domains fed by a shared work queue. *)
+
+module Task : sig
+  type 'a t
+  (** A unit of portfolio work: a label (for spans and metrics), a
+      thunk taking the task's private RNG stream, and a score used by
+      {!Portfolio.run} to rank results. *)
+
+  val make :
+    ?label:string -> ?rng:Bcc_util.Rng.t -> ?score:('a -> float) -> (Bcc_util.Rng.t -> 'a) -> 'a t
+  (** [make f] builds a task.  [rng] defaults to a fixed all-zero
+      stream (fine for deterministic thunks that ignore it); [score]
+      defaults to [fun _ -> 0.]; [label] defaults to ["task"]. *)
+
+  val label : _ t -> string
+end
+
+module Pool : sig
+  type t
+
+  val seq : unit -> t
+  (** The inline backend; no domains are spawned. *)
+
+  val domains : jobs:int -> t
+  (** A fixed pool of [max 1 jobs] worker domains with a shared work
+      queue.  Call {!shutdown} when done; lingering pools are drained
+      and joined by an [at_exit] hook. *)
+
+  val create : jobs:int -> t
+  (** [create ~jobs] is {!seq} when [jobs <= 1], else
+      [domains ~jobs]. *)
+
+  val backend : t -> backend
+  val jobs : t -> int
+
+  val submit : t -> (unit -> unit) -> bool
+  (** Fire-and-forget job (the daemon's connection handler).  Runs
+      inline on [Seq].  Returns [false] without running the job if the
+      pool is shutting down. *)
+
+  val queue_depth : t -> int
+  (** Jobs and batch tickets currently queued (0 for [Seq]). *)
+
+  val shutdown : t -> unit
+  (** Stop accepting work, drain the queue, join the workers.
+      Idempotent. *)
+end
+
+module Portfolio : sig
+  type 'a ranked = { label : string; index : int; value : 'a; score : float }
+
+  val collect : Pool.t -> 'a Task.t list -> 'a list
+  (** Run every task and return the results {e in task order}. *)
+
+  val run : Pool.t -> 'a Task.t list -> 'a ranked list
+  (** Run every task and rank results by score descending, ties broken
+      by task index ascending (stable), so the winner is identical to a
+      sequential first-strict-improvement scan. *)
+
+  val best : Pool.t -> 'a Task.t list -> 'a ranked option
+  (** [run] then head; [None] on an empty task list. *)
+end
+
+(** {2 Default pool}
+
+    Library entry points ({!Bcc_qk.Qk.solve}, {!Bcc_dks.Hks.solve},
+    {!Bcc_core.Solver.solve}) draw their pool from here so callers keep
+    their existing signatures.  Sized by the [BCC_JOBS] environment
+    variable at first use (absent/invalid/[<=1] means [Seq]); [--jobs]
+    flags call {!set_default_jobs}. *)
+
+val default_pool : unit -> Pool.t
+
+val set_default_jobs : int -> unit
+(** Replace the default pool with [Pool.create ~jobs] (shutting down the
+    previous default if it owned domains). *)
+
+val install_default : Pool.t -> unit
+(** Make an externally owned pool (the daemon's worker pool) the
+    default, so solver-internal portfolios share its domains. *)
+
+(** {2 Introspection for /metrics} *)
+
+val task_counts : unit -> ((backend * [ `Ok | `Error ]) * int) list
+(** Process-wide completed-task counters, by backend and outcome. *)

@@ -10,7 +10,13 @@
     An optional {e observer} receives every (stage, duration) sample as
     it is recorded — [bccd] uses it to feed per-stage latency histograms
     into its Prometheus registry without this library depending on the
-    server. *)
+    server.
+
+    Safe under concurrent OCaml 5 domains: the stage table is guarded by
+    a mutex and the observer is invoked {e outside} the lock (it takes
+    its own — typically the metrics registry's), so engine worker
+    domains may record simultaneously without deadlock or corruption.
+    The observer itself must therefore be domain-safe. *)
 
 type stat = {
   stage : string;

@@ -32,8 +32,15 @@ let filled = ref 0
 let dropped_count = ref 0
 let next_id = ref 0
 
-(* Innermost open span per thread; spans nest within a thread (bccd
-   workers each solve their own request), never across threads. *)
+(* Innermost open span per execution context; spans nest within one
+   context (an engine worker domain, a bccd connection, a test thread),
+   never across contexts.  The context id folds the domain id in with
+   the thread id: OCaml 5 thread ids are only guaranteed unique within
+   a domain, and colliding ids would interleave two domains' stacks and
+   corrupt parent linkage. *)
+let context_id () =
+  ((Domain.self () :> int) * 65536) + Thread.id (Thread.self ())
+
 let stacks : (int, span list ref) Hashtbl.t = Hashtbl.create 8
 
 let locked f =
@@ -80,7 +87,7 @@ let push_completed sp =
   if !filled < cap then incr filled
 
 let open_span ~attrs ~name t0 =
-  let tid = Thread.id (Thread.self ()) in
+  let tid = context_id () in
   locked (fun () ->
       let id = !next_id in
       incr next_id;

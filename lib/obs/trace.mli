@@ -12,6 +12,14 @@
     {!with_span} call — no timestamps, no allocation, no locking — so
     the instrumentation can stay in the hot paths unconditionally.
 
+    The recorder is safe under concurrent OCaml 5 domains (the engine's
+    worker pool records spans from every domain): the ring buffer and
+    the per-context span stacks are guarded by one mutex, and span
+    nesting is tracked per (domain, thread) pair so two domains can
+    never interleave into one stack.  A span opened inside an engine
+    task is a root of its worker's context — parent links do not cross
+    the submission boundary.
+
     The buffer can be exported as a span forest ({!spans}) or as Chrome
     [trace_event] JSON ({!chrome_json}) loadable in [chrome://tracing]
     and {{:https://ui.perfetto.dev}Perfetto}.  Profiling
@@ -23,7 +31,7 @@ type value = Bool of bool | Int of int | Float of float | Str of string
 type span = {
   id : int;  (** unique, increasing; [-1] on {!null_span} *)
   parent : int;  (** id of the enclosing span, [-1] for roots *)
-  tid : int;  (** {!Thread.id} of the recording thread *)
+  tid : int;  (** recording context: [domain_id * 65536 + Thread.id] *)
   name : string;  (** the stage name *)
   start_s : float;  (** {!Bcc_util.Timer.now_s} at entry *)
   mutable end_s : float;

@@ -3,6 +3,7 @@ module Hks = Bcc_dks.Hks
 module Heap = Bcc_util.Heap
 module Rng = Bcc_util.Rng
 module Trace = Bcc_obs.Trace
+module Engine = Bcc_engine.Engine
 
 type instance = { graph : Bcc_graph.Graph.t; budget : float }
 type solution = { nodes : int list; cost : float; value : float }
@@ -348,21 +349,10 @@ let solve_cheap inst opts rng ~allowed ~budget =
         Trace.add_attr sp "ticks" (Trace.Int resolution);
         Trace.add_attr sp "passes" (Trace.Int (iterations + 2))
       end;
-      let best = ref [] and best_value = ref neg_infinity in
-      let passes =
-        List.init iterations (fun _ () ->
-            pipeline_once cheap mult ~budget_ticks:resolution rng)
-        @ [
-            (* Non-bipartite passes: at the paper's half-budget k and at
-               the full tick budget (the rounding keeps both feasible). *)
-            (fun () -> full_pass cheap mult ~budget_ticks:resolution ~k:(resolution / 2));
-            (fun () -> full_pass cheap mult ~budget_ticks:resolution ~k:resolution);
-          ]
-      in
-      List.iter (fun pass ->
-        let set = pass () in
-        (* Map back, fill greedily with the true float costs, evaluate on
-           the original graph. *)
+      (* Map back, fill greedily with the true float costs, evaluate on
+         the original graph.  Runs inside each pass task; everything it
+         touches besides the shared read-only graphs is task-local. *)
+      let finish_pass set =
         let full = Array.make (Graph.n g) false in
         Array.iteri (fun v chosen -> if chosen then full.(back.(v)) <- true) set;
         (* Guard: integer rounding can overshoot the true budget only by
@@ -383,17 +373,36 @@ let solve_cheap inst opts rng ~allowed ~budget =
         end;
         greedy_fill { inst with budget } full;
         let value = Graph.induced_weight g full in
-        if value > !best_value then begin
-          best_value := value;
-          best :=
-            Array.to_list
-              (Array.of_seq
-                 (Seq.filter_map
-                    (fun v -> if full.(v) then Some v else None)
-                    (Seq.init (Graph.n g) (fun i -> i))))
-        end)
-        passes;
-      !best
+        let nodes =
+          Array.to_list
+            (Array.of_seq
+               (Seq.filter_map
+                  (fun v -> if full.(v) then Some v else None)
+                  (Seq.init (Graph.n g) (fun i -> i))))
+        in
+        (value, nodes)
+      in
+      (* The restart portfolio: each bipartition gets its own RNG stream
+         derived from (this call's stream, pass index), so results are
+         bit-identical at any job count. *)
+      let score = fst in
+      let tasks =
+        List.init iterations (fun i ->
+            Engine.Task.make ~label:"qk.bipartition" ~rng:(Rng.derive rng i) ~score
+              (fun trng ->
+                finish_pass (pipeline_once cheap mult ~budget_ticks:resolution trng)))
+        @ [
+            (* Non-bipartite passes: at the paper's half-budget k and at
+               the full tick budget (the rounding keeps both feasible). *)
+            Engine.Task.make ~label:"qk.full-half" ~score (fun _ ->
+                finish_pass (full_pass cheap mult ~budget_ticks:resolution ~k:(resolution / 2)));
+            Engine.Task.make ~label:"qk.full" ~score (fun _ ->
+                finish_pass (full_pass cheap mult ~budget_ticks:resolution ~k:resolution));
+          ]
+      in
+      match Engine.Portfolio.best (Engine.default_pool ()) tasks with
+      | Some r -> snd r.Engine.Portfolio.value
+      | None -> []
     end
   end
 
@@ -405,18 +414,14 @@ let solve ?(options = default_options) inst =
     Trace.add_attr sp "nodes" (Trace.Int n);
     Trace.add_attr sp "budget" (Trace.Float inst.budget)
   end;
-  let rng = Rng.create options.seed in
+  let pool = Engine.default_pool () in
+  let root = Rng.create options.seed in
   let budget = inst.budget in
   let affordable = Array.init n (fun v -> Graph.node_cost g v <= budget +. 1e-12) in
   let expensive =
     Array.init n (fun v -> affordable.(v) && Graph.node_cost g v > budget /. 2.0)
   in
   let cheap = Array.init n (fun v -> affordable.(v) && not expensive.(v)) in
-  let candidates = ref [] in
-  let push nodes = candidates := nodes :: !candidates in
-  (* Branch: no expensive node. *)
-  push (solve_cheap inst options rng ~allowed:cheap ~budget);
-  (* Branch: one expensive node + residual. *)
   let expensive_ids =
     let ids = ref [] in
     for v = n - 1 downto 0 do
@@ -426,54 +431,85 @@ let solve ?(options = default_options) inst =
     Array.sort (fun a b -> compare (Graph.weighted_degree g b) (Graph.weighted_degree g a)) ids;
     ids
   in
-  Array.iteri
-    (fun i v ->
-      if i < options.max_expensive_branches then begin
-        let residual_budget = budget -. Graph.node_cost g v in
-        push (v :: solve_cheap inst options rng ~allowed:cheap ~budget:residual_budget);
-        (* Also the bare hub: the final greedy fill then grows it using
-           the hub's own edges, which the residual solve cannot see. *)
-        push [ v ]
-      end)
-    expensive_ids;
-  (* Branch: a pair of expensive nodes (at most two fit in the budget). *)
-  let ne = Array.length expensive_ids in
-  let pair_cap = min ne 200 in
-  let best_pair = ref None in
-  for i = 0 to pair_cap - 1 do
-    for j = i + 1 to pair_cap - 1 do
-      let a = expensive_ids.(i) and b = expensive_ids.(j) in
-      if Graph.node_cost g a +. Graph.node_cost g b <= budget +. 1e-12 then begin
-        let w = match Graph.edge_weight g a b with Some w -> w | None -> 0.0 in
-        match !best_pair with
-        | Some (_, _, w') when w' >= w -> ()
-        | _ -> best_pair := Some (a, b, w)
-      end
-    done
-  done;
-  (match !best_pair with Some (a, b, _) -> push [ a; b ] | None -> ());
-  (* Evaluate all candidates after a final greedy fill. *)
-  let best = ref { nodes = []; cost = 0.0; value = 0.0 } in
-  List.iter
-    (fun nodes ->
-      let sel = Array.make n false in
-      List.iter (fun v -> sel.(v) <- true) nodes;
-      if Graph.induced_cost g sel <= budget +. 1e-9 then begin
-        greedy_fill inst sel;
-        local_improve inst sel;
-        greedy_fill inst sel;
-        let nodes = ref [] in
-        for v = n - 1 downto 0 do
-          if sel.(v) then nodes := v :: !nodes
+  (* Candidate-generating branches, one engine task each; every branch
+     returns a list of candidate node sets and derives its RNG stream
+     from (seed, branch index) so any schedule yields the same draws.
+     Branch order fixes candidate order: cheap-only first, then the
+     expensive-node branches by descending weighted degree, then the
+     expensive pair. *)
+  let branch i label f = Engine.Task.make ~label ~rng:(Rng.derive root i) f in
+  let cheap_branch =
+    (* Branch: no expensive node. *)
+    branch 0 "qk.branch.cheap" (fun rng ->
+        [ solve_cheap inst options rng ~allowed:cheap ~budget ])
+  in
+  let expensive_branches =
+    List.filteri (fun i _ -> i < options.max_expensive_branches)
+      (Array.to_list (Array.mapi (fun i v -> (i, v)) expensive_ids))
+    |> List.map (fun (i, v) ->
+           branch (1 + i) "qk.branch.expensive" (fun rng ->
+               (* One expensive node + residual, and the bare hub: the
+                  final greedy fill grows the hub using its own edges,
+                  which the residual solve cannot see. *)
+               let residual_budget = budget -. Graph.node_cost g v in
+               [ v :: solve_cheap inst options rng ~allowed:cheap ~budget:residual_budget; [ v ] ]))
+  in
+  let pair_branch =
+    (* Branch: a pair of expensive nodes (at most two fit in the budget). *)
+    branch (1 + Array.length expensive_ids) "qk.branch.pair" (fun _ ->
+        let ne = Array.length expensive_ids in
+        let pair_cap = min ne 200 in
+        let best_pair = ref None in
+        for i = 0 to pair_cap - 1 do
+          for j = i + 1 to pair_cap - 1 do
+            let a = expensive_ids.(i) and b = expensive_ids.(j) in
+            if Graph.node_cost g a +. Graph.node_cost g b <= budget +. 1e-12 then begin
+              let w = match Graph.edge_weight g a b with Some w -> w | None -> 0.0 in
+              match !best_pair with
+              | Some (_, _, w') when w' >= w -> ()
+              | _ -> best_pair := Some (a, b, w)
+            end
+          done
         done;
-        let sol = evaluate inst !nodes in
-        if sol.value > !best.value then best := sol
-      end)
-    !candidates;
+        match !best_pair with Some (a, b, _) -> [ [ a; b ] ] | None -> [])
+  in
+  let candidates =
+    List.concat
+      (Engine.Portfolio.collect pool
+         ((cheap_branch :: expensive_branches) @ [ pair_branch ]))
+  in
+  (* Evaluate all candidates after a final greedy fill, in parallel;
+     rank by realized value with ties to the earlier candidate. *)
+  let eval_tasks =
+    List.map
+      (fun nodes ->
+        Engine.Task.make ~label:"qk.candidate"
+          ~score:(function Some sol -> sol.value | None -> neg_infinity)
+          (fun _ ->
+            let sel = Array.make n false in
+            List.iter (fun v -> sel.(v) <- true) nodes;
+            if Graph.induced_cost g sel <= budget +. 1e-9 then begin
+              greedy_fill inst sel;
+              local_improve inst sel;
+              greedy_fill inst sel;
+              let nodes = ref [] in
+              for v = n - 1 downto 0 do
+                if sel.(v) then nodes := v :: !nodes
+              done;
+              Some (evaluate inst !nodes)
+            end
+            else None))
+      candidates
+  in
+  let best =
+    match Engine.Portfolio.best pool eval_tasks with
+    | Some { Engine.Portfolio.value = Some sol; _ } when sol.value > 0.0 -> sol
+    | _ -> { nodes = []; cost = 0.0; value = 0.0 }
+  in
   if Trace.recording sp then begin
-    Trace.add_attr sp "candidates" (Trace.Int (List.length !candidates));
-    Trace.add_attr sp "picked" (Trace.Int (List.length !best.nodes));
-    Trace.add_attr sp "value" (Trace.Float !best.value);
-    Trace.add_attr sp "cost" (Trace.Float !best.cost)
+    Trace.add_attr sp "candidates" (Trace.Int (List.length candidates));
+    Trace.add_attr sp "picked" (Trace.Int (List.length best.nodes));
+    Trace.add_attr sp "value" (Trace.Float best.value);
+    Trace.add_attr sp "cost" (Trace.Float best.cost)
   end;
-  !best
+  best

@@ -9,6 +9,7 @@ module Io = Bcc_data.Io
 module Timer = Bcc_util.Timer
 module Trace = Bcc_obs.Trace
 module Stage = Bcc_obs.Stage
+module Engine = Bcc_engine.Engine
 
 type config = {
   host : string;
@@ -40,9 +41,8 @@ type t = {
   sock : Unix.file_descr;
   actual_port : int;
   num_workers : int;
-  queue : (Unix.file_descr * float) Queue.t;
-  qlock : Mutex.t;
-  qcond : Condition.t;
+  pool : Engine.Pool.t;  (* connection handlers AND solver-internal portfolios *)
+  pending : int Atomic.t;  (* accepted connections not yet picked up by a worker *)
   stop : bool Atomic.t;
   named : (string, loaded) Hashtbl.t;
   inst_cache : loaded Cache.t;  (* raw body digest -> parsed instance *)
@@ -84,15 +84,21 @@ let create cfg =
   let num_workers =
     if cfg.workers > 0 then cfg.workers else Domain.recommended_domain_count ()
   in
+  (* Always the [Domains] backend, even at one worker, so the accept loop
+     stays responsive while a solve is in flight.  Installing it as the
+     engine default makes solver-internal portfolios (QK/HkS/solver arms)
+     run on the same domains as the connection handlers — a worker that
+     opens a sub-portfolio drains it itself, so this cannot deadlock. *)
+  let pool = Engine.Pool.domains ~jobs:num_workers in
+  Engine.install_default pool;
   let t =
     {
       cfg;
       sock;
       actual_port;
       num_workers;
-      queue = Queue.create ();
-      qlock = Mutex.create ();
-      qcond = Condition.create ();
+      pool;
+      pending = Atomic.make 0;
       stop = Atomic.make false;
       named;
       inst_cache = Cache.create ~capacity:(max 1 cfg.cache_entries);
@@ -368,6 +374,22 @@ let handle_metrics t =
     (float_of_int t.num_workers);
   Metrics.set t.metrics "bccd_uptime_seconds" ~help:"Process uptime."
     (Timer.now_s ());
+  (* Execution-engine counters: process-wide atomics polled on scrape
+     (the same delta-inc pattern as the cache eviction counter). *)
+  let backend_name = function Engine.Seq -> "seq" | Engine.Domains -> "domains" in
+  let outcome_name = function `Ok -> "ok" | `Error -> "error" in
+  List.iter
+    (fun ((b, o), n) ->
+      let labels = [ ("backend", backend_name b); ("outcome", outcome_name o) ] in
+      Metrics.inc t.metrics "bcc_engine_tasks_total" ~labels
+        ~help:"Engine tasks completed, by backend and outcome."
+        ~by:
+          (float_of_int n
+          -. Metrics.counter_value t.metrics "bcc_engine_tasks_total" ~labels))
+    (Engine.task_counts ());
+  Metrics.set t.metrics "bcc_engine_queue_depth"
+    ~help:"Jobs and batch tickets waiting in the engine work queue."
+    (float_of_int (Engine.Pool.queue_depth t.pool));
   Http.response ~content_type:"text/plain; version=0.0.4; charset=utf-8" 200
     (Metrics.render t.metrics)
 
@@ -430,49 +452,42 @@ let serve_conn t fd enqueued_at =
             count_request t ~endpoint:req.path ~status:resp.Http.status;
             Http.write_response fd resp)
 
-let worker_loop t =
-  let rec loop () =
-    Mutex.lock t.qlock;
-    while Queue.is_empty t.queue && not (Atomic.get t.stop) do
-      Condition.wait t.qcond t.qlock
-    done;
-    if Queue.is_empty t.queue then Mutex.unlock t.qlock (* stop + drained: exit *)
-    else begin
-      let fd, enqueued_at = Queue.pop t.queue in
-      Metrics.set t.metrics "bccd_queue_depth" ~help:"Connections waiting for a worker."
-        (float_of_int (Queue.length t.queue));
-      Mutex.unlock t.qlock;
-      (try serve_conn t fd enqueued_at with _ -> ());
-      loop ()
-    end
-  in
-  loop ()
-
 let enqueue_conn t fd =
   (* Socket-level timeouts bound slow readers/writers per request. *)
   (try
      Unix.setsockopt_float fd Unix.SO_RCVTIMEO t.cfg.timeout_s;
      Unix.setsockopt_float fd Unix.SO_SNDTIMEO t.cfg.timeout_s
    with Unix.Unix_error _ -> ());
-  Mutex.lock t.qlock;
-  if Queue.length t.queue >= t.cfg.queue_depth then begin
-    Mutex.unlock t.qlock;
-    (* Backpressure: refuse at the door rather than buffer unbounded work. *)
-    Metrics.inc t.metrics "bccd_rejected_total" ~labels:[ ("reason", "queue_full") ]
+  let reject reason msg =
+    Metrics.inc t.metrics "bccd_rejected_total" ~labels:[ ("reason", reason) ]
       ~help:"Connections refused or abandoned.";
-    respond_error t fd ~endpoint:"-" ~status:503 "server busy, queue full";
+    respond_error t fd ~endpoint:"-" ~status:503 msg;
     try Unix.close fd with Unix.Unix_error _ -> ()
-  end
+  in
+  (* Backpressure on {e connections} waiting for a worker, not on the raw
+     engine queue — solver-internal batch tickets transit the same queue
+     and must not trip the admission limit. *)
+  if Atomic.get t.pending >= t.cfg.queue_depth then
+    reject "queue_full" "server busy, queue full"
   else begin
-    Queue.push (fd, Timer.now_s ()) t.queue;
-    Metrics.set t.metrics "bccd_queue_depth" (float_of_int (Queue.length t.queue));
-    Condition.signal t.qcond;
-    Mutex.unlock t.qlock
+    Atomic.incr t.pending;
+    Metrics.set t.metrics "bccd_queue_depth"
+      ~help:"Connections waiting for a worker."
+      (float_of_int (Atomic.get t.pending));
+    let enqueued_at = Timer.now_s () in
+    let job () =
+      Atomic.decr t.pending;
+      Metrics.set t.metrics "bccd_queue_depth" (float_of_int (Atomic.get t.pending));
+      try serve_conn t fd enqueued_at with _ -> ()
+    in
+    if not (Engine.Pool.submit t.pool job) then begin
+      Atomic.decr t.pending;
+      reject "shutdown" "shutting down"
+    end
   end
 
 let run t =
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
-  let workers = List.init t.num_workers (fun _ -> Thread.create worker_loop t) in
   let rec accept_loop () =
     if not (Atomic.get t.stop) then begin
       (match Unix.select [ t.sock ] [] [] 0.25 with
@@ -487,10 +502,11 @@ let run t =
     end
   in
   accept_loop ();
-  (* Shutdown: wake every worker; they drain the queue (late arrivals get
-     503) and finish whatever solve is in flight before exiting. *)
-  Mutex.lock t.qlock;
-  Condition.broadcast t.qcond;
-  Mutex.unlock t.qlock;
-  List.iter Thread.join workers;
-  try Unix.close t.sock with Unix.Unix_error _ -> ()
+  (* Shutdown: the engine pool drains queued connections (late arrivals
+     get 503 from [serve_conn]'s stop check) and joins its domains; any
+     in-flight solve finishes first. *)
+  Engine.Pool.shutdown t.pool;
+  (try Unix.close t.sock with Unix.Unix_error _ -> ());
+  (* The daemon is done with the shared pool; leave later library calls
+     (tests run several daemons per process) a working default. *)
+  Engine.set_default_jobs 1

@@ -1,10 +1,12 @@
 (** [bccd] — a resident BCC solver service.
 
-    Architecture: one acceptor thread feeds a {e bounded} queue drained
-    by a pool of worker threads; when the queue is full new connections
-    are refused with [503] at the door (backpressure) instead of
-    buffering unbounded work, and requests that outwait the timeout in
-    the queue are answered [503] without being solved.  Results are
+    Architecture: one acceptor thread submits connections to a
+    {!Bcc_engine.Engine.Pool} of worker domains (installed as the engine
+    default, so solver-internal portfolios share the same domains); when
+    too many connections are waiting, new ones are refused with [503] at
+    the door (backpressure) instead of buffering unbounded work, and
+    requests that outwait the timeout in the queue are answered [503]
+    without being solved.  Results are
     memoized in a content-addressed LRU ({!Cache}) keyed by
     (instance digest, endpoint, budget, target), so a budget sweep over
     a fixed workload — the paper's Section 6 evaluation pattern — pays
@@ -19,15 +21,17 @@
       query parameters override);
     - [GET /instances] — the instances preloaded at startup;
     - [GET /healthz], [GET /metrics] (Prometheus text format, including
-      [bcc_stage_duration_seconds] histograms labeled by pipeline stage);
+      [bcc_stage_duration_seconds] histograms labeled by pipeline stage,
+      [bcc_engine_tasks_total] counters labeled by engine backend and
+      outcome, and the [bcc_engine_queue_depth] gauge);
     - [GET /debug/trace?last=N] — the most recent completed
       {!Bcc_obs.Trace} spans as a JSON forest (children nested under
       their parents), for inspecting where a solve spent its time.
 
     Shutdown ({!request_stop}, wired to SIGINT/SIGTERM by the daemon):
     stop accepting, answer queued-but-unstarted connections [503], let
-    workers finish in-flight solves, join every worker, close the
-    socket. *)
+    workers finish in-flight solves, shut down the engine pool (joining
+    every worker domain), close the socket. *)
 
 type config = {
   host : string;

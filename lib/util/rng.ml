@@ -16,6 +16,13 @@ let int64 t =
 
 let split t = { state = mix64 (int64 t) }
 
+let derive t i =
+  (* Independent stream for sub-task [i]: hash (current state, i) without
+     advancing [t], so a parent can hand out per-index streams in any
+     order and every index always sees the same stream. *)
+  let z = Int64.add t.state (Int64.mul golden_gamma (Int64.of_int (i + 1))) in
+  { state = mix64 (Int64.logxor (mix64 z) (Int64.of_int i)) }
+
 let int t bound =
   if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
   (* 62 non-negative bits; modulo bias is negligible for bounds below 2^52. *)

@@ -20,6 +20,13 @@ val split : t -> t
 (** [split t] advances [t] and returns a new generator whose stream is
     independent of the remainder of [t]'s stream. *)
 
+val derive : t -> int -> t
+(** [derive t i] returns an independent deterministic stream for
+    sub-task index [i] {e without} advancing [t]: the result depends
+    only on [t]'s current state and [i].  This is how engine tasks get
+    bit-reproducible randomness regardless of execution order — the
+    parent derives one stream per task index up front. *)
+
 val int64 : t -> int64
 (** Next raw 64-bit output. *)
 

@@ -262,6 +262,17 @@ let e2e_concurrent_solves_and_shutdown () =
       | Some n -> Alcotest.(check bool) "request counter >= 10" true (n >= 10.0)
       | None -> Alcotest.fail "bccd_requests_total missing");
 
+      (* Execution-engine counters: every connection is a domain-pool job
+         and every solve runs portfolio tasks on the same pool, so the
+         domains/ok counter must be well past the request count. *)
+      (match metric_value body {|bcc_engine_tasks_total{backend="domains",outcome="ok"}|} with
+      | Some n -> Alcotest.(check bool) "engine task counter populated" true (n >= 10.0)
+      | None ->
+          Alcotest.fail {|bcc_engine_tasks_total{backend="domains",outcome="ok"} missing|});
+      (match metric_value body "bcc_engine_queue_depth" with
+      | Some n -> Alcotest.(check bool) "engine queue gauge non-negative" true (n >= 0.0)
+      | None -> Alcotest.fail "bcc_engine_queue_depth missing");
+
       (* per-stage latency histograms, fed by the span profiler *)
       (match metric_value body {|bcc_stage_duration_seconds_count{stage="solve"}|} with
       | Some n ->
@@ -274,7 +285,12 @@ let e2e_concurrent_solves_and_shutdown () =
       | None -> Alcotest.fail {|bcc_stage_duration_seconds_count{stage="prune"} missing|});
 
       (* /debug/trace returns the recorded span forest *)
-      let status, body = request ~port:d.port ~meth:"GET" ~path:"/debug/trace" () in
+      (* engine portfolios add a few hundred [engine.task] spans per
+         solve, so ask for a window big enough to hold a whole solve's
+         subtree. *)
+      let status, body =
+        request ~port:d.port ~meth:"GET" ~path:"/debug/trace?last=4096" ()
+      in
       Alcotest.(check int) "debug/trace status" 200 status;
       let trace = Json.of_string_exn (String.trim body) in
       Alcotest.(check (option bool)) "tracing enabled" (Some true)
@@ -282,16 +298,17 @@ let e2e_concurrent_solves_and_shutdown () =
       (match Json.get_list (get_field "spans" trace) with
       | Some (_ :: _ as roots) ->
           let name_of r = Json.get_string (get_field "name" r) in
-          let solve_root =
-            match List.find_opt (fun r -> name_of r = Some "solve") roots with
-            | Some r -> r
-            | None -> Alcotest.fail "no solve root span in /debug/trace"
-          in
-          (match Json.get_list (get_field "children" solve_root) with
-          | Some (_ :: _ as kids) ->
-              Alcotest.(check bool) "solve span has a prune child" true
-                (List.exists (fun k -> name_of k = Some "prune") kids)
-          | _ -> Alcotest.fail "solve span has no children")
+          let solve_roots = List.filter (fun r -> name_of r = Some "solve") roots in
+          if solve_roots = [] then Alcotest.fail "no solve root span in /debug/trace";
+          (* The ring may have evicted the oldest solve's early children,
+             but at least one retained solve must link its prune child. *)
+          Alcotest.(check bool) "a solve span has a prune child" true
+            (List.exists
+               (fun r ->
+                 match Json.get_list (get_field "children" r) with
+                 | Some kids -> List.exists (fun k -> name_of k = Some "prune") kids
+                 | _ -> false)
+               solve_roots)
       | _ -> Alcotest.fail "debug/trace returned no spans");
 
       (* graceful shutdown on SIGTERM: clean exit, workers drained *)

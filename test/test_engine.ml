@@ -1,0 +1,174 @@
+(* Tests for the execution engine: task-order results, deterministic
+   ranking, bit-identical RNG streams at any job count, nesting, error
+   propagation, the fire-and-forget submit path, and the process-wide
+   task counters the daemon exports. *)
+
+module Engine = Bcc_engine.Engine
+module Rng = Bcc_util.Rng
+module Solver = Bcc_core.Solver
+module Solution = Bcc_core.Solution
+module Synthetic = Bcc_data.Synthetic
+
+let with_pool jobs f =
+  let pool = Engine.Pool.create ~jobs in
+  Fun.protect ~finally:(fun () -> Engine.Pool.shutdown pool) (fun () -> f pool)
+
+let backend_accessors () =
+  with_pool 1 (fun pool ->
+      Alcotest.(check bool) "jobs<=1 is Seq" true (Engine.Pool.backend pool = Engine.Seq);
+      Alcotest.(check int) "seq reports one job" 1 (Engine.Pool.jobs pool);
+      Alcotest.(check int) "seq queue is empty" 0 (Engine.Pool.queue_depth pool));
+  with_pool 3 (fun pool ->
+      Alcotest.(check bool) "jobs>1 is Domains" true
+        (Engine.Pool.backend pool = Engine.Domains);
+      Alcotest.(check int) "domain count" 3 (Engine.Pool.jobs pool))
+
+let collect_preserves_order () =
+  let tasks = List.init 20 (fun i -> Engine.Task.make (fun _ -> i * i)) in
+  List.iter
+    (fun jobs ->
+      with_pool jobs (fun pool ->
+          Alcotest.(check (list int))
+            (Printf.sprintf "results in task order at jobs=%d" jobs)
+            (List.init 20 (fun i -> i * i))
+            (Engine.Portfolio.collect pool tasks)))
+    [ 1; 2; 4 ]
+
+let run_ranks_deterministically () =
+  let scores = [ 1.0; 3.0; 3.0; 0.5 ] in
+  let tasks =
+    List.map (fun s -> Engine.Task.make ~score:(fun v -> v) (fun _ -> s)) scores
+  in
+  with_pool 2 (fun pool ->
+      let ranked = Engine.Portfolio.run pool tasks in
+      Alcotest.(check (list (pair int (float 0.0)))) "score desc, index asc on ties"
+        [ (1, 3.0); (2, 3.0); (0, 1.0); (3, 0.5) ]
+        (List.map (fun r -> (r.Engine.Portfolio.index, r.Engine.Portfolio.score)) ranked);
+      match Engine.Portfolio.best pool tasks with
+      | Some r ->
+          Alcotest.(check int) "best = lowest index among top ties" 1
+            r.Engine.Portfolio.index
+      | None -> Alcotest.fail "best returned None");
+  with_pool 1 (fun pool ->
+      Alcotest.(check bool) "best of empty list is None" true
+        (Engine.Portfolio.best pool ([] : int Engine.Task.t list) = None))
+
+let rng_streams_identical_across_jobs () =
+  let root = Rng.create 99 in
+  let results jobs =
+    with_pool jobs (fun pool ->
+        Engine.Portfolio.collect pool
+          (List.init 16 (fun i ->
+               Engine.Task.make ~rng:(Rng.derive root i) (fun rng ->
+                   Array.init 8 (fun _ -> Rng.int64 rng)))))
+  in
+  let base = results 1 in
+  List.iter
+    (fun jobs ->
+      Alcotest.(check bool)
+        (Printf.sprintf "identical draws at jobs=1 vs jobs=%d" jobs)
+        true
+        (results jobs = base))
+    [ 2; 4 ]
+
+let nested_portfolios () =
+  with_pool 2 (fun pool ->
+      (* Every outer task opens a sub-portfolio on the same pool: the
+         caller-participation rule must keep this deadlock-free even with
+         more batches than workers. *)
+      let inner j =
+        Engine.Portfolio.collect pool
+          (List.init 4 (fun i -> Engine.Task.make (fun _ -> (10 * j) + i)))
+      in
+      let outer =
+        Engine.Portfolio.collect pool
+          (List.init 4 (fun j -> Engine.Task.make (fun _ -> inner j)))
+      in
+      Alcotest.(check (list (list int))) "nested results in order"
+        (List.init 4 (fun j -> List.init 4 (fun i -> (10 * j) + i)))
+        outer)
+
+exception Boom of int
+
+let lowest_indexed_failure_wins () =
+  List.iter
+    (fun jobs ->
+      with_pool jobs (fun pool ->
+          let tasks =
+            List.init 8 (fun i ->
+                Engine.Task.make (fun _ -> if i mod 2 = 1 then raise (Boom i) else i))
+          in
+          match Engine.Portfolio.collect pool tasks with
+          | _ -> Alcotest.fail "expected the batch to raise"
+          | exception Boom i ->
+              Alcotest.(check int)
+                (Printf.sprintf "lowest-indexed failure at jobs=%d" jobs)
+                1 i))
+    [ 1; 3 ]
+
+let submit_and_shutdown () =
+  let pool = Engine.Pool.domains ~jobs:2 in
+  let hit = Atomic.make 0 in
+  Alcotest.(check bool) "submit accepted" true
+    (Engine.Pool.submit pool (fun () -> Atomic.incr hit));
+  let rec wait n = if Atomic.get hit = 0 && n > 0 then (Unix.sleepf 0.002; wait (n - 1)) in
+  wait 500;
+  Alcotest.(check int) "submitted job ran" 1 (Atomic.get hit);
+  Engine.Pool.shutdown pool;
+  Engine.Pool.shutdown pool (* idempotent *);
+  Alcotest.(check bool) "submit refused after shutdown" false
+    (Engine.Pool.submit pool (fun () -> ()));
+  (* Portfolios on a stopped pool fall back to caller-inline execution
+     (bccd's graceful drain relies on this). *)
+  Alcotest.(check (list int)) "collect still completes inline" [ 0; 1; 2 ]
+    (Engine.Portfolio.collect pool (List.init 3 (fun i -> Engine.Task.make (fun _ -> i))))
+
+let task_counters_advance () =
+  let count backend =
+    List.assoc (backend, `Ok) (Engine.task_counts ())
+  in
+  let before = count Engine.Domains in
+  with_pool 2 (fun pool ->
+      ignore
+        (Engine.Portfolio.collect pool
+           (List.init 5 (fun i -> Engine.Task.make (fun _ -> i)))));
+  Alcotest.(check bool) "domains ok-counter advanced by the batch" true
+    (count Engine.Domains - before >= 5);
+  let before = count Engine.Seq in
+  with_pool 1 (fun pool ->
+      ignore
+        (Engine.Portfolio.collect pool
+           (List.init 3 (fun i -> Engine.Task.make (fun _ -> i)))));
+  Alcotest.(check bool) "seq ok-counter advanced by the batch" true
+    (count Engine.Seq - before >= 3)
+
+(* The end-to-end determinism contract: a full solve — QK bipartition
+   portfolios nested in solver arm races nested in the final sweep race
+   — is bit-identical at any job count. *)
+let solver_identical_across_jobs () =
+  let params = { Synthetic.default_params with num_queries = 600 } in
+  let inst = Synthetic.generate ~params ~seed:17 ~budget:400.0 () in
+  let solve_at jobs =
+    Engine.set_default_jobs jobs;
+    Fun.protect ~finally:(fun () -> Engine.set_default_jobs 1) (fun () ->
+        Solver.solve inst)
+  in
+  let a = solve_at 1 in
+  let b = solve_at 3 in
+  Alcotest.(check (float 0.0)) "utility identical" a.Solution.utility b.Solution.utility;
+  Alcotest.(check (float 0.0)) "cost identical" a.Solution.cost b.Solution.cost;
+  Alcotest.(check bool) "selected classifiers identical" true
+    (a.Solution.classifiers = b.Solution.classifiers)
+
+let suite =
+  [
+    ("backend accessors", `Quick, backend_accessors);
+    ("collect preserves task order", `Quick, collect_preserves_order);
+    ("run ranks deterministically", `Quick, run_ranks_deterministically);
+    ("rng streams identical across jobs", `Quick, rng_streams_identical_across_jobs);
+    ("nested portfolios are deadlock-free", `Quick, nested_portfolios);
+    ("lowest-indexed failure wins", `Quick, lowest_indexed_failure_wins);
+    ("submit and shutdown", `Quick, submit_and_shutdown);
+    ("task counters advance", `Quick, task_counters_advance);
+    ("solver identical across jobs", `Quick, solver_identical_across_jobs);
+  ]

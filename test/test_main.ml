@@ -2,6 +2,7 @@ let () =
   Alcotest.run "bcc"
     [
       ("util", Test_util.suite);
+      ("engine", Test_engine.suite);
       ("graph", Test_graph.suite);
       ("knapsack", Test_knapsack.suite);
       ("setcover", Test_setcover.suite);

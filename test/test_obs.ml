@@ -85,6 +85,62 @@ let per_thread_roots () =
           Alcotest.(check bool) "distinct thread ids" true (a.Trace.tid <> b.Trace.tid)
       | _ -> ())
 
+(* Two domains hammering the tracer concurrently: every span must land
+   with its parent linkage intact inside its own domain (the recording
+   context is keyed by domain id as well as thread id), and nothing may
+   be lost or cross-linked. *)
+let multi_domain_stress () =
+  with_obs ~capacity:8192 (fun () ->
+      let iters = 400 in
+      let work d () =
+        for _ = 1 to iters do
+          Trace.with_span ~name:(Printf.sprintf "outer%d" d) (fun outer ->
+              Trace.with_span ~name:(Printf.sprintf "inner%d" d) (fun inner ->
+                  if inner.Trace.parent <> outer.Trace.id then
+                    failwith "inner span linked to a foreign parent"))
+        done
+      in
+      let d1 = Domain.spawn (work 1) and d2 = Domain.spawn (work 2) in
+      Domain.join d1;
+      Domain.join d2;
+      let spans = Trace.spans () in
+      Alcotest.(check int) "every span recorded" (4 * iters) (List.length spans);
+      Alcotest.(check int) "none dropped" 0 (Trace.dropped ());
+      let by_id = Hashtbl.create 1024 in
+      List.iter (fun sp -> Hashtbl.replace by_id sp.Trace.id sp) spans;
+      let tid_of_domain = Hashtbl.create 2 in
+      List.iter
+        (fun sp ->
+          let d = sp.Trace.name.[String.length sp.Trace.name - 1] in
+          (match Hashtbl.find_opt tid_of_domain d with
+          | Some tid ->
+              Alcotest.(check int)
+                (Printf.sprintf "domain %c keeps one recording context" d)
+                tid sp.Trace.tid
+          | None -> Hashtbl.add tid_of_domain d sp.Trace.tid);
+          if String.length sp.Trace.name >= 5 && String.sub sp.Trace.name 0 5 = "inner"
+          then
+            match Hashtbl.find_opt by_id sp.Trace.parent with
+            | Some p ->
+                Alcotest.(check string) "parent is this domain's outer"
+                  ("outer" ^ String.make 1 d)
+                  p.Trace.name
+            | None -> Alcotest.fail "inner span's parent not recorded"
+          else
+            Alcotest.(check int) (sp.Trace.name ^ " is a root") (-1) sp.Trace.parent)
+        spans;
+      (match (Hashtbl.find_opt tid_of_domain '1', Hashtbl.find_opt tid_of_domain '2') with
+      | Some t1, Some t2 ->
+          Alcotest.(check bool) "domains record under distinct contexts" true (t1 <> t2)
+      | _ -> Alcotest.fail "missing a domain's spans");
+      (* The stage profiler saw every span exactly once. *)
+      List.iter
+        (fun name ->
+          match List.find_opt (fun s -> s.Stage.stage = name) (Stage.stats ()) with
+          | Some s -> Alcotest.(check int) (name ^ " stage count") iters s.Stage.count
+          | None -> Alcotest.failf "stage %s missing" name)
+        [ "outer1"; "inner1"; "outer2"; "inner2" ])
+
 let ring_wraparound () =
   with_obs ~capacity:4 (fun () ->
       for i = 1 to 10 do
@@ -229,6 +285,7 @@ let suite =
     ("span nesting and completion order", `Quick, span_nesting);
     ("span survives exceptions", `Quick, span_survives_exception);
     ("spans are per-thread roots", `Quick, per_thread_roots);
+    ("two-domain stress keeps linkage", `Quick, multi_domain_stress);
     ("ring buffer wraparound", `Quick, ring_wraparound);
     ("disabled path is a no-op", `Quick, disabled_noop);
     ("chrome json parses via server codec", `Quick, chrome_json_roundtrips);

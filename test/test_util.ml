@@ -32,6 +32,34 @@ let rng_split_independent () =
   let ys = Array.init 50 (fun _ -> Rng.int64 b) in
   Alcotest.(check bool) "split streams differ" true (xs <> ys)
 
+let rng_derive_reproducible () =
+  let mk () = Rng.create 7 in
+  for i = 0 to 9 do
+    let a = Rng.derive (mk ()) i and b = Rng.derive (mk ()) i in
+    for _ = 1 to 20 do
+      Alcotest.(check int64) "same (state, index), same stream" (Rng.int64 a) (Rng.int64 b)
+    done
+  done
+
+let rng_derive_indices_diverge () =
+  let parent = Rng.create 7 in
+  let draws i = Array.init 20 (fun _ -> Rng.int64 (Rng.derive parent i)) in
+  for i = 0 to 8 do
+    Alcotest.(check bool)
+      (Printf.sprintf "streams %d and %d differ" i (i + 1))
+      true
+      (draws i <> draws (i + 1))
+  done
+
+let rng_derive_leaves_parent_untouched () =
+  let a = Rng.create 7 and b = Rng.create 7 in
+  for i = 0 to 9 do
+    ignore (Rng.derive a i)
+  done;
+  for _ = 1 to 50 do
+    Alcotest.(check int64) "derive does not advance the parent" (Rng.int64 b) (Rng.int64 a)
+  done
+
 let rng_int_bounds =
   QCheck.Test.make ~name:"Rng.int stays in bounds" ~count:200
     QCheck.(pair small_int (int_range 1 1000))
@@ -204,6 +232,10 @@ let suite =
     Alcotest.test_case "rng determinism" `Quick rng_deterministic;
     Alcotest.test_case "rng seed sensitivity" `Quick rng_seed_sensitivity;
     Alcotest.test_case "rng split independence" `Quick rng_split_independent;
+    Alcotest.test_case "rng derive reproducible" `Quick rng_derive_reproducible;
+    Alcotest.test_case "rng derive indices diverge" `Quick rng_derive_indices_diverge;
+    Alcotest.test_case "rng derive leaves parent untouched" `Quick
+      rng_derive_leaves_parent_untouched;
     qtest rng_int_bounds;
     qtest rng_float_bounds;
     qtest rng_shuffle_permutes;
