@@ -88,6 +88,13 @@ let obs_term =
       | None -> if verbose then Logs.Debug else Logs.Warning
     in
     Bcc_obs.Log_reporter.install ~level ();
+    (* Entry-point opt-in for fault injection (libraries never read the
+       environment); malformed BCC_FAULTS is a usage error. *)
+    (match Bcc_robust.Fault.load_env () with
+    | () -> ()
+    | exception Failure msg ->
+        prerr_endline ("bcc: " ^ msg);
+        exit 2);
     (match jobs with
     | Some n -> Bcc_engine.Engine.set_default_jobs n
     | None -> ());
@@ -179,6 +186,15 @@ let algo_arg =
         `Abcc
     & info [ "a"; "algorithm" ] ~docv:"ALGO" ~doc:"abcc (default), rand, ig1 or ig2.")
 
+let timeout_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "timeout" ] ~docv:"SECONDS"
+        ~doc:"Deadline for the solve.  On expiry the best feasible solution \
+              found so far is printed and marked degraded; without this flag \
+              results are bit-identical to older builds.")
+
 let solve_cmd =
   let out =
     Arg.(
@@ -186,11 +202,20 @@ let solve_cmd =
       & opt (some string) None
       & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Save the solution to a file.")
   in
-  let run finish file budget algo seed out =
+  let run finish file budget algo seed out timeout =
     let inst = load_instance file budget in
+    let deadline =
+      match timeout with
+      | Some s -> Bcc_robust.Deadline.after ~label:"cli" s
+      | None -> Bcc_robust.Deadline.none
+    in
     let sol =
       match algo with
-      | `Abcc -> Solver.solve inst
+      | `Abcc ->
+          let r = Solver.solve_within ~deadline inst in
+          if r.Solver.degraded then
+            Format.printf "degraded: deadline hit, best incumbent shown@.";
+          r.Solver.solution
       | `Rand -> Baselines.rand ~seed inst Baselines.Budget
       | `Ig1 -> Baselines.ig1 inst Baselines.Budget
       | `Ig2 -> Baselines.ig2 inst Baselines.Budget
@@ -205,7 +230,9 @@ let solve_cmd =
   in
   Cmd.v
     (Cmd.info "solve" ~doc:"Solve the BCC problem on an instance file.")
-    Term.(const run $ obs_term $ file_arg $ budget_arg $ algo_arg $ seed_arg $ out)
+    Term.(
+      const run $ obs_term $ file_arg $ budget_arg $ algo_arg $ seed_arg $ out
+      $ timeout_arg)
 
 (* --- compare --- *)
 

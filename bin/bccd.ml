@@ -31,7 +31,7 @@ let queue_depth_arg =
     value
     & opt int Server.default_config.Server.queue_depth
     & info [ "queue-depth" ] ~docv:"N"
-        ~doc:"Bounded request queue; further connections get 503.")
+        ~doc:"Bounded request queue; further connections get 429 with retry-after.")
 
 let cache_entries_arg =
   Arg.(
@@ -80,6 +80,13 @@ let log_level_arg =
 
 let run host port workers queue_depth cache_entries timeout preload trace_spans level =
   Bcc_obs.Log_reporter.install ~level ();
+  (* Fault injection is opt-in per entry point: only binaries load
+     BCC_FAULTS, never the libraries. *)
+  (match Bcc_robust.Fault.load_env () with
+  | () ->
+      if Bcc_robust.Fault.enabled () then
+        Printf.printf "bccd: armed faults: %s\n%!" (Bcc_robust.Fault.summary ())
+  | exception Failure msg -> prerr_endline ("bccd: " ^ msg); exit 2);
   let cfg =
     {
       Server.host;

@@ -3,6 +3,7 @@ module Qk = Bcc_qk.Qk
 module Mc3 = Bcc_setcover.Mc3
 module Trace = Bcc_obs.Trace
 module Engine = Bcc_engine.Engine
+module Deadline = Bcc_robust.Deadline
 
 let log_src = Logs.Src.create "bcc.solver" ~doc:"A^BCC round-by-round progress"
 
@@ -129,6 +130,7 @@ let greedy_sweep ?allowed state ~limit =
   let parked = ref [] in
   let continue_ = ref true in
   while !continue_ do
+    Deadline.poll ();
     match Bcc_util.Heap.pop heap with
     | None -> continue_ := false
     | Some (qi, _) ->
@@ -166,19 +168,40 @@ let greedy_sweep ?allowed state ~limit =
     Trace.add_attr sp "spent" (Trace.Float (Cover.spent state -. spent0))
   end
 
-let solve ?(options = default_options) inst =
+type outcome = { solution : Solution.t; degraded : bool }
+
+let solve_within ?(options = default_options) ~deadline inst =
   Trace.with_span ~name:"solve" @@ fun sp ->
   let budget = Instance.budget inst in
   if Trace.recording sp then begin
     Trace.add_attr sp "classifiers" (Trace.Int (Instance.num_classifiers inst));
     Trace.add_attr sp "queries" (Trace.Int (Instance.num_queries inst));
-    Trace.add_attr sp "budget" (Trace.Float budget)
+    Trace.add_attr sp "budget" (Trace.Float budget);
+    if not (Deadline.is_none deadline) then
+      Trace.add_attr sp "deadline_s" (Trace.Float (Deadline.remaining_s deadline))
   end;
+  Deadline.with_current deadline @@ fun () ->
+  let degraded = ref false in
   let state = ref (Cover.create inst) in
   (* Zero-cost classifiers are free wins (paper preprocessing). *)
   for id = 0 to Instance.num_classifiers inst - 1 do
     if Instance.cost inst id <= 0.0 then Cover.select !state id
   done;
+  (* Anytime fallback: with a real deadline in play, bank a cheap greedy
+     incumbent up front so an expiry in round 0 still returns a useful
+     feasible solution rather than just the zero-cost classifiers.  Off
+     the deadline path this costs one [is_none] check. *)
+  let fallback =
+    if Deadline.is_none (Deadline.current ()) then None
+    else
+      try
+        let s = Cover.clone !state in
+        greedy_sweep s ~limit:(budget -. Cover.spent s);
+        Some (Solution.of_ids inst (Cover.selected s))
+      with Deadline.Expired _ ->
+        degraded := true;
+        None
+  in
   let keep = if options.prune then Prune.rule1 ~mode:options.prune_mode inst else [||] in
   let allowed id = if options.prune then keep.(id) else true in
   let max_rounds = if options.residual_rounds then max 1 options.max_rounds else 1 in
@@ -187,7 +210,13 @@ let solve ?(options = default_options) inst =
   (* The MC3 step rarely starts succeeding after failing twice in a row;
      back off to keep large instances fast. *)
   let mc3_failures = ref 0 in
+  (* The recovery point: [!state] only ever changes after the realized-
+     gain arbiter commits a winner, so unwinding out of a round with
+     [Expired] (from the round-boundary poll or re-raised out of an arm
+     portfolio) leaves it a budget-feasible incumbent. *)
+  (try
   while !continue_ && !round < max_rounds do
+    Deadline.poll ();
     let remaining = budget -. Cover.spent !state in
     if remaining <= 1e-9 then continue_ := false
     else begin
@@ -329,15 +358,20 @@ let solve ?(options = default_options) inst =
         continue_ := false;
       incr round
     end
-  done;
-  (* Final sweep: spend any leftover budget on whole cheapest covers. *)
-  if options.final_sweep then greedy_sweep !state ~limit:(budget -. Cover.spent !state);
+  done
+  with Deadline.Expired _ -> degraded := true);
+  (* Final sweep: spend any leftover budget on whole cheapest covers.
+     Skipped once degraded — its polls would raise immediately. *)
+  if options.final_sweep && not !degraded then begin
+    try greedy_sweep !state ~limit:(budget -. Cover.spent !state)
+    with Deadline.Expired _ -> degraded := true
+  end;
   let structured = Solution.of_ids inst (Cover.selected !state) in
   (* Top-level portfolio: a pure ratio-greedy run occasionally beats the
      decomposition on workloads dominated by long queries (it exploits
      classifier sharing sequentially); keep whichever realizes more. *)
   let result =
-    if not options.final_sweep then structured
+    if (not options.final_sweep) || !degraded then structured
     else begin
       let race =
         [
@@ -356,15 +390,32 @@ let solve ?(options = default_options) inst =
               Baselines.ig2 inst Baselines.Budget);
         ]
       in
-      match Engine.Portfolio.collect (Engine.default_pool ()) race with
-      | [ by_query; by_classifier ] ->
-          Solution.better structured (Solution.better by_query by_classifier)
-      | _ -> structured
+      try
+        match Engine.Portfolio.collect (Engine.default_pool ()) race with
+        | [ by_query; by_classifier ] ->
+            Solution.better structured (Solution.better by_query by_classifier)
+        | _ -> structured
+      with Deadline.Expired _ ->
+        degraded := true;
+        structured
     end
+  in
+  (* On the degraded path the banked greedy incumbent competes with
+     whatever the interrupted rounds left behind. *)
+  let result =
+    match fallback with Some f when !degraded -> Solution.better result f | _ -> result
   in
   if Trace.recording sp then begin
     Trace.add_attr sp "rounds" (Trace.Int !round);
+    Trace.add_attr sp "degraded" (Trace.Bool !degraded);
     Trace.add_attr sp "utility" (Trace.Float result.Solution.utility);
     Trace.add_attr sp "cost" (Trace.Float result.Solution.cost)
   end;
-  result
+  { solution = result; degraded = !degraded }
+
+(* The ambient deadline (if any — e.g. installed by the daemon around a
+   request, and re-installed by engine tasks) flows into [solve_within],
+   so the GMC3/ECC reductions and every other caller inherit graceful
+   degradation without signature changes. *)
+let solve ?options inst =
+  (solve_within ?options ~deadline:(Deadline.current ()) inst).solution

@@ -46,6 +46,27 @@ type options = {
 
 val default_options : options
 
+type outcome = { solution : Solution.t; degraded : bool }
+(** [degraded] marks a solution returned because the deadline expired
+    (or was cancelled) before the algorithm ran to completion.  The
+    solution is still budget-feasible — it is the best incumbent the
+    finished rounds committed, raced against a banked greedy pass. *)
+
+val solve_within :
+  ?options:options -> deadline:Bcc_robust.Deadline.t -> Instance.t -> outcome
+(** [solve] under a {!Bcc_robust.Deadline}.  The deadline is installed
+    as the ambient cancellation context for the whole run, so every
+    nested portfolio arm (QK restarts, HkS iterations, sweep loops)
+    polls it cooperatively.  On expiry the algorithm does {e not} raise:
+    it unwinds to the nearest round boundary and returns the best
+    feasible incumbent with [degraded = true].  Passing
+    {!Bcc_robust.Deadline.none} (and having no ambient deadline) makes
+    the run bit-identical to {!solve} before this layer existed.
+    @raise Bcc_robust.Deadline.Expired never. *)
+
 val solve : ?options:options -> Instance.t -> Solution.t
 (** Always returns a feasible solution (verified by construction:
-    selections never exceed the remaining budget). *)
+    selections never exceed the remaining budget).  Equivalent to
+    [solve_within ~deadline:(Deadline.current ())] with the [degraded]
+    flag dropped, so a caller-installed ambient deadline still degrades
+    gracefully. *)

@@ -47,11 +47,24 @@ let load_lines ~name next_line =
   let budget = ref 0.0 in
   let queries = ref [] in
   let costs = Propset.Tbl.create 256 in
+  (* Malformed input must surface as [Failure] (the servers map it to a
+     400), never as a silent mis-parse: empty or repeated property names
+     and NaN/negative numbers are all rejected here. *)
   let parse_props s =
-    Propset.of_list (List.map (Symtab.intern names) (String.split_on_char ';' s))
+    let parts = String.split_on_char ';' s in
+    let seen = Hashtbl.create 8 in
+    List.iter
+      (fun p ->
+        if p = "" then failwith ("Io.load: empty property name in: " ^ s);
+        if Hashtbl.mem seen p then failwith ("Io.load: duplicate property " ^ p ^ " in: " ^ s);
+        Hashtbl.add seen p ())
+      parts;
+    Propset.of_list (List.map (Symtab.intern names) parts)
   in
   let parse_float what s =
     match float_of_string_opt s with
+    | Some f when Float.is_nan f -> failwith ("Io.load: " ^ what ^ " is NaN: " ^ s)
+    | Some f when f < 0.0 -> failwith ("Io.load: negative " ^ what ^ ": " ^ s)
     | Some f -> f
     | None -> if s = "inf" then infinity else failwith ("Io.load: bad " ^ what ^ ": " ^ s)
   in

@@ -157,6 +157,8 @@ let local_search ?(max_rounds = 200) t sel0 =
     let improved = ref true in
     let rounds = ref 0 in
     while !improved && !rounds < max_rounds do
+      Bcc_robust.Deadline.poll ();
+      Bcc_robust.Fault.hit "hks.iter";
       improved := false;
       incr rounds;
       (* Cheapest selected copy to give up. *)

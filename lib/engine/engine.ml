@@ -1,5 +1,7 @@
 module Rng = Bcc_util.Rng
 module Trace = Bcc_obs.Trace
+module Deadline = Bcc_robust.Deadline
+module Fault = Bcc_robust.Fault
 
 type backend = Seq | Domains
 
@@ -9,16 +11,22 @@ type backend = Seq | Domains
 
 let n_seq_ok = Atomic.make 0
 let n_seq_err = Atomic.make 0
+let n_seq_cancel = Atomic.make 0
 let n_dom_ok = Atomic.make 0
 let n_dom_err = Atomic.make 0
+let n_dom_cancel = Atomic.make 0
 
-let count backend ~ok =
+type outcome_kind = [ `Ok | `Error | `Cancelled ]
+
+let count backend (o : outcome_kind) =
   let c =
-    match (backend, ok) with
-    | Seq, true -> n_seq_ok
-    | Seq, false -> n_seq_err
-    | Domains, true -> n_dom_ok
-    | Domains, false -> n_dom_err
+    match (backend, o) with
+    | Seq, `Ok -> n_seq_ok
+    | Seq, `Error -> n_seq_err
+    | Seq, `Cancelled -> n_seq_cancel
+    | Domains, `Ok -> n_dom_ok
+    | Domains, `Error -> n_dom_err
+    | Domains, `Cancelled -> n_dom_cancel
   in
   Atomic.incr c
 
@@ -26,8 +34,10 @@ let task_counts () =
   [
     ((Seq, `Ok), Atomic.get n_seq_ok);
     ((Seq, `Error), Atomic.get n_seq_err);
+    ((Seq, `Cancelled), Atomic.get n_seq_cancel);
     ((Domains, `Ok), Atomic.get n_dom_ok);
     ((Domains, `Error), Atomic.get n_dom_err);
+    ((Domains, `Cancelled), Atomic.get n_dom_cancel);
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -40,21 +50,40 @@ module Task = struct
     rng : Rng.t;
     run : Rng.t -> 'a;
     score : 'a -> float;
+    deadline : Deadline.t;  (* ambient at creation; re-installed around the body *)
+    timeout_s : float option;
   }
 
-  let make ?(label = "task") ?rng ?(score = fun _ -> 0.0) run =
+  let make ?(label = "task") ?rng ?(score = fun _ -> 0.0) ?timeout_s run =
     let rng = match rng with Some r -> r | None -> Rng.create 0 in
-    { label; rng; run; score }
+    { label; rng; run; score; deadline = Deadline.current (); timeout_s }
 
   let label t = t.label
+  let deadline t = t.deadline
 end
 
 (* A task's body, wrapped in a span so portfolios show up in traces and
-   the per-stage profiler. *)
+   the per-stage profiler, and bracketed by the task's deadline (the
+   submitter's ambient context, possibly tightened by a per-task
+   timeout) so cooperative polls inside the body see it on whichever
+   domain runs the task. *)
 let exec (task : 'a Task.t) =
-  Trace.with_span ~name:"engine.task" @@ fun sp ->
-  if Trace.recording sp then Trace.add_attr sp "label" (Trace.Str task.Task.label);
-  task.Task.run task.Task.rng
+  let body () =
+    Trace.with_span ~name:"engine.task" @@ fun sp ->
+    if Trace.recording sp then Trace.add_attr sp "label" (Trace.Str task.Task.label);
+    Fault.hit "engine.task";
+    task.Task.run task.Task.rng
+  in
+  let dl =
+    match task.Task.timeout_s with
+    | None -> task.Task.deadline
+    | Some s -> Deadline.after ~label:(task.Task.label ^ ".timeout") s
+    (* with_current keeps the tighter of this and the captured one *)
+  in
+  if Deadline.is_none task.Task.deadline && task.Task.timeout_s = None then body ()
+  else
+    Deadline.with_current task.Task.deadline @@ fun () ->
+    Deadline.with_current dl body
 
 (* ------------------------------------------------------------------ *)
 (* The domain pool.                                                    *)
@@ -183,9 +212,12 @@ module Pool = struct
   let submit pool f =
     let counted () =
       match try Ok (f ()) with e -> Error e with
-      | Ok () -> count (backend pool) ~ok:true
+      | Ok () -> count (backend pool) `Ok
+      | Error (Deadline.Expired _ as e) ->
+          count (backend pool) `Cancelled;
+          raise e
       | Error e ->
-          count (backend pool) ~ok:false;
+          count (backend pool) `Error;
           raise e
     in
     match pool with
@@ -224,15 +256,36 @@ module Portfolio = struct
         | None -> assert false)
       tasks
 
+  (* A task whose deadline already passed is not worth starting: raise
+     [Expired] in its place so the rest of the batch is skipped (seq) or
+     recorded as cancelled without running (domains) — "cancelled batches
+     drain without running remaining tasks". *)
+  let pre_cancelled (task : 'a Task.t) =
+    let d = Task.deadline task in
+    if Deadline.expired d then Some (Deadline.Expired (Deadline.label d)) else None
+
+  let outcome_kind = function
+    | Done _ -> `Ok
+    | Failed (Deadline.Expired _, _) -> `Cancelled
+    | Failed _ -> `Error
+
   let collect_seq ~backend tasks =
     List.map
       (fun t ->
+        (match pre_cancelled t with
+        | Some e ->
+            count backend `Cancelled;
+            raise e
+        | None -> ());
         match exec t with
         | v ->
-            count backend ~ok:true;
+            count backend `Ok;
             v
+        | exception (Deadline.Expired _ as e) ->
+            count backend `Cancelled;
+            raise e
         | exception e ->
-            count backend ~ok:false;
+            count backend `Error;
             raise e)
       tasks
 
@@ -258,10 +311,13 @@ module Portfolio = struct
             Array.mapi
               (fun i task () ->
                 let out =
-                  try Done (exec task)
+                  try
+                    match pre_cancelled task with
+                    | Some e -> raise e
+                    | None -> Done (exec task)
                   with e -> Failed (e, Printexc.get_raw_backtrace ())
                 in
-                count Domains ~ok:(match out with Done _ -> true | Failed _ -> false);
+                count Domains (outcome_kind out);
                 Mutex.lock b.bm;
                 results.(i) <- Some out;
                 b.unfinished <- b.unfinished - 1;

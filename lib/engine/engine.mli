@@ -40,7 +40,23 @@
     that submits a sub-portfolio can always drain it itself — nested
     [Portfolio] calls cannot deadlock even when every worker is busy,
     and never execute unrelated queued work (e.g. a daemon connection)
-    while waiting. *)
+    while waiting.
+
+    {2 Cancellation}
+
+    Every task captures the submitter's ambient
+    {!Bcc_robust.Deadline.current} when it is created and re-installs it
+    around its body on whichever domain runs it, so cooperative
+    {!Bcc_robust.Deadline.poll} calls inside solver code observe the
+    request deadline without signature changes.  A task whose deadline
+    has already expired when a worker claims it is {e not executed}: it
+    completes as failed-with-[Expired] immediately, so a cancelled batch
+    drains at queue speed instead of running every remaining arm.  The
+    lowest-indexed failure rule then re-raises [Expired] in the caller,
+    where the solver's recovery point turns it into a degraded result.
+    With no deadline installed and no faults armed all of this costs one
+    atomic load per task, and results stay bit-identical to a build
+    without the robustness layer. *)
 
 type backend = Seq | Domains
 (** [Seq] runs tasks inline in submission order (the default, exactly
@@ -54,12 +70,25 @@ module Task : sig
       {!Portfolio.run} to rank results. *)
 
   val make :
-    ?label:string -> ?rng:Bcc_util.Rng.t -> ?score:('a -> float) -> (Bcc_util.Rng.t -> 'a) -> 'a t
+    ?label:string ->
+    ?rng:Bcc_util.Rng.t ->
+    ?score:('a -> float) ->
+    ?timeout_s:float ->
+    (Bcc_util.Rng.t -> 'a) ->
+    'a t
   (** [make f] builds a task.  [rng] defaults to a fixed all-zero
       stream (fine for deterministic thunks that ignore it); [score]
-      defaults to [fun _ -> 0.]; [label] defaults to ["task"]. *)
+      defaults to [fun _ -> 0.]; [label] defaults to ["task"].
+      [timeout_s] installs a per-task deadline measured from when the
+      task {e starts executing}; it can only tighten the captured
+      ambient deadline, never extend it.  The ambient
+      {!Bcc_robust.Deadline.current} at [make] time is captured into the
+      task (see {e Cancellation} above). *)
 
   val label : _ t -> string
+
+  val deadline : _ t -> Bcc_robust.Deadline.t
+  (** The ambient deadline captured at {!make}. *)
 end
 
 module Pool : sig
@@ -128,5 +157,7 @@ val install_default : Pool.t -> unit
 
 (** {2 Introspection for /metrics} *)
 
-val task_counts : unit -> ((backend * [ `Ok | `Error ]) * int) list
-(** Process-wide completed-task counters, by backend and outcome. *)
+val task_counts : unit -> ((backend * [ `Ok | `Error | `Cancelled ]) * int) list
+(** Process-wide completed-task counters, by backend and outcome.
+    [`Cancelled] counts tasks that ended with [Deadline.Expired] —
+    whether skipped before execution or unwound mid-body. *)

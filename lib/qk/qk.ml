@@ -390,6 +390,8 @@ let solve_cheap inst opts rng ~allowed ~budget =
         List.init iterations (fun i ->
             Engine.Task.make ~label:"qk.bipartition" ~rng:(Rng.derive rng i) ~score
               (fun trng ->
+                Bcc_robust.Deadline.poll ();
+                Bcc_robust.Fault.hit "qk.restart";
                 finish_pass (pipeline_once cheap mult ~budget_ticks:resolution trng)))
         @ [
             (* Non-bipartite passes: at the paper's half-budget k and at

@@ -1,0 +1,60 @@
+module Timer = Bcc_util.Timer
+
+type t = { kill_at : float; cancelled : bool Atomic.t; name : string }
+
+exception Expired of string
+
+let none = { kill_at = infinity; cancelled = Atomic.make false; name = "none" }
+let is_none t = t == none
+
+let after ?(label = "deadline") s =
+  { kill_at = Timer.now_s () +. s; cancelled = Atomic.make false; name = label }
+
+let of_timeout_ms ?label ms = after ?label (ms /. 1000.0)
+let cancel t = if not (is_none t) then Atomic.set t.cancelled true
+let expired t = (not (is_none t)) && (Atomic.get t.cancelled || Timer.now_s () >= t.kill_at)
+
+let remaining_s t =
+  if is_none t then infinity
+  else if Atomic.get t.cancelled then 0.0
+  else Float.max 0.0 (t.kill_at -. Timer.now_s ())
+
+let label t = t.name
+let check t = if expired t then raise (Expired t.name)
+
+(* ------------------------------------------------------------------ *)
+(* Ambient binding: one slot per domain, plus a process-wide count of   *)
+(* installed real deadlines so [poll] costs a single atomic load when   *)
+(* nothing anywhere has a deadline (the common case).                   *)
+(* ------------------------------------------------------------------ *)
+
+let slot : t ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref none)
+let installed = Atomic.make 0
+
+let current () = !(Domain.DLS.get slot)
+
+let with_current d f =
+  let r = Domain.DLS.get slot in
+  let prev = !r in
+  (* The tighter clock wins; an inner scope can shorten, never extend.
+     (A cancel on the shadowed outer deadline is observed again when
+     this scope exits — cooperative polling tolerates the delay.) *)
+  let eff =
+    if is_none d then prev
+    else if is_none prev then d
+    else if d.kill_at <= prev.kill_at then d
+    else prev
+  in
+  if eff == prev then f ()
+  else begin
+    r := eff;
+    Atomic.incr installed;
+    Fun.protect
+      ~finally:(fun () ->
+        r := prev;
+        Atomic.decr installed)
+      f
+  end
+
+let active () = Atomic.get installed > 0
+let poll () = if active () then check (current ())

@@ -1,0 +1,76 @@
+(** Deadline / cancellation contexts for anytime solving.
+
+    A deadline is a point on the {!Bcc_util.Timer} monotonic clock plus
+    a cancellation flag.  Solvers poll it {e cooperatively} at natural
+    iteration boundaries (solver rounds, QK bipartition restarts, HkS
+    local-search iterations) via {!check} or {!poll}; on expiry they
+    unwind with {!Expired} to the nearest recovery point, which returns
+    the best {e feasible incumbent} found so far instead of raising to
+    the caller (see [Bcc_core.Solver.solve_within]).
+
+    {2 Ambient propagation}
+
+    The current deadline is an ambient, per-domain binding
+    ({!with_current} / {!current}); the execution engine captures it
+    when a task is created and re-installs it around the task body on
+    whichever worker domain runs it, so a request deadline set in a
+    connection handler reaches every nested portfolio arm without any
+    signature changes along the way.
+
+    With no deadline installed (the default, {!none}) every operation
+    here is a cheap no-op — {!poll} is one atomic load — and solver
+    behavior is bit-identical to a build without this module. *)
+
+type t
+
+exception Expired of string
+(** Raised by {!check}/{!poll} once the deadline has passed or was
+    cancelled; the payload is the deadline's label. *)
+
+val none : t
+(** The infinite deadline: never expires, cannot be cancelled. *)
+
+val after : ?label:string -> float -> t
+(** [after s] expires [s] seconds from now on the monotonic clock.
+    [s <= 0] is already expired. *)
+
+val of_timeout_ms : ?label:string -> float -> t
+(** [of_timeout_ms ms] is [after (ms /. 1000.)]. *)
+
+val is_none : t -> bool
+
+val cancel : t -> unit
+(** Flip the cancellation flag; {!expired} is then [true] regardless of
+    the clock.  No-op on {!none}. *)
+
+val expired : t -> bool
+(** Cancelled, or the monotonic clock has passed the deadline. *)
+
+val remaining_s : t -> float
+(** Seconds until expiry ([infinity] for {!none}, [0.] once expired). *)
+
+val label : t -> string
+
+val check : t -> unit
+(** @raise Expired when [expired t]. *)
+
+(** {2 The ambient (per-domain) deadline} *)
+
+val current : unit -> t
+(** The innermost deadline installed on this domain ({!none} when
+    outside any {!with_current}). *)
+
+val with_current : t -> (unit -> 'a) -> 'a
+(** [with_current d f] runs [f] with [d] as the ambient deadline,
+    restoring the previous binding afterwards (also on raise).  The
+    tighter of [d] and the previous binding wins: an inner scope can
+    shorten the deadline but never extend it. *)
+
+val poll : unit -> unit
+(** {!check} on the ambient deadline — the one-liner solvers drop at
+    iteration boundaries.  Costs one atomic load when no deadline is
+    installed anywhere in the process. *)
+
+val active : unit -> bool
+(** [true] when any domain currently has a real (non-{!none}) ambient
+    deadline installed — the fast-path guard behind {!poll}. *)

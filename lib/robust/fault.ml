@@ -1,0 +1,167 @@
+module Rng = Bcc_util.Rng
+
+exception Injected of string
+
+type action = Throw | Delay of float | Corrupt
+
+type arm_state = {
+  action : action;
+  mutable remaining : int; (* fires left; -1 = unlimited *)
+  prob : float;
+  rng : Rng.t;
+  mutable fired : int;
+}
+
+let known_points =
+  [ "engine.task"; "server.read"; "cache.get"; "qk.restart"; "hks.iter"; "io.load" ]
+
+(* [any] is the fast path read by every [hit]; the table and the fired
+   counters live behind [lock]. *)
+let any = Atomic.make false
+let lock = Mutex.create ()
+let arms : (string, arm_state) Hashtbl.t = Hashtbl.create 8
+let fire_log : (string, int) Hashtbl.t = Hashtbl.create 8
+
+let locked f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+let arm ?(count = -1) ?(prob = 1.0) ?seed point action =
+  if not (List.mem point known_points) then
+    invalid_arg ("Fault.arm: unknown injection point " ^ point);
+  let seed = match seed with Some s -> s | None -> Hashtbl.hash point in
+  locked (fun () ->
+      Hashtbl.replace arms point
+        { action; remaining = count; prob; rng = Rng.create seed; fired = 0 };
+      Atomic.set any true)
+
+let disarm point =
+  locked (fun () ->
+      Hashtbl.remove arms point;
+      if Hashtbl.length arms = 0 then Atomic.set any false)
+
+let reset () =
+  locked (fun () ->
+      Hashtbl.reset arms;
+      Hashtbl.reset fire_log;
+      Atomic.set any false)
+
+let enabled () = Atomic.get any
+
+let fired point =
+  locked (fun () -> Option.value ~default:0 (Hashtbl.find_opt fire_log point))
+
+(* Decide (under the lock) whether the point fires now, consuming one
+   count and one RNG draw; returns the action when it does. *)
+let claim point =
+  locked (fun () ->
+      match Hashtbl.find_opt arms point with
+      | None -> None
+      | Some a ->
+          if a.remaining = 0 then None
+          else if a.prob < 1.0 && Rng.float a.rng 1.0 >= a.prob then None
+          else begin
+            if a.remaining > 0 then a.remaining <- a.remaining - 1;
+            a.fired <- a.fired + 1;
+            Hashtbl.replace fire_log point
+              (1 + Option.value ~default:0 (Hashtbl.find_opt fire_log point));
+            Some a.action
+          end)
+
+let hit point =
+  if Atomic.get any then
+    match claim point with
+    | None | Some Corrupt -> ()
+    | Some Throw -> raise (Injected point)
+    | Some (Delay s) -> Unix.sleepf s
+
+let corrupting point =
+  Atomic.get any
+  &&
+  match claim point with
+  | Some Corrupt -> true
+  | Some Throw -> raise (Injected point)
+  | Some (Delay s) ->
+      Unix.sleepf s;
+      false
+  | None -> false
+
+(* --- BCC_FAULTS --- *)
+
+let parse_entry entry =
+  match String.split_on_char ':' (String.trim entry) with
+  | point :: kind :: rest ->
+      let count = ref (-1) and prob = ref 1.0 and seed = ref None in
+      let delay_s = ref None in
+      List.iter
+        (fun tok ->
+          let tok = String.trim tok in
+          let prefixed p =
+            if
+              String.length tok > String.length p
+              && String.sub tok 0 (String.length p) = p
+            then Some (String.sub tok (String.length p) (String.length tok - String.length p))
+            else None
+          in
+          match (prefixed "p=", prefixed "seed=") with
+          | Some p, _ -> (
+              match float_of_string_opt p with
+              | Some f when f >= 0.0 && f <= 1.0 -> prob := f
+              | _ -> failwith ("BCC_FAULTS: bad probability in " ^ entry))
+          | _, Some s -> (
+              match int_of_string_opt s with
+              | Some n -> seed := Some n
+              | None -> failwith ("BCC_FAULTS: bad seed in " ^ entry))
+          | None, None -> (
+              (* bare number: delay seconds for delay arms (first), else
+                 a fire count *)
+              if kind = "delay" && !delay_s = None then
+                match float_of_string_opt tok with
+                | Some s when s >= 0.0 -> delay_s := Some s
+                | _ -> failwith ("BCC_FAULTS: bad delay in " ^ entry)
+              else
+                match int_of_string_opt tok with
+                | Some n when n >= 0 -> count := n
+                | _ -> failwith ("BCC_FAULTS: bad parameter " ^ tok ^ " in " ^ entry)))
+        rest;
+      let action =
+        match kind with
+        | "throw" -> Throw
+        | "corrupt" -> Corrupt
+        | "delay" -> (
+            match !delay_s with
+            | Some s -> Delay s
+            | None -> failwith ("BCC_FAULTS: delay needs seconds in " ^ entry))
+        | k -> failwith ("BCC_FAULTS: unknown action " ^ k ^ " in " ^ entry)
+      in
+      if not (List.mem point known_points) then
+        failwith
+          ("BCC_FAULTS: unknown injection point " ^ point ^ " (known: "
+          ^ String.concat ", " known_points ^ ")");
+      arm ~count:!count ~prob:!prob ?seed:!seed point action
+  | _ -> failwith ("BCC_FAULTS: malformed entry " ^ entry)
+
+let load_env ?(var = "BCC_FAULTS") () =
+  match Sys.getenv_opt var with
+  | None -> ()
+  | Some s when String.trim s = "" -> ()
+  | Some s ->
+      List.iter
+        (fun entry -> if String.trim entry <> "" then parse_entry entry)
+        (String.split_on_char ',' s)
+
+let summary () =
+  locked (fun () ->
+      Hashtbl.fold
+        (fun point a acc ->
+          let action =
+            match a.action with
+            | Throw -> "throw"
+            | Corrupt -> "corrupt"
+            | Delay s -> Printf.sprintf "delay %gs" s
+          in
+          let count = if a.remaining < 0 then "" else Printf.sprintf " x%d" a.remaining in
+          let prob = if a.prob >= 1.0 then "" else Printf.sprintf " p=%g" a.prob in
+          Printf.sprintf "%s:%s%s%s" point action count prob :: acc)
+        arms []
+      |> List.sort compare |> String.concat ", ")

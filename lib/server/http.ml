@@ -22,6 +22,7 @@ let status_reason = function
   | 405 -> "Method Not Allowed"
   | 408 -> "Request Timeout"
   | 413 -> "Payload Too Large"
+  | 429 -> "Too Many Requests"
   | 500 -> "Internal Server Error"
   | 503 -> "Service Unavailable"
   | 504 -> "Gateway Timeout"
@@ -31,11 +32,11 @@ let response ?(content_type = "text/plain; charset=utf-8") ?(headers = []) statu
     body =
   { status; reason = status_reason status; headers = ("content-type", content_type) :: headers; body }
 
-let json_response status json =
-  response ~content_type:"application/json" status (Json.to_string json ^ "\n")
+let json_response ?headers status json =
+  response ~content_type:"application/json" ?headers status (Json.to_string json ^ "\n")
 
-let error_response status msg =
-  json_response status (Json.Obj [ ("error", Json.Str msg) ])
+let error_response ?headers status msg =
+  json_response ?headers status (Json.Obj [ ("error", Json.Str msg) ])
 
 let header (req : request) name =
   List.assoc_opt (String.lowercase_ascii name) req.headers

@@ -30,9 +30,11 @@ val status_reason : int -> string
 val response :
   ?content_type:string -> ?headers:(string * string) list -> int -> string -> response
 
-val json_response : int -> Json.t -> response
-val error_response : int -> string -> response
-(** [{"error": msg}] as JSON. *)
+val json_response : ?headers:(string * string) list -> int -> Json.t -> response
+
+val error_response : ?headers:(string * string) list -> int -> string -> response
+(** [{"error": msg}] as JSON.  [headers] lets rejection paths attach
+    e.g. [retry-after]. *)
 
 val header : request -> string -> string option
 (** Case-insensitive header lookup. *)

@@ -10,6 +10,8 @@ module Timer = Bcc_util.Timer
 module Trace = Bcc_obs.Trace
 module Stage = Bcc_obs.Stage
 module Engine = Bcc_engine.Engine
+module Deadline = Bcc_robust.Deadline
+module Fault = Bcc_robust.Fault
 
 type config = {
   host : string;
@@ -154,9 +156,10 @@ let endpoint_name = function
   | E_gmc3 -> "gmc3"
   | E_ecc -> "ecc"
 
-(* Instance source + optional budget/target from the body (raw instance
-   text, or a JSON object) merged with ?budget=/?target= query params
-   (query wins, so a raw-text body can still be swept over budgets). *)
+(* Instance source + optional budget/target/timeout_ms from the body
+   (raw instance text, or a JSON object) merged with
+   ?budget=/?target=/?timeout_ms= query params (query wins, so a
+   raw-text body can still be swept over budgets). *)
 let parse_params (req : Http.request) =
   let body = req.Http.body in
   let trimmed = String.trim body in
@@ -171,27 +174,51 @@ let parse_params (req : Http.request) =
           let text = field "text" Json.get_string in
           let budget = field "budget" Json.get_num in
           let target = field "target" Json.get_num in
+          let timeout_ms = field "timeout_ms" Json.get_num in
           match (name, text) with
-          | Some n, None -> Ok (`Named n, budget, target)
-          | None, Some s -> Ok (`Inline s, budget, target)
+          | Some n, None -> Ok (`Named n, budget, target, timeout_ms)
+          | None, Some s -> Ok (`Inline s, budget, target, timeout_ms)
           | Some _, Some _ -> Error {|provide either "instance" or "text", not both|}
           | None, None -> Error {|JSON body needs an "instance" name or inline "text"|})
-    else Ok (`Inline body, None, None)
+    else Ok (`Inline body, None, None, None)
   in
   match from_body with
   | Error _ as e -> e
-  | Ok (src, budget, target) -> (
+  | Ok (src, budget, target, timeout_ms) -> (
       let num_param name fallback =
         match Http.query_param req name with
         | None -> Ok fallback
         | Some s -> (
             match float_of_string_opt s with
-            | Some f -> Ok (Some f)
-            | None -> Error (Printf.sprintf "bad ?%s=%s" name s))
+            | Some f when Float.is_finite f -> Ok (Some f)
+            | _ -> Error (Printf.sprintf "bad ?%s=%s" name s))
       in
-      match (num_param "budget" budget, num_param "target" target) with
-      | Ok budget, Ok target -> Ok (src, budget, target)
-      | Error e, _ | _, Error e -> Error e)
+      match
+        ( num_param "budget" budget,
+          num_param "target" target,
+          num_param "timeout_ms" timeout_ms )
+      with
+      | Ok budget, Ok target, Ok timeout_ms -> (
+          match timeout_ms with
+          | Some ms when not (Float.is_finite ms && ms > 0.0) ->
+              Error "timeout_ms must be a positive number of milliseconds"
+          | _ -> Ok (src, budget, target, timeout_ms))
+      | Error e, _, _ | _, Error e, _ | _, _, Error e -> Error e)
+
+(* Cache lookups pass through the ["cache.get"] injection point; a
+   lookup that faults is downgraded to a miss (plus an error counter) so
+   a broken cache degrades throughput, never availability. *)
+let cache_find t ~name cache key =
+  match
+    Fault.hit "cache.get";
+    Cache.find cache key
+  with
+  | v -> v
+  | exception Fault.Injected _ ->
+      Metrics.inc t.metrics "bccd_cache_errors_total"
+        ~labels:[ ("cache", name) ]
+        ~help:"Cache lookups that failed (treated as misses).";
+      None
 
 let resolve_instance t src =
   match src with
@@ -201,7 +228,7 @@ let resolve_instance t src =
       | None -> Error (404, "unknown instance: " ^ name))
   | `Inline text -> (
       let raw_digest = Digest.to_hex (Digest.string text) in
-      match Cache.find t.inst_cache raw_digest with
+      match cache_find t ~name:"instance" t.inst_cache raw_digest with
       | Some l ->
           Metrics.inc t.metrics "bccd_cache_hits_total"
             ~labels:[ ("cache", "instance") ];
@@ -219,7 +246,7 @@ let resolve_instance t src =
 let handle_solve t ep req =
   match parse_params req with
   | Error msg -> Http.error_response 400 msg
-  | Ok (src, budget, target) -> (
+  | Ok (src, budget, target, timeout_ms) -> (
       match resolve_instance t src with
       | Error (status, msg) -> Http.error_response status msg
       | Ok { digest; inst } -> (
@@ -239,22 +266,40 @@ let handle_solve t ep req =
                 Printf.sprintf "%s|%s|b=%s|t=%s" digest (endpoint_name ep)
                   (fmt_opt budget) (fmt_opt target)
               in
+              let deadline =
+                match timeout_ms with
+                | None -> Deadline.none
+                | Some ms -> Deadline.of_timeout_ms ~label:"request" ms
+              in
+              let degraded = ref false in
               let compute () =
                 let timer = Timer.start () in
                 let fields =
                   match ep with
                   | E_solve ->
-                      let sol = Solver.solve inst in
-                      solution_fields inst sol
+                      let r = Solver.solve_within ~deadline inst in
+                      if r.Solver.degraded then degraded := true;
+                      solution_fields inst r.Solver.solution
                   | E_gmc3 ->
-                      let r = Gmc3.solve inst ~target:(Option.get target) in
+                      (* GMC3/ECC inherit the deadline ambiently (their
+                         inner solves degrade rather than raise); the
+                         expired clock afterwards is what marks the
+                         composite result degraded. *)
+                      let r =
+                        Deadline.with_current deadline @@ fun () ->
+                        Gmc3.solve inst ~target:(Option.get target)
+                      in
+                      if Deadline.expired deadline then degraded := true;
                       solution_fields inst r.Gmc3.solution
                       @ [
                           ("reached", Json.Bool r.Gmc3.reached);
                           ("budget_used", Json.Num r.Gmc3.budget_used);
                         ]
                   | E_ecc ->
-                      let sol = Ecc.solve inst in
+                      let sol =
+                        Deadline.with_current deadline @@ fun () -> Ecc.solve inst
+                      in
+                      if Deadline.expired deadline then degraded := true;
                       solution_fields inst sol
                       @ [ ("ratio", Json.Num (Ecc.ratio_of sol)) ]
                 in
@@ -272,16 +317,39 @@ let handle_solve t ep req =
                   :: ("budget", Json.Num (Instance.budget inst))
                   :: fields)
               in
-              match Cache.find_or_add t.sol_cache key compute with
+              match
+                match cache_find t ~name:"solution" t.sol_cache key with
+                | Some json -> (json, true)
+                | None ->
+                    let json = compute () in
+                    (* A degraded result is what the deadline allowed,
+                       not the instance's answer — never memoize it. *)
+                    if not !degraded then Cache.put t.sol_cache key json;
+                    (json, false)
+              with
               | json, was_hit ->
                   Metrics.inc t.metrics
                     (if was_hit then "bccd_cache_hits_total"
                      else "bccd_cache_misses_total")
                     ~labels:[ ("cache", "solution") ];
+                  if !degraded then begin
+                    Metrics.inc t.metrics "bcc_requests_degraded_total"
+                      ~labels:[ ("endpoint", endpoint_name ep) ]
+                      ~help:"Requests answered with a degraded (deadline-cut) solution."
+                  end;
+                  if (not (Deadline.is_none deadline)) && Deadline.expired deadline
+                  then
+                    Metrics.inc t.metrics "bcc_deadline_exceeded_total"
+                      ~labels:[ ("endpoint", endpoint_name ep) ]
+                      ~help:"Requests whose deadline expired during handling.";
+                  let extra =
+                    (if Deadline.is_none deadline then []
+                     else [ ("degraded", Json.Bool !degraded) ])
+                    @ [ ("cached", Json.Bool was_hit) ]
+                  in
                   let json =
                     match json with
-                    | Json.Obj fields ->
-                        Json.Obj (fields @ [ ("cached", Json.Bool was_hit) ])
+                    | Json.Obj fields -> Json.Obj (fields @ extra)
                     | j -> j
                   in
                   Http.json_response 200 json
@@ -377,7 +445,11 @@ let handle_metrics t =
   (* Execution-engine counters: process-wide atomics polled on scrape
      (the same delta-inc pattern as the cache eviction counter). *)
   let backend_name = function Engine.Seq -> "seq" | Engine.Domains -> "domains" in
-  let outcome_name = function `Ok -> "ok" | `Error -> "error" in
+  let outcome_name = function
+    | `Ok -> "ok"
+    | `Error -> "error"
+    | `Cancelled -> "cancelled"
+  in
   List.iter
     (fun ((b, o), n) ->
       let labels = [ ("backend", backend_name b); ("outcome", outcome_name o) ] in
@@ -415,29 +487,65 @@ let count_request t ~endpoint ~status =
     ~labels:[ ("endpoint", endpoint); ("status", string_of_int status) ]
     ~help:"Requests by endpoint and response status."
 
-let respond_error t fd ~endpoint ~status msg =
+let respond_error t fd ?headers ~endpoint ~status msg =
   count_request t ~endpoint ~status;
-  Http.write_response fd (Http.error_response status msg)
+  Http.write_response fd (Http.error_response ?headers status msg)
+
+(* Admission rejections (429/503), under both the legacy reason-labeled
+   counter and the robustness-layer total asserted by the fault-matrix
+   tests. *)
+let count_rejected t reason =
+  Metrics.inc t.metrics "bccd_rejected_total"
+    ~labels:[ ("reason", reason) ]
+    ~help:"Connections refused or abandoned.";
+  Metrics.inc t.metrics "bcc_requests_rejected_total"
+    ~labels:[ ("reason", reason) ]
+    ~help:"Requests rejected before solving (backpressure, shutdown)."
+
+(* Half-close and drain the client's unread bytes before [close].
+   Responses written without reading the request (rejections, read
+   errors) would otherwise race a TCP RST — closing a socket with
+   unread receive data discards the just-written response on most
+   stacks, and the client sees ECONNRESET instead of its 429/503.
+   The drain is clamped to 1s so a client that never closes cannot pin
+   the accept loop (rejections linger inline there). *)
+let linger fd =
+  (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO 1.0 with Unix.Unix_error _ -> ());
+  (try Unix.shutdown fd Unix.SHUTDOWN_SEND with Unix.Unix_error _ -> ());
+  let buf = Bytes.create 4096 in
+  try
+    while Unix.read fd buf 0 (Bytes.length buf) > 0 do
+      ()
+    done
+  with Unix.Unix_error _ -> ()
 
 let serve_conn t fd enqueued_at =
   Fun.protect
     ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
     (fun () ->
       if Atomic.get t.stop then begin
-        Metrics.inc t.metrics "bccd_rejected_total" ~labels:[ ("reason", "shutdown") ];
-        respond_error t fd ~endpoint:"-" ~status:503 "shutting down"
+        count_rejected t "shutdown";
+        respond_error t fd ~endpoint:"-" ~status:503 "shutting down";
+        linger fd
       end
       else if Timer.now_s () -. enqueued_at > t.cfg.timeout_s then begin
         (* The request waited out its deadline in the queue; solving it
            now would only add to the pile-up. *)
-        Metrics.inc t.metrics "bccd_rejected_total"
-          ~labels:[ ("reason", "queue_timeout") ];
-        respond_error t fd ~endpoint:"-" ~status:503 "timed out in queue"
+        count_rejected t "queue_timeout";
+        respond_error t fd ~endpoint:"-" ~status:503 "timed out in queue";
+        linger fd
       end
       else
-        match Http.read_request fd with
+        match
+          Fault.hit "server.read";
+          Http.read_request fd
+        with
+        | exception Fault.Injected point ->
+            respond_error t fd ~endpoint:"-" ~status:500 ("injected fault: " ^ point);
+            linger fd
         | Error { status_hint; message } ->
-            respond_error t fd ~endpoint:"-" ~status:status_hint message
+            respond_error t fd ~endpoint:"-" ~status:status_hint message;
+            linger fd
         | Ok req ->
             let timer = Timer.start () in
             let resp =
@@ -458,17 +566,21 @@ let enqueue_conn t fd =
      Unix.setsockopt_float fd Unix.SO_RCVTIMEO t.cfg.timeout_s;
      Unix.setsockopt_float fd Unix.SO_SNDTIMEO t.cfg.timeout_s
    with Unix.Unix_error _ -> ());
-  let reject reason msg =
-    Metrics.inc t.metrics "bccd_rejected_total" ~labels:[ ("reason", reason) ]
-      ~help:"Connections refused or abandoned.";
-    respond_error t fd ~endpoint:"-" ~status:503 msg;
+  let reject ?headers reason ~status msg =
+    count_rejected t reason;
+    respond_error t fd ?headers ~endpoint:"-" ~status msg;
+    linger fd;
     try Unix.close fd with Unix.Unix_error _ -> ()
   in
   (* Backpressure on {e connections} waiting for a worker, not on the raw
      engine queue — solver-internal batch tickets transit the same queue
-     and must not trip the admission limit. *)
+     and must not trip the admission limit.  A full queue is the
+     retryable condition (429 + retry-after); shutdown is the
+     non-retryable 503. *)
   if Atomic.get t.pending >= t.cfg.queue_depth then
-    reject "queue_full" "server busy, queue full"
+    reject "queue_full" ~status:429
+      ~headers:[ ("retry-after", "1") ]
+      "server busy, queue full"
   else begin
     Atomic.incr t.pending;
     Metrics.set t.metrics "bccd_queue_depth"
@@ -482,7 +594,7 @@ let enqueue_conn t fd =
     in
     if not (Engine.Pool.submit t.pool job) then begin
       Atomic.decr t.pending;
-      reject "shutdown" "shutting down"
+      reject "shutdown" ~status:503 "shutting down"
     end
   end
 

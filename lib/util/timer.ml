@@ -8,8 +8,23 @@
 let epoch = Unix.gettimeofday ()
 let last = Atomic.make 0.0
 
+(* Test hook: a substitute time source (still clamped monotone).  Lets
+   suites drive deadlines and stage durations deterministically instead
+   of calibrating sleeps against wall time. *)
+let source : (unit -> float) option Atomic.t = Atomic.make None
+
+let set_source f =
+  Atomic.set source f;
+  (* Re-seat the monotone clamp in the new regime, else a fake clock far
+     ahead of (or behind) real time would pin [now_s] after a switch. *)
+  Atomic.set last 0.0
+
 let now_s () =
-  let raw = Unix.gettimeofday () -. epoch in
+  let raw =
+    match Atomic.get source with
+    | Some f -> f ()
+    | None -> Unix.gettimeofday () -. epoch
+  in
   let rec clamp () =
     let prev = Atomic.get last in
     if raw <= prev then prev

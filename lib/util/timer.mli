@@ -13,6 +13,14 @@ val cpu_s : unit -> float
 (** Processor time ([Sys.time]) — the complementary clock for
     cpu-vs-wall comparisons. *)
 
+val set_source : (unit -> float) option -> unit
+(** Test hook: substitute the time source behind {!now_s} (a fake timer
+    the test advances by hand).  Within one regime the monotone clamp
+    still applies — a fake clock may only move forward.  Switching the
+    source (either way) re-seats the clamp, so timestamps taken across a
+    switch are not comparable; [None] restores the real clock.  Not for
+    production use. *)
+
 (** {1 Stopwatch} *)
 
 type t

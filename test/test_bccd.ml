@@ -13,9 +13,16 @@ module Json = Bcc_server.Json
 
 let bccd_exe = Filename.concat ".." "bin/bccd.exe"
 
+let contains hay needle =
+  let n = String.length needle and m = String.length hay in
+  let rec go i = i + n <= m && (String.sub hay i n = needle || go (i + 1)) in
+  go 0
+
 (* --- a tiny HTTP client (one request per connection, read to EOF) --- *)
 
-let request ~port ~meth ~path ?(body = "") () =
+(* [request_raw] keeps the status line and headers (the fault-matrix
+   tests assert [retry-after]); [request] strips to the body. *)
+let request_raw ~port ~meth ~path ?(body = "") () =
   let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   Fun.protect
     ~finally:(fun () -> try Unix.close sock with Unix.Unix_error _ -> ())
@@ -38,6 +45,9 @@ let request ~port ~meth ~path ?(body = "") () =
         match Unix.read sock chunk 0 (Bytes.length chunk) with
         | 0 -> ()
         | n -> Buffer.add_subbytes buf chunk 0 n; drain ()
+        (* a reset after (part of) the response is end-of-stream, not a
+           client crash — keep whatever arrived *)
+        | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) -> ()
       in
       drain ();
       let raw = Buffer.contents buf in
@@ -45,27 +55,41 @@ let request ~port ~meth ~path ?(body = "") () =
         try Scanf.sscanf raw "HTTP/1.1 %d" (fun s -> s)
         with Scanf.Scan_failure _ | End_of_file -> -1
       in
-      let body =
-        let rec find i =
-          if i + 3 >= String.length raw then String.length raw
-          else if String.sub raw i 4 = "\r\n\r\n" then i + 4
-          else find (i + 1)
-        in
-        let start = find 0 in
-        String.sub raw start (String.length raw - start)
-      in
-      (status, body))
+      (status, raw))
+
+let request ~port ~meth ~path ?body () =
+  let status, raw = request_raw ~port ~meth ~path ?body () in
+  let body =
+    let rec find i =
+      if i + 3 >= String.length raw then String.length raw
+      else if String.sub raw i 4 = "\r\n\r\n" then i + 4
+      else find (i + 1)
+    in
+    let start = find 0 in
+    String.sub raw start (String.length raw - start)
+  in
+  (status, body)
 
 (* --- daemon process management --- *)
 
 type daemon = { pid : int; out : in_channel; port : int }
 
-let start_daemon args =
+let start_daemon ?faults args =
   if not (Sys.file_exists bccd_exe) then
     Alcotest.failf "daemon binary %s not built" bccd_exe;
   let out_r, out_w = Unix.pipe () in
   let argv = Array.of_list ((bccd_exe :: "--port" :: "0" :: args)) in
-  let pid = Unix.create_process bccd_exe argv Unix.stdin out_w Unix.stderr in
+  let pid =
+    match faults with
+    | None -> Unix.create_process bccd_exe argv Unix.stdin out_w Unix.stderr
+    | Some spec ->
+        (* Arm the daemon's fault registry through the environment, the
+           way an operator would. *)
+        let env =
+          Array.append (Unix.environment ()) [| "BCC_FAULTS=" ^ spec |]
+        in
+        Unix.create_process_env bccd_exe argv env Unix.stdin out_w Unix.stderr
+  in
   Unix.close out_w;
   let out = Unix.in_channel_of_descr out_r in
   let rec find_port tries =
@@ -84,12 +108,15 @@ let start_daemon args =
   { pid; out; port }
 
 let wait_exit d =
-  (* Bounded wait so a wedged daemon fails the test instead of hanging it. *)
-  let deadline = Unix.gettimeofday () +. 10.0 in
+  (* Bounded wait so a wedged daemon fails the test instead of hanging
+     it.  Monotonic-clock delta, not wall-clock timestamps: an NTP step
+     mid-test must not spuriously expire (or extend) the bound. *)
+  let started = Bcc_util.Timer.now_s () in
+  let deadline = started +. 10.0 in
   let rec poll () =
     match Unix.waitpid [ Unix.WNOHANG ] d.pid with
     | 0, _ ->
-        if Unix.gettimeofday () > deadline then begin
+        if Bcc_util.Timer.now_s () > deadline then begin
           Unix.kill d.pid Sys.sigkill;
           ignore (Unix.waitpid [] d.pid);
           Alcotest.fail "daemon did not exit within 10s of SIGTERM"
@@ -374,8 +401,134 @@ let error_paths () =
       | Unix.WEXITED 0 -> ()
       | _ -> Alcotest.fail "daemon did not exit cleanly")
 
+(* --- fault matrix: env-armed injections against the live daemon --- *)
+
+let with_daemon ?faults args f =
+  let file, inst = fixture_file () in
+  let d = start_daemon ?faults (args @ [ "--load"; "fig=" ^ file ]) in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.kill d.pid Sys.sigkill with Unix.Unix_error _ -> ());
+      (try ignore (Unix.waitpid [ Unix.WNOHANG ] d.pid) with Unix.Unix_error _ -> ());
+      Sys.remove file)
+    (fun () ->
+      f d inst;
+      (* every scenario must leave a serviceable daemon behind *)
+      Alcotest.(check int) "healthz after the faults" 200
+        (fst (request ~port:d.port ~meth:"GET" ~path:"/healthz" ()));
+      Unix.kill d.pid Sys.sigterm;
+      match wait_exit d with
+      | Unix.WEXITED 0 -> ()
+      | _ -> Alcotest.fail "daemon did not exit cleanly after the fault run")
+
+let solve_body = {|{"instance":"fig","budget":4}|}
+
+let metrics d =
+  let status, body = request ~port:d.port ~meth:"GET" ~path:"/metrics" () in
+  Alcotest.(check int) "metrics status" 200 status;
+  body
+
+(* A worker that dies mid-task costs exactly one request; the cache
+   fault is swallowed (error counter + treated as a miss). *)
+let fault_worker_death_and_cache () =
+  with_daemon ~faults:"engine.task:throw:1,cache.get:throw:1"
+    [ "--workers"; "2" ]
+    (fun d inst ->
+      let status, _ =
+        request ~port:d.port ~meth:"POST" ~path:"/solve" ~body:solve_body ()
+      in
+      Alcotest.(check int) "injected worker fault surfaces as 500" 500 status;
+      let status, body =
+        request ~port:d.port ~meth:"POST" ~path:"/solve" ~body:solve_body ()
+      in
+      Alcotest.(check int) "next request recovers" 200 status;
+      let json = Json.of_string_exn (String.trim body) in
+      verify_response inst ~budget:4.0 json;
+      let m = metrics d in
+      (match metric_value m "bccd_cache_errors_total" with
+      | Some n ->
+          Alcotest.(check bool) "cache fault counted, not fatal" true (n >= 1.0)
+      | None -> Alcotest.fail "bccd_cache_errors_total missing");
+      match
+        metric_value m {|bcc_engine_tasks_total{backend="domains",outcome="error"}|}
+      with
+      | Some n -> Alcotest.(check bool) "task failure counted" true (n >= 1.0)
+      | None -> Alcotest.fail "engine error counter missing")
+
+(* A deadline hit mid-solve degrades: HTTP 200, [degraded: true], a
+   feasible solution, and the two robustness counters move — and the
+   degraded answer is never memoized. *)
+let fault_deadline_degrades () =
+  with_daemon ~faults:"engine.task:delay:0.3" [ "--workers"; "2" ]
+    (fun d inst ->
+      let body = {|{"instance":"fig","budget":4,"timeout_ms":100}|} in
+      let shoot label =
+        let status, resp =
+          request ~port:d.port ~meth:"POST" ~path:"/solve" ~body ()
+        in
+        Alcotest.(check int) (label ^ ": still 200") 200 status;
+        let json = Json.of_string_exn (String.trim resp) in
+        Alcotest.(check (option bool)) (label ^ ": flagged degraded") (Some true)
+          (Json.get_bool (get_field "degraded" json));
+        Alcotest.(check (option bool))
+          (label ^ ": degraded result not served from cache") (Some false)
+          (Json.get_bool (get_field "cached" json));
+        (* feasibility of the incumbent, verified client-side *)
+        verify_response inst ~budget:4.0 json
+      in
+      shoot "first timed-out solve";
+      shoot "second timed-out solve";
+      let m = metrics d in
+      let exactly name expected =
+        match metric_value m name with
+        | Some n -> Alcotest.(check (float 1e-9)) name expected n
+        | None -> Alcotest.failf "%s missing" name
+      in
+      exactly {|bcc_requests_degraded_total{endpoint="solve"}|} 2.0;
+      exactly {|bcc_deadline_exceeded_total{endpoint="solve"}|} 2.0)
+
+(* Backpressure: with one worker wedged (delay fault) and a queue depth
+   of one, the third concurrent request bounces with 429 + retry-after,
+   and the rejection counter moves. *)
+let fault_backpressure_429 () =
+  with_daemon ~faults:"engine.task:delay:2:1"
+    [ "--workers"; "1"; "--queue-depth"; "1" ]
+    (fun d _inst ->
+      let slot () = ref (-1, "") in
+      let r1 = slot () and r2 = slot () and r3 = slot () in
+      let fire r =
+        Thread.create
+          (fun () ->
+            r := request_raw ~port:d.port ~meth:"POST" ~path:"/solve" ~body:solve_body ())
+          ()
+      in
+      let t1 = fire r1 in
+      Thread.delay 0.5;
+      (* worker now wedged in the delayed task *)
+      let t2 = fire r2 in
+      Thread.delay 0.3;
+      let t3 = fire r3 in
+      List.iter Thread.join [ t1; t2; t3 ];
+      Alcotest.(check int) "wedged request still completes" 200 (fst !r1);
+      let late = [ !r2; !r3 ] in
+      let rejected = List.filter (fun (s, _) -> s = 429) late in
+      Alcotest.(check bool) "a concurrent request bounced with 429" true
+        (rejected <> []);
+      List.iter
+        (fun (_, raw) ->
+          Alcotest.(check bool) "429 carries retry-after" true
+            (contains (String.lowercase_ascii raw) "retry-after: 1"))
+        rejected;
+      let m = metrics d in
+      match metric_value m {|bcc_requests_rejected_total{reason="queue_full"}|} with
+      | Some n -> Alcotest.(check bool) "rejection counted" true (n >= 1.0)
+      | None -> Alcotest.fail "bcc_requests_rejected_total missing")
+
 let suite =
   [
     ("e2e: concurrent solves, cache, metrics, SIGTERM", `Quick, e2e_concurrent_solves_and_shutdown);
     ("e2e: error paths, gmc3/ecc, CRLF bodies", `Quick, error_paths);
+    ("fault matrix: worker death + cache fault", `Quick, fault_worker_death_and_cache);
+    ("fault matrix: deadline hit degrades gracefully", `Quick, fault_deadline_degrades);
+    ("fault matrix: queue overload -> 429 + retry-after", `Quick, fault_backpressure_429);
   ]

@@ -1,0 +1,175 @@
+(* Fuzzing the two ingest surfaces that parse bytes from the outside
+   world: [Http.read_request] (daemon socket reads) and [Io.load_string]
+   (instance bodies).  The contract under test: malformed input comes
+   back as a typed error — [Error {status_hint; _}] with a 4xx/5xx hint
+   for HTTP, [Failure _] for instance text — never as an unhandled
+   exception, a silent mis-parse, or a hang.  Mutations derive from the
+   qcheck seed through [Bcc_util.Rng], so a failing case replays from
+   the printed seed. *)
+
+module Http = Bcc_server.Http
+module Io = Bcc_data.Io
+module Rng = Bcc_util.Rng
+
+let qtest = QCheck_alcotest.to_alcotest
+
+(* Deep runs (CI's fuzz job) crank the iteration count via env. *)
+let count n =
+  match Sys.getenv_opt "QCHECK_COUNT" with
+  | Some s -> (
+      match int_of_string_opt s with Some c when c > 0 -> c | _ -> n)
+  | None -> n
+
+(* --- HTTP --- *)
+
+(* Feed [bytes] to [read_request] through a pipe; the write end is
+   closed before reading so truncated input is EOF, never a hang.
+   Payloads stay well under the 64 KiB pipe buffer. *)
+let feed_request bytes =
+  let r, w = Unix.pipe () in
+  Fun.protect
+    ~finally:(fun () -> Unix.close r)
+    (fun () ->
+      (try
+         let n = String.length bytes in
+         let pos = ref 0 in
+         while !pos < n do
+           pos := !pos + Unix.write_substring w bytes !pos (n - !pos)
+         done
+       with e ->
+         Unix.close w;
+         raise e);
+      Unix.close w;
+      Http.read_request ~max_header:4096 ~max_body:32768 r)
+
+let valid_request = "POST /solve HTTP/1.1\r\ncontent-length: 5\r\nx-a: b\r\n\r\nhello"
+
+(* One structurally-targeted mutation of a well-formed request. *)
+let mutate_request rng =
+  match Rng.int rng 10 with
+  | 0 -> "" (* instant EOF *)
+  | 1 ->
+      (* truncated anywhere, including mid-header and mid-body *)
+      String.sub valid_request 0 (Rng.int rng (String.length valid_request))
+  | 2 ->
+      (* content-length that isn't a length *)
+      let bad = List.nth [ "abc"; "-1"; "99999999999999999999"; ""; "5x" ] (Rng.int rng 5) in
+      Printf.sprintf "POST /solve HTTP/1.1\r\ncontent-length: %s\r\n\r\nhello" bad
+  | 3 ->
+      (* body bigger than max_body *)
+      let n = 32769 + Rng.int rng 4096 in
+      Printf.sprintf "POST /x HTTP/1.1\r\ncontent-length: %d\r\n\r\n%s" n
+        (String.make n 'b')
+  | 4 ->
+      (* header block bigger than max_header *)
+      Printf.sprintf "GET / HTTP/1.1\r\nx-pad: %s\r\n\r\n" (String.make 8192 'p')
+  | 5 -> "GET\r\n\r\n" (* malformed request line *)
+  | 6 -> "GET / HTTP/1.1\r\nno-colon-here\r\n\r\n"
+  | 7 ->
+      (* declared length longer than what arrives: EOF mid-body *)
+      "POST / HTTP/1.1\r\ncontent-length: 500\r\n\r\nshort"
+  | 8 ->
+      (* bare LF line endings and stray NULs *)
+      "GET /\x00 HTTP/1.1\nhost: x\n\n"
+  | _ ->
+      (* pure binary garbage *)
+      String.init (Rng.int rng 512) (fun _ -> Char.chr (Rng.int rng 256))
+
+let http_fuzz =
+  QCheck.Test.make ~name:"read_request: typed errors only" ~count:(count 200)
+    QCheck.small_int (fun seed ->
+      let rng = Rng.create (0x48747470 lxor seed) in
+      let bytes = mutate_request rng in
+      match feed_request bytes with
+      | Ok _ -> true (* some truncations still form a valid request *)
+      | Error { Http.status_hint; _ } -> status_hint >= 400 && status_hint < 600)
+
+let http_sanity () =
+  (match feed_request valid_request with
+  | Ok req ->
+      Alcotest.(check string) "method" "POST" req.Http.meth;
+      Alcotest.(check string) "path" "/solve" req.Http.path;
+      Alcotest.(check string) "body" "hello" req.Http.body
+  | Error e -> Alcotest.failf "valid request rejected: %s" e.Http.message);
+  let expect_error name bytes =
+    match feed_request bytes with
+    | Ok _ -> Alcotest.failf "%s: accepted" name
+    | Error { Http.status_hint; _ } ->
+        Alcotest.(check bool)
+          (Printf.sprintf "%s: hint %d in 4xx/5xx" name status_hint)
+          true
+          (status_hint >= 400 && status_hint < 600)
+  in
+  expect_error "empty input" "";
+  expect_error "non-numeric content-length"
+    "POST / HTTP/1.1\r\ncontent-length: abc\r\n\r\n";
+  expect_error "oversized body"
+    (Printf.sprintf "POST / HTTP/1.1\r\ncontent-length: 40000\r\n\r\n%s"
+       (String.make 40000 'b'));
+  expect_error "truncated body" "POST / HTTP/1.1\r\ncontent-length: 99\r\n\r\nhi"
+
+(* --- instance text --- *)
+
+let base_instance = Io.to_string (Fixtures.figure1 ~budget:4.0)
+
+let lines s = String.split_on_char '\n' s
+
+let unlines = String.concat "\n"
+
+(* One mutation of a valid instance body. *)
+let mutate_instance rng =
+  let ls = lines base_instance in
+  let nl = List.length ls in
+  match Rng.int rng 10 with
+  | 0 -> String.sub base_instance 0 (Rng.int rng (String.length base_instance))
+  | 1 -> unlines (List.mapi (fun i l -> if i = Rng.int rng nl then "garbage here" else l) ls)
+  | 2 -> base_instance ^ "\nbudget nan\n"
+  | 3 -> base_instance ^ "\nquery a;a 3\n" (* duplicate property *)
+  | 4 -> base_instance ^ "\nquery ;a 3\n" (* empty property *)
+  | 5 -> base_instance ^ "\nclassifier a -3\n" (* negative cost *)
+  | 6 -> base_instance ^ "\nquery a\n" (* missing utility field *)
+  | 7 ->
+      (* random character substitution *)
+      String.mapi
+        (fun i c -> if i = Rng.int rng (String.length base_instance) then '%' else c)
+        base_instance
+  | 8 -> String.init (Rng.int rng 256) (fun _ -> Char.chr (Rng.int rng 256))
+  | _ -> base_instance (* unmutated: must stay loadable *)
+
+let io_fuzz =
+  QCheck.Test.make ~name:"load_string: Failure or a valid instance, nothing else"
+    ~count:(count 300) QCheck.small_int (fun seed ->
+      let rng = Rng.create (0x496f lxor seed) in
+      let s = mutate_instance rng in
+      match Io.load_string s with
+      | inst ->
+          (* Whatever loads must be internally consistent enough to ask
+             basic questions of. *)
+          Bcc_core.Instance.num_queries inst >= 0
+      | exception Failure _ -> true)
+
+let io_sanity () =
+  let expect_failure name s =
+    match Io.load_string s with
+    | _ -> Alcotest.failf "%s: accepted" name
+    | exception Failure _ -> ()
+  in
+  expect_failure "NaN budget" "budget nan";
+  expect_failure "duplicate property" "budget 2\nquery a;a 3";
+  expect_failure "empty property" "budget 2\nquery ;a 3";
+  expect_failure "negative cost" "budget 2\nquery a 1\nclassifier a -3";
+  expect_failure "negative utility" "budget 2\nquery a -1";
+  expect_failure "malformed line" "budget 2\nwibble";
+  expect_failure "missing field" "budget 2\nquery a";
+  (* and the unmutated round trip still works *)
+  let inst = Io.load_string base_instance in
+  Alcotest.(check int) "round-trip query count" 3
+    (Bcc_core.Instance.num_queries inst)
+
+let suite =
+  [
+    ("http: hand-picked malformed inputs", `Quick, http_sanity);
+    ("io: hand-picked malformed inputs", `Quick, io_sanity);
+    qtest http_fuzz;
+    qtest io_fuzz;
+  ]

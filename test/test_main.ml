@@ -19,6 +19,9 @@ let () =
       ("theory", Test_theory.suite);
       ("misc", Test_misc.suite);
       ("ingest", Test_ingest.suite);
+      ("robust", Test_robust.suite);
+      ("oracle", Test_oracle.suite);
+      ("fuzz", Test_fuzz.suite);
       ("server", Test_server.suite);
       ("obs", Test_obs.suite);
       ("bccd", Test_bccd.suite);

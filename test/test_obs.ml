@@ -66,10 +66,11 @@ let span_survives_exception () =
 
 let per_thread_roots () =
   with_obs (fun () ->
+      (* No sleeps: the per-thread-root property holds whether or not the
+         spans overlap in time, and sleeping just made the test sensitive
+         to scheduler load. *)
       let spin name =
-        Thread.create
-          (fun () -> Trace.with_span ~name (fun _ -> Thread.delay 0.01))
-          ()
+        Thread.create (fun () -> Trace.with_span ~name (fun _ -> ())) ()
       in
       let t1 = spin "t1" and t2 = spin "t2" in
       Thread.join t1;
@@ -280,9 +281,41 @@ let solve_stage_coverage () =
             (List.length events = List.length (Trace.spans ()))
       | None -> Alcotest.fail "traceEvents missing")
 
+(* Span and stage durations under an injected fake clock: exact,
+   deterministic deltas instead of sleep-and-hope timing assertions, so
+   the test passes identically under load and any BCC_JOBS. *)
+let fake_clock_durations () =
+  let module Timer = Bcc_util.Timer in
+  let now = Atomic.make 1000.0 in
+  Timer.set_source (Some (fun () -> Atomic.get now));
+  Fun.protect
+    ~finally:(fun () -> Timer.set_source None)
+    (fun () ->
+      with_obs (fun () ->
+          Trace.with_span ~name:"timed-outer" (fun _ ->
+              Atomic.set now 1000.5;
+              Trace.with_span ~name:"timed-inner" (fun _ -> Atomic.set now 1000.75));
+          (match Trace.spans () with
+          | [ inner; outer ] ->
+              Alcotest.(check string) "inner first" "timed-inner" inner.Trace.name;
+              Alcotest.(check (float 1e-9)) "inner duration exact" 0.25
+                (inner.Trace.end_s -. inner.Trace.start_s);
+              Alcotest.(check (float 1e-9)) "outer duration exact" 0.75
+                (outer.Trace.end_s -. outer.Trace.start_s)
+          | l -> Alcotest.failf "expected 2 spans, got %d" (List.length l));
+          match List.find_opt (fun s -> s.Stage.stage = "timed-outer") (Stage.stats ()) with
+          | Some s -> Alcotest.(check (float 1e-9)) "profiler saw the fake delta" 0.75 s.Stage.total_s
+          | None -> Alcotest.fail "timed-outer stage missing"));
+  (* Restoring the real clock re-seats the monotone clamp: time must not
+     stay pinned at the fake epoch. *)
+  let t0 = Timer.now_s () in
+  Alcotest.(check bool) "real clock runs after restore" true
+    (Timer.now_s () >= t0 && t0 < 999.0)
+
 let suite =
   [
     ("span nesting and completion order", `Quick, span_nesting);
+    ("fake clock gives exact durations", `Quick, fake_clock_durations);
     ("span survives exceptions", `Quick, span_survives_exception);
     ("spans are per-thread roots", `Quick, per_thread_roots);
     ("two-domain stress keeps linkage", `Quick, multi_domain_stress);

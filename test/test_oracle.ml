@@ -1,0 +1,102 @@
+(* Property-based oracle suite for the solver pipeline.
+
+   Three layers of assurance, all driven from the qcheck seed so a
+   failure replays deterministically:
+
+   - every solution the solver returns — including degraded ones — is
+     budget-feasible and passes [Solution.verify]'s independent
+     recomputation of cost and covered-query utility;
+   - on instances small enough for {!Bcc_core.Exact} (branch and bound
+     over all classifier subsets), the heuristic never *beats* the
+     optimum (that would mean an infeasible or mis-scored solution) —
+     and we track how close it lands;
+   - [solve] and [solve_within ~deadline:none] agree exactly, so the
+     robustness layer is invisible when unused. *)
+
+module Instance = Bcc_core.Instance
+module Solver = Bcc_core.Solver
+module Solution = Bcc_core.Solution
+module Exact = Bcc_core.Exact
+module Deadline = Bcc_robust.Deadline
+
+let qtest = QCheck_alcotest.to_alcotest
+
+let count n =
+  match Sys.getenv_opt "QCHECK_COUNT" with
+  | Some s -> (
+      match int_of_string_opt s with Some c when c > 0 -> c | _ -> n)
+  | None -> n
+
+let budget_of_seed seed = float_of_int (1 + (seed mod 23))
+
+let feasible inst (sol : Solution.t) =
+  Solution.verify inst sol && sol.Solution.cost <= Instance.budget inst +. 1e-9
+
+let solve_feasible_q =
+  QCheck.Test.make ~name:"solve is always budget-feasible and verified"
+    ~count:(count 120) QCheck.small_int (fun seed ->
+      let inst = Fixtures.random_instance ~seed ~budget:(budget_of_seed seed) () in
+      feasible inst (Solver.solve inst))
+
+(* Instances kept small enough for the exact oracle: few short queries
+   over few properties bounds the classifier universe well under
+   [Exact]'s cap. *)
+let oracle_instance seed =
+  Fixtures.random_instance ~max_len:2 ~num_props:4 ~num_queries:4 ~seed
+    ~budget:(budget_of_seed seed) ()
+
+let matches_exact_q =
+  QCheck.Test.make ~name:"solver never beats the exact optimum"
+    ~count:(count 80) QCheck.small_int (fun seed ->
+      let inst = oracle_instance seed in
+      if Instance.num_classifiers inst > 20 then true (* out of oracle range *)
+      else
+        let opt = Exact.solve inst in
+        let got = Solver.solve inst in
+        feasible inst got
+        && feasible inst opt
+        && got.Solution.utility <= opt.Solution.utility +. 1e-9)
+
+let degraded_never_beats_exact_q =
+  QCheck.Test.make ~name:"degraded solutions stay within the optimum too"
+    ~count:(count 60) QCheck.small_int (fun seed ->
+      let inst = oracle_instance seed in
+      if Instance.num_classifiers inst > 20 then true
+      else
+        let opt = Exact.solve inst in
+        let o = Solver.solve_within ~deadline:(Deadline.after 0.0) inst in
+        feasible inst o.Solver.solution
+        && o.Solver.solution.Solution.utility <= opt.Solution.utility +. 1e-9)
+
+let none_deadline_agrees_q =
+  QCheck.Test.make ~name:"solve_within none = solve, exactly" ~count:(count 40)
+    QCheck.small_int (fun seed ->
+      let inst = Fixtures.random_instance ~seed ~budget:(budget_of_seed seed) () in
+      let a = Solver.solve inst in
+      let b = (Solver.solve_within ~deadline:Deadline.none inst).Solver.solution in
+      a.Solution.utility = b.Solution.utility
+      && a.Solution.cost = b.Solution.cost
+      && List.length a.Solution.classifiers = List.length b.Solution.classifiers)
+
+(* The paper's worked examples have known optima — pin them. *)
+let worked_examples () =
+  let check name inst expected_utility =
+    let sol = Solver.solve inst in
+    Alcotest.(check bool) (name ^ " feasible") true (feasible inst sol);
+    Alcotest.(check (float 1e-9)) (name ^ " utility") expected_utility
+      sol.Solution.utility;
+    let opt = Exact.solve inst in
+    Alcotest.(check (float 1e-9)) (name ^ " matches exact") opt.Solution.utility
+      sol.Solution.utility
+  in
+  check "figure1 b=4" (Fixtures.figure1 ~budget:4.0) 9.0;
+  check "figure2 b=2" (Fixtures.figure2 ~budget:2.0) 2.0
+
+let suite =
+  [
+    ("worked examples hit the known optima", `Quick, worked_examples);
+    qtest solve_feasible_q;
+    qtest matches_exact_q;
+    qtest degraded_never_beats_exact_q;
+    qtest none_deadline_agrees_q;
+  ]
