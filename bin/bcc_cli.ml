@@ -202,17 +202,51 @@ let solve_cmd =
       & opt (some string) None
       & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Save the solution to a file.")
   in
-  let run finish file budget algo seed out timeout =
+  let warm =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "warm" ] ~docv:"FILE"
+          ~doc:"Warm-start A^BCC from a previously saved solution (see \
+                --save-solution).  The file is re-validated against this \
+                instance — selections that no longer exist or no longer fit \
+                the budget are dropped — and the result never trails the \
+                re-validated seed.  Ignored by the baseline algorithms.")
+  in
+  let save =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "save-solution" ] ~docv:"FILE"
+          ~doc:"Save the solution in the workload-store codec (interchangeable \
+                with --output's format) for a later --warm.")
+  in
+  let run finish file budget algo seed out timeout warm save =
     let inst = load_instance file budget in
     let deadline =
       match timeout with
       | Some s -> Bcc_robust.Deadline.after ~label:"cli" s
       | None -> Bcc_robust.Deadline.none
     in
+    let warm_sol =
+      match warm with
+      | None -> None
+      | Some path -> (
+          let text = In_channel.with_open_bin path In_channel.input_all in
+          match Bcc_store.Codec.solution_of_string inst text with
+          | seed ->
+              Format.printf "warm seed: %d classifiers, utility %.2f after re-validation@."
+                (List.length seed.Solution.classifiers)
+                seed.Solution.utility;
+              Some seed
+          | exception Failure msg ->
+              prerr_endline ("bcc: bad --warm file: " ^ msg);
+              exit 2)
+    in
     let sol =
       match algo with
       | `Abcc ->
-          let r = Solver.solve_within ~deadline inst in
+          let r = Solver.solve_within ?warm:warm_sol ~deadline inst in
           if r.Solver.degraded then
             Format.printf "degraded: deadline hit, best incumbent shown@.";
           r.Solver.solution
@@ -226,13 +260,19 @@ let solve_cmd =
         Io.save_solution path inst sol;
         Format.printf "wrote %s@." path
     | None -> ());
+    (match save with
+    | Some path ->
+        Out_channel.with_open_bin path (fun oc ->
+            Out_channel.output_string oc (Bcc_store.Codec.solution_to_string inst sol));
+        Format.printf "saved solution to %s@." path
+    | None -> ());
     finish ()
   in
   Cmd.v
     (Cmd.info "solve" ~doc:"Solve the BCC problem on an instance file.")
     Term.(
       const run $ obs_term $ file_arg $ budget_arg $ algo_arg $ seed_arg $ out
-      $ timeout_arg)
+      $ timeout_arg $ warm $ save)
 
 (* --- compare --- *)
 

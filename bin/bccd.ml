@@ -1,9 +1,11 @@
 (* bccd — resident BCC solver daemon.
 
-   Serves POST /solve, /gmc3, /ecc plus GET /instances, /healthz,
-   /metrics and /debug/trace over plain HTTP/1.1 (see
-   lib/server/server.mli for the wire format).  SIGINT/SIGTERM trigger a
-   graceful shutdown that drains in-flight solves before exiting. *)
+   Serves POST /solve, /gmc3, /ecc, the /workloads store family, plus
+   GET /instances, /healthz, /metrics and /debug/trace over plain
+   HTTP/1.1 (see lib/server/server.mli for the wire format).  With
+   --state-dir, workloads are journaled to disk and recovered on
+   restart.  SIGINT/SIGTERM trigger a graceful shutdown that drains
+   in-flight solves before exiting. *)
 
 open Cmdliner
 module Server = Bcc_server.Server
@@ -63,6 +65,15 @@ let trace_buffer_arg =
         ~doc:"Span ring-buffer capacity backing GET /debug/trace and the per-stage \
               latency histograms; 0 disables tracing and profiling entirely.")
 
+let state_dir_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "state-dir" ] ~docv:"DIR"
+        ~doc:"Durable workload-store directory (snapshots + journals); created if \
+              missing, replayed at startup.  Without it the /workloads store is \
+              in-memory only.")
+
 let log_level_arg =
   let levels =
     [
@@ -78,7 +89,8 @@ let log_level_arg =
     & info [ "log-level" ] ~docv:"LEVEL"
         ~doc:"Stderr log verbosity: $(b,debug), $(b,info), $(b,warning) or $(b,error).")
 
-let run host port workers queue_depth cache_entries timeout preload trace_spans level =
+let run host port workers queue_depth cache_entries timeout preload trace_spans state_dir
+    level =
   Bcc_obs.Log_reporter.install ~level ();
   (* Fault injection is opt-in per entry point: only binaries load
      BCC_FAULTS, never the libraries. *)
@@ -97,6 +109,7 @@ let run host port workers queue_depth cache_entries timeout preload trace_spans 
       timeout_s = timeout;
       preload;
       trace_spans;
+      state_dir;
     }
   in
   match Server.create cfg with
@@ -110,6 +123,19 @@ let run host port workers queue_depth cache_entries timeout preload trace_spans 
       List.iter
         (fun (name, _) -> Printf.printf "bccd: loaded instance %s\n%!" name)
         preload;
+      (match state_dir with
+      | Some dir ->
+          let infos = Bcc_server.Server.store srv |> Bcc_store.Store.list in
+          Printf.printf "bccd: recovered %d workloads from %s in %.3fs\n%!"
+            (List.length infos) dir
+            (Bcc_store.Store.replay_seconds (Server.store srv));
+          List.iter
+            (fun (i : Bcc_store.Store.info) ->
+              Printf.printf "bccd: workload %s at epoch %d (%d queries)\n%!"
+                i.Bcc_store.Store.name i.Bcc_store.Store.epoch
+                i.Bcc_store.Store.num_queries)
+            infos
+      | None -> ());
       Printf.printf "bccd: listening on %s:%d (%d workers, queue %d, cache %d, timeout %gs)\n%!"
         host (Server.port srv) (Server.num_workers srv) queue_depth cache_entries timeout;
       Server.run srv;
@@ -122,7 +148,7 @@ let cmd =
       ret
         (const run $ host_arg $ port_arg $ workers_arg $ queue_depth_arg
        $ cache_entries_arg $ timeout_arg $ load_arg $ trace_buffer_arg
-       $ log_level_arg))
+       $ state_dir_arg $ log_level_arg))
   in
   let doc = "resident BCC solver service with request batching and a solution cache" in
   Cmd.v (Cmd.info "bccd" ~doc) term

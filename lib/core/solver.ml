@@ -170,7 +170,7 @@ let greedy_sweep ?allowed state ~limit =
 
 type outcome = { solution : Solution.t; degraded : bool }
 
-let solve_within ?(options = default_options) ~deadline inst =
+let solve_within ?(options = default_options) ?warm ~deadline inst =
   Trace.with_span ~name:"solve" @@ fun sp ->
   let budget = Instance.budget inst in
   if Trace.recording sp then begin
@@ -187,6 +187,38 @@ let solve_within ?(options = default_options) ~deadline inst =
   for id = 0 to Instance.num_classifiers inst - 1 do
     if Instance.cost inst id <= 0.0 then Cover.select !state id
   done;
+  (* Warm start: re-validate a previous solution against this instance
+     (classifiers that left the universe vanish, costs are re-read) and
+     adopt every pick that still fits the budget as the starting state.
+     The seeded state is also banked as an incumbent raced at the end,
+     so the result never trails its own re-validated seed.  Picks are
+     ordered by (cost, set) so re-seeding is deterministic regardless of
+     the order the previous solution listed them. *)
+  let warm_banked =
+    match warm with
+    | None -> None
+    | Some prev ->
+        Trace.with_span ~name:"warm_seed" @@ fun wsp ->
+        let picks =
+          List.filter_map (Instance.classifier_id inst) prev.Solution.classifiers
+          |> List.sort_uniq compare
+          |> List.map (fun id -> (Instance.cost inst id, Instance.classifier inst id, id))
+          |> List.sort (fun (c1, s1, _) (c2, s2, _) ->
+                 match Float.compare c1 c2 with 0 -> Propset.compare s1 s2 | n -> n)
+        in
+        List.iter
+          (fun (cost, _, id) ->
+            if (not (Cover.is_selected !state id)) && Cover.spent !state +. cost <= budget +. 1e-9
+            then Cover.select !state id)
+          picks;
+        let banked = Solution.of_ids inst (Cover.selected !state) in
+        if Trace.recording wsp then begin
+          Trace.add_attr wsp "given" (Trace.Int (List.length prev.Solution.classifiers));
+          Trace.add_attr wsp "seeded" (Trace.Int (List.length banked.Solution.classifiers));
+          Trace.add_attr wsp "utility" (Trace.Float banked.Solution.utility)
+        end;
+        Some banked
+  in
   (* Anytime fallback: with a real deadline in play, bank a cheap greedy
      incumbent up front so an expiry in round 0 still returns a useful
      feasible solution rather than just the zero-cost classifiers.  Off
@@ -405,6 +437,11 @@ let solve_within ?(options = default_options) ~deadline inst =
   let result =
     match fallback with Some f when !degraded -> Solution.better result f | _ -> result
   in
+  (* The warm incumbent competes unconditionally: rounds that drifted
+     away from the seed must still beat it to win. *)
+  let result =
+    match warm_banked with Some w -> Solution.better result w | None -> result
+  in
   if Trace.recording sp then begin
     Trace.add_attr sp "rounds" (Trace.Int !round);
     Trace.add_attr sp "degraded" (Trace.Bool !degraded);
@@ -417,5 +454,5 @@ let solve_within ?(options = default_options) ~deadline inst =
    request, and re-installed by engine tasks) flows into [solve_within],
    so the GMC3/ECC reductions and every other caller inherit graceful
    degradation without signature changes. *)
-let solve ?options inst =
-  (solve_within ?options ~deadline:(Deadline.current ()) inst).solution
+let solve ?options ?warm inst =
+  (solve_within ?options ?warm ~deadline:(Deadline.current ()) inst).solution

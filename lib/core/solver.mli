@@ -53,8 +53,22 @@ type outcome = { solution : Solution.t; degraded : bool }
     finished rounds committed, raced against a banked greedy pass. *)
 
 val solve_within :
-  ?options:options -> deadline:Bcc_robust.Deadline.t -> Instance.t -> outcome
-(** [solve] under a {!Bcc_robust.Deadline}.  The deadline is installed
+  ?options:options ->
+  ?warm:Solution.t ->
+  deadline:Bcc_robust.Deadline.t ->
+  Instance.t ->
+  outcome
+(** [solve] under a {!Bcc_robust.Deadline}.
+
+    [warm] seeds the run with a previous solution (typically the last
+    epoch's, via the workload store): it is re-validated against this
+    instance — classifiers no longer in the universe are dropped, costs
+    re-read, coverage recomputed — and every still-feasible pick becomes
+    part of the starting cover state, which is additionally banked as an
+    incumbent and raced against the final result.  The returned solution
+    therefore never trails the re-validated seed.  Omitting [warm]
+    (the default) leaves the run bit-identical to before this parameter
+    existed.  The deadline is installed
     as the ambient cancellation context for the whole run, so every
     nested portfolio arm (QK restarts, HkS iterations, sweep loops)
     polls it cooperatively.  On expiry the algorithm does {e not} raise:
@@ -64,7 +78,7 @@ val solve_within :
     the run bit-identical to {!solve} before this layer existed.
     @raise Bcc_robust.Deadline.Expired never. *)
 
-val solve : ?options:options -> Instance.t -> Solution.t
+val solve : ?options:options -> ?warm:Solution.t -> Instance.t -> Solution.t
 (** Always returns a feasible solution (verified by construction:
     selections never exceed the remaining budget).  Equivalent to
     [solve_within ~deadline:(Deadline.current ())] with the [degraded]

@@ -46,7 +46,7 @@ let parse_string ?(max_length = 6) text =
 
 let default_cost ~seed =
   let singleton = Costs.hashed_skewed ~seed ~mean:8.0 ~cap:50.0 in
-  Costs.subadditive ~seed:(seed lxor 0xC0), singleton
+  Costs.subadditive ~seed:(seed lxor 0xC0) ~singleton ~discount:0.6
 
 let load ?max_length ?cost ~budget path =
   let ic = open_in path in
@@ -59,10 +59,7 @@ let load ?max_length ?cost ~budget path =
   let cost =
     match cost with
     | Some f -> f
-    | None ->
-        let seed = Hashtbl.hash path in
-        let sub, singleton = default_cost ~seed in
-        sub ~singleton ~discount:0.6
+    | None -> default_cost ~seed:(Hashtbl.hash path)
   in
   ( Instance.create
       ~name:(Filename.remove_extension (Filename.basename path))

@@ -27,6 +27,13 @@ val parse_string :
 (** Parse log text into (symbol table, merged (query, frequency) pairs,
     stats).  @raise Failure on a malformed count. *)
 
+val default_cost : seed:int -> Bcc_core.Propset.t -> float
+(** The oracle {!load} prices classifiers with when none is supplied:
+    skewed analyst-style singletons ({!Costs.hashed_skewed}, mean 8,
+    cap 50) composed sub-additively (discount 0.6), fully determined by
+    [seed] — the workload store relies on this to price queries that
+    arrive in later deltas consistently across restarts. *)
+
 val load :
   ?max_length:int ->
   ?cost:(Bcc_core.Propset.t -> float) ->

@@ -13,7 +13,7 @@ type arm_state = {
 }
 
 let known_points =
-  [ "engine.task"; "server.read"; "cache.get"; "qk.restart"; "hks.iter"; "io.load" ]
+  [ "engine.task"; "server.read"; "cache.get"; "qk.restart"; "hks.iter"; "io.load"; "store.append" ]
 
 (* [any] is the fast path read by every [hit]; the table and the fired
    counters live behind [lock]. *)

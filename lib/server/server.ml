@@ -12,6 +12,8 @@ module Stage = Bcc_obs.Stage
 module Engine = Bcc_engine.Engine
 module Deadline = Bcc_robust.Deadline
 module Fault = Bcc_robust.Fault
+module Store = Bcc_store.Store
+module Delta = Bcc_store.Delta
 
 type config = {
   host : string;
@@ -22,6 +24,7 @@ type config = {
   timeout_s : float;
   preload : (string * string) list;
   trace_spans : int;
+  state_dir : string option;
 }
 
 let default_config =
@@ -34,6 +37,7 @@ let default_config =
     timeout_s = 30.0;
     preload = [];
     trace_spans = 4096;
+    state_dir = None;
   }
 
 type loaded = { digest : string; inst : Instance.t }
@@ -49,6 +53,7 @@ type t = {
   named : (string, loaded) Hashtbl.t;
   inst_cache : loaded Cache.t;  (* raw body digest -> parsed instance *)
   sol_cache : Json.t Cache.t;  (* canonical digest + endpoint + params -> result *)
+  store : Store.t;  (* versioned workloads, durable under [state_dir] *)
   metrics : Metrics.t;
 }
 
@@ -105,6 +110,7 @@ let create cfg =
       named;
       inst_cache = Cache.create ~capacity:(max 1 cfg.cache_entries);
       sol_cache = Cache.create ~capacity:(max 1 cfg.cache_entries);
+      store = Store.create ?dir:cfg.state_dir ();
       metrics = Metrics.create ();
     }
   in
@@ -124,6 +130,7 @@ let create cfg =
 let port t = t.actual_port
 let num_workers t = t.num_workers
 let metrics t = t.metrics
+let store t = t.store
 let request_stop t = Atomic.set t.stop true
 
 (* --- request handling --- *)
@@ -355,6 +362,131 @@ let handle_solve t ep req =
                   Http.json_response 200 json
               | exception Failure msg -> Http.error_response 400 msg)))
 
+(* --- workload store endpoints --- *)
+
+let info_json (i : Store.info) =
+  Json.Obj
+    ([
+       ("name", Json.Str i.Store.name);
+       ("epoch", Json.Num (float_of_int i.Store.epoch));
+       ("budget", Json.Num i.Store.budget);
+       ("queries", Json.Num (float_of_int i.Store.num_queries));
+       ("journal_bytes", Json.Num (float_of_int i.Store.journal_bytes));
+     ]
+    @ (match i.Store.solved_epoch with
+      | Some e -> [ ("solved_epoch", Json.Num (float_of_int e)) ]
+      | None -> [])
+    @
+    match i.Store.warm_ratio with
+    | Some r -> [ ("warm_ratio", Json.Num r) ]
+    | None -> [])
+
+let solved_json (s : Store.solved) =
+  Json.Obj
+    (("workload", Json.Str s.Store.info.Store.name)
+    :: ("epoch", Json.Num (float_of_int s.Store.solved_at))
+    :: ("budget", Json.Num (Instance.budget s.Store.instance))
+    :: solution_fields s.Store.instance s.Store.solution
+    @ [
+        ("degraded", Json.Bool s.Store.degraded);
+        ("warm", Json.Bool s.Store.warm);
+        ("seed_utility", Json.Num s.Store.seed_utility);
+        ("wall_s", Json.Num s.Store.wall_s);
+      ])
+
+let store_error = function
+  | `Not_found -> Http.error_response 404 "no such workload (or it was never solved)"
+  | `Bad msg -> Http.error_response 400 msg
+
+let handle_workload_put t name req =
+  let budget =
+    match Http.query_param req "budget" with
+    | None -> Ok None
+    | Some s -> (
+        match float_of_string_opt s with
+        | Some b when Float.is_finite b && b >= 0.0 -> Ok (Some b)
+        | _ -> Error ("bad ?budget=" ^ s))
+  in
+  let source =
+    match Http.query_param req "format" with
+    | None | Some "text" -> Ok (Store.Text req.Http.body)
+    | Some "log" -> Ok (Store.Log req.Http.body)
+    | Some f -> Error ("unknown ?format=" ^ f ^ " (use text or log)")
+  in
+  match (budget, source) with
+  | Error msg, _ | _, Error msg -> Http.error_response 400 msg
+  | Ok budget, Ok source -> (
+      match Store.put t.store ~name ?budget source with
+      | Ok info -> Http.json_response 200 (info_json info)
+      | Error e -> store_error e)
+
+let handle_workload_delta t name req =
+  let ops =
+    match Http.query_param req "format" with
+    | None | Some "delta" -> (
+        match Delta.parse req.Http.body with
+        | ops -> Ok ops
+        | exception Failure msg -> Error msg)
+    | Some "log" -> (
+        (* A raw log tail as a delta: each line becomes an [add] of its
+           search count, the paper's drifting-utility feed. *)
+        match Delta.of_log req.Http.body with
+        | ops, _stats -> Ok ops
+        | exception Failure msg -> Error msg)
+    | Some f -> Error ("unknown ?format=" ^ f ^ " (use delta or log)")
+  in
+  match ops with
+  | Error msg -> Http.error_response 400 msg
+  | Ok ops -> (
+      match Store.delta t.store ~name ops with
+      | Ok info -> Http.json_response 200 (info_json info)
+      | Error e -> store_error e)
+
+let handle_workload_solve t name req =
+  let cold =
+    match Http.query_param req "cold" with
+    | None | Some ("0" | "false" | "no") -> Ok false
+    | Some ("1" | "true" | "yes") -> Ok true
+    | Some s -> Error ("bad ?cold=" ^ s)
+  in
+  let deadline =
+    match Http.query_param req "timeout_ms" with
+    | None -> Ok Deadline.none
+    | Some s -> (
+        match float_of_string_opt s with
+        | Some ms when Float.is_finite ms && ms > 0.0 ->
+            Ok (Deadline.of_timeout_ms ~label:"request" ms)
+        | _ -> Error "timeout_ms must be a positive number of milliseconds")
+  in
+  match (cold, deadline) with
+  | Error msg, _ | _, Error msg -> Http.error_response 400 msg
+  | Ok cold, Ok deadline -> (
+      match Store.solve t.store ~name ~cold ~deadline () with
+      | Ok s ->
+          Metrics.observe t.metrics "bccd_solve_duration_seconds"
+            ~labels:[ ("endpoint", "workload") ]
+            ~help:"Time spent computing uncached solves." s.Store.wall_s;
+          if s.Store.degraded then
+            Metrics.inc t.metrics "bcc_requests_degraded_total"
+              ~labels:[ ("endpoint", "workload") ]
+              ~help:"Requests answered with a degraded (deadline-cut) solution.";
+          Http.json_response 200 (solved_json s)
+      | Error e -> store_error e)
+
+let handle_workload_solution t name =
+  match Store.solution t.store name with
+  | Ok s -> Http.json_response 200 (solved_json s)
+  | Error e -> store_error e
+
+let handle_workload_info t name =
+  match Store.info t.store name with
+  | Some i -> Http.json_response 200 (info_json i)
+  | None -> store_error `Not_found
+
+let handle_workloads_list t =
+  Http.json_response 200
+    (Json.Obj [ ("workloads", Json.List (List.map info_json (Store.list t.store))) ])
+
 let handle_instances t =
   let entries =
     Hashtbl.fold
@@ -462,8 +594,51 @@ let handle_metrics t =
   Metrics.set t.metrics "bcc_engine_queue_depth"
     ~help:"Jobs and batch tickets waiting in the engine work queue."
     (float_of_int (Engine.Pool.queue_depth t.pool));
+  (* Workload-store series: the commit counter is a store-wide total
+     polled with the same delta-inc pattern; journal size and warm-start
+     quality are per-workload gauges. *)
+  Metrics.inc t.metrics "bcc_store_epochs_total"
+    ~help:"Epoch-advancing workload commits (puts and deltas)."
+    ~by:
+      (float_of_int (Store.epochs_committed t.store)
+      -. Metrics.counter_value t.metrics "bcc_store_epochs_total");
+  Metrics.set t.metrics "bcc_store_replay_seconds"
+    ~help:"Wall time the startup state-directory replay took."
+    (Store.replay_seconds t.store);
+  List.iter
+    (fun (i : Store.info) ->
+      Metrics.set t.metrics "bcc_store_journal_bytes"
+        ~labels:[ ("workload", i.Store.name) ]
+        ~help:"Journal bytes accumulated since the last compaction."
+        (float_of_int i.Store.journal_bytes);
+      match i.Store.warm_ratio with
+      | Some r ->
+          Metrics.set t.metrics "bcc_warm_start_utility_ratio"
+            ~labels:[ ("workload", i.Store.name) ]
+            ~help:
+              "Share of the last warm solve's utility already covered by its \
+               re-validated seed."
+            r
+      | None -> ())
+    (Store.list t.store);
   Http.response ~content_type:"text/plain; version=0.0.4; charset=utf-8" 200
     (Metrics.render t.metrics)
+
+(* The workload routes are the one segment-parameterized family; the
+   flat endpoints stay exact-match. *)
+let handle_workloads t meth segs req =
+  match (meth, segs) with
+  | "GET", [] -> handle_workloads_list t
+  | "PUT", [ name ] -> handle_workload_put t name req
+  | "GET", [ name ] -> handle_workload_info t name
+  | "POST", [ name; "delta" ] -> handle_workload_delta t name req
+  | "POST", [ name; "solve" ] -> handle_workload_solve t name req
+  | "GET", [ name; "solution" ] -> handle_workload_solution t name
+  | _, [] -> Http.error_response 405 "use GET for /workloads"
+  | _, [ _ ] -> Http.error_response 405 ("use PUT or GET for " ^ req.Http.path)
+  | _, [ _; ("delta" | "solve") ] -> Http.error_response 405 ("use POST for " ^ req.Http.path)
+  | _, [ _; "solution" ] -> Http.error_response 405 ("use GET for " ^ req.Http.path)
+  | _ -> Http.error_response 404 ("no such endpoint: " ^ req.Http.path)
 
 let handle t (req : Http.request) =
   match (req.meth, req.path) with
@@ -474,6 +649,16 @@ let handle t (req : Http.request) =
   | "POST", "/solve" -> handle_solve t E_solve req
   | "POST", "/gmc3" -> handle_solve t E_gmc3 req
   | "POST", "/ecc" -> handle_solve t E_ecc req
+  | meth, path
+    when path = "/workloads"
+         || String.length path > 11
+            && String.sub path 0 11 = "/workloads/" ->
+      let segs =
+        match String.split_on_char '/' path with
+        | "" :: "workloads" :: rest -> List.filter (fun s -> s <> "") rest
+        | _ -> []
+      in
+      handle_workloads t meth segs req
   | _, ("/solve" | "/gmc3" | "/ecc") ->
       Http.error_response 405 ("use POST for " ^ req.path)
   | _, ("/healthz" | "/metrics" | "/instances" | "/debug/trace") ->
@@ -618,6 +803,7 @@ let run t =
      get 503 from [serve_conn]'s stop check) and joins its domains; any
      in-flight solve finishes first. *)
   Engine.Pool.shutdown t.pool;
+  Store.close t.store;
   (try Unix.close t.sock with Unix.Unix_error _ -> ());
   (* The daemon is done with the shared pool; leave later library calls
      (tests run several daemons per process) a working default. *)

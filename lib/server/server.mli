@@ -20,10 +20,22 @@
       with optional ["budget"]/["target"] fields ([?budget=]/[?target=]
       query parameters override);
     - [GET /instances] — the instances preloaded at startup;
+    - the workload-store family (backed by {!Bcc_store.Store}, durable
+      under [state_dir] and recovered on restart):
+      [PUT /workloads/:name[?format=text|log&budget=B]] (create/replace
+      from instance text or a raw search log),
+      [POST /workloads/:name/delta[?format=delta|log]] (apply one atomic
+      epoch-advancing batch),
+      [POST /workloads/:name/solve[?cold=true&timeout_ms=MS]]
+      (warm-started re-solve, committed to the journal),
+      [GET /workloads/:name/solution], [GET /workloads/:name] and
+      [GET /workloads];
     - [GET /healthz], [GET /metrics] (Prometheus text format, including
       [bcc_stage_duration_seconds] histograms labeled by pipeline stage,
       [bcc_engine_tasks_total] counters labeled by engine backend and
-      outcome, and the [bcc_engine_queue_depth] gauge);
+      outcome, the [bcc_engine_queue_depth] gauge, and the store series
+      [bcc_store_epochs_total], [bcc_store_journal_bytes],
+      [bcc_store_replay_seconds] and [bcc_warm_start_utility_ratio]);
     - [GET /debug/trace?last=N] — the most recent completed
       {!Bcc_obs.Trace} spans as a JSON forest (children nested under
       their parents), for inspecting where a solve spent its time.
@@ -44,11 +56,15 @@ type config = {
   trace_spans : int;
       (** span ring-buffer capacity; [> 0] turns on {!Bcc_obs} tracing and
           stage profiling at startup, [0] leaves both off *)
+  state_dir : string option;
+      (** workload-store state directory; [None] keeps the store
+          in-memory only (workloads do not survive a restart) *)
 }
 
 val default_config : config
 (** 127.0.0.1:8080, auto-sized workers, queue 64, 256 cache entries,
-    30 s timeout, nothing preloaded, 4096-span trace buffer. *)
+    30 s timeout, nothing preloaded, 4096-span trace buffer, in-memory
+    store. *)
 
 type t
 
@@ -62,6 +78,10 @@ val port : t -> int
 
 val num_workers : t -> int
 val metrics : t -> Metrics.t
+
+val store : t -> Bcc_store.Store.t
+(** The workload store (already replayed by {!create}) — the daemon uses
+    it to report recovery at startup. *)
 
 val run : t -> unit
 (** Blocks serving requests until {!request_stop}; returns only after

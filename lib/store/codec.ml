@@ -1,0 +1,106 @@
+module Instance = Bcc_core.Instance
+module Propset = Bcc_core.Propset
+module Symtab = Bcc_core.Symtab
+module Solution = Bcc_core.Solution
+
+type record = { kind : string; generation : string; epoch : int; payload : string }
+
+let token_ok s =
+  s <> "" && String.for_all (fun c -> c > ' ' && c < '\x7f') s
+
+let encode r =
+  if not (token_ok r.kind) then invalid_arg "Codec.encode: bad kind";
+  if not (token_ok r.generation) then invalid_arg "Codec.encode: bad generation";
+  if r.epoch < 0 then invalid_arg "Codec.encode: negative epoch";
+  Printf.sprintf "@rec %s %s %d %d %s\n%s\n" r.kind r.generation r.epoch
+    (String.length r.payload)
+    (Digest.to_hex (Digest.string r.payload))
+    r.payload
+
+(* Decode from the head until the first record that is not provably
+   committed; whatever follows is the torn tail. *)
+let decode bytes =
+  let n = String.length bytes in
+  let records = ref [] in
+  let pos = ref 0 in
+  let ok = ref true in
+  while !ok && !pos < n do
+    match String.index_from_opt bytes !pos '\n' with
+    | None -> ok := false (* partial header *)
+    | Some eol -> (
+        let header = String.sub bytes !pos (eol - !pos) in
+        match String.split_on_char ' ' header with
+        | [ "@rec"; kind; generation; epoch; len; md5 ]
+          when token_ok kind && token_ok generation -> (
+            match (int_of_string_opt epoch, int_of_string_opt len) with
+            | Some epoch, Some len
+              when epoch >= 0 && len >= 0
+                   (* header + payload + trailing newline all present *)
+                   && eol + 1 + len < n
+                   && bytes.[eol + 1 + len] = '\n' ->
+                let payload = String.sub bytes (eol + 1) len in
+                if Digest.to_hex (Digest.string payload) = md5 then begin
+                  records := { kind; generation; epoch; payload } :: !records;
+                  pos := eol + 1 + len + 1
+                end
+                else ok := false (* checksum mismatch: torn or corrupt *)
+            | _ -> ok := false)
+        | _ -> ok := false)
+  done;
+  (List.rev !records, n - !pos)
+
+(* --- solutions --- *)
+
+let prop_name inst p =
+  match Instance.names inst with
+  | Some tbl -> Symtab.name tbl p
+  | None -> string_of_int p
+
+let solution_to_string inst (sol : Solution.t) =
+  let buf = Buffer.create 256 in
+  Printf.bprintf buf "# bcc solution for instance %s\n" (Instance.name inst);
+  Printf.bprintf buf "# cost %.9g utility %.9g\n" sol.Solution.cost sol.Solution.utility;
+  List.iter
+    (fun c ->
+      let names = List.map (prop_name inst) (Propset.to_list c) in
+      Printf.bprintf buf "select %s %.9g\n" (String.concat ";" names)
+        (Instance.cost_of inst c))
+    sol.Solution.classifiers;
+  Buffer.contents buf
+
+let tokens line =
+  let line = String.map (fun c -> if c = '\t' || c = '\r' then ' ' else c) line in
+  List.filter (fun s -> s <> "") (String.split_on_char ' ' line)
+
+let solution_of_string ?(strict = false) inst text =
+  let name_to_id =
+    match Instance.names inst with
+    | Some tbl -> fun s -> Symtab.find tbl s
+    | None -> fun s -> int_of_string_opt s
+  in
+  let sets = ref [] in
+  List.iter
+    (fun line ->
+      let line = String.trim line in
+      if line <> "" && line.[0] <> '#' then
+        match tokens line with
+        | [ "select"; props; _cost ] -> (
+            let ids = List.map name_to_id (String.split_on_char ';' props) in
+            match
+              if List.exists Option.is_none ids then None
+              else
+                let set = Propset.of_list (List.filter_map Fun.id ids) in
+                if Instance.classifier_id inst set = None then None else Some set
+            with
+            | Some set -> sets := set :: !sets
+            | None ->
+                (* Unknown property or a classifier outside the universe:
+                   after workload drift this is the expected fate of part
+                   of a warm seed — drop it unless asked to be strict. *)
+                if strict then
+                  failwith
+                    ("Codec.solution_of_string: classifier not in the instance \
+                      universe: " ^ props))
+        | _ -> failwith ("Codec.solution_of_string: malformed line: " ^ line))
+    (String.split_on_char '\n' text);
+  Solution.of_sets inst !sets

@@ -1,0 +1,54 @@
+(** Crash-safe on-disk encoding for the workload store.
+
+    {2 Journal records}
+
+    The journal is an append-only sequence of length-prefixed,
+    checksummed records:
+    {v
+    @rec <kind> <generation> <epoch> <length> <md5-of-payload>
+    <length bytes of payload>
+    v}
+    (one [\n] after the header, one after the payload).  The framing
+    makes the commit point unambiguous: a record is committed iff its
+    full header, payload and checksum survive.  {!decode} returns every
+    committed record from the head of the bytes and the length of the
+    undecodable tail — a torn final append (partial header, short
+    payload, checksum mismatch) simply ends the decode; it is the
+    caller's job to truncate the file to the committed prefix.  Decoding
+    never raises.
+
+    The [generation] tag (an opaque token stamped into the snapshot it
+    belongs with) fences records from a workload's previous life: a
+    re-[PUT] workload writes a fresh-generation snapshot first, so a
+    crash between that snapshot and the journal truncation cannot replay
+    old-generation deltas onto the new base.
+
+    {2 Solutions}
+
+    {!solution_to_string} / {!solution_of_string} carry a solver
+    solution as [select p1;p2 <cost>] lines (the same shape as
+    {!Bcc_data.Io.save_solution}, so CLI-saved files interchange); the
+    lenient default drops selections that no longer exist in the
+    instance's universe — exactly what a warm start wants after the
+    workload has drifted. *)
+
+type record = { kind : string; generation : string; epoch : int; payload : string }
+
+val encode : record -> string
+(** @raise Invalid_argument when [kind]/[generation] contain blanks or
+    newlines, or [epoch < 0]. *)
+
+val decode : string -> record list * int
+(** [(records, tail)] — every committed record from the head, and how
+    many trailing bytes could not be decoded ([0] = clean).  Never
+    raises. *)
+
+val solution_to_string : Bcc_core.Instance.t -> Bcc_core.Solution.t -> string
+
+val solution_of_string :
+  ?strict:bool -> Bcc_core.Instance.t -> string -> Bcc_core.Solution.t
+(** Re-validates against [inst]: classifier sets are re-priced and the
+    utility recomputed from scratch.  By default, selections naming
+    unknown properties or classifiers outside the universe are dropped;
+    [~strict:true] turns those into [Failure].
+    @raise Failure on a structurally malformed line (always). *)

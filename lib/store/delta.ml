@@ -1,0 +1,81 @@
+module Propset = Bcc_core.Propset
+module Symtab = Bcc_core.Symtab
+module Log_parser = Bcc_data.Log_parser
+
+type op =
+  | Set_budget of float
+  | Upsert of string list * float
+  | Add of string list * float
+  | Remove of string list
+  | Set_cost of string list * float
+
+let tokens line =
+  let line = String.map (fun c -> if c = '\t' || c = '\r' then ' ' else c) line in
+  List.filter (fun s -> s <> "") (String.split_on_char ' ' line)
+
+let parse_props s =
+  let parts = String.split_on_char ';' s in
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun p ->
+      if p = "" then failwith ("Delta.parse: empty property name in: " ^ s);
+      if Hashtbl.mem seen p then
+        failwith ("Delta.parse: duplicate property " ^ p ^ " in: " ^ s);
+      Hashtbl.add seen p ())
+    parts;
+  parts
+
+(* [float_of_string_opt "inf"] is [Some infinity], so the [inf_ok]
+   distinction lives in the finiteness guard, not the parse. *)
+let parse_float ?(inf_ok = false) what s =
+  match float_of_string_opt s with
+  | Some f when Float.is_nan f -> failwith ("Delta.parse: " ^ what ^ " is NaN: " ^ s)
+  | Some f when f < 0.0 -> failwith ("Delta.parse: negative " ^ what ^ ": " ^ s)
+  | Some f when Float.is_finite f || inf_ok -> f
+  | Some _ -> failwith ("Delta.parse: " ^ what ^ " must be finite: " ^ s)
+  | None -> failwith ("Delta.parse: bad " ^ what ^ ": " ^ s)
+
+let parse text =
+  let ops = ref [] in
+  List.iter
+    (fun line ->
+      let line = String.trim line in
+      if line <> "" && line.[0] <> '#' then
+        let op =
+          match tokens line with
+          | [ "budget"; b ] -> Set_budget (parse_float "budget" b)
+          | [ "upsert"; props; u ] -> Upsert (parse_props props, parse_float "utility" u)
+          | [ "add"; props; u ] -> Add (parse_props props, parse_float "utility" u)
+          | [ "remove"; props ] -> Remove (parse_props props)
+          | [ "cost"; props; c ] -> Set_cost (parse_props props, parse_float ~inf_ok:true "cost" c)
+          | _ -> failwith ("Delta.parse: malformed line: " ^ line)
+        in
+        ops := op :: !ops)
+    (String.split_on_char '\n' text);
+  List.rev !ops
+
+let to_string ops =
+  let buf = Buffer.create 256 in
+  let props ps = String.concat ";" ps in
+  List.iter
+    (fun op ->
+      (match op with
+      | Set_budget b -> Printf.bprintf buf "budget %.9g" b
+      | Upsert (ps, u) -> Printf.bprintf buf "upsert %s %.9g" (props ps) u
+      | Add (ps, u) -> Printf.bprintf buf "add %s %.9g" (props ps) u
+      | Remove ps -> Printf.bprintf buf "remove %s" (props ps)
+      | Set_cost (ps, c) ->
+          if Float.is_finite c then Printf.bprintf buf "cost %s %.9g" (props ps) c
+          else Printf.bprintf buf "cost %s inf" (props ps));
+      Buffer.add_char buf '\n')
+    ops;
+  Buffer.contents buf
+
+let of_log ?max_length text =
+  let names, queries, stats = Log_parser.parse_string ?max_length text in
+  let ops =
+    Array.to_list queries
+    |> List.map (fun (q, count) ->
+           Add (List.map (Symtab.name names) (Propset.to_list q), count))
+  in
+  (ops, stats)

@@ -1,0 +1,42 @@
+(** Workload delta operations — the unit of change between epochs.
+
+    A workload evolves as a sequence of delta batches; each batch is a
+    list of ops over property {e names} (interning happens when the op
+    is applied to a workload, so a delta file is self-contained and can
+    introduce properties the workload has never seen).
+
+    Text format, one op per line (blank lines and [#] comments ignored,
+    fields separated by runs of blanks, CRLF tolerated — the same line
+    discipline as {!Bcc_data.Io}):
+    {v
+    budget 12.5
+    upsert wooden;table 35       # set the query's utility
+    add wooden;table 5           # increment it (0 when absent)
+    remove leather;sofa          # drop the query
+    cost wooden 4                # set a classifier's construction cost
+    cost wooden;table inf        # ... or price it out of the universe
+    v}
+
+    Raw search-log lines ("wooden table<TAB>35") are the other arrival
+    path: {!of_log} turns them into [add] ops via
+    {!Bcc_data.Log_parser}, so utilities accumulate exactly as repeated
+    log ingestion would. *)
+
+type op =
+  | Set_budget of float
+  | Upsert of string list * float  (** property names, new utility *)
+  | Add of string list * float  (** property names, utility increment *)
+  | Remove of string list
+  | Set_cost of string list * float  (** [infinity] removes the classifier *)
+
+val parse : string -> op list
+(** @raise Failure on a malformed line, a NaN/negative number, an empty
+    or duplicate property name — never accepts silently. *)
+
+val to_string : op list -> string
+(** Inverse of {!parse} (up to comments/whitespace). *)
+
+val of_log : ?max_length:int -> string -> op list * Bcc_data.Log_parser.stats
+(** Each distinct query in the log becomes one [add] op carrying its
+    accumulated count ([max_length] as in {!Bcc_data.Log_parser}).
+    @raise Failure on a malformed count. *)

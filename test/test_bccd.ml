@@ -524,6 +524,208 @@ let fault_backpressure_429 () =
       | Some n -> Alcotest.(check bool) "rejection counted" true (n >= 1.0)
       | None -> Alcotest.fail "bcc_requests_rejected_total missing")
 
+(* --- workload store over HTTP --- *)
+
+let fig_text =
+  "budget 4\n\
+   query x;y;z 8\n\
+   query x;z 1\n\
+   query x;y 2\n\
+   classifier x 5\n\
+   classifier y 3\n\
+   classifier z 3\n\
+   classifier x;y;z 3\n\
+   classifier x;z 4\n\
+   classifier y;z 0\n"
+
+let temp_state_dir () =
+  let base = Filename.temp_file "bccd_state" "" in
+  Sys.remove base;
+  Unix.mkdir base 0o755;
+  base
+
+let rm_state_dir dir =
+  if Sys.file_exists dir then begin
+    Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+    Unix.rmdir dir
+  end
+
+let kill_hard d =
+  (try Unix.kill d.pid Sys.sigkill with Unix.Unix_error _ -> ());
+  (try ignore (Unix.waitpid [] d.pid) with Unix.Unix_error _ -> ());
+  try close_in d.out with Sys_error _ -> ()
+
+let store_lifecycle () =
+  let dir = temp_state_dir () in
+  let d = start_daemon [ "--workers"; "2"; "--state-dir"; dir ] in
+  Fun.protect
+    ~finally:(fun () ->
+      kill_hard d;
+      rm_state_dir dir)
+    (fun () ->
+      let put path body = request ~port:d.port ~meth:"PUT" ~path ~body () in
+      let post path body = request ~port:d.port ~meth:"POST" ~path ~body () in
+      let get path = request ~port:d.port ~meth:"GET" ~path () in
+      (* create *)
+      let status, body = put "/workloads/fig" fig_text in
+      Alcotest.(check int) "PUT status" 200 status;
+      let json = Json.of_string_exn (String.trim body) in
+      Alcotest.(check (float 1e-9)) "epoch 0 after PUT" 0.0 (num_field "epoch" json);
+      Alcotest.(check (float 1e-9)) "three queries" 3.0 (num_field "queries" json);
+      (* bad inputs come back typed *)
+      Alcotest.(check int) "unsafe name -> 400" 400 (fst (put "/workloads/.dot" fig_text));
+      Alcotest.(check int) "bad instance text -> 400" 400
+        (fst (put "/workloads/junk" "budget nope\n"));
+      Alcotest.(check int) "bad delta -> 400" 400
+        (fst (post "/workloads/fig/delta" "wibble x 1\n"));
+      Alcotest.(check int) "delta on unknown workload -> 404" 404
+        (fst (post "/workloads/ghost/delta" "budget 9\n"));
+      Alcotest.(check int) "solution before any solve -> 404" 404
+        (fst (get "/workloads/fig/solution"));
+      Alcotest.(check int) "DELETE -> 405" 405
+        (fst (request ~port:d.port ~meth:"DELETE" ~path:"/workloads/fig" ()));
+      (* listing *)
+      let status, body = get "/workloads" in
+      Alcotest.(check int) "list status" 200 status;
+      (match
+         Json.get_list (get_field "workloads" (Json.of_string_exn (String.trim body)))
+       with
+      | Some [ entry ] ->
+          Alcotest.(check (option string)) "listed name" (Some "fig")
+            (Json.get_string (get_field "name" entry))
+      | _ -> Alcotest.fail "expected exactly one workload");
+      (* first solve is cold and optimal (figure1 @ 4 -> 9) *)
+      let status, body = post "/workloads/fig/solve" "" in
+      Alcotest.(check int) "solve status" 200 status;
+      let json = Json.of_string_exn (String.trim body) in
+      Alcotest.(check (float 1e-6)) "figure1 optimum over the store" 9.0
+        (num_field "utility" json);
+      Alcotest.(check (option bool)) "first solve cold" (Some false)
+        (Json.get_bool (get_field "warm" json));
+      let base_utility = num_field "utility" json in
+      (* drift: budget up, one query's utility up -> warm re-solve *)
+      let status, body = post "/workloads/fig/delta" "budget 11\nadd x;y 1\n" in
+      Alcotest.(check int) "delta status" 200 status;
+      Alcotest.(check (float 1e-9)) "epoch 1 after delta" 1.0
+        (num_field "epoch" (Json.of_string_exn (String.trim body)));
+      let status, body = post "/workloads/fig/solve" "" in
+      Alcotest.(check int) "re-solve status" 200 status;
+      let json = Json.of_string_exn (String.trim body) in
+      Alcotest.(check (option bool)) "re-solve warm-seeded" (Some true)
+        (Json.get_bool (get_field "warm" json));
+      Alcotest.(check bool) "monotone drift -> utility does not drop" true
+        (num_field "utility" json >= base_utility -. 1e-9);
+      Alcotest.(check bool) "re-validated seed banked" true
+        (num_field "seed_utility" json > 0.0);
+      (* a raw log tail is the other delta arrival path *)
+      Alcotest.(check int) "log-format delta accepted" 200
+        (fst (post "/workloads/fig/delta?format=log" "x y\t3\n"));
+      (* store metrics exported *)
+      let status, m = get "/metrics" in
+      Alcotest.(check int) "metrics status" 200 status;
+      (match metric_value m "bcc_store_epochs_total" with
+      | Some n -> Alcotest.(check bool) "epochs counter >= 3" true (n >= 3.0)
+      | None -> Alcotest.fail "bcc_store_epochs_total missing");
+      (match metric_value m {|bcc_store_journal_bytes{workload="fig"}|} with
+      | Some n -> Alcotest.(check bool) "journal bytes gauge positive" true (n > 0.0)
+      | None -> Alcotest.fail "bcc_store_journal_bytes missing");
+      (match metric_value m {|bcc_warm_start_utility_ratio{workload="fig"}|} with
+      | Some r -> Alcotest.(check bool) "warm ratio gauge in (0,1]" true (r > 0.0 && r <= 1.0 +. 1e-9)
+      | None -> Alcotest.fail "bcc_warm_start_utility_ratio missing");
+      Alcotest.(check bool) "replay gauge present" true
+        (metric_value m "bcc_store_replay_seconds" <> None);
+      Unix.kill d.pid Sys.sigterm;
+      match wait_exit d with
+      | Unix.WEXITED 0 -> ()
+      | _ -> Alcotest.fail "daemon did not exit cleanly")
+
+(* SIGKILL the daemon after committed epochs + a committed solution,
+   append a torn record to the journal (the crash-mid-append tail),
+   restart on the same state dir, and require the exact committed
+   state back. *)
+let store_crash_recovery () =
+  let dir = temp_state_dir () in
+  Fun.protect
+    ~finally:(fun () -> rm_state_dir dir)
+    (fun () ->
+      let d = start_daemon [ "--workers"; "2"; "--state-dir"; dir ] in
+      let committed_utility, committed_cost =
+        Fun.protect
+          ~finally:(fun () -> kill_hard d)
+          (fun () ->
+            let status, _ =
+              request ~port:d.port ~meth:"PUT" ~path:"/workloads/fig?budget=11"
+                ~body:fig_text ()
+            in
+            Alcotest.(check int) "PUT status" 200 status;
+            Alcotest.(check int) "delta status" 200
+              (fst
+                 (request ~port:d.port ~meth:"POST" ~path:"/workloads/fig/delta"
+                    ~body:"add x;y 1\n" ()));
+            let status, body =
+              request ~port:d.port ~meth:"POST" ~path:"/workloads/fig/solve" ~body:"" ()
+            in
+            Alcotest.(check int) "solve status" 200 status;
+            let json = Json.of_string_exn (String.trim body) in
+            Alcotest.(check (float 1e-9)) "solved at epoch 1" 1.0 (num_field "epoch" json);
+            (num_field "utility" json, num_field "cost" json))
+        (* kill_hard ran: SIGKILL, no drain, no fsync beyond the commits *)
+      in
+      (* the crash left half an append behind *)
+      let journal = Filename.concat dir "fig.journal" in
+      Alcotest.(check bool) "journal exists on disk" true (Sys.file_exists journal);
+      Out_channel.with_open_gen [ Open_append; Open_binary ] 0o644 journal (fun oc ->
+          Out_channel.output_string oc
+            "@rec delta gXXX 2 300 0123456789abcdef0123456789abcdef\ntorn");
+      let torn_len = (Unix.stat journal).Unix.st_size in
+      (* restart on the same state dir *)
+      let d = start_daemon [ "--workers"; "2"; "--state-dir"; dir ] in
+      Fun.protect
+        ~finally:(fun () -> kill_hard d)
+        (fun () ->
+          let status, body =
+            request ~port:d.port ~meth:"GET" ~path:"/workloads/fig" ()
+          in
+          Alcotest.(check int) "workload recovered" 200 status;
+          let json = Json.of_string_exn (String.trim body) in
+          Alcotest.(check (float 1e-9)) "epoch recovered" 1.0 (num_field "epoch" json);
+          Alcotest.(check (float 1e-9)) "solved epoch recovered" 1.0
+            (num_field "solved_epoch" json);
+          let status, body =
+            request ~port:d.port ~meth:"GET" ~path:"/workloads/fig/solution" ()
+          in
+          Alcotest.(check int) "solution recovered" 200 status;
+          let json = Json.of_string_exn (String.trim body) in
+          Alcotest.(check (float 1e-9)) "same committed utility" committed_utility
+            (num_field "utility" json);
+          Alcotest.(check (float 1e-9)) "same committed cost" committed_cost
+            (num_field "cost" json);
+          Alcotest.(check (float 1e-9)) "solution is the epoch-1 one" 1.0
+            (num_field "epoch" json);
+          (* the torn tail was truncated off the file *)
+          Alcotest.(check bool) "torn tail truncated" true
+            ((Unix.stat journal).Unix.st_size < torn_len);
+          (* and the journal keeps accepting commits *)
+          let status, body =
+            request ~port:d.port ~meth:"POST" ~path:"/workloads/fig/delta"
+              ~body:"add x;z 2\n" ()
+          in
+          Alcotest.(check int) "post-recovery delta" 200 status;
+          Alcotest.(check (float 1e-9)) "epoch advances past recovery" 2.0
+            (num_field "epoch" (Json.of_string_exn (String.trim body)));
+          let status, body =
+            request ~port:d.port ~meth:"POST" ~path:"/workloads/fig/solve" ~body:"" ()
+          in
+          Alcotest.(check int) "post-recovery solve" 200 status;
+          Alcotest.(check (option bool)) "post-recovery solve warm-seeded from the recovered solution"
+            (Some true)
+            (Json.get_bool
+               (get_field "warm" (Json.of_string_exn (String.trim body))));
+          Unix.kill d.pid Sys.sigterm;
+          match wait_exit d with
+          | Unix.WEXITED 0 -> ()
+          | _ -> Alcotest.fail "daemon did not exit cleanly after recovery"))
+
 let suite =
   [
     ("e2e: concurrent solves, cache, metrics, SIGTERM", `Quick, e2e_concurrent_solves_and_shutdown);
@@ -531,4 +733,6 @@ let suite =
     ("fault matrix: worker death + cache fault", `Quick, fault_worker_death_and_cache);
     ("fault matrix: deadline hit degrades gracefully", `Quick, fault_deadline_degrades);
     ("fault matrix: queue overload -> 429 + retry-after", `Quick, fault_backpressure_429);
+    ("store: workload lifecycle over HTTP", `Quick, store_lifecycle);
+    ("store: SIGKILL + restart serves the committed state", `Quick, store_crash_recovery);
   ]

@@ -166,10 +166,123 @@ let io_sanity () =
   Alcotest.(check int) "round-trip query count" 3
     (Bcc_core.Instance.num_queries inst)
 
+(* --- workload store persistence --- *)
+
+module Codec = Bcc_store.Codec
+module Store = Bcc_store.Store
+module Delta = Bcc_store.Delta
+
+(* A valid journal: three committed delta records. *)
+let base_journal =
+  String.concat ""
+    (List.map Codec.encode
+       [
+         { Codec.kind = "delta"; generation = "g1.2.3"; epoch = 1; payload = "add a;b 3\n" };
+         { Codec.kind = "delta"; generation = "g1.2.3"; epoch = 2; payload = "budget 9\n" };
+         { Codec.kind = "delta"; generation = "g1.2.3"; epoch = 3; payload = "remove a;b\n" };
+       ])
+
+(* One mutation of the journal bytes. *)
+let mutate_journal rng =
+  let n = String.length base_journal in
+  match Rng.int rng 6 with
+  | 0 -> String.sub base_journal 0 (Rng.int rng n) (* torn anywhere *)
+  | 1 ->
+      (* single flipped byte: checksum or framing breaks *)
+      let i = Rng.int rng n in
+      String.mapi
+        (fun j c -> if j = i then Char.chr (Char.code c lxor (1 + Rng.int rng 255)) else c)
+        base_journal
+  | 2 -> base_journal ^ "@rec delta g1.2.3 4 99 not-a-checksum\nxx" (* torn tail *)
+  | 3 -> String.init (Rng.int rng 512) (fun _ -> Char.chr (Rng.int rng 256))
+  | 4 ->
+      (* valid framing, lying length field *)
+      base_journal ^ "@rec delta g1.2.3 4 999999999 0123456789abcdef0123456789abcdef\nhi\n"
+  | _ -> base_journal
+
+let codec_fuzz =
+  QCheck.Test.make ~name:"store codec: decode never raises, tail stays in bounds"
+    ~count:(count 300) QCheck.small_int (fun seed ->
+      let rng = Rng.create (0x436f lxor seed) in
+      let bytes = mutate_journal rng in
+      let records, tail = Codec.decode bytes in
+      (* decoded records re-encode into the committed prefix exactly *)
+      let prefix_len =
+        List.fold_left (fun acc r -> acc + String.length (Codec.encode r)) 0 records
+      in
+      tail >= 0 && prefix_len + tail = String.length bytes)
+
+(* Store.create over a state dir with mutated files: snapshot corruption
+   is a typed [Failure] (refuse to serve a workload we can't trust);
+   journal corruption is survivable (committed prefix + truncation). *)
+let store_replay_fuzz =
+  QCheck.Test.make ~name:"store replay: Failure on bad snapshots, never anything else"
+    ~count:(count 60) QCheck.small_int (fun seed ->
+      let rng = Rng.create (0x5265 lxor seed) in
+      let dir = Filename.temp_file "bcc_fuzz" "" in
+      Sys.remove dir;
+      Unix.mkdir dir 0o755;
+      Fun.protect
+        ~finally:(fun () ->
+          Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+          Unix.rmdir dir)
+        (fun () ->
+          (* build a real workload on disk, then corrupt it *)
+          let store = Store.create ~dir () in
+          (match Store.put store ~name:"w" (Store.Text "budget 4\nquery a 3\nclassifier a 2\n") with
+          | Ok _ -> ()
+          | Error _ -> failwith "seed put failed");
+          (match Store.delta store ~name:"w" [ Delta.Add ([ "a" ], 1.0) ] with
+          | Ok _ -> ()
+          | Error _ -> failwith "seed delta failed");
+          Store.close store;
+          let target, path =
+            if Rng.bool rng then ("snap", Filename.concat dir "w.snap")
+            else ("journal", Filename.concat dir "w.journal")
+          in
+          let bytes = In_channel.with_open_bin path In_channel.input_all in
+          let mutated =
+            match Rng.int rng 3 with
+            | 0 -> String.sub bytes 0 (Rng.int rng (String.length bytes))
+            | 1 ->
+                let i = Rng.int rng (max 1 (String.length bytes)) in
+                String.mapi (fun j c -> if j = i then '\xff' else c) bytes
+            | _ -> String.init (Rng.int rng 256) (fun _ -> Char.chr (Rng.int rng 256))
+          in
+          Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc mutated);
+          match Store.create ~dir () with
+          | store ->
+              (* survived: the workload is either absent or coherent *)
+              let ok =
+                match Store.info store "w" with
+                | None -> true
+                | Some i -> i.Store.epoch >= 0 && i.Store.num_queries >= 0
+              in
+              Store.close store;
+              ok
+          | exception Failure _ ->
+              (* only a snapshot may refuse replay; journals must always
+                 degrade to their committed prefix *)
+              String.equal target "snap"))
+
+let store_fuzz_sanity () =
+  let records, tail = Codec.decode "" in
+  Alcotest.(check int) "empty journal: no records" 0 (List.length records);
+  Alcotest.(check int) "empty journal: no tail" 0 tail;
+  let records, tail = Codec.decode "complete garbage, no @rec anywhere" in
+  Alcotest.(check int) "garbage: no records" 0 (List.length records);
+  Alcotest.(check bool) "garbage: all tail" true (tail > 0);
+  let records, tail = Codec.decode base_journal in
+  Alcotest.(check int) "valid journal: all three records" 3 (List.length records);
+  Alcotest.(check int) "valid journal: clean" 0 tail
+
 let suite =
   [
     ("http: hand-picked malformed inputs", `Quick, http_sanity);
     ("io: hand-picked malformed inputs", `Quick, io_sanity);
+    ("store: hand-picked journal corruptions", `Quick, store_fuzz_sanity);
     qtest http_fuzz;
     qtest io_fuzz;
+    qtest codec_fuzz;
+    qtest store_replay_fuzz;
   ]

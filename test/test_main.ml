@@ -22,6 +22,7 @@ let () =
       ("robust", Test_robust.suite);
       ("oracle", Test_oracle.suite);
       ("fuzz", Test_fuzz.suite);
+      ("store", Test_store.suite);
       ("server", Test_server.suite);
       ("obs", Test_obs.suite);
       ("bccd", Test_bccd.suite);
