@@ -6,8 +6,10 @@
      main.exe fig3a fig4e ...  run selected experiments
      main.exe --quick ...      scaled-down sizes (CI-friendly)
      main.exe --jobs N         run solver portfolios on N worker domains
-     main.exe --json FILE      write per-experiment wall times (and, with
-                               --jobs > 1, a parallel speedup probe) as JSON
+     main.exe --json FILE      write per-experiment wall times, anytime
+                               utility curves (from the solver's incumbent
+                               event stream) and, with --jobs > 1, a
+                               parallel speedup probe as JSON
      main.exe --bechamel       Bechamel micro-timings, one per experiment
      main.exe --trace FILE     write a Chrome trace_event JSON of the run
      main.exe --profile        print a per-stage wall-time summary
@@ -713,6 +715,67 @@ let experiments =
     ("ext-overlap", ext_overlap);
   ]
 
+(* Anytime curves (with --json): every incumbent update the solver emits
+   is folded under the experiment running at the time, as (seconds since
+   the experiment started, incumbent utility).  Events arrive from any
+   engine worker domain, so the table is mutex-protected; collection is
+   observation-only and leaves every experiment's output byte-identical
+   (the solver's determinism contract with events on). *)
+let anytime_lock = Mutex.create ()
+let anytime : (string, (float * float) list ref) Hashtbl.t = Hashtbl.create 16
+let anytime_current = ref ""
+let anytime_t0 = ref 0.0
+let anytime_cap = 512
+
+let install_anytime_sink () =
+  Bcc_obs.Event.set_enabled true;
+  Bcc_obs.Event.add_sink ~name:"bench-anytime" (fun e ->
+      match Bcc_obs.Progress.incumbent_of_event e with
+      | None -> ()
+      | Some i ->
+          Mutex.lock anytime_lock;
+          (let name = !anytime_current in
+           if name <> "" then begin
+             let cell =
+               match Hashtbl.find_opt anytime name with
+               | Some c -> c
+               | None ->
+                   let c = ref [] in
+                   Hashtbl.add anytime name c;
+                   c
+             in
+             if List.length !cell < anytime_cap then
+               cell :=
+                 (e.Bcc_obs.Event.ts_s -. !anytime_t0, i.Bcc_obs.Progress.utility)
+                 :: !cell
+           end);
+          Mutex.unlock anytime_lock)
+
+let anytime_begin name =
+  Mutex.lock anytime_lock;
+  anytime_current := name;
+  anytime_t0 := Timer.now_s ();
+  Mutex.unlock anytime_lock
+
+let anytime_end () =
+  Mutex.lock anytime_lock;
+  anytime_current := "";
+  Mutex.unlock anytime_lock
+
+let anytime_json name =
+  let pts =
+    Mutex.lock anytime_lock;
+    let pts =
+      match Hashtbl.find_opt anytime name with Some c -> List.rev !c | None -> []
+    in
+    Mutex.unlock anytime_lock;
+    pts
+  in
+  "["
+  ^ String.concat ", "
+      (List.map (fun (t, u) -> Printf.sprintf "{\"t\": %.3f, \"u\": %.1f}" t u) pts)
+  ^ "]"
+
 (* A solver-portfolio-heavy kernel for the --json speedup probe: the
    same instance solved at 1 job and at the requested job count, timed,
    and checked for identical output (the engine's determinism
@@ -767,6 +830,7 @@ let () =
   in
   let args = parse [] (List.tl (Array.to_list Sys.argv)) in
   Engine.set_default_jobs !jobs;
+  if !json_file <> None then install_anytime_sink ();
   if !trace_file <> None then Bcc_obs.Trace.set_tracing ~capacity:65_536 true;
   if !profile then Bcc_obs.Trace.set_profiling true;
   let timings = ref [] in
@@ -797,7 +861,8 @@ let () =
         let rows =
           List.rev_map
             (fun (name, t) ->
-              Printf.sprintf "    {\"name\": %S, \"seconds\": %.3f}" name t)
+              Printf.sprintf "    {\"name\": %S, \"seconds\": %.3f, \"anytime\": %s}"
+                name t (anytime_json name))
             !timings
         in
         let oc = open_out file in
@@ -823,7 +888,9 @@ let () =
             let key = canonical name in
             if not (Hashtbl.mem seen key) then begin
               Hashtbl.add seen key ();
+              anytime_begin name;
               let (), t = Timer.time f in
+              anytime_end ();
               timings := (name, t) :: !timings;
               Printf.printf "[%s: %.1fs]\n%!" name t
             end

@@ -76,12 +76,29 @@ let jobs_arg =
               arms, round races).  Results are bit-identical at any value; \
               defaults to $(b,BCC_JOBS) or sequential execution.")
 
+let progress_arg =
+  Arg.(
+    value & flag
+    & info [ "progress" ]
+        ~doc:"Print the solver's anytime progress to stderr: one line per \
+              incumbent update (round, winning arm, utility, cost, budget \
+              slack).  Results are bit-identical with or without it.")
+
+let event_log_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "event-log" ] ~docv:"FILE"
+        ~doc:"Write every wide telemetry event of the run (solve lifecycle, \
+              anytime incumbent updates, the closing solve report) as one \
+              JSONL line to FILE.")
+
 (* Shared observability setup.  Evaluating the term configures logging,
    tracing and the execution-engine pool, and yields a [finish] closure
    the subcommand calls after its work to flush the trace file and the
    profile summary. *)
 let obs_term =
-  let setup verbose level trace profile jobs =
+  let setup verbose level trace profile progress event_log jobs =
     let level =
       match level with
       | Some l -> l
@@ -100,6 +117,25 @@ let obs_term =
     | None -> ());
     if trace <> None then Bcc_obs.Trace.set_tracing ~capacity:65_536 true;
     if profile then Bcc_obs.Trace.set_profiling true;
+    if progress || event_log <> None then begin
+      Bcc_obs.Event.set_enabled true;
+      (match event_log with
+      | Some file -> Bcc_obs.Event.log_to_file file
+      | None -> ());
+      (* Live anytime ticker: decode each incumbent update back out of
+         the event stream (events are the single source of truth; the
+         solver has no CLI-specific hook). *)
+      if progress then
+        Bcc_obs.Event.add_sink ~name:"progress" (fun e ->
+            match Bcc_obs.Progress.incumbent_of_event e with
+            | Some i ->
+                Printf.eprintf
+                  "progress: round %d  arm %-9s utility %10.1f  cost %10.1f  slack %10.1f\n%!"
+                  i.Bcc_obs.Progress.round i.Bcc_obs.Progress.arm
+                  i.Bcc_obs.Progress.utility i.Bcc_obs.Progress.cost
+                  i.Bcc_obs.Progress.budget_slack
+            | None -> ())
+    end;
     fun () ->
       (match trace with
       | Some file ->
@@ -108,9 +144,16 @@ let obs_term =
           close_out oc;
           Format.printf "wrote trace to %s@." file
       | None -> ());
+      (match event_log with
+      | Some file ->
+          Bcc_obs.Event.close_log ();
+          Format.printf "wrote event log to %s@." file
+      | None -> ());
       if profile then print_string (Bcc_obs.Stage.summary ())
   in
-  Term.(const setup $ verbose_arg $ log_level_arg $ trace_arg $ profile_arg $ jobs_arg)
+  Term.(
+    const setup $ verbose_arg $ log_level_arg $ trace_arg $ profile_arg $ progress_arg
+    $ event_log_arg $ jobs_arg)
 
 let load_instance file budget =
   let inst = Io.load file in
@@ -243,7 +286,16 @@ let solve_cmd =
               prerr_endline ("bcc: bad --warm file: " ^ msg);
               exit 2)
     in
+    (* Stamp the run with a correlation id when telemetry is on, so an
+       --event-log file groups the same way the daemon's flight recorder
+       does.  Observation only: the solve itself is unchanged. *)
+    let with_corr f =
+      if Bcc_obs.Event.enabled () then
+        Bcc_obs.Event.with_corr (Bcc_obs.Event.new_corr ()) f
+      else f ()
+    in
     let sol =
+      with_corr @@ fun () ->
       match algo with
       | `Abcc ->
           let r = Solver.solve_within ?warm:warm_sol ~deadline inst in

@@ -1,11 +1,14 @@
 (* bccd — resident BCC solver daemon.
 
    Serves POST /solve, /gmc3, /ecc, the /workloads store family, plus
-   GET /instances, /healthz, /metrics and /debug/trace over plain
-   HTTP/1.1 (see lib/server/server.mli for the wire format).  With
-   --state-dir, workloads are journaled to disk and recovered on
-   restart.  SIGINT/SIGTERM trigger a graceful shutdown that drains
-   in-flight solves before exiting. *)
+   GET /instances, /healthz, /metrics, /debug/trace and /debug/solves
+   over plain HTTP/1.1 (see lib/server/server.mli for the wire format).
+   Every request is answered with an X-Bcc-Trace-Id correlation header
+   that keys its record in the /debug/solves flight recorder; --event-log
+   streams the wide events to a JSONL file and --debug-dir dumps slow or
+   degraded solves automatically.  With --state-dir, workloads are
+   journaled to disk and recovered on restart.  SIGINT/SIGTERM trigger a
+   graceful shutdown that drains in-flight solves before exiting. *)
 
 open Cmdliner
 module Server = Bcc_server.Server
@@ -65,6 +68,24 @@ let trace_buffer_arg =
         ~doc:"Span ring-buffer capacity backing GET /debug/trace and the per-stage \
               latency histograms; 0 disables tracing and profiling entirely.")
 
+let event_log_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "event-log" ] ~docv:"FILE"
+        ~doc:"Append every wide telemetry event (request lifecycle, solver anytime \
+              progress, store commits) as one JSONL line to FILE (truncated at \
+              startup).")
+
+let debug_dir_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "debug-dir" ] ~docv:"DIR"
+        ~doc:"Flight-recorder dump directory: a solve that finishes degraded or \
+              slower than 1s is written to DIR/<trace-id>.jsonl (events then spans) \
+              for post-mortem inspection.")
+
 let state_dir_arg =
   Arg.(
     value
@@ -90,7 +111,7 @@ let log_level_arg =
         ~doc:"Stderr log verbosity: $(b,debug), $(b,info), $(b,warning) or $(b,error).")
 
 let run host port workers queue_depth cache_entries timeout preload trace_spans state_dir
-    level =
+    event_log debug_dir level =
   Bcc_obs.Log_reporter.install ~level ();
   (* Fault injection is opt-in per entry point: only binaries load
      BCC_FAULTS, never the libraries. *)
@@ -110,6 +131,8 @@ let run host port workers queue_depth cache_entries timeout preload trace_spans 
       preload;
       trace_spans;
       state_dir;
+      event_log;
+      debug_dir;
     }
   in
   match Server.create cfg with
@@ -148,7 +171,7 @@ let cmd =
       ret
         (const run $ host_arg $ port_arg $ workers_arg $ queue_depth_arg
        $ cache_entries_arg $ timeout_arg $ load_arg $ trace_buffer_arg
-       $ state_dir_arg $ log_level_arg))
+       $ state_dir_arg $ event_log_arg $ debug_dir_arg $ log_level_arg))
   in
   let doc = "resident BCC solver service with request batching and a solution cache" in
   Cmd.v (Cmd.info "bccd" ~doc) term

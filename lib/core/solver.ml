@@ -2,8 +2,11 @@ module Knapsack = Bcc_knapsack.Knapsack
 module Qk = Bcc_qk.Qk
 module Mc3 = Bcc_setcover.Mc3
 module Trace = Bcc_obs.Trace
+module Event = Bcc_obs.Event
+module Progress = Bcc_obs.Progress
 module Engine = Bcc_engine.Engine
 module Deadline = Bcc_robust.Deadline
+module Timer = Bcc_util.Timer
 
 let log_src = Logs.Src.create "bcc.solver" ~doc:"A^BCC round-by-round progress"
 
@@ -181,6 +184,51 @@ let solve_within ?(options = default_options) ?warm ~deadline inst =
       Trace.add_attr sp "deadline_s" (Trace.Float (Deadline.remaining_s deadline))
   end;
   Deadline.with_current deadline @@ fun () ->
+  (* Anytime progress stream (tentpole of the telemetry layer).  The
+     whole block is observation-only — no solver state is read back out
+     of it — so solutions are bit-identical with events on or off, and
+     with events off every site below costs one [ev] branch.  [ev] is
+     snapshotted once so a mid-solve toggle cannot produce a report
+     without its solve_start. *)
+  let ev = Event.enabled () in
+  let t0 = if ev then Timer.now_s () else 0.0 in
+  if ev then
+    Event.emit "solve_start"
+      ~attrs:
+        [
+          ("classifiers", Event.Int (Instance.num_classifiers inst));
+          ("queries", Event.Int (Instance.num_queries inst));
+          ("budget", Event.Float budget);
+          ("deadline_s", Event.Float (Deadline.remaining_s deadline));
+        ];
+  let improvements = ref 0 in
+  let last_emitted_u = ref neg_infinity in
+  (* Sizes of the most recently built decomposition (the round's
+     full-budget one — round 0 builds the half-budget one first and the
+     full-budget build overwrites).  Attached to incumbent updates so
+     the curve shows how much structure each round raced over. *)
+  let last_knap = ref 0 in
+  let last_qk = ref 0 in
+  let note_degraded reason =
+    if ev then Event.emit "degraded" ~attrs:[ ("reason", Event.Str reason) ]
+  in
+  let emit_incumbent ~round ~arm ~utility ~cost =
+    if ev then begin
+      if utility > !last_emitted_u +. 1e-12 then incr improvements;
+      last_emitted_u := utility;
+      Progress.emit_incumbent
+        {
+          Progress.round;
+          arm;
+          utility;
+          cost;
+          budget_slack = budget -. cost;
+          deadline_margin_s = Deadline.remaining_s (Deadline.current ());
+          knap_items = !last_knap;
+          qk_nodes = !last_qk;
+        }
+    end
+  in
   let degraded = ref false in
   let state = ref (Cover.create inst) in
   (* Zero-cost classifiers are free wins (paper preprocessing). *)
@@ -232,9 +280,15 @@ let solve_within ?(options = default_options) ?warm ~deadline inst =
         Some (Solution.of_ids inst (Cover.selected s))
       with Deadline.Expired _ ->
         degraded := true;
+        note_degraded "fallback_seed";
         None
   in
   let keep = if options.prune then Prune.rule1 ~mode:options.prune_mode inst else [||] in
+  if ev && options.prune then begin
+    let kept = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 keep in
+    Event.emit "prune"
+      ~attrs:[ ("kept", Event.Int kept); ("total", Event.Int (Array.length keep)) ]
+  end;
   let allowed id = if options.prune then keep.(id) else true in
   let max_rounds = if options.residual_rounds then max 1 options.max_rounds else 1 in
   let continue_ = ref true in
@@ -279,6 +333,10 @@ let solve_within ?(options = default_options) ?warm ~deadline inst =
             let knap, qkp =
               Decompose.build ~allowed ~max_qk_nodes:options.max_qk_nodes !state ~budget:alloc
             in
+            if ev then begin
+              last_knap := Array.length knap.Decompose.weights;
+              last_qk := Array.length qkp.Decompose.node_classifier
+            end;
             (* BCC(1): knapsack over residual 1-covers, under both credit
                schemes; the realized-gain arbiter picks the better. *)
             let knap_candidate values () =
@@ -373,6 +431,9 @@ let solve_within ?(options = default_options) ?warm ~deadline inst =
             remaining chosen_arm gain cost_added (List.length chosen_ids));
       if gain > 1e-9 && cost_added <= remaining +. 1e-6 then begin
         state := chosen_state;
+        emit_incumbent ~round:!round ~arm:chosen_arm
+          ~utility:(Cover.covered_utility !state)
+          ~cost:(Cover.spent !state);
         if options.mc3_improve && !mc3_failures < 2 then begin
           match mc3_improvement inst !state options with
           | Some better ->
@@ -380,6 +441,9 @@ let solve_within ?(options = default_options) ?warm ~deadline inst =
                   m "round %d: MC3 local search reclaimed %.1f of budget" !round
                     (Cover.spent !state -. Cover.spent better));
               state := better;
+              emit_incumbent ~round:!round ~arm:"mc3"
+                ~utility:(Cover.covered_utility !state)
+                ~cost:(Cover.spent !state);
               mc3_failures := 0
           | None -> incr mc3_failures
         end
@@ -391,12 +455,19 @@ let solve_within ?(options = default_options) ?warm ~deadline inst =
       incr round
     end
   done
-  with Deadline.Expired _ -> degraded := true);
+  with Deadline.Expired _ ->
+    degraded := true;
+    note_degraded "rounds");
   (* Final sweep: spend any leftover budget on whole cheapest covers.
      Skipped once degraded — its polls would raise immediately. *)
   if options.final_sweep && not !degraded then begin
-    try greedy_sweep !state ~limit:(budget -. Cover.spent !state)
-    with Deadline.Expired _ -> degraded := true
+    (try greedy_sweep !state ~limit:(budget -. Cover.spent !state)
+     with Deadline.Expired _ ->
+       degraded := true;
+       note_degraded "sweep");
+    emit_incumbent ~round:!round ~arm:"sweep"
+      ~utility:(Cover.covered_utility !state)
+      ~cost:(Cover.spent !state)
   end;
   let structured = Solution.of_ids inst (Cover.selected !state) in
   (* Top-level portfolio: a pure ratio-greedy run occasionally beats the
@@ -429,9 +500,13 @@ let solve_within ?(options = default_options) ?warm ~deadline inst =
         | _ -> structured
       with Deadline.Expired _ ->
         degraded := true;
+        note_degraded "race";
         structured
     end
   in
+  if ev && result.Solution.utility > Cover.covered_utility !state +. 1e-12 then
+    emit_incumbent ~round:!round ~arm:"race" ~utility:result.Solution.utility
+      ~cost:result.Solution.cost;
   (* On the degraded path the banked greedy incumbent competes with
      whatever the interrupted rounds left behind. *)
   let result =
@@ -447,6 +522,25 @@ let solve_within ?(options = default_options) ?warm ~deadline inst =
     Trace.add_attr sp "degraded" (Trace.Bool !degraded);
     Trace.add_attr sp "utility" (Trace.Float result.Solution.utility);
     Trace.add_attr sp "cost" (Trace.Float result.Solution.cost)
+  end;
+  (* Close the anytime curve on the returned solution (arm ["final"], so
+     the curve's last utility always equals the answer), then summarize
+     the whole solve in one wide [solve_report] event — the flight
+     recorder keys its completion (and slow/degraded dumps) off it. *)
+  if ev then begin
+    emit_incumbent ~round:!round ~arm:"final" ~utility:result.Solution.utility
+      ~cost:result.Solution.cost;
+    let total = Instance.total_utility inst in
+    Progress.emit_report
+      {
+        Progress.rounds = !round;
+        improvements = !improvements;
+        utility = result.Solution.utility;
+        cost = result.Solution.cost;
+        utility_ratio = (if total <= 0.0 then 1.0 else result.Solution.utility /. total);
+        degraded = !degraded;
+        wall_s = Timer.now_s () -. t0;
+      }
   end;
   { solution = result; degraded = !degraded }
 

@@ -24,7 +24,19 @@
       per-classifier IG2 rule); the best realized solution wins.  This
       guarantees [A^BCC] never trails the greedy baselines, matching
       the dominance the paper reports; the decomposition arms supply
-      the margins beyond them. *)
+      the margins beyond them.
+
+    {2 Telemetry}
+
+    With {!Bcc_obs.Event} enabled, a run emits an {e anytime progress
+    stream} under the ambient correlation id: one [solve_start], a
+    [prune] summary, an {!Bcc_obs.Progress.incumbent} update at every
+    incumbent commit (arm win, MC3 adoption, final sweep, race upset —
+    and a closing one with arm ["final"] whose utility equals the
+    returned solution's), a [degraded] marker at each deadline-expiry
+    transition, and one closing {!Bcc_obs.Progress.report}.  The stream
+    is observation-only: solutions are bit-identical with events on or
+    off, and with them off the whole layer costs one atomic load. *)
 
 type options = {
   prune : bool;  (** apply pruning rule 1 (Algorithm 1 line 1) *)

@@ -51,12 +51,21 @@ module Task = struct
     run : Rng.t -> 'a;
     score : 'a -> float;
     deadline : Deadline.t;  (* ambient at creation; re-installed around the body *)
+    corr : string;  (* ambient correlation id, propagated the same way *)
     timeout_s : float option;
   }
 
   let make ?(label = "task") ?rng ?(score = fun _ -> 0.0) ?timeout_s run =
     let rng = match rng with Some r -> r | None -> Rng.create 0 in
-    { label; rng; run; score; deadline = Deadline.current (); timeout_s }
+    {
+      label;
+      rng;
+      run;
+      score;
+      deadline = Deadline.current ();
+      corr = Bcc_obs.Event.current_corr ();
+      timeout_s;
+    }
 
   let label t = t.label
   let deadline t = t.deadline
@@ -73,6 +82,13 @@ let exec (task : 'a Task.t) =
     if Trace.recording sp then Trace.add_attr sp "label" (Trace.Str task.Task.label);
     Fault.hit "engine.task";
     task.Task.run task.Task.rng
+  in
+  (* The submitter's correlation id travels with the task so events
+     emitted inside the body (on whichever domain runs it) stay
+     attributable to the originating request/solve. *)
+  let body =
+    if task.Task.corr = "" then body
+    else fun () -> Bcc_obs.Event.with_corr task.Task.corr body
   in
   let dl =
     match task.Task.timeout_s with

@@ -1,0 +1,374 @@
+module Timer = Bcc_util.Timer
+
+type value = Trace.value = Bool of bool | Int of int | Float of float | Str of string
+
+type t = {
+  ts_s : float;
+  corr : string;
+  name : string;
+  attrs : (string * value) list;  (* addition order *)
+}
+
+(* ------------------------------------------------------------------ *)
+(* Enable gate.  The disabled fast path in [emit] is a single load of   *)
+(* one atomic flag — same contract as Trace.with_span.                  *)
+(* ------------------------------------------------------------------ *)
+
+let on = Atomic.make false
+let enabled () = Atomic.get on
+
+(* ------------------------------------------------------------------ *)
+(* Correlation ids: one ambient slot per domain (engine tasks capture   *)
+(* the submitter's id at creation and re-install it around the body,    *)
+(* mirroring the Deadline ambient context).                             *)
+(* ------------------------------------------------------------------ *)
+
+let corr_slot : string ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref "")
+
+let current_corr () = !(Domain.DLS.get corr_slot)
+
+let with_corr corr f =
+  let r = Domain.DLS.get corr_slot in
+  let prev = !r in
+  r := corr;
+  Fun.protect ~finally:(fun () -> r := prev) f
+
+let corr_counter = Atomic.make 0
+
+let corr_base =
+  lazy (Hashtbl.hash (Unix.getpid (), Unix.gettimeofday ()) land 0xffffff)
+
+let new_corr () =
+  Printf.sprintf "%06x%06x"
+    (Lazy.force corr_base)
+    (Atomic.fetch_and_add corr_counter 1 land 0xffffff)
+
+(* ------------------------------------------------------------------ *)
+(* Ring buffer + pluggable sinks + per-type sampling.                   *)
+(* ------------------------------------------------------------------ *)
+
+let lock = Mutex.create ()
+let ring = ref (Array.make 4096 None)
+let head = ref 0
+let filled = ref 0
+let dropped_count = ref 0
+let sinks : (string * (t -> unit)) list ref = ref []
+
+type sample = { every : int; mutable seen : int }
+
+let sampling : (string, sample) Hashtbl.t = Hashtbl.create 8
+
+let locked f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+let clear () =
+  locked (fun () ->
+      Array.fill !ring 0 (Array.length !ring) None;
+      head := 0;
+      filled := 0;
+      dropped_count := 0)
+
+let set_enabled ?capacity v =
+  if v then begin
+    locked (fun () ->
+        match capacity with
+        | Some c when c <> Array.length !ring -> ring := Array.make (max 1 c) None
+        | _ -> ());
+    clear ()
+  end;
+  Atomic.set on v
+
+let set_sampling name every =
+  locked (fun () ->
+      if every <= 1 then Hashtbl.remove sampling name
+      else Hashtbl.replace sampling name { every; seen = 0 })
+
+let clear_sampling () = locked (fun () -> Hashtbl.reset sampling)
+
+let add_sink ~name f =
+  locked (fun () -> sinks := (name, f) :: List.remove_assoc name !sinks)
+
+let remove_sink name = locked (fun () -> sinks := List.remove_assoc name !sinks)
+
+let emit ?(attrs = []) name =
+  if Atomic.get on then begin
+    let ev = { ts_s = Timer.now_s (); corr = current_corr (); name; attrs } in
+    let deliver =
+      locked (fun () ->
+          let keep =
+            match Hashtbl.find_opt sampling name with
+            | None -> true
+            | Some s ->
+                let k = s.seen mod s.every = 0 in
+                s.seen <- s.seen + 1;
+                k
+          in
+          if keep then begin
+            let cap = Array.length !ring in
+            if !ring.(!head) <> None then incr dropped_count;
+            !ring.(!head) <- Some ev;
+            head := (!head + 1) mod cap;
+            if !filled < cap then incr filled;
+            Some !sinks
+          end
+          else None)
+    in
+    (* Sinks run outside the lock (they typically take their own — the
+       metrics registry's, the recorder's) and may not veto each other:
+       a sink that raises is dropped for the one event, not uninstalled. *)
+    match deliver with
+    | Some sinks -> List.iter (fun (_, f) -> try f ev with _ -> ()) sinks
+    | None -> ()
+  end
+
+let events ?last () =
+  let all =
+    locked (fun () ->
+        let cap = Array.length !ring in
+        let start = (!head - !filled + cap) mod cap in
+        List.filter_map
+          (fun i -> !ring.((start + i) mod cap))
+          (List.init !filled (fun i -> i)))
+  in
+  match last with
+  | Some n when n >= 0 && List.length all > n ->
+      List.filteri (fun i _ -> i >= List.length all - n) all
+  | _ -> all
+
+let dropped () = locked (fun () -> !dropped_count)
+
+(* ------------------------------------------------------------------ *)
+(* JSONL codec.  One event per line:                                    *)
+(*   {"ts":..., "corr":"...", "name":"...", "attrs":{...}}              *)
+(* Encoding is self-contained (Jsonout); decoding is a small recursive- *)
+(* descent parser that returns [None] on anything malformed — it never  *)
+(* raises, whatever the input (truncated, mutated, garbage).            *)
+(* ------------------------------------------------------------------ *)
+
+let add_value buf = function
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float x -> Buffer.add_string buf (Jsonout.number x)
+  | Str s -> Jsonout.escape buf s
+
+let to_json_line ev =
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf "{\"ts\":";
+  Buffer.add_string buf (Jsonout.number ev.ts_s);
+  Buffer.add_string buf ",\"corr\":";
+  Jsonout.escape buf ev.corr;
+  Buffer.add_string buf ",\"name\":";
+  Jsonout.escape buf ev.name;
+  Buffer.add_string buf ",\"attrs\":{";
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Jsonout.escape buf k;
+      Buffer.add_char buf ':';
+      add_value buf v)
+    ev.attrs;
+  Buffer.add_string buf "}}";
+  Buffer.contents buf
+
+(* The decoder's value universe: only what [to_json_line] can produce
+   (scalars; nested lists/objects in attrs are rejected, not parsed). *)
+exception Bad
+
+let of_json_line line =
+  let n = String.length line in
+  let pos = ref 0 in
+  let peek () = if !pos < n then line.[!pos] else raise Bad in
+  let advance () = incr pos in
+  let skip_ws () =
+    while !pos < n && (match line.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+    do
+      incr pos
+    done
+  in
+  let expect c = if peek () <> c then raise Bad else advance () in
+  let literal s =
+    let l = String.length s in
+    if !pos + l <= n && String.sub line !pos l = s then pos := !pos + l else raise Bad
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | '"' -> advance ()
+      | '\\' ->
+          advance ();
+          (match peek () with
+          | '"' -> Buffer.add_char buf '"'; advance ()
+          | '\\' -> Buffer.add_char buf '\\'; advance ()
+          | '/' -> Buffer.add_char buf '/'; advance ()
+          | 'n' -> Buffer.add_char buf '\n'; advance ()
+          | 'r' -> Buffer.add_char buf '\r'; advance ()
+          | 't' -> Buffer.add_char buf '\t'; advance ()
+          | 'b' -> Buffer.add_char buf '\b'; advance ()
+          | 'f' -> Buffer.add_char buf '\012'; advance ()
+          | 'u' ->
+              advance ();
+              if !pos + 4 > n then raise Bad;
+              let code =
+                try int_of_string ("0x" ^ String.sub line !pos 4)
+                with _ -> raise Bad
+              in
+              pos := !pos + 4;
+              (* Our encoder only escapes control bytes; decode the
+                 low range directly and anything else as UTF-8. *)
+              if code < 0x80 then Buffer.add_char buf (Char.chr code)
+              else if code < 0x800 then begin
+                Buffer.add_char buf (Char.chr (0xc0 lor (code lsr 6)));
+                Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3f)))
+              end
+              else begin
+                Buffer.add_char buf (Char.chr (0xe0 lor (code lsr 12)));
+                Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3f)));
+                Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3f)))
+              end
+          | _ -> raise Bad);
+          go ()
+      | c when Char.code c < 0x20 -> raise Bad
+      | c ->
+          Buffer.add_char buf c;
+          advance ();
+          go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let parse_number () =
+    let start = !pos in
+    if peek () = '-' then advance ();
+    let is_num = ref false in
+    while
+      !pos < n
+      && (match line.[!pos] with
+         | '0' .. '9' | '.' | 'e' | 'E' | '+' | '-' -> true
+         | _ -> false)
+    do
+      is_num := true;
+      incr pos
+    done;
+    if not !is_num then raise Bad;
+    let s = String.sub line start (!pos - start) in
+    if String.exists (fun c -> c = '.' || c = 'e' || c = 'E') s then
+      match float_of_string_opt s with Some f -> Float f | None -> raise Bad
+    else
+      match int_of_string_opt s with
+      | Some i -> Int i
+      | None -> (
+          match float_of_string_opt s with Some f -> Float f | None -> raise Bad)
+  in
+  (* A scalar value; non-finite floats come back from their string
+     sentinels (the encoder's lossless detour through JSON). *)
+  let parse_value () =
+    skip_ws ();
+    match peek () with
+    | '"' -> (
+        match parse_string () with
+        | "nan" -> Float Float.nan
+        | "inf" -> Float infinity
+        | "-inf" -> Float neg_infinity
+        | s -> Str s)
+    | 't' -> literal "true"; Bool true
+    | 'f' -> literal "false"; Bool false
+    | _ -> parse_number ()
+  in
+  let parse_attrs () =
+    skip_ws ();
+    expect '{';
+    skip_ws ();
+    if peek () = '}' then begin advance (); [] end
+    else begin
+      let rec fields acc =
+        skip_ws ();
+        let k = parse_string () in
+        skip_ws ();
+        expect ':';
+        let v = parse_value () in
+        skip_ws ();
+        match peek () with
+        | ',' -> advance (); fields ((k, v) :: acc)
+        | '}' -> advance (); List.rev ((k, v) :: acc)
+        | _ -> raise Bad
+      in
+      fields []
+    end
+  in
+  let num_of = function Int i -> float_of_int i | Float f -> f | _ -> raise Bad in
+  try
+    skip_ws ();
+    expect '{';
+    let ts = ref None and corr = ref None and name = ref None and attrs = ref None in
+    let rec fields () =
+      skip_ws ();
+      let k = parse_string () in
+      skip_ws ();
+      expect ':';
+      (match k with
+      | "ts" -> ts := Some (num_of (parse_value ()))
+      | "corr" -> (
+          skip_ws ();
+          match parse_value () with Str s -> corr := Some s | _ -> raise Bad)
+      | "name" -> (
+          skip_ws ();
+          match parse_value () with Str s -> name := Some s | _ -> raise Bad)
+      | "attrs" -> attrs := Some (parse_attrs ())
+      | _ -> raise Bad);
+      skip_ws ();
+      match peek () with
+      | ',' -> advance (); fields ()
+      | '}' -> advance ()
+      | _ -> raise Bad
+    in
+    fields ();
+    skip_ws ();
+    if !pos <> n then raise Bad;
+    match (!ts, !corr, !name) with
+    | Some ts_s, Some corr, Some name ->
+        Some { ts_s; corr; name; attrs = Option.value ~default:[] !attrs }
+    | _ -> None
+  with _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Built-in sinks: a JSONL file and stderr.                             *)
+(* ------------------------------------------------------------------ *)
+
+let file_lock = Mutex.create ()
+let file_oc : out_channel option ref = ref None
+
+let close_log () =
+  Mutex.lock file_lock;
+  (match !file_oc with
+  | Some oc -> ( try close_out oc with Sys_error _ -> ())
+  | None -> ());
+  file_oc := None;
+  Mutex.unlock file_lock;
+  remove_sink "file"
+
+let log_to_file path =
+  close_log ();
+  let oc = open_out path in
+  Mutex.lock file_lock;
+  file_oc := Some oc;
+  Mutex.unlock file_lock;
+  add_sink ~name:"file" (fun ev ->
+      let line = to_json_line ev in
+      Mutex.lock file_lock;
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock file_lock)
+        (fun () ->
+          match !file_oc with
+          | Some oc ->
+              output_string oc line;
+              output_char oc '\n';
+              flush oc
+          | None -> ()))
+
+let log_to_stderr v =
+  if v then
+    add_sink ~name:"stderr" (fun ev -> Printf.eprintf "%s\n%!" (to_json_line ev))
+  else remove_sink "stderr"

@@ -1,0 +1,116 @@
+(** Wide, structured telemetry events.
+
+    Where {!Trace} answers "where did the time go", events answer "what
+    did this solve achieve, and for whom": each event is a timestamped,
+    named bag of key/value attributes stamped with the {e correlation
+    id} of the request or solve that produced it.  The solver emits an
+    anytime progress stream through {!Progress}; [bccd] stamps every
+    request with a fresh correlation id (returned in the
+    [X-Bcc-Trace-Id] response header) so the events of one solve can be
+    pulled out of the firehose afterwards ({!Recorder},
+    [GET /debug/solves]).
+
+    Cost when disabled: a single load of one atomic flag per {!emit}
+    call.  Instrumentation sites that must compute attribute values
+    guard the computation behind {!enabled}.
+
+    Enabled, an event is appended to a process-global bounded ring
+    (oldest overwritten first) and fanned out to the pluggable sinks —
+    a JSONL file ({!log_to_file}), stderr ({!log_to_stderr}), the flight
+    recorder, a metrics bridge.  Sinks run outside the ring lock and a
+    raising sink only loses its own delivery.  Per-event-type sampling
+    ({!set_sampling}) keeps 1 in [n] of a noisy type, counted
+    deterministically (no RNG), before the ring and the sinks.
+
+    Emitting events never changes solver behavior: the event layer is
+    observation-only, and solutions are bit-identical with events on or
+    off. *)
+
+type value = Trace.value = Bool of bool | Int of int | Float of float | Str of string
+
+type t = {
+  ts_s : float;  (** {!Bcc_util.Timer.now_s} at emission *)
+  corr : string;  (** correlation id; [""] when emitted outside any scope *)
+  name : string;  (** the event type, e.g. ["incumbent_update"] *)
+  attrs : (string * value) list;  (** in addition order *)
+}
+
+val set_enabled : ?capacity:int -> bool -> unit
+(** Turn the event layer on or off.  Enabling clears the ring and, when
+    [capacity] (default 4096) is given, resizes it. *)
+
+val enabled : unit -> bool
+(** One atomic load — guard attribute computation at emission sites. *)
+
+val emit : ?attrs:(string * value) list -> string -> unit
+(** [emit ~attrs name] records one event (timestamp and correlation id
+    are filled in here).  No-op when disabled; dropped silently when the
+    type is sampled out. *)
+
+(** {2 Correlation ids} *)
+
+val new_corr : unit -> string
+(** A fresh process-unique correlation id (12 hex chars). *)
+
+val current_corr : unit -> string
+(** The ambient correlation id of the calling domain ([""] outside any
+    {!with_corr} scope).  Engine tasks capture it at creation and
+    re-install it around the task body on whichever domain runs it. *)
+
+val with_corr : string -> (unit -> 'a) -> 'a
+(** Bind the ambient correlation id for the duration of the callback. *)
+
+(** {2 Ring buffer} *)
+
+val events : ?last:int -> unit -> t list
+(** Events still in the ring, oldest first ([last] keeps only the most
+    recent [last]). *)
+
+val dropped : unit -> int
+(** Events overwritten by ring wraparound since the last {!clear}. *)
+
+val clear : unit -> unit
+
+(** {2 Sinks and sampling} *)
+
+val add_sink : name:string -> (t -> unit) -> unit
+(** Install (or replace) a named sink.  Sinks are called after the ring
+    append, outside its lock, on the emitting thread; they must be
+    domain-safe.  A sink that raises loses that delivery only. *)
+
+val remove_sink : string -> unit
+
+val set_sampling : string -> int -> unit
+(** [set_sampling name n] keeps 1 in [n] events of type [name] (the
+    first of every [n], deterministically).  [n <= 1] removes the
+    rule. *)
+
+val clear_sampling : unit -> unit
+
+val log_to_file : string -> unit
+(** Install the ["file"] sink: one {!to_json_line} per event, flushed
+    per line, truncating [path] first.  Replaces any previous file. *)
+
+val close_log : unit -> unit
+(** Flush, close and remove the ["file"] sink. *)
+
+val log_to_stderr : bool -> unit
+(** Install or remove the ["stderr"] sink (one JSONL line per event). *)
+
+(** {2 JSONL codec} *)
+
+val to_json_line : t -> string
+(** One event as a single-line JSON object
+    [{"ts":…,"corr":"…","name":"…","attrs":{…}}].  Attributes are
+    emitted in addition order; non-finite floats become the strings
+    ["nan"]/["inf"]/["-inf"] (the same convention as
+    {!Trace.chrome_json}), and the output round-trips through
+    [Bcc_server.Json]. *)
+
+val of_json_line : string -> t option
+(** Decode one line of {!to_json_line} output.  Total: returns [None]
+    on malformed input (truncated, mutated, garbage) and {e never}
+    raises.  [decode (encode e) = Some e] except that a [Str] attribute
+    whose value is exactly ["nan"], ["inf"] or ["-inf"] comes back as
+    the corresponding [Float] (the encoding of non-finite floats is
+    lossless; the sentinel strings themselves are not). *)

@@ -1,0 +1,40 @@
+(* Shared self-contained JSON emission for the observability layer.
+   bcc_obs sits below bcc_server in the dependency order, so it cannot
+   use the server's codec — but everything emitted here must stay
+   parseable by it ([Bcc_server.Json.of_string]). *)
+
+let escape buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+(* JSON has no non-finite literals; mirror Bcc_server.Json and emit them
+   as strings so the round-trip stays lossless.  Integer-valued floats
+   keep a trailing ".0" so a decoder can tell them from ints. *)
+let number x =
+  if Float.is_nan x then "\"nan\""
+  else if x = infinity then "\"inf\""
+  else if x = neg_infinity then "\"-inf\""
+  else if Float.is_integer x && Float.abs x < 1e15 then Printf.sprintf "%.1f" x
+  else Printf.sprintf "%.17g" x
+
+(* Chrome trace_event consumers reject "3.0"-style numbers nowhere, but
+   the historical trace output printed bare integers; keep that form for
+   [Trace.chrome_json]. *)
+let number_compact x =
+  if Float.is_nan x then "\"nan\""
+  else if x = infinity then "\"inf\""
+  else if x = neg_infinity then "\"-inf\""
+  else if Float.is_integer x && Float.abs x < 1e15 then Printf.sprintf "%.0f" x
+  else Printf.sprintf "%.17g" x

@@ -1,0 +1,114 @@
+type incumbent = {
+  round : int;
+  arm : string;
+  utility : float;
+  cost : float;
+  budget_slack : float;
+  deadline_margin_s : float;
+  knap_items : int;
+  qk_nodes : int;
+}
+
+type report = {
+  rounds : int;
+  improvements : int;
+  utility : float;
+  cost : float;
+  utility_ratio : float;
+  degraded : bool;
+  wall_s : float;
+}
+
+let incumbent_event = "incumbent_update"
+let report_event = "solve_report"
+
+let emit_incumbent (i : incumbent) =
+  Event.emit incumbent_event
+    ~attrs:
+      [
+        ("round", Event.Int i.round);
+        ("arm", Event.Str i.arm);
+        ("utility", Event.Float i.utility);
+        ("cost", Event.Float i.cost);
+        ("budget_slack", Event.Float i.budget_slack);
+        ("deadline_margin_s", Event.Float i.deadline_margin_s);
+        ("knap_items", Event.Int i.knap_items);
+        ("qk_nodes", Event.Int i.qk_nodes);
+      ]
+
+let emit_report (r : report) =
+  Event.emit report_event
+    ~attrs:
+      [
+        ("rounds", Event.Int r.rounds);
+        ("improvements", Event.Int r.improvements);
+        ("utility", Event.Float r.utility);
+        ("cost", Event.Float r.cost);
+        ("utility_ratio", Event.Float r.utility_ratio);
+        ("degraded", Event.Bool r.degraded);
+        ("wall_s", Event.Float r.wall_s);
+      ]
+
+(* Decoders tolerate missing attributes (sampled, hand-written or
+   future-versioned events) by substituting neutral values; only the
+   event name gates them. *)
+
+let attr ev k = List.assoc_opt k ev.Event.attrs
+
+let num ev k ~default =
+  match attr ev k with
+  | Some (Event.Float f) -> f
+  | Some (Event.Int i) -> float_of_int i
+  | _ -> default
+
+let int_ ev k ~default =
+  match attr ev k with
+  | Some (Event.Int i) -> i
+  | Some (Event.Float f) -> int_of_float f
+  | _ -> default
+
+let str ev k ~default = match attr ev k with Some (Event.Str s) -> s | _ -> default
+
+let bool_ ev k ~default =
+  match attr ev k with Some (Event.Bool b) -> b | _ -> default
+
+let incumbent_of_event ev =
+  if ev.Event.name <> incumbent_event then None
+  else
+    Some
+      {
+        round = int_ ev "round" ~default:0;
+        arm = str ev "arm" ~default:"";
+        utility = num ev "utility" ~default:0.0;
+        cost = num ev "cost" ~default:0.0;
+        budget_slack = num ev "budget_slack" ~default:0.0;
+        deadline_margin_s = num ev "deadline_margin_s" ~default:infinity;
+        knap_items = int_ ev "knap_items" ~default:0;
+        qk_nodes = int_ ev "qk_nodes" ~default:0;
+      }
+
+let report_of_event ev =
+  if ev.Event.name <> report_event then None
+  else
+    Some
+      {
+        rounds = int_ ev "rounds" ~default:0;
+        improvements = int_ ev "improvements" ~default:0;
+        utility = num ev "utility" ~default:0.0;
+        cost = num ev "cost" ~default:0.0;
+        utility_ratio = num ev "utility_ratio" ~default:0.0;
+        degraded = bool_ ev "degraded" ~default:false;
+        wall_s = num ev "wall_s" ~default:0.0;
+      }
+
+(* The anytime curve of one solve: (timestamp, incumbent utility) per
+   incumbent update, in event order.  Utility is monotone within a
+   solve (incumbents only ever improve; MC3 reclaims cost at equal
+   utility), so the curve plots directly. *)
+let curve events =
+  List.filter_map
+    (fun ev ->
+      match incumbent_of_event ev with
+      | Some i -> Some (ev.Event.ts_s, i.utility)
+      | None -> None)
+    events

@@ -1,0 +1,59 @@
+(** The solver's anytime progress stream, as typed {!Event}s.
+
+    Every committed incumbent improvement inside
+    [Bcc_core.Solver.solve_within] emits one ["incumbent_update"] event
+    (round, winning arm, realized utility and cost, remaining budget
+    slack, deadline margin, decomposition sizes), and every solve ends
+    with one ["solve_report"] summary — so any solve with events enabled
+    yields a utility-over-time curve for free, the object the paper's
+    Section 6 evaluation (and the budgeted-learning literature) plots.
+
+    This module owns the schema: emitters for the solver side, decoders
+    for consumers (the flight recorder's [GET /debug/solves] curves, the
+    CLI's [--progress] ticker, the bench harness's per-experiment
+    curves).  Decoders are total — missing attributes fall back to
+    neutral values — so sampled or older streams still parse. *)
+
+type incumbent = {
+  round : int;  (** residual round; post-round stages keep the last round *)
+  arm : string;
+      (** what produced the improvement: a round arm ([knap], [knap-all],
+          [cover], [qk], with [:half] suffixes), [mc3], [sweep], [race]
+          or [final] (the last update of every solve, carrying the
+          returned solution's utility) *)
+  utility : float;  (** covered utility of the incumbent *)
+  cost : float;  (** budget spent by the incumbent *)
+  budget_slack : float;  (** budget remaining after this incumbent *)
+  deadline_margin_s : float;  (** seconds left on the ambient deadline; [infinity] without one *)
+  knap_items : int;  (** knapsack items in this round's full-budget decomposition *)
+  qk_nodes : int;  (** QK graph nodes in this round's full-budget decomposition *)
+}
+
+type report = {
+  rounds : int;
+  improvements : int;  (** committed incumbent updates (round arms + mc3) *)
+  utility : float;
+  cost : float;
+  utility_ratio : float;  (** utility / total instance utility; 1 when total is 0 *)
+  degraded : bool;
+  wall_s : float;
+}
+
+val incumbent_event : string
+(** ["incumbent_update"] *)
+
+val report_event : string
+(** ["solve_report"] *)
+
+val emit_incumbent : incumbent -> unit
+val emit_report : report -> unit
+
+val incumbent_of_event : Event.t -> incumbent option
+(** [Some] exactly on ["incumbent_update"] events. *)
+
+val report_of_event : Event.t -> report option
+(** [Some] exactly on ["solve_report"] events. *)
+
+val curve : Event.t list -> (float * float) list
+(** [(timestamp, utility)] per incumbent update, in event order — the
+    anytime utility curve of the solve the events belong to. *)

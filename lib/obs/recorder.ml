@@ -1,0 +1,167 @@
+type solve = {
+  corr : string;
+  start_s : float;
+  mutable end_s : float;
+  mutable rev_events : Event.t list;
+  mutable n_events : int;
+  mutable spans : Trace.span list;
+  mutable complete : bool;
+  mutable degraded : bool;
+}
+
+(* Per-solve event cap: a runaway emitter cannot pin unbounded memory on
+   one correlation id; the newest events win (the final report matters
+   most for post-hoc debugging). *)
+let max_events_per_solve = 8192
+let max_spans_per_solve = 4096
+
+let lock = Mutex.create ()
+let table : (string, solve) Hashtbl.t = Hashtbl.create 64
+let order : string Queue.t = Queue.create ()
+let capacity = ref 64
+let debug_dir : string option ref = ref None
+let slow_s = ref 1.0
+let dumps = ref 0
+
+let locked f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+let clear () =
+  locked (fun () ->
+      Hashtbl.reset table;
+      Queue.clear order)
+
+let set_debug_dir ?slow dir =
+  locked (fun () ->
+      debug_dir := dir;
+      match slow with Some s -> slow_s := s | None -> ())
+
+let events s = List.rev s.rev_events
+
+(* One solve as JSONL: its events, then its spans as ["span"]
+   pseudo-events (attrs in addition order) — every line decodes with
+   [Event.of_json_line]. *)
+let dump_string s =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun ev ->
+      Buffer.add_string buf (Event.to_json_line ev);
+      Buffer.add_char buf '\n')
+    (events s);
+  List.iter
+    (fun (sp : Trace.span) ->
+      let ev =
+        {
+          Event.ts_s = sp.Trace.start_s;
+          corr = s.corr;
+          name = "span";
+          attrs =
+            ("span", Event.Str sp.Trace.name)
+            :: ("duration_s", Event.Float (sp.Trace.end_s -. sp.Trace.start_s))
+            :: ("span_id", Event.Int sp.Trace.id)
+            :: ("parent_id", Event.Int sp.Trace.parent)
+            :: Trace.ordered_attrs sp;
+        }
+      in
+      Buffer.add_string buf (Event.to_json_line ev);
+      Buffer.add_char buf '\n')
+    s.spans;
+  Buffer.contents buf
+
+let write_dump dir s =
+  try
+    (try Unix.mkdir dir 0o755 with Unix.Unix_error ((Unix.EEXIST | Unix.EISDIR), _, _) -> ());
+    let path = Filename.concat dir (s.corr ^ ".jsonl") in
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () -> output_string oc (dump_string s));
+    incr dumps
+  with Unix.Unix_error _ | Sys_error _ -> ()
+
+let take_last n l =
+  let len = List.length l in
+  if len <= n then l else List.filteri (fun i _ -> i >= len - n) l
+
+let on_event (ev : Event.t) =
+  if ev.Event.corr <> "" then begin
+    let to_dump =
+      locked (fun () ->
+          let s =
+            match Hashtbl.find_opt table ev.Event.corr with
+            | Some s -> s
+            | None ->
+                while Queue.length order >= !capacity do
+                  Hashtbl.remove table (Queue.pop order)
+                done;
+                let s =
+                  {
+                    corr = ev.Event.corr;
+                    start_s = ev.Event.ts_s;
+                    end_s = ev.Event.ts_s;
+                    rev_events = [];
+                    n_events = 0;
+                    spans = [];
+                    complete = false;
+                    degraded = false;
+                  }
+                in
+                Hashtbl.replace table ev.Event.corr s;
+                Queue.push ev.Event.corr order;
+                s
+          in
+          if s.n_events < max_events_per_solve then begin
+            s.rev_events <- ev :: s.rev_events;
+            s.n_events <- s.n_events + 1
+          end
+          else
+            (* Keep the stream's tail: drop the oldest retained event. *)
+            s.rev_events <- ev :: take_last (max_events_per_solve - 1) s.rev_events;
+          s.end_s <- ev.Event.ts_s;
+          if ev.Event.name = Progress.report_event then begin
+            s.complete <- true;
+            (match Progress.report_of_event ev with
+            | Some r -> s.degraded <- r.Progress.degraded
+            | None -> ());
+            (* Best-effort span capture: whatever the trace ring still
+               holds that overlaps this solve's window.  Under concurrent
+               solves a span of a neighbor can slip in — the dump is a
+               debugging artifact, not an accounting ledger. *)
+            s.spans <-
+              take_last max_spans_per_solve
+                (List.filter
+                   (fun (sp : Trace.span) ->
+                     sp.Trace.end_s >= s.start_s -. 1e-9
+                     && sp.Trace.start_s <= s.end_s +. 1e-9)
+                   (Trace.spans ()));
+            match !debug_dir with
+            | Some dir when s.degraded || s.end_s -. s.start_s > !slow_s ->
+                Some (dir, s)
+            | _ -> None
+          end
+          else None)
+    in
+    match to_dump with Some (dir, s) -> write_dump dir s | None -> ()
+  end
+
+let enable ?capacity:(cap = 64) () =
+  locked (fun () ->
+      capacity := max 1 cap;
+      Hashtbl.reset table;
+      Queue.clear order);
+  Event.add_sink ~name:"recorder" on_event
+
+let disable () = Event.remove_sink "recorder"
+
+let find corr = locked (fun () -> Hashtbl.find_opt table corr)
+
+let solves () =
+  locked (fun () ->
+      Queue.fold
+        (fun acc corr ->
+          match Hashtbl.find_opt table corr with Some s -> s :: acc | None -> acc)
+        [] order)
+  |> List.rev
+
+let dump_count () = locked (fun () -> !dumps)

@@ -1,0 +1,63 @@
+(** Flight recorder: the last N solves' events and spans, keyed by
+    correlation id.
+
+    Installed as an {!Event} sink (named ["recorder"]), it groups the
+    event stream by correlation id into per-solve records and keeps the
+    most recent [capacity] of them in arrival order — [bccd] serves them
+    at [GET /debug/solves[?id=…]] so "what did request X actually do"
+    stays answerable after the fact.  When a solve's
+    ["solve_report"] arrives, the record is marked complete and a
+    best-effort snapshot of the {!Trace} spans overlapping the solve's
+    time window is attached (under concurrent solves a neighbor's span
+    can slip in — the recorder is a debugging artifact, not an
+    accounting ledger).
+
+    With a debug directory configured ({!set_debug_dir}), a completing
+    solve that was degraded or slower than the threshold is dumped
+    automatically to [<dir>/<corr>.jsonl] — its events followed by its
+    spans as ["span"] pseudo-events, every line decodable with
+    {!Event.of_json_line}. *)
+
+type solve = {
+  corr : string;
+  start_s : float;  (** timestamp of the first event seen for this id *)
+  mutable end_s : float;  (** timestamp of the last event seen *)
+  mutable rev_events : Event.t list;  (** newest first; see {!events} *)
+  mutable n_events : int;
+  mutable spans : Trace.span list;  (** attached on completion *)
+  mutable complete : bool;  (** a ["solve_report"] arrived *)
+  mutable degraded : bool;
+}
+
+val enable : ?capacity:int -> unit -> unit
+(** Install the recorder sink, dropping previous records; keeps the last
+    [capacity] (default 64) correlation ids.  Events without a
+    correlation id are ignored.  Per-solve retention is bounded (newest
+    8192 events, 4096 spans). *)
+
+val disable : unit -> unit
+
+val clear : unit -> unit
+
+val set_debug_dir : ?slow:float -> string option -> unit
+(** Where to dump slow/degraded solves ([None] disables dumps); [slow]
+    (default 1.0, sticky across calls) is the wall-clock threshold in
+    seconds. *)
+
+val events : solve -> Event.t list
+(** The solve's events, oldest first. *)
+
+val dump_string : solve -> string
+(** The JSONL dump (events, then spans as ["span"] pseudo-events with
+    attrs in addition order). *)
+
+val find : string -> solve option
+(** Look up one correlation id.  The returned record may still be
+    receiving events; its mutable fields are single-word reads of
+    immutable structures, safe to snapshot from any thread. *)
+
+val solves : unit -> solve list
+(** All retained records, oldest first. *)
+
+val dump_count : unit -> int
+(** Debug dumps written since startup. *)

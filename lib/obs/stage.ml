@@ -1,6 +1,11 @@
-type stat = { stage : string; count : int; total_s : float; max_s : float }
+type stat = { stage : string; count : int; total_s : float; min_s : float; max_s : float }
 
-type entry = { mutable count : int; mutable total_s : float; mutable max_s : float }
+type entry = {
+  mutable count : int;
+  mutable total_s : float;
+  mutable min_s : float;
+  mutable max_s : float;
+}
 
 let lock = Mutex.create ()
 let table : (string, entry) Hashtbl.t = Hashtbl.create 32
@@ -17,8 +22,10 @@ let record stage dur =
         | Some e ->
             e.count <- e.count + 1;
             e.total_s <- e.total_s +. dur;
+            if dur < e.min_s then e.min_s <- dur;
             if dur > e.max_s then e.max_s <- dur
-        | None -> Hashtbl.add table stage { count = 1; total_s = dur; max_s = dur });
+        | None ->
+            Hashtbl.add table stage { count = 1; total_s = dur; min_s = dur; max_s = dur });
         !observer)
   in
   (* The observer runs outside the lock: it typically takes its own
@@ -29,24 +36,26 @@ let stats () =
   locked (fun () ->
       Hashtbl.fold
         (fun stage (e : entry) acc ->
-          { stage; count = e.count; total_s = e.total_s; max_s = e.max_s } :: acc)
+          { stage; count = e.count; total_s = e.total_s; min_s = e.min_s; max_s = e.max_s }
+          :: acc)
         table [])
   |> List.sort (fun (a : stat) b -> compare b.total_s a.total_s)
 
 let summary () =
   let stats = stats () in
   let buf = Buffer.create 256 in
-  Printf.bprintf buf "%-18s %10s %12s %12s %12s\n" "stage" "calls" "total" "mean" "max";
+  Printf.bprintf buf "%-18s %10s %12s %12s %12s %12s\n" "stage" "calls" "total" "mean"
+    "min" "max";
   let pp_s s =
     if s < 1e-3 then Printf.sprintf "%.0fus" (s *. 1e6)
     else if s < 1.0 then Printf.sprintf "%.2fms" (s *. 1e3)
     else Printf.sprintf "%.3fs" s
   in
   List.iter
-    (fun { stage; count; total_s; max_s } ->
-      Printf.bprintf buf "%-18s %10d %12s %12s %12s\n" stage count (pp_s total_s)
+    (fun { stage; count; total_s; min_s; max_s } ->
+      Printf.bprintf buf "%-18s %10d %12s %12s %12s %12s\n" stage count (pp_s total_s)
         (pp_s (total_s /. float_of_int (max count 1)))
-        (pp_s max_s))
+        (pp_s min_s) (pp_s max_s))
     stats;
   Buffer.contents buf
 

@@ -3,7 +3,8 @@
     The solver pipeline is instrumented with {!Trace.with_span}; when
     stage profiling is on ({!Trace.set_profiling}) every completed span
     is also folded into this process-global accumulator keyed by the
-    span (= stage) name: call count, total and maximum wall time.
+    span (= stage) name: call count, total, minimum and maximum wall
+    time.
     Reading is cheap and lock-protected; the aggregate survives any
     number of solves until {!reset}.
 
@@ -22,6 +23,7 @@ type stat = {
   stage : string;
   count : int;  (** completed spans with this name *)
   total_s : float;  (** summed wall time, seconds *)
+  min_s : float;  (** best single span, seconds *)
   max_s : float;  (** worst single span, seconds *)
 }
 

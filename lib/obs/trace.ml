@@ -160,41 +160,25 @@ let spans ?last () =
 
 let dropped () = locked (fun () -> !dropped_count)
 
+(* Attributes are accumulated by prepending, so the stored list is in
+   reverse addition order; every export goes through this accessor so
+   consumers (chrome_json, the server's span forest, the flight
+   recorder's dumps) all present them in the order they were added. *)
+let ordered_attrs sp = List.rev sp.attrs
+
 (* ------------------------------------------------------------------ *)
-(* Chrome trace_event export.  Self-contained JSON emission: bcc_obs   *)
-(* sits below bcc_server in the dependency order, so it cannot use the *)
-(* server's codec — but the output must stay parseable by it.          *)
+(* Chrome trace_event export.  JSON emission via Jsonout (shared with  *)
+(* the event layer): bcc_obs sits below bcc_server in the dependency   *)
+(* order, so it cannot use the server's codec — but the output must    *)
+(* stay parseable by it.                                               *)
 (* ------------------------------------------------------------------ *)
 
-let escape buf s =
-  Buffer.add_char buf '"';
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string buf "\\\""
-      | '\\' -> Buffer.add_string buf "\\\\"
-      | '\n' -> Buffer.add_string buf "\\n"
-      | '\r' -> Buffer.add_string buf "\\r"
-      | '\t' -> Buffer.add_string buf "\\t"
-      | c when Char.code c < 0x20 ->
-          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char buf c)
-    s;
-  Buffer.add_char buf '"'
-
-let number x =
-  (* JSON has no non-finite literals; mirror Bcc_server.Json and emit
-     them as strings so the round-trip stays lossless. *)
-  if Float.is_nan x then "\"nan\""
-  else if x = infinity then "\"inf\""
-  else if x = neg_infinity then "\"-inf\""
-  else if Float.is_integer x && Float.abs x < 1e15 then Printf.sprintf "%.0f" x
-  else Printf.sprintf "%.17g" x
+let escape = Jsonout.escape
 
 let add_value buf = function
   | Bool b -> Buffer.add_string buf (if b then "true" else "false")
   | Int i -> Buffer.add_string buf (string_of_int i)
-  | Float x -> Buffer.add_string buf (number x)
+  | Float x -> Buffer.add_string buf (Jsonout.number_compact x)
   | Str s -> escape buf s
 
 let chrome_json ?(pid = 1) spans =
@@ -221,7 +205,7 @@ let chrome_json ?(pid = 1) spans =
           escape buf k;
           Buffer.add_char buf ':';
           add_value buf v)
-        (List.rev sp.attrs);
+        (ordered_attrs sp);
       Buffer.add_string buf "}}")
     spans;
   Buffer.add_string buf "]}";

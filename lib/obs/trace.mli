@@ -70,8 +70,13 @@ val recording : span -> bool
 
 val spans : ?last:int -> unit -> span list
 (** Completed spans still in the ring, oldest first ([last] keeps only
-    the most recent [last]).  Attributes are in reverse addition
-    order. *)
+    the most recent [last]).  The raw [attrs] field is in reverse
+    addition order; use {!ordered_attrs} to export. *)
+
+val ordered_attrs : span -> (string * value) list
+(** The span's attributes in the order they were added — the canonical
+    export order, used by {!chrome_json}, the server's span forest and
+    the flight recorder alike. *)
 
 val dropped : unit -> int
 (** Completed spans overwritten by ring wraparound since the buffer was

@@ -9,6 +9,9 @@ module Io = Bcc_data.Io
 module Timer = Bcc_util.Timer
 module Trace = Bcc_obs.Trace
 module Stage = Bcc_obs.Stage
+module Event = Bcc_obs.Event
+module Progress = Bcc_obs.Progress
+module Recorder = Bcc_obs.Recorder
 module Engine = Bcc_engine.Engine
 module Deadline = Bcc_robust.Deadline
 module Fault = Bcc_robust.Fault
@@ -25,6 +28,8 @@ type config = {
   preload : (string * string) list;
   trace_spans : int;
   state_dir : string option;
+  event_log : string option;  (* JSONL wide-event log, one line per event *)
+  debug_dir : string option;  (* flight-recorder dumps of slow/degraded solves *)
 }
 
 let default_config =
@@ -38,6 +43,8 @@ let default_config =
     preload = [];
     trace_spans = 4096;
     state_dir = None;
+    event_log = None;
+    debug_dir = None;
   }
 
 type loaded = { digest : string; inst : Instance.t }
@@ -124,6 +131,38 @@ let create cfg =
         Metrics.observe t.metrics "bcc_stage_duration_seconds"
           ~labels:[ ("stage", stage) ] ~buckets:stage_buckets
           ~help:"Wall time per solver pipeline stage." dt)
+  end;
+  (* Wide-event telemetry rides the same switch as tracing: every
+     request gets a correlation id, the solver's anytime progress stream
+     lands in the event ring, and the flight recorder groups it per
+     solve for [GET /debug/solves]. *)
+  if cfg.trace_spans > 0 then begin
+    Event.set_enabled ~capacity:(max 1024 cfg.trace_spans) true;
+    Recorder.enable ();
+    Recorder.set_debug_dir cfg.debug_dir;
+    (match cfg.event_log with Some path -> Event.log_to_file path | None -> ());
+    (* Metrics bridge: fold the progress stream into the Prometheus
+       registry as it happens (counters here are event-driven, not the
+       scrape-time delta-inc pattern — each event is seen exactly
+       once). *)
+    Event.add_sink ~name:"metrics" (fun e ->
+        match e.Event.name with
+        | "incumbent_update" ->
+            Metrics.inc t.metrics "bcc_incumbent_improvements_total"
+              ~help:"Incumbent updates emitted by the solver's anytime stream."
+        | "solve_report" -> (
+            match Progress.report_of_event e with
+            | Some r ->
+                Metrics.inc t.metrics "bcc_solve_rounds_total"
+                  ~help:"Residual rounds run, summed over solves."
+                  ~by:(float_of_int r.Progress.rounds);
+                Metrics.set t.metrics "bcc_solve_utility_ratio"
+                  ~help:
+                    "Last solve's utility as a share of the instance's total \
+                     utility."
+                  r.Progress.utility_ratio
+            | None -> ())
+        | _ -> ())
   end;
   t
 
@@ -520,7 +559,7 @@ let span_json (sp : Trace.span) children =
        ("tid", Json.Num (float_of_int sp.Trace.tid));
        ("start_s", Json.Num sp.Trace.start_s);
        ("duration_s", Json.Num (sp.Trace.end_s -. sp.Trace.start_s));
-       ("attrs", Json.Obj (List.map (fun (k, v) -> (k, attr_json v)) (List.rev sp.Trace.attrs)));
+       ("attrs", Json.Obj (List.map (fun (k, v) -> (k, attr_json v)) (Trace.ordered_attrs sp)));
      ]
     @ if children = [] then [] else [ ("children", Json.List children) ])
 
@@ -557,6 +596,70 @@ let handle_trace req =
          ("dropped", Json.Num (float_of_int (Trace.dropped ())));
          ("spans", Json.List (List.rev !roots));
        ])
+
+let event_json (e : Event.t) =
+  Json.Obj
+    [
+      ("ts_s", Json.Num e.Event.ts_s);
+      ("name", Json.Str e.Event.name);
+      ("attrs", Json.Obj (List.map (fun (k, v) -> (k, attr_json v)) e.Event.attrs));
+    ]
+
+(* One flight-recorder record.  The summary row carries enough to spot
+   the interesting solve (wall time, degradation, final utility); the
+   [?id=] detail adds the anytime curve, the raw events and the spans
+   that overlapped the solve's window. *)
+let solve_json ~detail (s : Recorder.solve) =
+  let events = Recorder.events s in
+  let report = List.find_map Progress.report_of_event events in
+  let curve = Progress.curve events in
+  let final_utility =
+    match report with
+    | Some r -> Some r.Progress.utility
+    | None -> ( match List.rev curve with (_, u) :: _ -> Some u | [] -> None)
+  in
+  Json.Obj
+    ([
+       ("id", Json.Str s.Recorder.corr);
+       ("start_s", Json.Num s.Recorder.start_s);
+       ("wall_s", Json.Num (s.Recorder.end_s -. s.Recorder.start_s));
+       ("events", Json.Num (float_of_int s.Recorder.n_events));
+       ("complete", Json.Bool s.Recorder.complete);
+       ("degraded", Json.Bool s.Recorder.degraded);
+     ]
+    @ (match final_utility with
+      | Some u -> [ ("final_utility", Json.Num u) ]
+      | None -> [])
+    @
+    if not detail then []
+    else
+      [
+        ( "curve",
+          Json.List
+            (List.map
+               (fun (t, u) -> Json.Obj [ ("t", Json.Num t); ("u", Json.Num u) ])
+               curve) );
+        ("event_log", Json.List (List.map event_json events));
+        ( "spans",
+          Json.List
+            (List.map (fun sp -> span_json sp []) s.Recorder.spans) );
+      ])
+
+let handle_solves req =
+  match Http.query_param req "id" with
+  | Some id -> (
+      match Recorder.find id with
+      | Some s -> Http.json_response 200 (solve_json ~detail:true s)
+      | None -> Http.error_response 404 ("no recorded solve with id " ^ id))
+  | None ->
+      Http.json_response 200
+        (Json.Obj
+           [
+             ("enabled", Json.Bool (Event.enabled ()));
+             ("dumps", Json.Num (float_of_int (Recorder.dump_count ())));
+             ( "solves",
+               Json.List (List.map (solve_json ~detail:false) (Recorder.solves ())) );
+           ])
 
 let handle_metrics t =
   let cache_gauges name cache =
@@ -646,6 +749,7 @@ let handle t (req : Http.request) =
   | "GET", "/metrics" -> handle_metrics t
   | "GET", "/instances" -> handle_instances t
   | "GET", "/debug/trace" -> handle_trace req
+  | "GET", "/debug/solves" -> handle_solves req
   | "POST", "/solve" -> handle_solve t E_solve req
   | "POST", "/gmc3" -> handle_solve t E_gmc3 req
   | "POST", "/ecc" -> handle_solve t E_ecc req
@@ -661,7 +765,7 @@ let handle t (req : Http.request) =
       handle_workloads t meth segs req
   | _, ("/solve" | "/gmc3" | "/ecc") ->
       Http.error_response 405 ("use POST for " ^ req.path)
-  | _, ("/healthz" | "/metrics" | "/instances" | "/debug/trace") ->
+  | _, ("/healthz" | "/metrics" | "/instances" | "/debug/trace" | "/debug/solves") ->
       Http.error_response 405 ("use GET for " ^ req.path)
   | _ -> Http.error_response 404 ("no such endpoint: " ^ req.path)
 
@@ -733,10 +837,37 @@ let serve_conn t fd enqueued_at =
             linger fd
         | Ok req ->
             let timer = Timer.start () in
-            let resp =
+            (* Every request gets a fresh correlation id, installed as
+               the ambient id for the whole handling (engine tasks carry
+               it onto worker domains), stamped on every event the
+               request emits, and returned in [X-Bcc-Trace-Id] so the
+               client can pull the solve's record from
+               [/debug/solves?id=…]. *)
+            let corr = if Event.enabled () then Event.new_corr () else "" in
+            let run () =
               try handle t req with
               | Failure msg -> Http.error_response 400 msg
               | e -> Http.error_response 500 (Printexc.to_string e)
+            in
+            let resp =
+              if corr = "" then run ()
+              else
+                Event.with_corr corr (fun () ->
+                    let resp = run () in
+                    Event.emit "http_request"
+                      ~attrs:
+                        [
+                          ("method", Event.Str req.meth);
+                          ("path", Event.Str req.path);
+                          ("status", Event.Int resp.Http.status);
+                          ("duration_s", Event.Float (Timer.elapsed_s timer));
+                        ];
+                    resp)
+            in
+            let resp =
+              if corr = "" then resp
+              else
+                { resp with Http.headers = ("X-Bcc-Trace-Id", corr) :: resp.Http.headers }
             in
             Metrics.observe t.metrics "bccd_request_duration_seconds"
               ~labels:[ ("endpoint", req.path) ]
@@ -804,6 +935,7 @@ let run t =
      in-flight solve finishes first. *)
   Engine.Pool.shutdown t.pool;
   Store.close t.store;
+  Event.close_log ();
   (try Unix.close t.sock with Unix.Unix_error _ -> ());
   (* The daemon is done with the shared pool; leave later library calls
      (tests run several daemons per process) a working default. *)

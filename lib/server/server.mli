@@ -38,7 +38,22 @@
       [bcc_store_replay_seconds] and [bcc_warm_start_utility_ratio]);
     - [GET /debug/trace?last=N] — the most recent completed
       {!Bcc_obs.Trace} spans as a JSON forest (children nested under
-      their parents), for inspecting where a solve spent its time.
+      their parents), for inspecting where a solve spent its time;
+    - [GET /debug/solves[?id=…]] — the {!Bcc_obs.Recorder} flight
+      recorder: the last N solves keyed by correlation id, and per id
+      the anytime utility curve, the raw wide events and the spans that
+      overlapped the solve.
+
+    {2 Request correlation}
+
+    With telemetry on ([trace_spans > 0]) every request is handled under
+    a fresh {!Bcc_obs.Event} correlation id, returned to the client in
+    the [X-Bcc-Trace-Id] response header; the solver's anytime progress
+    stream, store commits and a closing [http_request] event all carry
+    it, so [GET /debug/solves?id=<header value>] replays exactly what
+    that request did.  The progress stream also feeds the metrics
+    registry ([bcc_incumbent_improvements_total],
+    [bcc_solve_rounds_total], [bcc_solve_utility_ratio]).
 
     Shutdown ({!request_stop}, wired to SIGINT/SIGTERM by the daemon):
     stop accepting, answer queued-but-unstarted connections [503], let
@@ -59,6 +74,13 @@ type config = {
   state_dir : string option;
       (** workload-store state directory; [None] keeps the store
           in-memory only (workloads do not survive a restart) *)
+  event_log : string option;
+      (** append every wide event as one JSONL line to this file
+          (truncated at startup); [None] disables the file sink *)
+  debug_dir : string option;
+      (** flight-recorder dump directory: slow or degraded solves are
+          written to [<dir>/<corr>.jsonl] on completion; [None] disables
+          automatic dumps *)
 }
 
 val default_config : config

@@ -7,6 +7,7 @@ module Io = Bcc_data.Io
 module Log_parser = Bcc_data.Log_parser
 module Timer = Bcc_util.Timer
 module Trace = Bcc_obs.Trace
+module Event = Bcc_obs.Event
 module Deadline = Bcc_robust.Deadline
 module Fault = Bcc_robust.Fault
 
@@ -469,7 +470,19 @@ let append t w record =
         Trace.add_attr sp "kind" (Trace.Str record.Codec.kind);
         Trace.add_attr sp "epoch" (Trace.Int record.Codec.epoch);
         Trace.add_attr sp "bytes" (Trace.Int (String.length s))
-      end
+      end;
+      (* The same commit as a wide event, stamped with the ambient
+         correlation id, so a request's durable side effects line up
+         with its solve stream in the flight recorder. *)
+      if Event.enabled () then
+        Event.emit "store_commit"
+          ~attrs:
+            [
+              ("workload", Event.Str w.wname);
+              ("kind", Event.Str record.Codec.kind);
+              ("epoch", Event.Int record.Codec.epoch);
+              ("bytes", Event.Int (String.length s));
+            ]
 
 let maybe_compact t w =
   if w.journal_bytes > t.compact_bytes then begin

@@ -1,0 +1,101 @@
+#!/usr/bin/env bash
+# Telemetry smoke test against the real bccd binary: solve once, follow
+# the X-Bcc-Trace-Id response header into the /debug/solves flight
+# recorder, require a non-empty anytime curve whose final utility equals
+# the returned solution's, check the progress-stream metrics exist, and
+# leave the event log + flight-recorder dump behind as CI artifacts.
+#
+# Usage: scripts/telemetry_smoke.sh [path-to-bccd.exe]
+# Artifacts land in ${TELEMETRY_DIR:-/tmp/telemetry-smoke}.
+set -euo pipefail
+
+BCCD=${1:-_build/default/bin/bccd.exe}
+[ -x "$BCCD" ] || { echo "bccd binary not found at $BCCD (dune build bin first)"; exit 1; }
+
+ART=${TELEMETRY_DIR:-/tmp/telemetry-smoke}
+rm -rf "$ART"; mkdir -p "$ART/flight"
+OUT=$(mktemp)
+INST=$(mktemp)
+PID=
+cleanup() {
+  [ -n "$PID" ] && kill -9 "$PID" 2>/dev/null || true
+  rm -f "$OUT" "$INST"
+}
+trap cleanup EXIT
+
+cat >"$INST" <<'EOF'
+budget 4
+query x;y;z 8
+query x;z 1
+query x;y 2
+classifier x 5
+classifier y 3
+classifier z 3
+classifier x;y;z 3
+classifier x;z 4
+classifier y;z 0
+EOF
+
+"$BCCD" --port 0 --workers 2 --load "fig=$INST" \
+  --event-log "$ART/events.jsonl" --debug-dir "$ART/flight" >"$OUT" 2>&1 &
+PID=$!
+PORT=
+for _ in $(seq 100); do
+  PORT=$(sed -n 's/.*listening on [^ ]*:\([0-9][0-9]*\) .*/\1/p' "$OUT" | head -n1)
+  [ -n "$PORT" ] && break
+  kill -0 "$PID" 2>/dev/null || { echo "daemon died on startup:"; cat "$OUT"; exit 1; }
+  sleep 0.1
+done
+[ -n "$PORT" ] || { echo "daemon never reported its port:"; cat "$OUT"; exit 1; }
+echo "daemon up on port $PORT, artifacts in $ART"
+
+# one cold solve; keep the headers to harvest the correlation id
+curl -fsS -D "$ART/solve.headers" -o "$ART/solve.json" \
+  -X POST "http://127.0.0.1:$PORT/solve" --data-binary '{"instance":"fig","budget":4}'
+CORR=$(tr -d '\r' <"$ART/solve.headers" | awk -F': ' 'tolower($1)=="x-bcc-trace-id"{print $2}')
+[ -n "$CORR" ] || { echo "no X-Bcc-Trace-Id header:"; cat "$ART/solve.headers"; exit 1; }
+echo "solve trace id: $CORR"
+
+# the header keys the flight recorder; the curve must end at the answer
+curl -fsS "http://127.0.0.1:$PORT/debug/solves?id=$CORR" >"$ART/solve.detail.json"
+curl -fsS "http://127.0.0.1:$PORT/debug/solves" >"$ART/solves.json"
+python3 - "$ART/solve.json" "$ART/solve.detail.json" <<'EOF'
+import json, sys
+solve = json.load(open(sys.argv[1]))
+detail = json.load(open(sys.argv[2]))
+curve = detail["curve"]
+assert curve, "anytime curve is empty"
+assert detail["complete"], detail
+assert abs(curve[-1]["u"] - solve["utility"]) < 1e-6, (curve[-1], solve["utility"])
+names = {e["name"] for e in detail["event_log"]}
+for needed in ("solve_start", "incumbent_update", "solve_report"):
+    assert needed in names, f"event {needed} missing ({sorted(names)})"
+print("anytime curve: %d points, final utility %g: OK" % (len(curve), curve[-1]["u"]))
+EOF
+
+# progress stream feeds the metrics registry
+curl -fsS "http://127.0.0.1:$PORT/metrics" >"$ART/metrics.txt"
+for series in bcc_solve_utility_ratio bcc_solve_rounds_total bcc_incumbent_improvements_total; do
+  grep -q "^$series" "$ART/metrics.txt" || { echo "metric $series missing"; exit 1; }
+done
+echo "progress metrics exported: OK"
+
+kill -TERM "$PID"
+wait "$PID" || { echo "daemon did not exit cleanly"; exit 1; }
+PID=
+
+# the JSONL event log was flushed on shutdown and carries the solve
+[ -s "$ART/events.jsonl" ] || { echo "event log empty"; exit 1; }
+grep -q "$CORR" "$ART/events.jsonl" || { echo "event log misses trace id $CORR"; exit 1; }
+python3 - "$ART/events.jsonl" <<'EOF'
+import json, sys
+n = 0
+for line in open(sys.argv[1]):
+    line = line.strip()
+    if line:
+        json.loads(line)
+        n += 1
+assert n > 0
+print("event log: %d well-formed JSONL lines: OK" % n)
+EOF
+echo "telemetry smoke: OK"

@@ -555,6 +555,158 @@ let kill_hard d =
   (try ignore (Unix.waitpid [] d.pid) with Unix.Unix_error _ -> ());
   try close_in d.out with Sys_error _ -> ()
 
+(* --- telemetry: correlation header -> flight recorder -> metrics --- *)
+
+let header_value raw name =
+  let lname = String.lowercase_ascii name in
+  String.split_on_char '\n' raw
+  |> List.find_map (fun line ->
+         match String.index_opt line ':' with
+         | Some i when String.lowercase_ascii (String.trim (String.sub line 0 i)) = lname
+           ->
+             Some (String.trim (String.sub line (i + 1) (String.length line - i - 1)))
+         | _ -> None)
+
+let telemetry_correlation () =
+  let file, _inst = fixture_file () in
+  let event_log = Filename.temp_file "bccd_events" ".jsonl" in
+  let d =
+    start_daemon
+      [ "--workers"; "2"; "--load"; "fig=" ^ file; "--event-log"; event_log ]
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      kill_hard d;
+      Sys.remove file;
+      if Sys.file_exists event_log then Sys.remove event_log)
+    (fun () ->
+      (* one cold solve; keep the full response for header inspection *)
+      let status, raw =
+        request_raw ~port:d.port ~meth:"POST" ~path:"/solve" ~body:solve_body ()
+      in
+      Alcotest.(check int) "solve status" 200 status;
+      let corr =
+        match header_value raw "X-Bcc-Trace-Id" with
+        | Some c -> c
+        | None -> Alcotest.fail "X-Bcc-Trace-Id header missing from /solve response"
+      in
+      Alcotest.(check int) "trace id is 12 hex chars" 12 (String.length corr);
+      String.iter
+        (fun c ->
+          if not ((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f')) then
+            Alcotest.failf "non-hex char %C in trace id %s" c corr)
+        corr;
+      let body =
+        let rec find i =
+          if i + 3 >= String.length raw then String.length raw
+          else if String.sub raw i 4 = "\r\n\r\n" then i + 4
+          else find (i + 1)
+        in
+        let start = find 0 in
+        String.sub raw start (String.length raw - start)
+      in
+      let solve_resp = Json.of_string_exn (String.trim body) in
+      let solve_utility = num_field "utility" solve_resp in
+
+      (* the header keys the flight-recorder record *)
+      let status, body =
+        request ~port:d.port ~meth:"GET" ~path:("/debug/solves?id=" ^ corr) ()
+      in
+      Alcotest.(check int) "debug/solves?id status" 200 status;
+      let detail = Json.of_string_exn (String.trim body) in
+      Alcotest.(check (option string)) "record id is the header value" (Some corr)
+        (Json.get_string (get_field "id" detail));
+      Alcotest.(check (option bool)) "record complete" (Some true)
+        (Json.get_bool (get_field "complete" detail));
+      Alcotest.(check (float 1e-6)) "recorded final utility = returned utility"
+        solve_utility (num_field "final_utility" detail);
+      (match Json.get_list (get_field "curve" detail) with
+      | Some (_ :: _ as pts) ->
+          (* the curve's last point is the returned solution *)
+          let last = List.nth pts (List.length pts - 1) in
+          Alcotest.(check (float 1e-6)) "curve ends at the returned utility"
+            solve_utility (num_field "u" last);
+          (* monotone non-decreasing utility, non-negative times *)
+          ignore
+            (List.fold_left
+               (fun prev p ->
+                 Alcotest.(check bool) "curve times non-negative" true
+                   (num_field "t" p >= -1e-9);
+                 let u = num_field "u" p in
+                 Alcotest.(check bool) "anytime curve is monotone" true
+                   (u >= prev -. 1e-9);
+                 u)
+               neg_infinity pts)
+      | _ -> Alcotest.fail "anytime curve empty in /debug/solves?id");
+      (match Json.get_list (get_field "event_log" detail) with
+      | Some (_ :: _ as evs) ->
+          let names =
+            List.filter_map (fun e -> Json.get_string (get_field "name" e)) evs
+          in
+          List.iter
+            (fun needed ->
+              if not (List.mem needed names) then
+                Alcotest.failf "event %S missing from the recorded solve" needed)
+            [ "solve_start"; "incumbent_update"; "solve_report" ]
+      | _ -> Alcotest.fail "no events in /debug/solves?id");
+
+      (* the listing shows the record too *)
+      let status, body = request ~port:d.port ~meth:"GET" ~path:"/debug/solves" () in
+      Alcotest.(check int) "debug/solves status" 200 status;
+      let listing = Json.of_string_exn (String.trim body) in
+      Alcotest.(check (option bool)) "telemetry enabled" (Some true)
+        (Json.get_bool (get_field "enabled" listing));
+      (match Json.get_list (get_field "solves" listing) with
+      | Some solves ->
+          Alcotest.(check bool) "listing contains the solve" true
+            (List.exists
+               (fun s -> Json.get_string (get_field "id" s) = Some corr)
+               solves)
+      | None -> Alcotest.fail "solves is not a list");
+      Alcotest.(check int) "unknown id -> 404" 404
+        (fst (request ~port:d.port ~meth:"GET" ~path:"/debug/solves?id=ffffffffffff" ()));
+
+      (* progress stream feeds the metrics registry *)
+      let status, m = request ~port:d.port ~meth:"GET" ~path:"/metrics" () in
+      Alcotest.(check int) "metrics status" 200 status;
+      (match metric_value m "bcc_solve_rounds_total" with
+      | Some n -> Alcotest.(check bool) "rounds counter positive" true (n >= 1.0)
+      | None -> Alcotest.fail "bcc_solve_rounds_total missing");
+      (match metric_value m "bcc_incumbent_improvements_total" with
+      | Some n -> Alcotest.(check bool) "improvements counter positive" true (n >= 1.0)
+      | None -> Alcotest.fail "bcc_incumbent_improvements_total missing");
+      (match metric_value m "bcc_solve_utility_ratio" with
+      | Some r ->
+          Alcotest.(check bool) "utility ratio in (0,1]" true
+            (r > 0.0 && r <= 1.0 +. 1e-9)
+      | None -> Alcotest.fail "bcc_solve_utility_ratio missing");
+
+      (* clean shutdown flushes the JSONL event log *)
+      Unix.kill d.pid Sys.sigterm;
+      (match wait_exit d with
+      | Unix.WEXITED 0 -> ()
+      | _ -> Alcotest.fail "daemon did not exit cleanly");
+      let lines =
+        In_channel.with_open_bin event_log In_channel.input_all
+        |> String.split_on_char '\n'
+        |> List.filter (fun l -> l <> "")
+      in
+      Alcotest.(check bool) "event log non-empty" true (lines <> []);
+      let decoded =
+        List.map
+          (fun l ->
+            match Bcc_obs.Event.of_json_line l with
+            | Some e -> e
+            | None -> Alcotest.failf "undecodable event-log line: %s" l)
+          lines
+      in
+      Alcotest.(check bool) "event log carries the solve's correlation id" true
+        (List.exists
+           (fun e ->
+             e.Bcc_obs.Event.corr = corr
+             && e.Bcc_obs.Event.name = "solve_report")
+           decoded))
+
 let store_lifecycle () =
   let dir = temp_state_dir () in
   let d = start_daemon [ "--workers"; "2"; "--state-dir"; dir ] in
@@ -733,6 +885,7 @@ let suite =
     ("fault matrix: worker death + cache fault", `Quick, fault_worker_death_and_cache);
     ("fault matrix: deadline hit degrades gracefully", `Quick, fault_deadline_degrades);
     ("fault matrix: queue overload -> 429 + retry-after", `Quick, fault_backpressure_429);
+    ("telemetry: trace-id header keys the flight recorder", `Quick, telemetry_correlation);
     ("store: workload lifecycle over HTTP", `Quick, store_lifecycle);
     ("store: SIGKILL + restart serves the committed state", `Quick, store_crash_recovery);
   ]

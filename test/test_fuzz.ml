@@ -276,13 +276,106 @@ let store_fuzz_sanity () =
   Alcotest.(check int) "valid journal: all three records" 3 (List.length records);
   Alcotest.(check int) "valid journal: clean" 0 tail
 
+(* --- telemetry event JSONL codec --- *)
+
+module Event = Bcc_obs.Event
+
+(* A generated event whose encoding must round-trip exactly.  [Str]
+   values avoid the "nan"/"inf"/"-inf" sentinels (documented lossy:
+   they decode as the corresponding [Float]) and floats stay finite —
+   non-finite round-trips are covered by the obs suite. *)
+let gen_event rng =
+  let gen_string maxlen =
+    String.init (Rng.int rng (maxlen + 1)) (fun _ ->
+        match Rng.int rng 6 with
+        | 0 -> '"'
+        | 1 -> '\\'
+        | 2 -> Char.chr (Rng.int rng 32) (* control chars, incl NUL and \n *)
+        | _ -> Char.chr (32 + Rng.int rng 95))
+  in
+  let rec safe_str () =
+    let s = gen_string 12 in
+    if s = "nan" || s = "inf" || s = "-inf" then safe_str () else s
+  in
+  let gen_value () =
+    match Rng.int rng 4 with
+    | 0 -> Event.Bool (Rng.bool rng)
+    | 1 -> Event.Int (Rng.int rng 1000000 - 500000)
+    | 2 ->
+        (* mix of integer-valued and fractional, positive and negative *)
+        let f = float_of_int (Rng.int rng 2000 - 1000) /. float_of_int (1 + Rng.int rng 8) in
+        Event.Float f
+    | _ -> Event.Str (safe_str ())
+  in
+  {
+    Event.ts_s = float_of_int (Rng.int rng 1000000) /. 64.0;
+    corr = (if Rng.bool rng then "" else Printf.sprintf "%012x" (Rng.int rng 0x3fffffff));
+    name = gen_string 16;
+    attrs = List.init (Rng.int rng 6) (fun i -> (Printf.sprintf "k%d_%s" i (gen_string 6), gen_value ()));
+  }
+
+let event_roundtrip_fuzz =
+  QCheck.Test.make ~name:"event codec: decode (encode e) = Some e" ~count:(count 300)
+    QCheck.small_int (fun seed ->
+      let rng = Rng.create (0x4576 lxor seed) in
+      let ev = gen_event rng in
+      match Event.of_json_line (Event.to_json_line ev) with
+      | None -> false
+      | Some d ->
+          abs_float (d.Event.ts_s -. ev.Event.ts_s) < 1e-9
+          && d.Event.corr = ev.Event.corr
+          && d.Event.name = ev.Event.name
+          && d.Event.attrs = ev.Event.attrs)
+
+let gen_string_tail rng =
+  String.init (Rng.int rng 32) (fun _ -> Char.chr (Rng.int rng 256))
+
+(* The decoder is total: truncated, bit-flipped or garbage lines come
+   back as [None] (or, by luck, some other valid event) — never an
+   exception.  Same mutation idioms as the journal fuzzer above. *)
+let event_decode_fuzz =
+  QCheck.Test.make ~name:"event codec: of_json_line never raises" ~count:(count 300)
+    QCheck.small_int (fun seed ->
+      let rng = Rng.create (0x45764d lxor seed) in
+      let line = Event.to_json_line (gen_event rng) in
+      let n = String.length line in
+      let mutated =
+        match Rng.int rng 4 with
+        | 0 -> String.sub line 0 (Rng.int rng (n + 1)) (* truncated anywhere *)
+        | 1 ->
+            let i = Rng.int rng (max 1 n) in
+            String.mapi
+              (fun j c -> if j = i then Char.chr (Char.code c lxor (1 + Rng.int rng 255)) else c)
+              line
+        | 2 -> String.init (Rng.int rng 256) (fun _ -> Char.chr (Rng.int rng 256))
+        | _ -> line ^ gen_string_tail rng
+      in
+      match Event.of_json_line mutated with Some _ | None -> true)
+
+let event_codec_sanity () =
+  let expect_none name s =
+    Alcotest.(check bool) name true (Event.of_json_line s = None)
+  in
+  expect_none "empty line" "";
+  expect_none "bare null" "null";
+  expect_none "array" "[1,2]";
+  expect_none "missing name" "{\"ts\": 1.0, \"corr\": \"\", \"attrs\": {}}";
+  expect_none "name wrong type" "{\"ts\": 1.0, \"corr\": \"\", \"name\": 3, \"attrs\": {}}";
+  expect_none "half an object" "{\"ts\": 1.0, \"corr";
+  let ev = { Event.ts_s = 2.5; corr = "abc123def456"; name = "x"; attrs = [] } in
+  Alcotest.(check bool) "minimal event round-trips" true
+    (Event.of_json_line (Event.to_json_line ev) = Some ev)
+
 let suite =
   [
     ("http: hand-picked malformed inputs", `Quick, http_sanity);
     ("io: hand-picked malformed inputs", `Quick, io_sanity);
     ("store: hand-picked journal corruptions", `Quick, store_fuzz_sanity);
+    ("events: hand-picked malformed lines", `Quick, event_codec_sanity);
     qtest http_fuzz;
     qtest io_fuzz;
     qtest codec_fuzz;
     qtest store_replay_fuzz;
+    qtest event_roundtrip_fuzz;
+    qtest event_decode_fuzz;
   ]

@@ -5,6 +5,10 @@
 
 module Trace = Bcc_obs.Trace
 module Stage = Bcc_obs.Stage
+module Event = Bcc_obs.Event
+module Progress = Bcc_obs.Progress
+module Recorder = Bcc_obs.Recorder
+module Engine = Bcc_engine.Engine
 module Json = Bcc_server.Json
 module Solver = Bcc_core.Solver
 module Solution = Bcc_core.Solution
@@ -241,7 +245,10 @@ let stage_stats_and_observer () =
           Alcotest.(check string) "sorted by total time desc" "alpha" a.Stage.stage;
           Alcotest.(check int) "count" 2 a.Stage.count;
           Alcotest.(check (float 1e-9)) "total" 1.0 a.Stage.total_s;
+          Alcotest.(check (float 1e-9)) "min" 0.25 a.Stage.min_s;
           Alcotest.(check (float 1e-9)) "max" 0.75 a.Stage.max_s;
+          Alcotest.(check (float 1e-9)) "single-sample min = max" b.Stage.max_s
+            b.Stage.min_s;
           Alcotest.(check string) "beta second" "beta" b.Stage.stage
       | l -> Alcotest.failf "expected 2 stats, got %d" (List.length l));
       Alcotest.(check int) "observer saw every record" 3 (List.length !seen);
@@ -250,7 +257,7 @@ let stage_stats_and_observer () =
         (fun needle ->
           if not (contains ~needle summary) then
             Alcotest.failf "summary lacks %S:\n%s" needle summary)
-        [ "alpha"; "beta"; "stage" ];
+        [ "alpha"; "beta"; "stage"; "min" ];
       Stage.reset ();
       Alcotest.(check int) "reset clears" 0 (List.length (Stage.stats ())))
 
@@ -312,6 +319,363 @@ let fake_clock_durations () =
   Alcotest.(check bool) "real clock runs after restore" true
     (Timer.now_s () >= t0 && t0 < 999.0)
 
+(* --- wide events, progress stream, flight recorder --- *)
+
+(* Event state is process-global like tracing; every test restores the
+   disabled default and removes whatever sinks it installed. *)
+let with_events ?(capacity = 4096) f =
+  Event.set_enabled ~capacity true;
+  Fun.protect
+    ~finally:(fun () ->
+      Recorder.disable ();
+      (* [slow] is sticky — restore the default alongside the dir. *)
+      Recorder.set_debug_dir ~slow:1.0 None;
+      Recorder.clear ();
+      Event.clear_sampling ();
+      Event.close_log ();
+      Event.set_enabled false;
+      Event.clear ())
+    f
+
+let event_names () = List.map (fun e -> e.Event.name) (Event.events ())
+
+let event_ring_and_sampling () =
+  with_events ~capacity:4 (fun () ->
+      for i = 1 to 6 do
+        Event.emit (Printf.sprintf "e%d" i)
+      done;
+      Alcotest.(check (list string)) "bounded ring, oldest first"
+        [ "e3"; "e4"; "e5"; "e6" ] (event_names ());
+      Alcotest.(check int) "dropped counter" 2 (Event.dropped ());
+      Alcotest.(check (list string)) "events ~last" [ "e6" ]
+        (List.map (fun e -> e.Event.name) (Event.events ~last:1 ()));
+      (* 1-in-3 sampling keeps the first of every 3, deterministically.
+         Resize the ring so nothing wraps out of the count. *)
+      Event.set_enabled ~capacity:64 true;
+      Event.set_sampling "noisy" 3;
+      for _ = 1 to 7 do
+        Event.emit "noisy";
+        Event.emit "kept"
+      done;
+      let count name = List.length (List.filter (( = ) name) (event_names ())) in
+      Alcotest.(check int) "sampled type thinned" 3 (count "noisy");
+      Alcotest.(check int) "other types untouched" 7 (count "kept");
+      Event.set_sampling "noisy" 1;
+      Event.clear ();
+      Event.emit "noisy";
+      Alcotest.(check int) "n <= 1 removes the rule" 1 (count "noisy"))
+
+let event_sinks () =
+  with_events (fun () ->
+      let seen = ref [] in
+      Event.add_sink ~name:"boom" (fun _ -> failwith "sink bug");
+      Event.add_sink ~name:"seen" (fun e -> seen := e.Event.name :: !seen);
+      Fun.protect
+        ~finally:(fun () ->
+          Event.remove_sink "boom";
+          Event.remove_sink "seen")
+        (fun () ->
+          Event.emit "first" ~attrs:[ ("k", Event.Int 1) ];
+          Event.emit "second";
+          Alcotest.(check (list string)) "raising sink loses only its delivery"
+            [ "second"; "first" ] !seen;
+          Alcotest.(check (list string)) "ring unaffected by the raise"
+            [ "first"; "second" ] (event_names ());
+          Event.remove_sink "seen";
+          Event.emit "third";
+          Alcotest.(check (list string)) "removed sink sees nothing"
+            [ "second"; "first" ] !seen))
+
+let event_disabled_noop () =
+  Event.set_enabled false;
+  Event.clear ();
+  Event.emit "ghost" ~attrs:[ ("k", Event.Int 1) ];
+  Alcotest.(check int) "nothing recorded when off" 0
+    (List.length (Event.events ()));
+  Alcotest.(check bool) "enabled reports off" false (Event.enabled ())
+
+let corr_ambient_and_engine () =
+  with_events (fun () ->
+      Alcotest.(check string) "no ambient corr by default" "" (Event.current_corr ());
+      let c1 = Event.new_corr () and c2 = Event.new_corr () in
+      Alcotest.(check bool) "fresh ids distinct" true (c1 <> c2);
+      Alcotest.(check int) "12 hex chars" 12 (String.length c1);
+      Event.with_corr c1 (fun () ->
+          Event.emit "outer";
+          Event.with_corr c2 (fun () -> Event.emit "nested");
+          Alcotest.(check string) "scope restored after nesting" c1
+            (Event.current_corr ()));
+      Alcotest.(check string) "scope restored at top" "" (Event.current_corr ());
+      (match Event.events () with
+      | [ outer; nested ] ->
+          Alcotest.(check string) "outer stamped" c1 outer.Event.corr;
+          Alcotest.(check string) "nested stamped" c2 nested.Event.corr
+      | l -> Alcotest.failf "expected 2 events, got %d" (List.length l));
+      (* Engine tasks capture the ambient corr at [make] and re-install
+         it on whichever worker domain runs them. *)
+      let pool = Engine.Pool.domains ~jobs:2 in
+      Fun.protect
+        ~finally:(fun () -> Engine.Pool.shutdown pool)
+        (fun () ->
+          let tasks =
+            Event.with_corr c1 (fun () ->
+                List.init 8 (fun i ->
+                    Engine.Task.make ~label:"corr-probe" (fun _ ->
+                        Event.emit "task_tick";
+                        (i, Event.current_corr ()))))
+          in
+          let results = Engine.Portfolio.collect pool tasks in
+          List.iter
+            (fun (i, corr) ->
+              Alcotest.(check string)
+                (Printf.sprintf "task %d ran under the submitter's corr" i)
+                c1 corr)
+            results;
+          List.iter
+            (fun e ->
+              if e.Event.name = "task_tick" then
+                Alcotest.(check string) "worker-domain event stamped" c1 e.Event.corr)
+            (Event.events ())))
+
+let jsonl_codec_roundtrip () =
+  let ev =
+    {
+      Event.ts_s = 12.125;
+      corr = "00ab34cd56ef";
+      name = "incumbent_update";
+      attrs =
+        [
+          ("round", Event.Int 3);
+          ("arm", Event.Str "qk:half \"quoted\"\n");
+          ("utility", Event.Float 42.0);
+          ("ratio", Event.Float 0.375);
+          ("slack", Event.Float infinity);
+          ("nanv", Event.Float nan);
+          ("neg", Event.Float neg_infinity);
+          ("ok", Event.Bool true);
+          ("ctl", Event.Str "tab\there\x01");
+        ];
+    }
+  in
+  let line = Event.to_json_line ev in
+  (* The line is plain JSON: the server codec must parse it. *)
+  (match Json.of_string line with
+  | Ok _ -> ()
+  | Error msg -> Alcotest.failf "server codec rejects event JSON: %s" msg);
+  (match Event.of_json_line line with
+  | None -> Alcotest.failf "decoder rejected its own encoding: %s" line
+  | Some d ->
+      Alcotest.(check (float 1e-9)) "ts" ev.Event.ts_s d.Event.ts_s;
+      Alcotest.(check string) "corr" ev.Event.corr d.Event.corr;
+      Alcotest.(check string) "name" ev.Event.name d.Event.name;
+      Alcotest.(check int) "attr count" (List.length ev.Event.attrs)
+        (List.length d.Event.attrs);
+      List.iter2
+        (fun (k, v) (k', v') ->
+          Alcotest.(check string) "attr order preserved" k k';
+          match (v, v') with
+          | Event.Float a, Event.Float b when Float.is_nan a ->
+              Alcotest.(check bool) (k ^ " nan") true (Float.is_nan b)
+          | v, v' -> Alcotest.(check bool) (k ^ " value") true (v = v'))
+        ev.Event.attrs d.Event.attrs);
+  (* Integer-valued floats survive as floats (not as Int). *)
+  (match Event.of_json_line (Event.to_json_line ev) with
+  | Some d -> (
+      match List.assoc "utility" d.Event.attrs with
+      | Event.Float 42.0 -> ()
+      | _ -> Alcotest.fail "integer-valued float decoded to the wrong shape")
+  | None -> Alcotest.fail "decode failed");
+  (* Total decoder: truncations never raise. *)
+  for i = 0 to String.length line - 1 do
+    ignore (Event.of_json_line (String.sub line 0 i))
+  done;
+  List.iter
+    (fun junk ->
+      Alcotest.(check bool) ("rejects " ^ junk) true (Event.of_json_line junk = None))
+    [ ""; "{"; "null"; "[1]"; "{\"ts\":}"; "{\"ts\":1,\"corr\":3}" ]
+
+let progress_stream_roundtrip () =
+  with_events (fun () ->
+      let inc =
+        {
+          Progress.round = 2;
+          arm = "knap-all";
+          utility = 120.0;
+          cost = 35.5;
+          budget_slack = 4.5;
+          deadline_margin_s = infinity;
+          knap_items = 17;
+          qk_nodes = 240;
+        }
+      in
+      Progress.emit_incumbent inc;
+      Progress.emit_report
+        {
+          Progress.rounds = 3;
+          improvements = 4;
+          utility = 120.0;
+          cost = 35.5;
+          utility_ratio = 0.75;
+          degraded = false;
+          wall_s = 0.25;
+        };
+      match Event.events () with
+      | [ e1; e2 ] ->
+          (match Progress.incumbent_of_event e1 with
+          | Some i ->
+              Alcotest.(check string) "arm" "knap-all" i.Progress.arm;
+              Alcotest.(check int) "round" 2 i.Progress.round;
+              Alcotest.(check (float 1e-9)) "slack" 4.5 i.Progress.budget_slack;
+              Alcotest.(check bool) "deadline margin inf" true
+                (i.Progress.deadline_margin_s = infinity);
+              Alcotest.(check int) "qk nodes" 240 i.Progress.qk_nodes
+          | None -> Alcotest.fail "incumbent event not decodable");
+          (match Progress.report_of_event e2 with
+          | Some r ->
+              Alcotest.(check int) "rounds" 3 r.Progress.rounds;
+              Alcotest.(check (float 1e-9)) "ratio" 0.75 r.Progress.utility_ratio
+          | None -> Alcotest.fail "report event not decodable");
+          Alcotest.(check bool) "report is not an incumbent" true
+            (Progress.incumbent_of_event e2 = None);
+          (* And the same decodes through the JSONL codec. *)
+          (match Event.of_json_line (Event.to_json_line e1) with
+          | Some e1' ->
+              Alcotest.(check bool) "JSONL round-trip preserves the incumbent" true
+                (Progress.incumbent_of_event e1' = Some inc)
+          | None -> Alcotest.fail "incumbent line not decodable");
+          Alcotest.(check (list (pair (float 1e-9) (float 1e-9)))) "curve"
+            [ (e1.Event.ts_s, 120.0) ]
+            (Progress.curve (Event.events ()))
+      | l -> Alcotest.failf "expected 2 events, got %d" (List.length l))
+
+(* The acceptance bar of the telemetry layer: a real solve streams a
+   well-formed anytime curve whose last point is the returned solution,
+   and enabling events does not change the answer. *)
+let solve_progress_stream () =
+  let inst = Fixtures.figure1 ~budget:4.0 in
+  let off = Solver.solve inst in
+  with_events (fun () ->
+      let corr = Event.new_corr () in
+      let on = Event.with_corr corr (fun () -> Solver.solve inst) in
+      Alcotest.(check (float 0.0)) "utility identical events on/off"
+        off.Solution.utility on.Solution.utility;
+      Alcotest.(check (float 0.0)) "cost identical events on/off" off.Solution.cost
+        on.Solution.cost;
+      Alcotest.(check bool) "classifiers identical events on/off" true
+        (off.Solution.classifiers = on.Solution.classifiers);
+      let events = Event.events () in
+      List.iter
+        (fun e ->
+          Alcotest.(check string) (e.Event.name ^ " carries the corr") corr
+            e.Event.corr)
+        events;
+      let names = List.map (fun e -> e.Event.name) events in
+      List.iter
+        (fun required ->
+          if not (List.mem required names) then
+            Alcotest.failf "event %S missing from stream (got: %s)" required
+              (String.concat ", " names))
+        [ "solve_start"; "prune"; "incumbent_update"; "solve_report" ];
+      let curve = Progress.curve events in
+      Alcotest.(check bool) "non-empty anytime curve" true (curve <> []);
+      (match List.rev curve with
+      | (_, last_u) :: _ ->
+          Alcotest.(check (float 1e-9)) "curve ends at the returned utility"
+            on.Solution.utility last_u
+      | [] -> ());
+      (* Utility along the curve never regresses. *)
+      ignore
+        (List.fold_left
+           (fun prev (_, u) ->
+             Alcotest.(check bool) "monotone curve" true (u >= prev -. 1e-9);
+             u)
+           neg_infinity curve);
+      match List.find_map Progress.report_of_event events with
+      | Some r ->
+          Alcotest.(check (float 1e-9)) "report utility" on.Solution.utility
+            r.Progress.utility;
+          Alcotest.(check bool) "not degraded" false r.Progress.degraded;
+          Alcotest.(check bool) "positive ratio" true (r.Progress.utility_ratio > 0.0)
+      | None -> Alcotest.fail "no solve_report in the stream")
+
+let rm_rf dir =
+  if Sys.file_exists dir then begin
+    Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+    Sys.rmdir dir
+  end
+
+let recorder_grouping_and_dump () =
+  with_events (fun () ->
+      Recorder.enable ~capacity:2 ();
+      let dir =
+        Filename.concat
+          (Filename.get_temp_dir_name ())
+          (Printf.sprintf "bcc_recorder_test_%d" (Unix.getpid ()))
+      in
+      rm_rf dir;
+      Recorder.set_debug_dir ~slow:3600.0 (Some dir);
+      let report ~degraded =
+        {
+          Progress.rounds = 1;
+          improvements = 1;
+          utility = 10.0;
+          cost = 1.0;
+          utility_ratio = 0.5;
+          degraded;
+          wall_s = 0.01;
+        }
+      in
+      let run corr ~degraded =
+        Event.with_corr corr (fun () ->
+            Event.emit "solve_start";
+            Progress.emit_incumbent
+              {
+                Progress.round = 0;
+                arm = "knap";
+                utility = 10.0;
+                cost = 1.0;
+                budget_slack = 0.0;
+                deadline_margin_s = infinity;
+                knap_items = 1;
+                qk_nodes = 0;
+              };
+            Progress.emit_report (report ~degraded))
+      in
+      Event.emit "uncorrelated";
+      (* ignored: no corr *)
+      let a = Event.new_corr ()
+      and b = Event.new_corr ()
+      and c = Event.new_corr () in
+      run a ~degraded:false;
+      run b ~degraded:false;
+      run c ~degraded:true;
+      (* capacity 2: [a] was evicted. *)
+      Alcotest.(check (list string)) "last 2 solves kept, oldest first" [ b; c ]
+        (List.map (fun s -> s.Recorder.corr) (Recorder.solves ()));
+      Alcotest.(check bool) "evicted id not findable" true (Recorder.find a = None);
+      (match Recorder.find c with
+      | Some s ->
+          Alcotest.(check bool) "complete on report" true s.Recorder.complete;
+          Alcotest.(check bool) "degraded decoded" true s.Recorder.degraded;
+          Alcotest.(check int) "all three events kept" 3 s.Recorder.n_events;
+          Alcotest.(check (list string)) "events oldest first"
+            [ "solve_start"; "incumbent_update"; "solve_report" ]
+            (List.map (fun e -> e.Event.name) (Recorder.events s));
+          (* Every dump line decodes with the JSONL codec. *)
+          String.split_on_char '\n' (Recorder.dump_string s)
+          |> List.filter (fun l -> l <> "")
+          |> List.iter (fun l ->
+                 match Event.of_json_line l with
+                 | Some _ -> ()
+                 | None -> Alcotest.failf "undecodable dump line: %s" l)
+      | None -> Alcotest.fail "completed solve not findable");
+      (* The degraded solve (and only it: the others are fast and clean)
+         was dumped automatically. *)
+      Alcotest.(check int) "one dump written" 1 (Recorder.dump_count ());
+      Alcotest.(check bool) "dump file exists" true
+        (Sys.file_exists (Filename.concat dir (c ^ ".jsonl")));
+      rm_rf dir)
+
 let suite =
   [
     ("span nesting and completion order", `Quick, span_nesting);
@@ -324,4 +688,12 @@ let suite =
     ("chrome json parses via server codec", `Quick, chrome_json_roundtrips);
     ("stage stats and observer", `Quick, stage_stats_and_observer);
     ("real solve covers the stage vocabulary", `Quick, solve_stage_coverage);
+    ("event ring and sampling", `Quick, event_ring_and_sampling);
+    ("event sinks fan out and isolate failures", `Quick, event_sinks);
+    ("disabled events are a no-op", `Quick, event_disabled_noop);
+    ("correlation ids nest and cross the engine pool", `Quick, corr_ambient_and_engine);
+    ("jsonl event codec round-trips and is total", `Quick, jsonl_codec_roundtrip);
+    ("progress stream encodes and decodes", `Quick, progress_stream_roundtrip);
+    ("real solve streams a well-formed anytime curve", `Quick, solve_progress_stream);
+    ("flight recorder groups, evicts and dumps", `Quick, recorder_grouping_and_dump);
   ]
