@@ -606,6 +606,130 @@ let ext_overlap () =
   Texttable.print table
 
 (* ------------------------------------------------------------------ *)
+(* incr: incremental pipeline vs warm vs cold over a delta stream.      *)
+(* ------------------------------------------------------------------ *)
+
+(* A workload whose overlap graph has many components: each cluster gets
+   its own property namespace, so a delta confined to one cluster leaves
+   every other cluster's fingerprint (and cached curve) intact. *)
+let incr_workload_text ~clusters ~queries_per ~props_per =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf (Printf.sprintf "budget %d\n" (clusters * 10));
+  let rng = Rng.create 4242 in
+  let prop c i = Printf.sprintf "c%dp%d" c i in
+  for c = 0 to clusters - 1 do
+    for _ = 1 to queries_per do
+      let k = 2 + Rng.int rng 2 in
+      let props =
+        List.init k (fun _ -> prop c (Rng.int rng props_per))
+        |> List.sort_uniq compare
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "query %s %d\n" (String.concat ";" props) (1 + Rng.int rng 20))
+    done
+  done;
+  for c = 0 to clusters - 1 do
+    for i = 0 to props_per - 1 do
+      Buffer.add_string buf (Printf.sprintf "classifier %s %d\n" (prop c i) (1 + (i mod 4)));
+      if i + 1 < props_per then
+        Buffer.add_string buf
+          (Printf.sprintf "classifier %s;%s %d\n" (prop c i) (prop c (i + 1))
+             (2 + (i mod 3)))
+    done
+  done;
+  Buffer.contents buf
+
+(* Summary fragment for the --json snapshot, filled in by [incr]. *)
+let incr_json = ref ""
+
+let incr () =
+  header
+    "incr: incremental pipeline vs warm vs cold re-solves over a \
+     single-cluster delta stream";
+  let module Store = Bcc_store.Store in
+  let module Delta = Bcc_store.Delta in
+  let ok = function
+    | Ok v -> v
+    | Error (`Bad msg) -> failwith ("incr: " ^ msg)
+    | Error `Not_found -> failwith "incr: workload vanished"
+  in
+  let clusters = scaled 144 in
+  let text =
+    incr_workload_text ~clusters ~queries_per:(scaled 40) ~props_per:8
+  in
+  let mk () =
+    let s = Store.create () in
+    ignore (ok (Store.put s ~name:"w" (Store.Text text)));
+    s
+  in
+  let incr_store = mk () and warm_store = mk () and cold_store = mk () in
+  (* Prime the incremental store's artifact cache and the warm store's
+     seed; the first solve is cold everywhere and not scored. *)
+  ignore (ok (Store.solve incr_store ~name:"w" ~incremental:true ()));
+  ignore (ok (Store.solve warm_store ~name:"w" ()));
+  let steps = scaled 8 in
+  let rng = Rng.create 99 in
+  let table =
+    Texttable.create
+      [ "step"; "cluster"; "incr (ms)"; "warm (ms)"; "cold (ms)"; "reused"; "utility" ]
+  in
+  let t_incr = ref 0.0 and t_warm = ref 0.0 and t_cold = ref 0.0 in
+  let reused = ref 0 and total = ref 0 in
+  for step = 1 to steps do
+    (* A burst of drift confined to one cluster: several query-utility
+       upserts plus a classifier re-price — the single-component delta
+       the pipeline is built for. *)
+    let c = (step - 1) mod clusters in
+    let pick () = Printf.sprintf "c%dp%d" c (Rng.int rng 8) in
+    let props () =
+      let p1 = pick () and p2 = pick () in
+      if p1 = p2 then [ p1 ] else [ p1; p2 ]
+    in
+    let ops =
+      List.init 8 (fun _ -> Delta.Upsert (props (), float_of_int (5 + Rng.int rng 15)))
+      @ [ Delta.Set_cost ([ pick () ], float_of_int (1 + Rng.int rng 5)) ]
+    in
+    List.iter
+      (fun s -> ignore (ok (Store.delta s ~name:"w" ops)))
+      [ incr_store; warm_store; cold_store ];
+    let si, ti =
+      Timer.time (fun () -> ok (Store.solve incr_store ~name:"w" ~incremental:true ()))
+    in
+    let _, tw = Timer.time (fun () -> ok (Store.solve warm_store ~name:"w" ())) in
+    let _, tc =
+      Timer.time (fun () -> ok (Store.solve cold_store ~name:"w" ~cold:true ()))
+    in
+    t_incr := !t_incr +. ti;
+    t_warm := !t_warm +. tw;
+    t_cold := !t_cold +. tc;
+    reused := !reused + si.Store.components_reused;
+    total := !total + si.Store.components_total;
+    Texttable.add_row table
+      [
+        string_of_int step;
+        string_of_int c;
+        Printf.sprintf "%.1f" (1000.0 *. ti);
+        Printf.sprintf "%.1f" (1000.0 *. tw);
+        Printf.sprintf "%.1f" (1000.0 *. tc);
+        Printf.sprintf "%d/%d" si.Store.components_reused si.Store.components_total;
+        fmt_f si.Store.solution.Solution.utility;
+      ]
+  done;
+  Texttable.print table;
+  let frac = if !total = 0 then 0.0 else float_of_int !reused /. float_of_int !total in
+  let speedup t = if !t_incr > 0.0 then t /. !t_incr else 0.0 in
+  Printf.printf
+    "totals: incr %.3fs, warm %.3fs, cold %.3fs -> %.2fx vs warm, %.2fx vs cold; \
+     %.0f%% of component curves reused\n"
+    !t_incr !t_warm !t_cold (speedup !t_warm) (speedup !t_cold) (100.0 *. frac);
+  incr_json :=
+    Printf.sprintf
+      "{\"incr_s\": %.3f, \"warm_s\": %.3f, \"cold_s\": %.3f, \
+       \"speedup_vs_warm\": %.2f, \"speedup_vs_cold\": %.2f, \
+       \"reuse_fraction\": %.3f}"
+      !t_incr !t_warm !t_cold (speedup !t_warm) (speedup !t_cold) frac
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-timings: one Test.make per experiment's kernel.       *)
 (* ------------------------------------------------------------------ *)
 
@@ -713,6 +837,7 @@ let experiments =
     ("abl-resid", abl_resid);
     ("ext-partial", ext_partial);
     ("ext-overlap", ext_overlap);
+    ("incr", incr);
   ]
 
 (* Anytime curves (with --json): every incumbent update the solver emits
@@ -858,6 +983,10 @@ let () =
               identical
           end
         in
+        let incremental =
+          if !incr_json = "" then ""
+          else Printf.sprintf ",\n  \"incremental\": %s" !incr_json
+        in
         let rows =
           List.rev_map
             (fun (name, t) ->
@@ -867,10 +996,10 @@ let () =
         in
         let oc = open_out file in
         Printf.fprintf oc
-          "{\n  \"jobs\": %d,\n  \"total_s\": %.3f,\n  \"experiments\": [\n%s\n  ]%s\n}\n"
+          "{\n  \"jobs\": %d,\n  \"total_s\": %.3f,\n  \"experiments\": [\n%s\n  ]%s%s\n}\n"
           !jobs total_s
           (String.concat ",\n" rows)
-          parallel;
+          parallel incremental;
         close_out oc;
         Printf.printf "wrote timings to %s\n%!" file
   in

@@ -264,7 +264,27 @@ let solve_cmd =
           ~doc:"Save the solution in the workload-store codec (interchangeable \
                 with --output's format) for a later --warm.")
   in
-  let run finish file budget algo seed out timeout warm save =
+  let explain_reuse =
+    Arg.(
+      value & flag
+      & info [ "explain-reuse" ]
+          ~doc:"Solve through the staged incremental pipeline and print a \
+                per-component table: content fingerprint, queries, spend cap, \
+                whether the budget curve came from the --artifacts cache, and \
+                compute time.  abcc only.")
+  in
+  let artifacts =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "artifacts" ] ~docv:"FILE"
+          ~doc:"File-backed pipeline artifact cache: component curves are \
+                loaded from FILE before the solve and the updated set is \
+                written back after.  Curves are keyed by content fingerprint, \
+                so a stale or torn file can only cause recomputation, never a \
+                wrong answer.  Implies the pipeline path (as --explain-reuse).")
+  in
+  let run finish file budget algo seed out timeout warm save explain_reuse artifacts =
     let inst = load_instance file budget in
     let deadline =
       match timeout with
@@ -294,11 +314,94 @@ let solve_cmd =
         Bcc_obs.Event.with_corr (Bcc_obs.Event.new_corr ()) f
       else f ()
     in
+    let pipeline = explain_reuse || artifacts <> None in
+    if pipeline && algo <> `Abcc then begin
+      prerr_endline "bcc: --explain-reuse/--artifacts apply to --algorithm abcc only";
+      exit 2
+    end;
+    let solve_pipeline () =
+      let module Pipeline = Bcc_core.Pipeline in
+      let module Solve_ctx = Bcc_core.Solve_ctx in
+      let module Codec = Bcc_store.Codec in
+      (* The file-backed cache is a flat fingerprint -> payload table in
+         the store codec's checksummed framing; fingerprints self-
+         validate, so any stale or torn record just misses. *)
+      let table : (string, string) Hashtbl.t = Hashtbl.create 16 in
+      (match artifacts with
+      | Some path when Sys.file_exists path ->
+          let text = In_channel.with_open_bin path In_channel.input_all in
+          let records, _ = Codec.decode text in
+          List.iter
+            (fun (r : Codec.record) ->
+              if r.Codec.kind = "artifact" then
+                match String.index_opt r.Codec.payload '\n' with
+                | Some i ->
+                    Hashtbl.replace table
+                      (String.sub r.Codec.payload 0 i)
+                      (String.sub r.Codec.payload (i + 1)
+                         (String.length r.Codec.payload - i - 1))
+                | None -> ())
+            records
+      | _ -> ());
+      let cache =
+        {
+          Solve_ctx.find = (fun fp -> Hashtbl.find_opt table fp);
+          store = (fun fp payload -> Hashtbl.replace table fp payload);
+        }
+      in
+      let ctx = Solve_ctx.make ~deadline ?warm:warm_sol ~cache () in
+      let r = Pipeline.solve ctx inst in
+      (match artifacts with
+      | Some path ->
+          let entries =
+            Hashtbl.fold (fun fp payload acc -> (fp, payload) :: acc) table []
+            |> List.sort compare
+          in
+          Out_channel.with_open_bin path (fun oc ->
+              List.iter
+                (fun (fp, payload) ->
+                  Out_channel.output_string oc
+                    (Codec.encode
+                       {
+                         Codec.kind = "artifact";
+                         generation = "cli";
+                         epoch = 0;
+                         payload = fp ^ "\n" ^ payload;
+                       }))
+                entries);
+          Format.printf "wrote %d artifacts to %s@." (List.length entries) path
+      | None -> ());
+      if explain_reuse then begin
+        let table =
+          Texttable.create
+            [ "component"; "queries"; "cap"; "curve"; "best utility"; "wall (ms)" ]
+        in
+        List.iter
+          (fun (c : Pipeline.component_report) ->
+            Texttable.add_row table
+              [
+                String.sub c.Pipeline.fingerprint 0 12;
+                string_of_int c.Pipeline.num_queries;
+                Printf.sprintf "%.1f" c.Pipeline.cap;
+                (if c.Pipeline.reused then "reused" else "computed");
+                Printf.sprintf "%.1f" c.Pipeline.best_utility;
+                Printf.sprintf "%.1f" (1000.0 *. c.Pipeline.comp_wall_s);
+              ])
+          r.Pipeline.components;
+        Texttable.print table;
+        Format.printf "components: %d  reused: %d  wall: %.3fs@."
+          r.Pipeline.components_total r.Pipeline.components_reused r.Pipeline.wall_s
+      end;
+      r.Pipeline.outcome
+    in
     let sol =
       with_corr @@ fun () ->
       match algo with
       | `Abcc ->
-          let r = Solver.solve_within ?warm:warm_sol ~deadline inst in
+          let r =
+            if pipeline then solve_pipeline ()
+            else Solver.solve_within ?warm:warm_sol ~deadline inst
+          in
           if r.Solver.degraded then
             Format.printf "degraded: deadline hit, best incumbent shown@.";
           r.Solver.solution
@@ -324,7 +427,7 @@ let solve_cmd =
     (Cmd.info "solve" ~doc:"Solve the BCC problem on an instance file.")
     Term.(
       const run $ obs_term $ file_arg $ budget_arg $ algo_arg $ seed_arg $ out
-      $ timeout_arg $ warm $ save)
+      $ timeout_arg $ warm $ save $ explain_reuse $ artifacts)
 
 (* --- compare --- *)
 

@@ -10,6 +10,85 @@ type knapsack_part = {
 
 type qk_part = { qk : Bcc_qk.Qk.instance; node_classifier : int array }
 
+type component = {
+  queries : int list;  (* query ids, ascending *)
+  props : Propset.t;  (* union of the queries' property sets *)
+  min_prop : int;
+  utility : float;
+}
+
+(* Connected components of the overlap graph: queries are connected
+   (transitively) when their property sets intersect.  Classifiers never
+   bridge components — a useful classifier is a subset of some query, so
+   its properties live inside that query's component — which is what
+   makes per-component solving exact.
+
+   Determinism contract: the result depends only on the {e content} of
+   the instance, never on hashtable iteration order — components are
+   built by scanning queries in index order, query lists are ascending,
+   and the component list is sorted by [min_prop] (components have
+   disjoint property sets, so minimum property ids are distinct and the
+   order is total). *)
+let components ?(keep_query = fun _ -> true) inst =
+  let nq = Instance.num_queries inst in
+  (* Union properties within each kept query; a property-indexed
+     union-find sized lazily to the largest property id seen. *)
+  let max_prop = ref (-1) in
+  for qi = 0 to nq - 1 do
+    if keep_query qi then
+      Propset.iter (fun p -> if p > !max_prop then max_prop := p) (Instance.query inst qi)
+  done;
+  if !max_prop < 0 then []
+  else begin
+    let uf = Bcc_util.Union_find.create (!max_prop + 1) in
+    for qi = 0 to nq - 1 do
+      if keep_query qi then begin
+        let q = Instance.query inst qi in
+        match Propset.to_list q with
+        | [] -> ()
+        | anchor :: rest ->
+            List.iter (fun p -> ignore (Bcc_util.Union_find.union uf anchor p)) rest
+      end
+    done;
+    (* Group queries by their root, scanning in index order so each
+       component's query list comes out ascending. *)
+    let by_root : (int, component ref) Hashtbl.t = Hashtbl.create 16 in
+    let roots_in_order = ref [] in
+    for qi = nq - 1 downto 0 do
+      if keep_query qi then begin
+        let q = Instance.query inst qi in
+        match Propset.to_list q with
+        | [] -> ()
+        | anchor :: _ ->
+            let root = Bcc_util.Union_find.find uf anchor in
+            let u = Instance.utility inst qi in
+            (match Hashtbl.find_opt by_root root with
+            | Some cell ->
+                cell :=
+                  {
+                    !cell with
+                    queries = qi :: !cell.queries;
+                    props = Propset.union !cell.props q;
+                    utility = !cell.utility +. u;
+                  }
+            | None ->
+                let cell =
+                  ref { queries = [ qi ]; props = q; min_prop = 0; utility = u }
+                in
+                Hashtbl.add by_root root cell;
+                roots_in_order := root :: !roots_in_order)
+      end
+    done;
+    !roots_in_order
+    |> List.map (fun root ->
+           let c = !(Hashtbl.find by_root root) in
+           let min_prop =
+             match Propset.to_list c.props with p :: _ -> p | [] -> assert false
+           in
+           { c with min_prop })
+    |> List.sort (fun a b -> compare a.min_prop b.min_prop)
+  end
+
 let leverage_scores g =
   let n = Graph.n g in
   let x = Array.make n (1.0 /. float_of_int (max n 1)) in

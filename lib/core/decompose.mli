@@ -36,6 +36,28 @@ type qk_part = {
           letting QK optimize the combined BCC(1)+BCC(2) objective *)
 }
 
+type component = {
+  queries : int list;  (** query ids, ascending *)
+  props : Propset.t;  (** union of the member queries' property sets *)
+  min_prop : int;  (** the ordering key: minimum property id *)
+  utility : float;  (** total utility of the member queries *)
+}
+
+val components : ?keep_query:(int -> bool) -> Instance.t -> component list
+(** Connected components of the {e overlap graph}: queries connected
+    (transitively) by shared properties, restricted to queries passing
+    [keep_query] (default all).  Classifiers cannot bridge components —
+    a relevant classifier is a subset of some query — so the BCC optimum
+    over the whole instance decomposes into per-component optima under a
+    budget split.
+
+    Deterministic and hashtable-iteration independent: components are
+    sorted by [min_prop] (property sets are disjoint across components,
+    making that a total order), query lists are ascending, and the
+    result depends only on instance content — permuting the query order
+    of an otherwise identical instance yields the same component list up
+    to the query-id relabeling. *)
+
 val build :
   ?allowed:(int -> bool) ->
   ?max_qk_nodes:int ->

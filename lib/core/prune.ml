@@ -4,7 +4,7 @@ type mode = [ `Lossless | `Paper ]
 
 let kept_count mask = Array.fold_left (fun acc k -> if k then acc + 1 else acc) 0 mask
 
-let rule1 ?budget ?(mode = `Lossless) inst =
+let rule1 ?budget ?(mode = `Lossless) ?(deadline = Bcc_robust.Deadline.none) inst =
   Trace.with_span ~name:"prune" @@ fun sp ->
   let budget = match budget with Some b -> b | None -> Instance.budget inst in
   let n = Instance.num_classifiers inst in
@@ -32,6 +32,9 @@ let rule1 ?budget ?(mode = `Lossless) inst =
      fits the budget — skips the exact DP. *)
   let state = Cover.create inst in
   for qi = 0 to Instance.num_queries inst - 1 do
+    (* The budget guard's cheapest-cover scans dominate on big
+       instances; the explicit context deadline bounds them per query. *)
+    Bcc_robust.Deadline.check deadline;
     let q = Instance.query inst qi in
     let singles = singleton_sum q in
     if singles > budget then begin

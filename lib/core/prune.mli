@@ -18,8 +18,17 @@
 
 type mode = [ `Lossless | `Paper ]
 
-val rule1 : ?budget:float -> ?mode:mode -> Instance.t -> bool array
+val rule1 :
+  ?budget:float ->
+  ?mode:mode ->
+  ?deadline:Bcc_robust.Deadline.t ->
+  Instance.t ->
+  bool array
 (** [rule1 inst] returns the keep-mask over classifier ids.  [budget]
-    defaults to the instance budget. *)
+    defaults to the instance budget.  [deadline] (explicit solve-context
+    threading; default {!Bcc_robust.Deadline.none}) is checked once per
+    query of the budget guard.
+    @raise Bcc_robust.Deadline.Expired past [deadline] — callers treat
+    pruning as skippable and degrade to the unpruned universe. *)
 
 val kept_count : bool array -> int

@@ -1,0 +1,33 @@
+module Engine = Bcc_engine.Engine
+module Deadline = Bcc_robust.Deadline
+module Rng = Bcc_util.Rng
+
+type artifact_cache = {
+  find : string -> string option;
+  store : string -> string -> unit;
+}
+
+type fp_hints = {
+  hint_find : string -> string option;
+  hint_record : string -> string list -> string -> unit;
+}
+
+type t = {
+  deadline : Deadline.t;
+  corr : string option;
+  warm : Solution.t option;
+  pool : Engine.Pool.t option;
+  rng : Rng.t option;
+  cache : artifact_cache option;
+  hints : fp_hints option;
+}
+
+let make ?(deadline = Deadline.none) ?corr ?warm ?pool ?rng ?cache ?hints () =
+  { deadline; corr; warm; pool; rng; cache; hints }
+
+let pool t = match t.pool with Some p -> p | None -> Engine.default_pool ()
+
+let with_corr t f =
+  match t.corr with
+  | None -> f ()
+  | Some corr -> Bcc_obs.Event.with_corr corr f

@@ -1,0 +1,88 @@
+(** The explicit solve context threaded through the solver pipeline.
+
+    Before the pipeline refactor the solver's cross-cutting state was
+    ambient and scattered: the deadline lived in a per-domain binding,
+    the engine pool was fetched from a process-global default at each
+    race site, the telemetry correlation id rode a domain-local, the
+    warm seed was a stray optional argument and randomness was
+    re-created from per-module seed constants.  [Solve_ctx.t] gathers
+    all of it into one record that {!Solver.solve_with_ctx},
+    {!Pipeline.solve} and the stage helpers ({!Prune.rule1},
+    {!Decompose}, [Bcc_qk.Qk.solve ?pool ?rng],
+    [Bcc_knapsack.Knapsack.solve ?deadline]) receive explicitly.
+
+    Every field has a neutral default, and with all defaults a solve is
+    bit-identical to the pre-context build: [deadline] = {!none},
+    [pool] resolves to the engine's process default, [rng = None] lets
+    each randomized stage fall back to its own seed constant, and
+    [cache = None] disables artifact reuse. *)
+
+type artifact_cache = {
+  find : string -> string option;
+      (** fingerprint -> serialized artifact, [None] on a miss; any
+          exception is treated as a miss (see [Pipeline]) *)
+  store : string -> string -> unit;
+      (** [store fingerprint payload] — best-effort, never consulted for
+          correctness (lookups are keyed by content fingerprint, so a
+          lost write only costs recomputation) *)
+}
+
+type fp_hints = {
+  hint_find : string -> string option;
+      (** hint key -> previously computed component fingerprint.  A hint
+          key is the fingerprint header (format version, budget, grid,
+          solver options) plus the component's canonical property
+          footprint, so a hit is only possible when those all match; the
+          {e provider} guarantees the component's content (queries,
+          utilities, classifier costs) is unchanged since the hint was
+          recorded — the workload store does this by evicting hints
+          whose footprint intersects any applied delta (and all of them
+          on a budget change).  Never hand the pipeline hints without
+          that eviction discipline: a stale hint skips the content hash
+          and would alias two different subproblems. *)
+  hint_record : string -> string list -> string -> unit;
+      (** [hint_record key footprint fingerprint] — called after a
+          fingerprint was computed from scratch; [footprint] is the
+          component's sorted property names, what the provider's
+          eviction scan intersects with delta footprints.  Best-effort,
+          like {!artifact_cache.store}. *)
+}
+(** Fingerprint-bypass hints: re-fingerprinting every component on
+    every incremental solve is the dominant fixed cost of an all-clean
+    re-solve, and for components a delta provably did not touch it
+    recomputes a hash that cannot have changed.  *)
+
+type t = {
+  deadline : Bcc_robust.Deadline.t;  (** cancellation context for the whole solve *)
+  corr : string option;  (** telemetry correlation id to emit events under *)
+  warm : Solution.t option;  (** previous solution banked as an incumbent *)
+  pool : Bcc_engine.Engine.Pool.t option;
+      (** engine pool for portfolio races; [None] = process default *)
+  rng : Bcc_util.Rng.t option;
+      (** base randomness stream; [None] = each stage's own seed
+          constant (the historical behavior).  {!Pipeline} derives a
+          per-component stream from this via
+          {!Bcc_util.Rng.derive_fingerprint}. *)
+  cache : artifact_cache option;  (** pipeline artifact cache, if any *)
+  hints : fp_hints option;
+      (** fingerprint-bypass hints, if the caller can guarantee their
+          eviction discipline (see {!fp_hints}); [None] = always hash *)
+}
+
+val make :
+  ?deadline:Bcc_robust.Deadline.t ->
+  ?corr:string ->
+  ?warm:Solution.t ->
+  ?pool:Bcc_engine.Engine.Pool.t ->
+  ?rng:Bcc_util.Rng.t ->
+  ?cache:artifact_cache ->
+  ?hints:fp_hints ->
+  unit ->
+  t
+
+val pool : t -> Bcc_engine.Engine.Pool.t
+(** The context's pool, resolving [None] to the process default. *)
+
+val with_corr : t -> (unit -> 'a) -> 'a
+(** Run with the context's correlation id installed as ambient (no-op
+    when the context carries none). *)

@@ -173,8 +173,12 @@ let greedy_sweep ?allowed state ~limit =
 
 type outcome = { solution : Solution.t; degraded : bool }
 
-let solve_within ?(options = default_options) ?warm ~deadline inst =
+let solve_with_ctx ?(options = default_options) (ctx : Solve_ctx.t) inst =
+  Solve_ctx.with_corr ctx @@ fun () ->
   Trace.with_span ~name:"solve" @@ fun sp ->
+  let deadline = ctx.Solve_ctx.deadline in
+  let warm = ctx.Solve_ctx.warm in
+  let pool = Solve_ctx.pool ctx in
   let budget = Instance.budget inst in
   if Trace.recording sp then begin
     Trace.add_attr sp "classifiers" (Trace.Int (Instance.num_classifiers inst));
@@ -283,7 +287,18 @@ let solve_within ?(options = default_options) ?warm ~deadline inst =
         note_degraded "fallback_seed";
         None
   in
-  let keep = if options.prune then Prune.rule1 ~mode:options.prune_mode inst else [||] in
+  let keep =
+    if options.prune then
+      try Prune.rule1 ~mode:options.prune_mode ~deadline inst
+      with Deadline.Expired _ ->
+        (* Pruning is an optimization, never a prerequisite: an expiry
+           here degrades to the unpruned universe and lets the rounds
+           salvage what time remains. *)
+        degraded := true;
+        note_degraded "prune";
+        Array.make (Instance.num_classifiers inst) true
+    else [||]
+  in
   if ev && options.prune then begin
     let kept = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 keep in
     Event.emit "prune"
@@ -322,7 +337,6 @@ let solve_within ?(options = default_options) ?warm ~deadline inst =
          as well and keep whichever realizes more utility — a strict
          improvement that never violates the budget. *)
       let allocs = if !round = 0 then [ remaining /. 2.0; remaining ] else [ remaining ] in
-      let pool = Engine.default_pool () in
       (* The per-round arm portfolio (Knapsack-vs-QK and friends), raced
          through the engine.  The decompositions and [!state] are read
          shared between arms — the cover state is not mutated until the
@@ -341,7 +355,7 @@ let solve_within ?(options = default_options) ?warm ~deadline inst =
                schemes; the realized-gain arbiter picks the better. *)
             let knap_candidate values () =
               let ksol =
-                Knapsack.solve ~grid:options.knapsack_grid ~values
+                Knapsack.solve ~grid:options.knapsack_grid ~deadline ~values
                   ~weights:knap.Decompose.weights alloc
               in
               List.map (fun i -> knap.Decompose.item_classifier.(i)) ksol.Knapsack.items
@@ -366,14 +380,18 @@ let solve_within ?(options = default_options) ?warm ~deadline inst =
               let values = Array.of_list (List.map (fun (u, _, _) -> u) entries) in
               let weights = Array.of_list (List.map (fun (_, c, _) -> c) entries) in
               let covers = Array.of_list (List.map (fun (_, _, ids) -> ids) entries) in
-              let ksol = Knapsack.solve ~grid:options.knapsack_grid ~values ~weights alloc in
+              let ksol =
+                Knapsack.solve ~grid:options.knapsack_grid ~deadline ~values ~weights alloc
+              in
               List.sort_uniq compare
                 (List.concat_map (fun i -> covers.(i)) ksol.Knapsack.items)
             in
             (* BCC(2): QK over residual 2-covers (itself an engine
                portfolio — batches nest). *)
             let qk_ids () =
-              let qsol = Qk.solve ~options:options.qk qkp.Decompose.qk in
+              let qsol =
+                Qk.solve ~options:options.qk ~pool ?rng:ctx.Solve_ctx.rng qkp.Decompose.qk
+              in
               List.filter_map
                 (fun v ->
                   let id = qkp.Decompose.node_classifier.(v) in
@@ -494,7 +512,7 @@ let solve_within ?(options = default_options) ?warm ~deadline inst =
         ]
       in
       try
-        match Engine.Portfolio.collect (Engine.default_pool ()) race with
+        match Engine.Portfolio.collect pool race with
         | [ by_query; by_classifier ] ->
             Solution.better structured (Solution.better by_query by_classifier)
         | _ -> structured
@@ -543,6 +561,9 @@ let solve_within ?(options = default_options) ?warm ~deadline inst =
       }
   end;
   { solution = result; degraded = !degraded }
+
+let solve_within ?options ?warm ~deadline inst =
+  solve_with_ctx ?options (Solve_ctx.make ~deadline ?warm ()) inst
 
 (* The ambient deadline (if any — e.g. installed by the daemon around a
    request, and re-installed by engine tasks) flows into [solve_within],

@@ -64,6 +64,24 @@ type outcome = { solution : Solution.t; degraded : bool }
     solution is still budget-feasible — it is the best incumbent the
     finished rounds committed, raced against a banked greedy pass. *)
 
+val greedy_sweep : ?allowed:(int -> bool) -> Cover.t -> limit:float -> unit
+(** Ratio-greedy sweep: repeatedly buy the whole cheapest cover with the
+    best utility/cost ratio until [limit] extra budget is spent.
+    Mutates the state in place; polls the ambient deadline.  Exposed so
+    {!Pipeline} can spend assembly leftovers and race the same greedy
+    baseline the monolithic solve races.
+    @raise Bcc_robust.Deadline.Expired past the ambient deadline. *)
+
+val solve_with_ctx : ?options:options -> Solve_ctx.t -> Instance.t -> outcome
+(** The context-explicit entry point all others reduce to: deadline,
+    warm seed, engine pool, correlation id and randomness arrive in one
+    {!Solve_ctx.t} instead of ambient state.  With a default context
+    this is bit-identical to {!solve}.  A context [rng] is threaded to
+    the QK arm (replacing its seed constant) — {!Pipeline} uses this to
+    give every component a fingerprint-derived stream.  The context
+    [cache] is ignored here (artifact reuse is {!Pipeline}'s job).
+    @raise Bcc_robust.Deadline.Expired never. *)
+
 val solve_within :
   ?options:options ->
   ?warm:Solution.t ->

@@ -46,7 +46,7 @@ let greedy ~values ~weights ~budget =
   | Some i when values.(i) > greedy_sol.value -> make_solution values weights [ i ]
   | _ -> greedy_sol
 
-let exact_int ~values ~weights ~budget =
+let exact_int ?(deadline = Bcc_robust.Deadline.none) ~values ~weights ~budget () =
   check_inputs values (Array.map float_of_int weights);
   if budget < 0 then invalid_arg "Knapsack.exact_int: negative budget";
   Array.iter (fun w -> if w < 0 then invalid_arg "Knapsack.exact_int: negative weight") weights;
@@ -66,6 +66,10 @@ let exact_int ~values ~weights ~budget =
     Bytes.get_uint8 bits (k lsr 3) land (1 lsl (k land 7)) <> 0
   in
   for i = 0 to n - 1 do
+    (* The DP rows are the only super-linear work in this module; one
+       explicit check per item keeps cancellation latency bounded
+       without touching the inner loop. *)
+    Bcc_robust.Deadline.check deadline;
     let w = weights.(i) and v = values.(i) in
     if v > 0.0 && w <= budget then
       for b = budget downto w do
@@ -170,9 +174,13 @@ let branch_and_bound ~values ~weights ~budget =
   dfs 0 budget 0.0 [];
   make_solution values weights !best_items
 
-let solve ?(grid = 10_000) ~values ~weights budget =
+let solve ?(grid = 10_000) ?(deadline = Bcc_robust.Deadline.none) ~values ~weights budget =
   Trace.with_span ~name:"knapsack" @@ fun sp ->
   check_inputs values weights;
+  (* Explicit deadline threading from the solve context: the DP rows
+     are the only super-linear work here, so one check per item keeps
+     cancellation latency bounded without touching the inner loop. *)
+  Bcc_robust.Deadline.check deadline;
   let n = Array.length values in
   if Trace.recording sp then Trace.add_attr sp "items" (Trace.Int n);
   let sol =
@@ -191,9 +199,9 @@ let solve ?(grid = 10_000) ~values ~weights budget =
           (* Exact: integer weights fit the table directly, no rounding
              loss (all the paper's datasets use integer costs). *)
           if Trace.recording sp then Trace.add_attr sp "dp" (Trace.Str "exact");
-          exact_int ~values
+          exact_int ~deadline ~values
             ~weights:(Array.map int_of_float weights)
-            ~budget:(int_of_float budget)
+            ~budget:(int_of_float budget) ()
         end
         else begin
           let tick = budget /. float_of_int grid in
@@ -202,7 +210,7 @@ let solve ?(grid = 10_000) ~values ~weights budget =
             Trace.add_attr sp "grid" (Trace.Int grid)
           end;
           let rounded = Array.map (fun w -> int_of_float (ceil (max w 0.0 /. tick))) weights in
-          exact_int ~values ~weights:rounded ~budget:grid
+          exact_int ~deadline ~values ~weights:rounded ~budget:grid ()
         end
       in
       (* Recompute the true weight; rounding up guarantees feasibility. *)

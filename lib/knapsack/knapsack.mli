@@ -17,10 +17,18 @@ val greedy : values:float array -> weights:float array -> budget:float -> soluti
 (** Density-ordered greedy, returning the better of the greedy fill and
     the single best item — the classic 1/2-approximation. *)
 
-val exact_int : values:float array -> weights:int array -> budget:int -> solution
+val exact_int :
+  ?deadline:Bcc_robust.Deadline.t ->
+  values:float array ->
+  weights:int array ->
+  budget:int ->
+  unit ->
+  solution
 (** Exact dynamic program over integer weights, O(n * budget) time and
-    O(n * budget / 8) bytes for choice reconstruction.
-    @raise Invalid_argument on a negative weight or budget. *)
+    O(n * budget / 8) bytes for choice reconstruction.  [deadline]
+    (default {!Bcc_robust.Deadline.none}) is checked once per item row.
+    @raise Invalid_argument on a negative weight or budget.
+    @raise Bcc_robust.Deadline.Expired past [deadline]. *)
 
 val fptas :
   epsilon:float -> values:float array -> weights:float array -> budget:float -> solution
@@ -36,7 +44,13 @@ val branch_and_bound : values:float array -> weights:float array -> budget:float
     Exponential in the worst case — intended for small instances and as
     a test oracle. *)
 
-val solve : ?grid:int -> values:float array -> weights:float array -> float -> solution
+val solve :
+  ?grid:int ->
+  ?deadline:Bcc_robust.Deadline.t ->
+  values:float array ->
+  weights:float array ->
+  float ->
+  solution
 (** [solve ~values ~weights budget] — near-optimal dispatcher used by [A^BCC]: rounds weights up onto a
     grid of [grid] (default 10_000) budget ticks, runs the exact DP on
     the rounded instance (shrinking the grid first if [n * grid] would

@@ -309,7 +309,7 @@ let full_pass cheap mult ~budget_ticks ~k =
 
 (* Solve over a subset of nodes (cheap nodes) with a given budget; the
    result is a candidate node set over the ORIGINAL instance ids. *)
-let solve_cheap inst opts rng ~allowed ~budget =
+let solve_cheap inst opts pool rng ~allowed ~budget =
   Trace.with_span ~name:"qk.pipeline" @@ fun sp ->
   let g = inst.graph in
   if budget <= 0.0 then []
@@ -402,13 +402,13 @@ let solve_cheap inst opts rng ~allowed ~budget =
                 finish_pass (full_pass cheap mult ~budget_ticks:resolution ~k:resolution));
           ]
       in
-      match Engine.Portfolio.best (Engine.default_pool ()) tasks with
+      match Engine.Portfolio.best pool tasks with
       | Some r -> snd r.Engine.Portfolio.value
       | None -> []
     end
   end
 
-let solve ?(options = default_options) inst =
+let solve ?(options = default_options) ?pool ?rng inst =
   Trace.with_span ~name:"qk" @@ fun sp ->
   let g = inst.graph in
   let n = Graph.n g in
@@ -416,8 +416,12 @@ let solve ?(options = default_options) inst =
     Trace.add_attr sp "nodes" (Trace.Int n);
     Trace.add_attr sp "budget" (Trace.Float inst.budget)
   end;
-  let pool = Engine.default_pool () in
-  let root = Rng.create options.seed in
+  (* Explicit solve-context threading: callers (the solver pipeline)
+     hand us their pool and randomness stream; the defaults reproduce
+     the historical ambient-pool + seed-constant behavior bit for
+     bit. *)
+  let pool = match pool with Some p -> p | None -> Engine.default_pool () in
+  let root = match rng with Some r -> r | None -> Rng.create options.seed in
   let budget = inst.budget in
   let affordable = Array.init n (fun v -> Graph.node_cost g v <= budget +. 1e-12) in
   let expensive =
@@ -443,7 +447,7 @@ let solve ?(options = default_options) inst =
   let cheap_branch =
     (* Branch: no expensive node. *)
     branch 0 "qk.branch.cheap" (fun rng ->
-        [ solve_cheap inst options rng ~allowed:cheap ~budget ])
+        [ solve_cheap inst options pool rng ~allowed:cheap ~budget ])
   in
   let expensive_branches =
     List.filteri (fun i _ -> i < options.max_expensive_branches)
@@ -454,7 +458,7 @@ let solve ?(options = default_options) inst =
                   final greedy fill grows the hub using its own edges,
                   which the residual solve cannot see. *)
                let residual_budget = budget -. Graph.node_cost g v in
-               [ v :: solve_cheap inst options rng ~allowed:cheap ~budget:residual_budget; [ v ] ]))
+               [ v :: solve_cheap inst options pool rng ~allowed:cheap ~budget:residual_budget; [ v ] ]))
   in
   let pair_branch =
     (* Branch: a pair of expensive nodes (at most two fit in the budget). *)

@@ -49,7 +49,19 @@ type options = {
 
 val default_options : options
 
-val solve : ?options:options -> instance -> solution
+(** [solve]'s [pool] and [rng] are the explicit solve-context
+    threading: the solver passes its context's engine pool and (for
+    pipeline per-component solves) a fingerprint-derived randomness
+    stream.  Omitted, they fall back to the process-default pool and a
+    stream seeded by [options.seed] — bit-identical to the historical
+    behavior.  [rng] is consumed only via {!Bcc_util.Rng.derive}, so a
+    shared stream is safe across concurrent branches. *)
+val solve :
+  ?options:options ->
+  ?pool:Bcc_engine.Engine.Pool.t ->
+  ?rng:Bcc_util.Rng.t ->
+  instance ->
+  solution
 val verify : instance -> solution -> bool
 (** Recompute cost and value from scratch and check budget
     feasibility. *)

@@ -13,7 +13,16 @@ type arm_state = {
 }
 
 let known_points =
-  [ "engine.task"; "server.read"; "cache.get"; "qk.restart"; "hks.iter"; "io.load"; "store.append" ]
+  [
+    "engine.task";
+    "server.read";
+    "cache.get";
+    "qk.restart";
+    "hks.iter";
+    "io.load";
+    "store.append";
+    "pipeline.artifact";
+  ]
 
 (* [any] is the fast path read by every [hit]; the table and the fired
    counters live behind [lock]. *)

@@ -4,10 +4,12 @@
     Production code drops {!hit} at the points worth breaking —
     ["engine.task"] (a portfolio task body, i.e. a dying worker),
     ["server.read"] (the daemon's request read), ["cache.get"] (a cache
-    lookup), ["qk.restart"] (each QK bipartition restart), and
+    lookup), ["qk.restart"] (each QK bipartition restart),
     ["store.append"] (a workload-store journal commit, before any bytes
-    reach the file) — and the test harness arms them to {e throw},
-    {e delay}, or {e corrupt}.  Firing
+    reach the file), and ["pipeline.artifact"] (an incremental-pipeline
+    artifact-cache lookup — a throw or corruption there must degrade to
+    recomputing the component, never to a wrong answer) — and the test
+    harness arms them to {e throw}, {e delay}, or {e corrupt}.  Firing
     can be probabilistic, driven by a seeded {!Bcc_util.Rng} stream so a
     failing fuzz run reproduces from its seed.
 

@@ -431,6 +431,13 @@ let solved_json (s : Store.solved) =
         ("warm", Json.Bool s.Store.warm);
         ("seed_utility", Json.Num s.Store.seed_utility);
         ("wall_s", Json.Num s.Store.wall_s);
+      ]
+    @
+    if s.Store.components_total = 0 then []
+    else
+      [
+        ("components_total", Json.Num (float_of_int s.Store.components_total));
+        ("components_reused", Json.Num (float_of_int s.Store.components_reused));
       ])
 
 let store_error = function
@@ -482,12 +489,14 @@ let handle_workload_delta t name req =
       | Error e -> store_error e)
 
 let handle_workload_solve t name req =
-  let cold =
-    match Http.query_param req "cold" with
+  let flag param =
+    match Http.query_param req param with
     | None | Some ("0" | "false" | "no") -> Ok false
     | Some ("1" | "true" | "yes") -> Ok true
-    | Some s -> Error ("bad ?cold=" ^ s)
+    | Some s -> Error (Printf.sprintf "bad ?%s=%s" param s)
   in
+  let cold = flag "cold" in
+  let incremental = flag "incremental" in
   let deadline =
     match Http.query_param req "timeout_ms" with
     | None -> Ok Deadline.none
@@ -497,14 +506,24 @@ let handle_workload_solve t name req =
             Ok (Deadline.of_timeout_ms ~label:"request" ms)
         | _ -> Error "timeout_ms must be a positive number of milliseconds")
   in
-  match (cold, deadline) with
-  | Error msg, _ | _, Error msg -> Http.error_response 400 msg
-  | Ok cold, Ok deadline -> (
-      match Store.solve t.store ~name ~cold ~deadline () with
+  match (cold, incremental, deadline) with
+  | Error msg, _, _ | _, Error msg, _ | _, _, Error msg -> Http.error_response 400 msg
+  | Ok cold, Ok incremental, Ok deadline -> (
+      match Store.solve t.store ~name ~cold ~incremental ~deadline () with
       | Ok s ->
           Metrics.observe t.metrics "bccd_solve_duration_seconds"
             ~labels:[ ("endpoint", "workload") ]
             ~help:"Time spent computing uncached solves." s.Store.wall_s;
+          if incremental then begin
+            Metrics.inc t.metrics "bcc_resolve_components_total"
+              ~by:(float_of_int s.Store.components_total)
+              ~help:"Pipeline components staged by incremental re-solves.";
+            Metrics.inc t.metrics "bcc_resolve_components_reused_total"
+              ~by:(float_of_int s.Store.components_reused)
+              ~help:"Pipeline component curves served from the artifact cache.";
+            Metrics.observe t.metrics "bcc_resolve_wall_seconds"
+              ~help:"Wall time of incremental (pipeline) re-solves." s.Store.wall_s
+          end;
           if s.Store.degraded then
             Metrics.inc t.metrics "bcc_requests_degraded_total"
               ~labels:[ ("endpoint", "workload") ]
@@ -618,6 +637,21 @@ let solve_json ~detail (s : Recorder.solve) =
     | Some r -> Some r.Progress.utility
     | None -> ( match List.rev curve with (_, u) :: _ -> Some u | [] -> None)
   in
+  (* Incremental solves drop one [pipeline_reuse] event; surface its
+     reuse accounting on the summary row. *)
+  let reuse =
+    List.find_map
+      (fun (e : Event.t) ->
+        if e.Event.name <> "pipeline_reuse" then None
+        else
+          match
+            ( List.assoc_opt "components" e.Event.attrs,
+              List.assoc_opt "reused" e.Event.attrs )
+          with
+          | Some (Event.Int total), Some (Event.Int reused) -> Some (total, reused)
+          | _ -> None)
+      events
+  in
   Json.Obj
     ([
        ("id", Json.Str s.Recorder.corr);
@@ -629,6 +663,13 @@ let solve_json ~detail (s : Recorder.solve) =
      ]
     @ (match final_utility with
       | Some u -> [ ("final_utility", Json.Num u) ]
+      | None -> [])
+    @ (match reuse with
+      | Some (total, reused) ->
+          [
+            ("components_total", Json.Num (float_of_int total));
+            ("components_reused", Json.Num (float_of_int reused));
+          ]
       | None -> [])
     @
     if not detail then []

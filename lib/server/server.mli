@@ -26,8 +26,10 @@
       from instance text or a raw search log),
       [POST /workloads/:name/delta[?format=delta|log]] (apply one atomic
       epoch-advancing batch),
-      [POST /workloads/:name/solve[?cold=true&timeout_ms=MS]]
-      (warm-started re-solve, committed to the journal),
+      [POST /workloads/:name/solve[?cold=true&incremental=true&timeout_ms=MS]]
+      (warm-started re-solve, committed to the journal;
+      [?incremental=true] routes through {!Bcc_core.Pipeline} and
+      reports [components_total]/[components_reused] in the response),
       [GET /workloads/:name/solution], [GET /workloads/:name] and
       [GET /workloads];
     - [GET /healthz], [GET /metrics] (Prometheus text format, including
@@ -35,14 +37,19 @@
       [bcc_engine_tasks_total] counters labeled by engine backend and
       outcome, the [bcc_engine_queue_depth] gauge, and the store series
       [bcc_store_epochs_total], [bcc_store_journal_bytes],
-      [bcc_store_replay_seconds] and [bcc_warm_start_utility_ratio]);
+      [bcc_store_replay_seconds] and [bcc_warm_start_utility_ratio],
+      plus the incremental-pipeline series
+      [bcc_resolve_components_total],
+      [bcc_resolve_components_reused_total] and the
+      [bcc_resolve_wall_seconds] histogram);
     - [GET /debug/trace?last=N] — the most recent completed
       {!Bcc_obs.Trace} spans as a JSON forest (children nested under
       their parents), for inspecting where a solve spent its time;
     - [GET /debug/solves[?id=…]] — the {!Bcc_obs.Recorder} flight
       recorder: the last N solves keyed by correlation id, and per id
       the anytime utility curve, the raw wide events and the spans that
-      overlapped the solve.
+      overlapped the solve; incremental solves additionally carry
+      [components_total]/[components_reused] on their summary rows.
 
     {2 Request correlation}
 

@@ -3,6 +3,8 @@ module Propset = Bcc_core.Propset
 module Symtab = Bcc_core.Symtab
 module Solution = Bcc_core.Solution
 module Solver = Bcc_core.Solver
+module Solve_ctx = Bcc_core.Solve_ctx
+module Pipeline = Bcc_core.Pipeline
 module Io = Bcc_data.Io
 module Log_parser = Bcc_data.Log_parser
 module Timer = Bcc_util.Timer
@@ -36,6 +38,8 @@ type solved = {
   warm : bool;
   seed_utility : float;
   wall_s : float;
+  components_total : int;
+  components_reused : int;
 }
 
 type error = [ `Not_found | `Bad of string ]
@@ -58,6 +62,19 @@ type workload = {
   mutable warm_ratio : float option;
   mutable jfd : Unix.file_descr option;
   mutable journal_bytes : int;
+  (* Incremental-pipeline artifacts: component fingerprint -> (property
+     -name footprint, serialized curve).  The footprint drives delta
+     invalidation; the fingerprint key makes hits self-validating, so
+     eviction is garbage collection and reuse accounting, never a
+     correctness requirement. *)
+  artifacts : (string, string list * string) Hashtbl.t;
+  (* Fingerprint hints: pipeline hint key -> (property-name footprint,
+     component fingerprint).  Lets an incremental solve skip rehashing
+     components no delta touched (Solve_ctx.fp_hints).  Evicted exactly
+     like [artifacts]; unlike them, hints are a pure in-process memo —
+     never persisted, rebuilt by the first solve after a restart —
+     because their validity rests on this table seeing every delta. *)
+  fp_hints : (string, string list * string) Hashtbl.t;
   lock : Mutex.t;
 }
 
@@ -96,6 +113,7 @@ let fresh_gen () =
 
 let snap_path dir name = Filename.concat dir (name ^ ".snap")
 let journal_path dir name = Filename.concat dir (name ^ ".journal")
+let artifacts_path dir name = Filename.concat dir (name ^ ".artifacts")
 
 let write_all fd s =
   let b = Bytes.unsafe_of_string s in
@@ -227,6 +245,8 @@ let build_state ~name ?budget source =
       warm_ratio = None;
       jfd = None;
       journal_bytes = 0;
+      artifacts = Hashtbl.create 8;
+      fp_hints = Hashtbl.create 8;
       lock = Mutex.create ();
     }
   in
@@ -369,6 +389,8 @@ let parse_snapshot ~file text =
           warm_ratio = None;
           jfd = None;
           journal_bytes = 0;
+          artifacts = Hashtbl.create 8;
+          fp_hints = Hashtbl.create 8;
           lock = Mutex.create ();
         }
       in
@@ -400,6 +422,8 @@ let parse_snapshot ~file text =
                 warm = false;
                 seed_utility = 0.0;
                 wall_s = 0.0;
+                components_total = 0;
+                components_reused = 0;
               }
       | None -> ());
       w
@@ -421,6 +445,71 @@ let write_snapshot t w =
           Unix.fsync fd);
       Unix.rename tmp path;
       fsync_dir dir
+
+(* Artifacts are a pure cache: they are rewritten wholesale after each
+   incremental solve (atomic temp + rename) and any record that fails to
+   decode — torn tail, wrong generation, malformed payload — is silently
+   skipped.  The pipeline re-validates every payload against the live
+   instance anyway, so the worst a bad artifact file can cause is a cold
+   component recompute. *)
+let write_artifacts t w =
+  match t.dir with
+  | None -> ()
+  | Some dir ->
+      let path = artifacts_path dir w.wname in
+      if Hashtbl.length w.artifacts = 0 then begin
+        if Sys.file_exists path then try Sys.remove path with Sys_error _ -> ()
+      end
+      else begin
+        let buf = Buffer.create 4096 in
+        Hashtbl.fold (fun fp (fpr, payload) acc -> (fp, fpr, payload) :: acc) w.artifacts []
+        |> List.sort compare
+        |> List.iter (fun (fp, fpr, payload) ->
+               Buffer.add_string buf
+                 (Codec.encode
+                    {
+                      Codec.kind = "artifact";
+                      generation = w.generation;
+                      epoch = w.epoch;
+                      payload = fp ^ "\n" ^ String.concat ";" fpr ^ "\n" ^ payload;
+                    }));
+        let tmp = path ^ ".tmp" in
+        let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+        Fun.protect
+          ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+          (fun () ->
+            write_all fd (Buffer.contents buf);
+            Unix.fsync fd);
+        Unix.rename tmp path;
+        fsync_dir dir
+      end
+
+let load_artifacts dir w =
+  let path = artifacts_path dir w.wname in
+  if Sys.file_exists path then begin
+    let records, _torn = Codec.decode (read_file path) in
+    List.iter
+      (fun (r : Codec.record) ->
+        if r.Codec.kind = "artifact" && r.Codec.generation = w.generation then
+          match String.index_opt r.Codec.payload '\n' with
+          | None -> ()
+          | Some i -> (
+              let fp = String.sub r.Codec.payload 0 i in
+              let rest =
+                String.sub r.Codec.payload (i + 1) (String.length r.Codec.payload - i - 1)
+              in
+              match String.index_opt rest '\n' with
+              | None -> ()
+              | Some j ->
+                  let footprint =
+                    match String.sub rest 0 j with
+                    | "" -> []
+                    | s -> String.split_on_char ';' s
+                  in
+                  let payload = String.sub rest (j + 1) (String.length rest - j - 1) in
+                  if fp <> "" then Hashtbl.replace w.artifacts fp (footprint, payload)))
+      records
+  end
 
 let close_journal w =
   (match w.jfd with
@@ -556,6 +645,8 @@ let replay_workload t dir base =
                   warm = false;
                   seed_utility = 0.0;
                   wall_s = 0.0;
+                  components_total = 0;
+                  components_reused = 0;
                 }
         | "solve" when r.epoch < w.epoch -> ()
         | _ ->
@@ -567,6 +658,7 @@ let replay_workload t dir base =
     Unix.truncate jpath (String.length jbytes - tail)
   end;
   w.journal_bytes <- String.length jbytes - tail;
+  load_artifacts dir w;
   Hashtbl.replace t.tbl base w
 
 let create ?dir ?(compact_bytes = 262_144) () =
@@ -661,9 +753,50 @@ let put t ~name ?budget source =
                leaves old-generation records that replay skips. *)
             write_snapshot t w;
             truncate_journal t w;
+            (* The fresh generation orphans any artifact file on disk;
+               remove it so a crashed incremental workload cannot leave
+               a stale cache for a name that was re-put. *)
+            write_artifacts t w;
             Hashtbl.replace t.tbl name w;
             Atomic.incr t.epochs;
             Ok (info_of w))
+
+(* Delta-footprint invalidation: drop every artifact whose property
+   footprint intersects the properties the batch touches (a budget
+   change re-fingerprints everything, so it clears the lot).  Untouched
+   components keep their curves and are reused by the next incremental
+   solve.  Purely an accounting/GC step — a stale artifact that survived
+   would still miss on its fingerprint. *)
+let evict_artifacts w ops =
+  if List.exists (function Delta.Set_budget _ -> true | _ -> false) ops then begin
+    Hashtbl.reset w.artifacts;
+    Hashtbl.reset w.fp_hints
+  end
+  else begin
+    let touched = Hashtbl.create 16 in
+    List.iter
+      (fun (op : Delta.op) ->
+        match op with
+        | Delta.Set_budget _ -> ()
+        | Delta.Upsert (ps, _) | Delta.Add (ps, _) | Delta.Remove ps | Delta.Set_cost (ps, _)
+          ->
+            List.iter (fun p -> Hashtbl.replace touched p ()) ps)
+      ops;
+    let sweep tbl =
+      let dead =
+        Hashtbl.fold
+          (fun key (footprint, _) acc ->
+            if List.exists (Hashtbl.mem touched) footprint then key :: acc else acc)
+          tbl []
+      in
+      List.iter (Hashtbl.remove tbl) dead
+    in
+    sweep w.artifacts;
+    (* The hint sweep is the correctness half of the hint contract: a
+       fingerprint hint may only survive a delta its footprint provably
+       does not intersect (Solve_ctx.fp_hints). *)
+    sweep w.fp_hints
+  end
 
 let delta t ~name ops =
   with_workload t name @@ fun w ->
@@ -687,17 +820,19 @@ let delta t ~name ops =
         apply_ops w ops;
         w.epoch <- w.epoch + 1;
         w.cached <- None;
+        evict_artifacts w ops;
         Atomic.incr t.epochs;
         maybe_compact t w;
         Ok (info_of w)
       end
 
-let solve t ~name ?options ?(cold = false) ?(deadline = Deadline.none) () =
+let solve t ~name ?options ?(cold = false) ?(incremental = false) ?(deadline = Deadline.none)
+    () =
   with_workload t name @@ fun w ->
   Trace.with_span ~name:"store.solve" @@ fun sp ->
   let inst = materialize w in
   let warm =
-    if cold then None else Option.map (fun s -> s.solution) w.last
+    if cold || incremental then None else Option.map (fun s -> s.solution) w.last
   in
   (* Seed utility under the *current* epoch: what the previous solution
      still covers after the delta (vanished classifiers dropped). *)
@@ -707,7 +842,51 @@ let solve t ~name ?options ?(cold = false) ?(deadline = Deadline.none) () =
     | None -> 0.0
   in
   let timer = Timer.start () in
-  let outcome = Solver.solve_within ?options ?warm ~deadline inst in
+  let outcome, components_total, components_reused =
+    if not incremental then
+      (Solver.solve_within ?options ?warm ~deadline inst, 0, 0)
+    else begin
+      (* Incremental pipeline: per-component curves served from the
+         artifact table when the delta footprint left them untouched.
+         Deliberately not warm-seeded — the per-component solves must be
+         pure functions of component content so an incremental re-solve
+         is bit-identical to a cold pipeline solve at the same epoch. *)
+      let cache =
+        {
+          Solve_ctx.find =
+            (fun fp -> Option.map snd (Hashtbl.find_opt w.artifacts fp));
+          store = (fun fp payload -> Hashtbl.replace w.artifacts fp ([], payload));
+        }
+      in
+      let hints =
+        {
+          Solve_ctx.hint_find =
+            (fun key -> Option.map snd (Hashtbl.find_opt w.fp_hints key));
+          hint_record =
+            (fun key footprint fp -> Hashtbl.replace w.fp_hints key (footprint, fp));
+        }
+      in
+      let ctx = Solve_ctx.make ~deadline ~cache ~hints () in
+      let report = Pipeline.solve ?options ctx inst in
+      (* Stamp the footprints the eviction scan intersects with delta
+         footprints; newly stored artifacts were parked with an empty
+         footprint above. *)
+      List.iter
+        (fun (c : Pipeline.component_report) ->
+          match Hashtbl.find_opt w.artifacts c.Pipeline.fingerprint with
+          | Some (_, payload) ->
+              let footprint =
+                List.sort compare
+                  (List.map (prop_name w) (Propset.to_list c.Pipeline.props))
+              in
+              Hashtbl.replace w.artifacts c.Pipeline.fingerprint (footprint, payload)
+          | None -> ())
+        report.Pipeline.components;
+      write_artifacts t w;
+      (report.Pipeline.outcome, report.Pipeline.components_total,
+       report.Pipeline.components_reused)
+    end
+  in
   let wall_s = Timer.elapsed_s timer in
   let solution = outcome.Solver.solution in
   append t w
@@ -733,6 +912,8 @@ let solve t ~name ?options ?(cold = false) ?(deadline = Deadline.none) () =
       warm = Option.is_some warm;
       seed_utility;
       wall_s;
+      components_total;
+      components_reused;
     }
   in
   w.last <- Some s;
@@ -742,7 +923,11 @@ let solve t ~name ?options ?(cold = false) ?(deadline = Deadline.none) () =
     Trace.add_attr sp "warm" (Trace.Bool s.warm);
     Trace.add_attr sp "seed_utility" (Trace.Float seed_utility);
     Trace.add_attr sp "utility" (Trace.Float solution.Solution.utility);
-    Trace.add_attr sp "degraded" (Trace.Bool s.degraded)
+    Trace.add_attr sp "degraded" (Trace.Bool s.degraded);
+    if incremental then begin
+      Trace.add_attr sp "components" (Trace.Int components_total);
+      Trace.add_attr sp "reused" (Trace.Int components_reused)
+    end
   end;
   Ok s
 

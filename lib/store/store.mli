@@ -32,6 +32,15 @@
     the journal, so a restarted store serves the same epoch/solution it
     had before the crash.
 
+    {2 Incremental pipeline solves}
+
+    [solve ~incremental:true] uses the staged {!Bcc_core.Pipeline}
+    instead of the monolithic solver and keeps its per-component
+    artifacts — fingerprint-keyed budget→utility curves with a
+    property-name footprint — in the workload, persisted next to the
+    snapshot and invalidated by the deltas that touch them.  See
+    {!solve} for the contract.
+
     All mutating operations run under a per-workload lock (solves of
     distinct workloads proceed in parallel), carry {!Bcc_obs.Trace}
     spans, and poll the ambient {!Bcc_robust.Deadline}. *)
@@ -70,6 +79,11 @@ type solved = {
   warm : bool;  (** a previous solution seeded this solve *)
   seed_utility : float;  (** utility of the re-validated seed; 0 when cold *)
   wall_s : float;
+  components_total : int;
+      (** pipeline components this solve staged; 0 on the classic path *)
+  components_reused : int;
+      (** components whose budget→utility curve was served from the
+          artifact cache instead of recomputed *)
 }
 
 type error = [ `Not_found | `Bad of string ]
@@ -101,13 +115,29 @@ val solve :
   name:string ->
   ?options:Bcc_core.Solver.options ->
   ?cold:bool ->
+  ?incremental:bool ->
   ?deadline:Bcc_robust.Deadline.t ->
   unit ->
   (solved, error) result
 (** Solve the current epoch, warm-seeded by the last committed solution
     unless [cold] (or there is none); commits the result.  A degraded
     (deadline-cut) solution is still committed — it is feasible, and a
-    later solve will warm-start from it. *)
+    later solve will warm-start from it.
+
+    [incremental] routes the solve through {!Bcc_core.Pipeline}: the
+    instance is staged into fingerprinted overlap-graph components whose
+    budget→utility curves are cached in a per-workload artifact table
+    ([<name>.artifacts] on disk, atomically rewritten after each
+    incremental solve and reloaded on replay).  A {!delta} evicts only
+    the artifacts whose property footprint the batch touches, so the
+    next incremental solve recomputes the dirty components and reuses
+    the clean curves — and, because each curve is a pure function of
+    component content (fingerprint-derived randomness, no warm
+    seeding), the result is bit-identical to a cold pipeline solve at
+    the same epoch.  Torn or corrupted artifacts (including the
+    ["pipeline.artifact"] fault point) degrade to recomputation, never
+    to a wrong answer.  Incremental solves ignore the warm seed and
+    leave [warm_ratio] unchanged. *)
 
 val solution : t -> string -> (solved, error) result
 (** The last committed solution exactly as solved ([instance] and

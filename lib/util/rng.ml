@@ -23,6 +23,19 @@ let derive t i =
   let z = Int64.add t.state (Int64.mul golden_gamma (Int64.of_int (i + 1))) in
   { state = mix64 (Int64.logxor (mix64 z) (Int64.of_int i)) }
 
+let derive_fingerprint t key =
+  (* String-keyed sibling of [derive]: fold the key bytes through the
+     mixer against the current state, again without advancing [t].  The
+     result is a pure function of (state, key) — no process-specific
+     input anywhere — so the same key yields the same stream across
+     runs, machines and solve orders. *)
+  let z = ref (mix64 (Int64.logxor t.state golden_gamma)) in
+  String.iter
+    (fun c ->
+      z := mix64 (Int64.add (Int64.mul !z 0x100000001B3L) (Int64.of_int (Char.code c + 1))))
+    key;
+  { state = mix64 (Int64.add !z (Int64.of_int (String.length key))) }
+
 let int t bound =
   if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
   (* 62 non-negative bits; modulo bias is negligible for bounds below 2^52. *)

@@ -27,6 +27,16 @@ val derive : t -> int -> t
     bit-reproducible randomness regardless of execution order — the
     parent derives one stream per task index up front. *)
 
+val derive_fingerprint : t -> string -> t
+(** [derive_fingerprint t key] is the string-keyed counterpart of
+    {!derive}: an independent deterministic stream for the (content)
+    fingerprint [key], depending only on [t]'s current state and the
+    bytes of [key] — [t] is not advanced.  Because nothing
+    process-specific enters the hash, the stream for a given
+    (seed, key) pair is stable across process runs; this is how
+    per-component solves stay bit-identical no matter which other
+    components exist or in which order they are solved. *)
+
 val int64 : t -> int64
 (** Next raw 64-bit output. *)
 

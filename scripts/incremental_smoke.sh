@@ -1,0 +1,105 @@
+#!/usr/bin/env bash
+# Incremental-pipeline smoke test against the real bccd binary:
+# ingest a clustered workload, solve it incrementally twice (the second
+# solve must reuse every component curve), apply a delta confined to
+# one cluster, re-solve incrementally (the untouched components must be
+# reused) and require the incremental answer to be exactly the answer
+# a cold pipeline solve of the same epoch produces on a fresh daemon.
+#
+# Usage: scripts/incremental_smoke.sh [path-to-bccd.exe]
+set -euo pipefail
+
+BCCD=${1:-_build/default/bin/bccd.exe}
+[ -x "$BCCD" ] || { echo "bccd binary not found at $BCCD (dune build bin first)"; exit 1; }
+
+STATE=$(mktemp -d)
+STATE2=$(mktemp -d)
+OUT=$(mktemp)
+PID=
+cleanup() {
+  [ -n "$PID" ] && kill -9 "$PID" 2>/dev/null || true
+  rm -rf "$STATE" "$STATE2" "$OUT"
+}
+trap cleanup EXIT
+
+start_daemon() {
+  "$BCCD" --port 0 --workers 2 --state-dir "$1" >"$OUT" 2>&1 &
+  PID=$!
+  for _ in $(seq 100); do
+    PORT=$(sed -n 's/.*listening on [^ ]*:\([0-9][0-9]*\) .*/\1/p' "$OUT" | head -n1)
+    [ -n "$PORT" ] && return 0
+    kill -0 "$PID" 2>/dev/null || { echo "daemon died on startup:"; cat "$OUT"; exit 1; }
+    sleep 0.1
+  done
+  echo "daemon never reported its port:"; cat "$OUT"; exit 1
+}
+
+WORKLOAD='budget 25
+query a0;a1 10
+query a1;a2 6
+query b0;b1 8
+query b1;b2 4
+query c0;c1 7
+classifier a0 2
+classifier a1 3
+classifier a2 4
+classifier a0;a1 4
+classifier b0 2
+classifier b1 3
+classifier b2 4
+classifier b0;b1 4
+classifier c0 2
+classifier c1 3
+classifier c0;c1 4'
+
+DELTA='upsert a0;a1 12'
+
+start_daemon "$STATE"
+echo "daemon up on port $PORT, state in $STATE"
+
+curl -fsS -X PUT "http://127.0.0.1:$PORT/workloads/smoke" --data-binary "$WORKLOAD" >/dev/null
+
+FIRST=$(curl -fsS -X POST "http://127.0.0.1:$PORT/workloads/smoke/solve?incremental=true" --data-binary '')
+echo "first (cold) incremental solve: $FIRST"
+SECOND=$(curl -fsS -X POST "http://127.0.0.1:$PORT/workloads/smoke/solve?incremental=true" --data-binary '')
+echo "second (all-clean) incremental solve: $SECOND"
+
+curl -fsS -X POST "http://127.0.0.1:$PORT/workloads/smoke/delta" --data-binary "$DELTA" >/dev/null
+AFTER=$(curl -fsS -X POST "http://127.0.0.1:$PORT/workloads/smoke/solve?incremental=true" --data-binary '')
+echo "post-delta incremental solve: $AFTER"
+
+kill -TERM "$PID"; wait "$PID" || { echo "daemon did not exit cleanly"; exit 1; }
+PID=
+
+# cold reference: fresh daemon, same workload + delta, first incremental
+# solve has nothing to reuse, so it IS the cold pipeline answer
+: >"$OUT"
+start_daemon "$STATE2"
+curl -fsS -X PUT "http://127.0.0.1:$PORT/workloads/smoke" --data-binary "$WORKLOAD" >/dev/null
+curl -fsS -X POST "http://127.0.0.1:$PORT/workloads/smoke/delta" --data-binary "$DELTA" >/dev/null
+COLD=$(curl -fsS -X POST "http://127.0.0.1:$PORT/workloads/smoke/solve?incremental=true" --data-binary '')
+echo "cold reference solve: $COLD"
+
+kill -TERM "$PID"; wait "$PID" || { echo "daemon did not exit cleanly"; exit 1; }
+PID=
+
+python3 - "$FIRST" "$SECOND" "$AFTER" "$COLD" <<'EOF'
+import json, sys
+first, second, after, cold = (json.loads(a) for a in sys.argv[1:5])
+assert first["components_total"] >= 2, f"expected a decomposable workload: {first}"
+assert first["components_reused"] == 0, f"first solve must be cold: {first}"
+assert second["components_reused"] == second["components_total"], \
+    f"all-clean re-solve must reuse every component: {second}"
+assert second["utility"] == first["utility"], \
+    f"reused answer differs from cold: {second['utility']} != {first['utility']}"
+assert after["components_reused"] > 0, \
+    f"delta confined to one cluster must leave reusable components: {after}"
+assert after["components_reused"] < after["components_total"], \
+    f"the touched component must recompute: {after}"
+assert after["utility"] == cold["utility"] and after["cost"] == cold["cost"], \
+    f"incremental != cold at the same epoch: {after} vs {cold}"
+print("reused %d/%d after the delta, utility %g == cold: OK"
+      % (after["components_reused"], after["components_total"], after["utility"]))
+EOF
+
+echo "incremental pipeline smoke: OK"

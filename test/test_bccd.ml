@@ -878,6 +878,55 @@ let store_crash_recovery () =
           | Unix.WEXITED 0 -> ()
           | _ -> Alcotest.fail "daemon did not exit cleanly after recovery"))
 
+(* With every artifact lookup throwing, an incremental workload solve
+   still answers 200 with the answer a cold pipeline solve produces —
+   the fault only costs reuse (components_reused stays 0 where the
+   second solve would otherwise reuse everything), never correctness. *)
+let fault_pipeline_artifact () =
+  let dir = temp_state_dir () in
+  let d =
+    start_daemon ~faults:"pipeline.artifact:throw"
+      [ "--workers"; "2"; "--state-dir"; dir ]
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      kill_hard d;
+      rm_state_dir dir)
+    (fun () ->
+      let status, _ =
+        request ~port:d.port ~meth:"PUT" ~path:"/workloads/fig" ~body:fig_text ()
+      in
+      Alcotest.(check int) "PUT status" 200 status;
+      let solve label =
+        let status, body =
+          request ~port:d.port ~meth:"POST"
+            ~path:"/workloads/fig/solve?incremental=true" ~body:"" ()
+        in
+        Alcotest.(check int) (label ^ ": still 200 under the fault") 200 status;
+        Json.of_string_exn (String.trim body)
+      in
+      let first = solve "first incremental solve" in
+      Alcotest.(check bool) "pipeline ran (components reported)" true
+        (num_field "components_total" first >= 1.0);
+      let second = solve "second incremental solve" in
+      Alcotest.(check (float 1e-9)) "fault blocks every reuse" 0.0
+        (num_field "components_reused" second);
+      Alcotest.(check (float 1e-9)) "recompute answers exactly the cold answer"
+        (num_field "utility" first) (num_field "utility" second);
+      let status, m = request ~port:d.port ~meth:"GET" ~path:"/metrics" () in
+      Alcotest.(check int) "metrics status" 200 status;
+      (match metric_value m "bcc_resolve_components_total" with
+      | Some n ->
+          Alcotest.(check bool) "resolve components counter moved" true (n >= 2.0)
+      | None -> Alcotest.fail "bcc_resolve_components_total missing");
+      (match metric_value m "bcc_resolve_components_reused_total" with
+      | Some n -> Alcotest.(check (float 1e-9)) "no reuse counted" 0.0 n
+      | None -> Alcotest.fail "bcc_resolve_components_reused_total missing");
+      Unix.kill d.pid Sys.sigterm;
+      match wait_exit d with
+      | Unix.WEXITED 0 -> ()
+      | _ -> Alcotest.fail "daemon did not exit cleanly after the fault run")
+
 let suite =
   [
     ("e2e: concurrent solves, cache, metrics, SIGTERM", `Quick, e2e_concurrent_solves_and_shutdown);
@@ -885,6 +934,8 @@ let suite =
     ("fault matrix: worker death + cache fault", `Quick, fault_worker_death_and_cache);
     ("fault matrix: deadline hit degrades gracefully", `Quick, fault_deadline_degrades);
     ("fault matrix: queue overload -> 429 + retry-after", `Quick, fault_backpressure_429);
+    ("fault matrix: pipeline.artifact throw -> zero reuse, same answer", `Quick,
+      fault_pipeline_artifact);
     ("telemetry: trace-id header keys the flight recorder", `Quick, telemetry_correlation);
     ("store: workload lifecycle over HTTP", `Quick, store_lifecycle);
     ("store: SIGKILL + restart serves the committed state", `Quick, store_crash_recovery);

@@ -14,7 +14,7 @@ let known_instance () =
 
 let exact_int_known () =
   let sol =
-    Knapsack.exact_int ~values:[| 60.0; 100.0; 120.0 |] ~weights:[| 10; 20; 30 |] ~budget:50
+    Knapsack.exact_int ~values:[| 60.0; 100.0; 120.0 |] ~weights:[| 10; 20; 30 |] ~budget:50 ()
   in
   Alcotest.(check (float 1e-9)) "DP optimum" 220.0 sol.Knapsack.value
 
@@ -42,7 +42,7 @@ let exact_matches_bnb =
   QCheck.Test.make ~name:"exact_int matches branch_and_bound" ~count:150 QCheck.small_int
     (fun seed ->
       let values, weights, budget = random_inputs seed in
-      let a = Knapsack.exact_int ~values ~weights ~budget in
+      let a = Knapsack.exact_int ~values ~weights ~budget () in
       let b =
         Knapsack.branch_and_bound ~values
           ~weights:(Array.map float_of_int weights)
@@ -57,7 +57,7 @@ let greedy_half_approx =
       let weights_f = Array.map float_of_int weights in
       let budget_f = float_of_int budget in
       let g = Knapsack.greedy ~values ~weights:weights_f ~budget:budget_f in
-      let opt = Knapsack.exact_int ~values ~weights ~budget in
+      let opt = Knapsack.exact_int ~values ~weights ~budget () in
       g.Knapsack.value +. 1e-9 >= opt.Knapsack.value /. 2.0
       && feasible weights_f budget_f g.Knapsack.items)
 
@@ -68,7 +68,7 @@ let solve_near_optimal =
       let weights_f = Array.map float_of_int weights in
       let budget_f = float_of_int budget in
       let s = Knapsack.solve ~values ~weights:weights_f budget_f in
-      let opt = Knapsack.exact_int ~values ~weights ~budget in
+      let opt = Knapsack.exact_int ~values ~weights ~budget () in
       feasible weights_f budget_f s.Knapsack.items
       && s.Knapsack.value +. 1e-9 >= 0.95 *. opt.Knapsack.value)
 
@@ -76,7 +76,7 @@ let reconstruction_consistent =
   QCheck.Test.make ~name:"reported value equals the sum over returned items" ~count:150
     QCheck.small_int (fun seed ->
       let values, weights, budget = random_inputs seed in
-      let sol = Knapsack.exact_int ~values ~weights ~budget in
+      let sol = Knapsack.exact_int ~values ~weights ~budget () in
       let v = List.fold_left (fun acc i -> acc +. values.(i)) 0.0 sol.Knapsack.items in
       let w =
         List.fold_left (fun acc i -> acc + weights.(i)) 0 sol.Knapsack.items

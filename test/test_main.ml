@@ -23,6 +23,7 @@ let () =
       ("oracle", Test_oracle.suite);
       ("fuzz", Test_fuzz.suite);
       ("store", Test_store.suite);
+      ("pipeline", Test_pipeline.suite);
       ("server", Test_server.suite);
       ("obs", Test_obs.suite);
       ("bccd", Test_bccd.suite);

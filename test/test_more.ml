@@ -67,7 +67,7 @@ let solver_l1_matches_knapsack_quality =
         match Propset.to_list c with [ p ] -> float_of_int weights.(p) | _ -> infinity
       in
       let inst = Instance.create ~budget:(float_of_int budget) ~queries ~cost () in
-      let opt = Knapsack.exact_int ~values ~weights ~budget in
+      let opt = Knapsack.exact_int ~values ~weights ~budget () in
       abs_float ((Solver.solve inst).Solution.utility -. opt.Knapsack.value) < 1e-9)
 
 let gmc3_budget_monotone_in_target () =

@@ -149,7 +149,7 @@ let theorem_31_knapsack_equivalence =
       in
       let inst = Instance.create ~budget:(float_of_int budget) ~queries ~cost () in
       let bcc = Exact.solve inst in
-      let ks = Knapsack.exact_int ~values ~weights ~budget in
+      let ks = Knapsack.exact_int ~values ~weights ~budget () in
       abs_float (bcc.Solution.utility -. ks.Knapsack.value) < 1e-9)
 
 (* --- Theorem 3.3: I_2 = DkS --- *)

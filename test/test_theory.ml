@@ -76,7 +76,7 @@ let fptas_bound =
       let values = Array.init n (fun _ -> float_of_int (Rng.int_in rng 0 40)) in
       let weights = Array.init n (fun _ -> Rng.int_in rng 0 12) in
       let budget = Rng.int_in rng 0 30 in
-      let opt = Knapsack.exact_int ~values ~weights ~budget in
+      let opt = Knapsack.exact_int ~values ~weights ~budget () in
       let eps = 0.1 in
       let sol =
         Knapsack.fptas ~epsilon:eps ~values
