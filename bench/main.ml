@@ -730,6 +730,119 @@ let incr () =
       !t_incr !t_warm !t_cold (speedup !t_warm) (speedup !t_cold) frac
 
 (* ------------------------------------------------------------------ *)
+(* contended: multi-tenant batch scheduler — coalesced vs uncoalesced.  *)
+(* ------------------------------------------------------------------ *)
+
+(* Summary fragment for the --json snapshot, filled in by [contended]. *)
+let contended_json = ref ""
+
+(* Three tenants fire eight concurrent cold solves each at one shared
+   workload.  With coalescing on, the scheduler folds the pile-up into a
+   handful of batches whose one solve fans out to every waiter; with
+   coalescing off, the same 24 requests run serially through the single
+   slot.  Both modes must return the identical solution to every
+   caller — coalescing buys throughput, never answers. *)
+let contended () =
+  header
+    "contended: 3 tenants x 8 concurrent cold solves of one shared workload \
+     — coalescing on vs off";
+  let module Store = Bcc_store.Store in
+  let module Sched = Bcc_sched.Sched in
+  let ok = function
+    | Ok v -> v
+    | Error (`Bad msg) -> failwith ("contended: " ^ msg)
+    | Error `Not_found -> failwith "contended: workload vanished"
+  in
+  let text =
+    incr_workload_text ~clusters:(scaled 144) ~queries_per:(scaled 40) ~props_per:8
+  in
+  let store = Store.create () in
+  ignore (ok (Store.put store ~name:"w" (Store.Text text)));
+  let tenants = [| "alpha"; "beta"; "gamma" |] in
+  let per_tenant = 8 in
+  let n = Array.length tenants * per_tenant in
+  let run_mode ~coalesce =
+    let sched = Sched.create ~concurrency:1 ~coalesce () in
+    let results = Array.make n None in
+    let timer = Timer.start () in
+    let spawn i =
+      Thread.create
+        (fun () ->
+          let tenant = tenants.(i mod Array.length tenants) in
+          match
+            Sched.submit sched ~tenant ~key:"w@0" ~subkey:"w@0/cold" (fun () ->
+                (ok (Store.solve store ~name:"w" ~cold:true ())).Store.solution)
+          with
+          | Ok sol -> results.(i) <- Some sol
+          | Error _ -> ())
+        ()
+    in
+    (* the first request claims the slot; the stragglers pile up behind
+       it and (with coalescing on) share batches *)
+    let first = spawn 0 in
+    Thread.delay 0.02;
+    let rest = List.init (n - 1) (fun i -> spawn (i + 1)) in
+    List.iter Thread.join (first :: rest);
+    (Timer.elapsed_s timer, results, Sched.stats sched)
+  in
+  let wall_c, res_c, stats_c = run_mode ~coalesce:true in
+  let wall_u, res_u, stats_u = run_mode ~coalesce:false in
+  let shape sol =
+    ( sol.Solution.utility,
+      sol.Solution.cost,
+      List.map Propset.to_list sol.Solution.classifiers )
+  in
+  let identical =
+    match res_u.(0) with
+    | None -> false
+    | Some reference ->
+        let r = shape reference in
+        Array.for_all
+          (function Some s -> shape s = r | None -> false)
+          (Array.append res_c res_u)
+  in
+  let table =
+    Texttable.create
+      [ "mode"; "wall(s)"; "batches"; "coalesced"; "per-tenant done" ]
+  in
+  let row name wall (stats : Bcc_sched.Sched.stats) (results : _ option array) =
+    let done_of t =
+      let c = ref 0 in
+      Array.iteri
+        (fun i r ->
+          if tenants.(i mod Array.length tenants) = t && r <> None then c := !c + 1)
+        results;
+      !c
+    in
+    Texttable.add_row table
+      [
+        name;
+        Printf.sprintf "%.3f" wall;
+        string_of_int stats.Sched.batches_total;
+        string_of_int stats.Sched.coalesced_total;
+        String.concat " "
+          (Array.to_list
+             (Array.map (fun t -> Printf.sprintf "%s=%d/%d" t (done_of t) per_tenant) tenants));
+      ]
+  in
+  row "coalesced" wall_c stats_c res_c;
+  row "uncoalesced" wall_u stats_u res_u;
+  Texttable.print table;
+  let speedup = if wall_c > 0.0 then wall_u /. wall_c else 0.0 in
+  Printf.printf
+    "aggregate throughput: %.2fx from coalescing (%d waiters folded into %d \
+     batches); identical solutions: %b\n"
+    speedup stats_c.Sched.coalesced_total stats_c.Sched.batches_total identical;
+  contended_json :=
+    Printf.sprintf
+      "{\"tenants\": %d, \"requests_per_tenant\": %d, \
+       \"coalesced_wall_s\": %.3f, \"uncoalesced_wall_s\": %.3f, \
+       \"speedup\": %.2f, \"batches\": %d, \"coalesced_waiters\": %d, \
+       \"identical\": %b}"
+      (Array.length tenants) per_tenant wall_c wall_u speedup
+      stats_c.Sched.batches_total stats_c.Sched.coalesced_total identical
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-timings: one Test.make per experiment's kernel.       *)
 (* ------------------------------------------------------------------ *)
 
@@ -838,6 +951,7 @@ let experiments =
     ("ext-partial", ext_partial);
     ("ext-overlap", ext_overlap);
     ("incr", incr);
+    ("contended", contended);
   ]
 
 (* Anytime curves (with --json): every incumbent update the solver emits
@@ -987,6 +1101,10 @@ let () =
           if !incr_json = "" then ""
           else Printf.sprintf ",\n  \"incremental\": %s" !incr_json
         in
+        let contended_frag =
+          if !contended_json = "" then ""
+          else Printf.sprintf ",\n  \"contended\": %s" !contended_json
+        in
         let rows =
           List.rev_map
             (fun (name, t) ->
@@ -996,10 +1114,10 @@ let () =
         in
         let oc = open_out file in
         Printf.fprintf oc
-          "{\n  \"jobs\": %d,\n  \"total_s\": %.3f,\n  \"experiments\": [\n%s\n  ]%s%s\n}\n"
+          "{\n  \"jobs\": %d,\n  \"total_s\": %.3f,\n  \"experiments\": [\n%s\n  ]%s%s%s\n}\n"
           !jobs total_s
           (String.concat ",\n" rows)
-          parallel incremental;
+          parallel incremental contended_frag;
         close_out oc;
         Printf.printf "wrote timings to %s\n%!" file
   in

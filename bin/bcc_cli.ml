@@ -7,7 +7,8 @@
      solve      run A^BCC (or a baseline) on an instance file
      compare    run A^BCC and all baselines across budgets
      gmc3       minimum-cost classifier set reaching a utility target
-     ecc        best utility-to-cost ratio classifier set *)
+     ecc        best utility-to-cost ratio classifier set
+     remote     POST an instance file to a running bccd (with --tenant) *)
 
 open Cmdliner
 module Instance = Bcc_core.Instance
@@ -567,6 +568,155 @@ let ingest_cmd =
     (Cmd.info "ingest" ~doc:"Build an instance from a raw search-query log.")
     Term.(const run $ log_file $ out $ budget)
 
+(* --- remote: drive a running bccd over its HTTP/1.1 wire format --- *)
+
+(* One-shot POST; the daemon closes the connection after the response,
+   so reading to EOF yields the full reply. *)
+let http_post ~host ~port ~path ~headers body =
+  let addr =
+    match
+      Unix.getaddrinfo host (string_of_int port)
+        [ Unix.AI_SOCKTYPE Unix.SOCK_STREAM; Unix.AI_FAMILY Unix.PF_INET ]
+    with
+    | ai :: _ -> ai.Unix.ai_addr
+    | [] -> failwith (Printf.sprintf "cannot resolve %s:%d" host port)
+  in
+  let fd = Unix.socket (Unix.domain_of_sockaddr addr) Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.connect fd addr;
+      let buf = Buffer.create (String.length body + 256) in
+      Buffer.add_string buf (Printf.sprintf "POST %s HTTP/1.1\r\n" path);
+      Buffer.add_string buf (Printf.sprintf "Host: %s:%d\r\n" host port);
+      Buffer.add_string buf
+        (Printf.sprintf "Content-Length: %d\r\n" (String.length body));
+      List.iter
+        (fun (k, v) -> Buffer.add_string buf (Printf.sprintf "%s: %s\r\n" k v))
+        headers;
+      Buffer.add_string buf "Connection: close\r\n\r\n";
+      Buffer.add_string buf body;
+      let out = Buffer.contents buf in
+      let n = String.length out in
+      let rec send off =
+        if off < n then send (off + Unix.write_substring fd out off (n - off))
+      in
+      send 0;
+      let rbuf = Bytes.create 65536 in
+      let resp = Buffer.create 4096 in
+      let rec recv () =
+        let k = Unix.read fd rbuf 0 (Bytes.length rbuf) in
+        if k > 0 then begin
+          Buffer.add_subbytes resp rbuf 0 k;
+          recv ()
+        end
+      in
+      recv ();
+      let raw = Buffer.contents resp in
+      let status =
+        match String.split_on_char ' ' raw with
+        | _ :: code :: _ -> Option.value ~default:0 (int_of_string_opt (String.trim code))
+        | _ -> 0
+      in
+      let len = String.length raw in
+      let rec body_at i =
+        if i + 3 >= len then len
+        else if raw.[i] = '\r' && raw.[i + 1] = '\n' && raw.[i + 2] = '\r'
+                && raw.[i + 3] = '\n'
+        then i + 4
+        else body_at (i + 1)
+      in
+      let split = body_at 0 in
+      let head = String.lowercase_ascii (String.sub raw 0 split) in
+      let retry_after =
+        List.find_map
+          (fun line ->
+            match String.index_opt line ':' with
+            | Some i when String.sub line 0 i = "retry-after" ->
+                int_of_string_opt
+                  (String.trim (String.sub line (i + 1) (String.length line - i - 1)))
+            | _ -> None)
+          (String.split_on_char '\n'
+             (String.map (function '\r' -> '\n' | c -> c) head))
+      in
+      (status, retry_after, String.sub raw split (len - split)))
+
+let remote_cmd =
+  let host_a =
+    Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~docv:"ADDR" ~doc:"Daemon address.")
+  in
+  let port_a =
+    Arg.(value & opt int 8080 & info [ "p"; "port" ] ~docv:"PORT" ~doc:"Daemon port.")
+  in
+  let endpoint_a =
+    Arg.(
+      value
+      & opt (enum [ ("solve", "/solve"); ("gmc3", "/gmc3"); ("ecc", "/ecc") ]) "/solve"
+      & info [ "endpoint" ] ~docv:"EP"
+          ~doc:"Daemon endpoint: $(b,solve), $(b,gmc3) or $(b,ecc).")
+  in
+  let tenant_a =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "tenant" ] ~docv:"NAME"
+          ~doc:"Tenant this request is billed to for fair-share admission \
+                (sent as the x-bcc-tenant header); unnamed requests share \
+                the \"default\" tenant.")
+  in
+  let target_a =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "target" ] ~docv:"U" ~doc:"Utility target (gmc3 endpoint).")
+  in
+  let timeout_ms_a =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "timeout-ms" ] ~docv:"MS"
+          ~doc:"Per-request deadline; the daemon prunes the request from its \
+                queue once expired and degrades an in-flight solve.")
+  in
+  let run file host port path tenant budget target timeout_ms =
+    let body = In_channel.with_open_bin file In_channel.input_all in
+    let query =
+      List.filter_map
+        (fun (k, v) -> Option.map (fun v -> Printf.sprintf "%s=%.17g" k v) v)
+        [ ("budget", budget); ("target", target); ("timeout_ms", timeout_ms) ]
+    in
+    let path = match query with [] -> path | q -> path ^ "?" ^ String.concat "&" q in
+    let headers =
+      match tenant with Some t -> [ ("x-bcc-tenant", t) ] | None -> []
+    in
+    match http_post ~host ~port ~path ~headers body with
+    | exception Unix.Unix_error (e, _, _) ->
+        `Error (false, Printf.sprintf "cannot reach %s:%d: %s" host port
+                  (Unix.error_message e))
+    | exception Failure msg -> `Error (false, msg)
+    | 200, _, resp_body ->
+        print_string resp_body;
+        if resp_body = "" || resp_body.[String.length resp_body - 1] <> '\n' then
+          print_newline ();
+        `Ok ()
+    | 429, retry_after, resp_body ->
+        Printf.eprintf "busy (429%s): %s\n"
+          (match retry_after with
+          | Some s -> Printf.sprintf ", retry in %ds" s
+          | None -> "")
+          (String.trim resp_body);
+        `Error (false, "server busy")
+    | status, _, resp_body ->
+        `Error (false, Printf.sprintf "HTTP %d: %s" status (String.trim resp_body))
+  in
+  Cmd.v
+    (Cmd.info "remote"
+       ~doc:"POST an instance file to a running bccd and print the JSON solution.")
+    Term.(
+      ret
+        (const run $ file_arg $ host_a $ port_a $ endpoint_a $ tenant_a
+       $ budget_arg $ target_a $ timeout_ms_a))
+
 let e2e_cmd =
   let items =
     Arg.(value & opt int 20_000 & info [ "items" ] ~docv:"N" ~doc:"Catalog size.")
@@ -594,5 +744,5 @@ let () =
        (Cmd.group info
           [
             generate_cmd; stats_cmd; solve_cmd; compare_cmd; gmc3_cmd; ecc_cmd;
-            partial_cmd; overlap_cmd; e2e_cmd; ingest_cmd;
+            partial_cmd; overlap_cmd; e2e_cmd; ingest_cmd; remote_cmd;
           ]))

@@ -1,8 +1,12 @@
 (* bccd — resident BCC solver daemon.
 
    Serves POST /solve, /gmc3, /ecc, the /workloads store family, plus
-   GET /instances, /healthz, /metrics, /debug/trace and /debug/solves
-   over plain HTTP/1.1 (see lib/server/server.mli for the wire format).
+   GET /instances, /healthz, /metrics, /debug/trace, /debug/solves and
+   /debug/sched over plain HTTP/1.1 (see lib/server/server.mli for the
+   wire format).  Solve traffic is admitted through a multi-tenant
+   batch scheduler: identical concurrent requests coalesce into one
+   computation and tenants (--tenant-weight) share the workers by
+   weighted deficit round-robin.
    Every request is answered with an X-Bcc-Trace-Id correlation header
    that keys its record in the /debug/solves flight recorder; --event-log
    streams the wide events to a JSONL file and --debug-dir dumps slow or
@@ -95,6 +99,39 @@ let state_dir_arg =
               missing, replayed at startup.  Without it the /workloads store is \
               in-memory only.")
 
+let sched_concurrency_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "sched-concurrency" ] ~docv:"N"
+        ~doc:"Concurrently executing solve batches; 0 auto-sizes to workers - 1 \
+              so one worker stays free to coalesce arrivals into the next batch.")
+
+let tenant_depth_arg =
+  Arg.(
+    value
+    & opt int Server.default_config.Server.tenant_depth
+    & info [ "tenant-depth" ] ~docv:"N"
+        ~doc:"Max queued solve requests per tenant; beyond it the tenant gets 429 \
+              with a retry-after hint.")
+
+let tenant_weight_arg =
+  Arg.(
+    value
+    & opt_all (pair ~sep:'=' string int) []
+    & info [ "tenant-weight" ] ~docv:"NAME=W"
+        ~doc:"Fair-share weight of tenant NAME (repeatable); unlisted tenants \
+              weigh 1.  A weight-2 tenant is dispatched twice as often under \
+              contention.")
+
+let curve_cache_mb_arg =
+  Arg.(
+    value
+    & opt int Server.default_config.Server.curve_cache_mb
+    & info [ "curve-cache-mb" ] ~docv:"MIB"
+        ~doc:"Byte budget of the process-wide curve cache the incremental \
+              pipeline shares across workloads; least-recently-used artifacts \
+              are evicted beyond it.")
+
 let log_level_arg =
   let levels =
     [
@@ -111,7 +148,8 @@ let log_level_arg =
         ~doc:"Stderr log verbosity: $(b,debug), $(b,info), $(b,warning) or $(b,error).")
 
 let run host port workers queue_depth cache_entries timeout preload trace_spans state_dir
-    event_log debug_dir level =
+    event_log debug_dir sched_concurrency tenant_depth tenant_weights curve_cache_mb
+    level =
   Bcc_obs.Log_reporter.install ~level ();
   (* Fault injection is opt-in per entry point: only binaries load
      BCC_FAULTS, never the libraries. *)
@@ -133,6 +171,10 @@ let run host port workers queue_depth cache_entries timeout preload trace_spans 
       state_dir;
       event_log;
       debug_dir;
+      sched_concurrency;
+      tenant_depth;
+      tenant_weights;
+      curve_cache_mb;
     }
   in
   match Server.create cfg with
@@ -171,7 +213,9 @@ let cmd =
       ret
         (const run $ host_arg $ port_arg $ workers_arg $ queue_depth_arg
        $ cache_entries_arg $ timeout_arg $ load_arg $ trace_buffer_arg
-       $ state_dir_arg $ event_log_arg $ debug_dir_arg $ log_level_arg))
+       $ state_dir_arg $ event_log_arg $ debug_dir_arg $ sched_concurrency_arg
+       $ tenant_depth_arg $ tenant_weight_arg $ curve_cache_mb_arg
+       $ log_level_arg))
   in
   let doc = "resident BCC solver service with request batching and a solution cache" in
   Cmd.v (Cmd.info "bccd" ~doc) term

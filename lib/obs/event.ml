@@ -9,6 +9,21 @@ type t = {
   attrs : (string * value) list;  (* addition order *)
 }
 
+(* Typed attribute projections: [None] on a missing key or a type
+   mismatch, except that [attr_float] accepts [Int] — numeric attrs are
+   emitted in whichever of the two shapes was at hand. *)
+let attr ev key = List.assoc_opt key ev.attrs
+let attr_bool ev key = match attr ev key with Some (Bool b) -> Some b | _ -> None
+let attr_int ev key = match attr ev key with Some (Int n) -> Some n | _ -> None
+
+let attr_float ev key =
+  match attr ev key with
+  | Some (Float x) -> Some x
+  | Some (Int n) -> Some (float_of_int n)
+  | _ -> None
+
+let attr_str ev key = match attr ev key with Some (Str s) -> Some s | _ -> None
+
 (* ------------------------------------------------------------------ *)
 (* Enable gate.  The disabled fast path in [emit] is a single load of   *)
 (* one atomic flag — same contract as Trace.with_span.                  *)

@@ -35,6 +35,18 @@ type t = {
   attrs : (string * value) list;  (** in addition order *)
 }
 
+(** {2 Attribute access}
+
+    Typed attribute lookup for tests and sinks that pick one field out
+    of an event ([None] when the key is absent {e or} holds another
+    type; [attr_float] also accepts [Int], since emitters freely choose
+    between the two numeric shapes). *)
+
+val attr_bool : t -> string -> bool option
+val attr_int : t -> string -> int option
+val attr_float : t -> string -> float option
+val attr_str : t -> string -> string option
+
 val set_enabled : ?capacity:int -> bool -> unit
 (** Turn the event layer on or off.  Enabling clears the ring and, when
     [capacity] (default 4096) is given, resizes it. *)

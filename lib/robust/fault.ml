@@ -22,6 +22,7 @@ let known_points =
     "io.load";
     "store.append";
     "pipeline.artifact";
+    "sched.enqueue";
   ]
 
 (* [any] is the fast path read by every [hit]; the table and the fired

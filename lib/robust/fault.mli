@@ -6,10 +6,12 @@
     ["server.read"] (the daemon's request read), ["cache.get"] (a cache
     lookup), ["qk.restart"] (each QK bipartition restart),
     ["store.append"] (a workload-store journal commit, before any bytes
-    reach the file), and ["pipeline.artifact"] (an incremental-pipeline
+    reach the file), ["pipeline.artifact"] (an incremental-pipeline
     artifact-cache lookup — a throw or corruption there must degrade to
-    recomputing the component, never to a wrong answer) — and the test
-    harness arms them to {e throw}, {e delay}, or {e corrupt}.  Firing
+    recomputing the component, never to a wrong answer), and
+    ["sched.enqueue"] (admission into the batch scheduler — a throw
+    there must fail only that submission, never wedge the queue) — and
+    the test harness arms them to {e throw}, {e delay}, or {e corrupt}.  Firing
     can be probabilistic, driven by a seeded {!Bcc_util.Rng} stream so a
     failing fuzz run reproduces from its seed.
 

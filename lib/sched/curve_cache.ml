@@ -1,0 +1,216 @@
+(* Hashtbl + intrusive doubly-linked LRU list (the Bcc_server.Cache
+   idiom), accounted in bytes rather than entry count, with per-entry
+   multi-owner footprint claims so delta-driven eviction composes with
+   cross-workload sharing. *)
+
+type entry = {
+  fp : string;
+  mutable payload : string;
+  mutable cost : int;  (* accounted bytes for this entry *)
+  owners : (string, string list) Hashtbl.t;  (* owner -> footprint *)
+  mutable prev : entry option;  (* towards head (MRU) *)
+  mutable next : entry option;  (* towards tail (LRU victim) *)
+}
+
+type stats = {
+  entries : int;
+  bytes : int;
+  max_bytes : int;
+  hits : int;
+  misses : int;
+  insertions : int;
+  evictions : int;
+}
+
+type t = {
+  max_bytes : int;
+  tbl : (string, entry) Hashtbl.t;
+  by_owner : (string, (string, unit) Hashtbl.t) Hashtbl.t;  (* owner -> fp set *)
+  mutable head : entry option;
+  mutable tail : entry option;
+  mutable bytes : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable insertions : int;
+  mutable evictions : int;
+  lock : Mutex.t;
+}
+
+let default_max_bytes = 64 * 1024 * 1024
+
+let create ?(max_bytes = default_max_bytes) () =
+  if max_bytes < 1 then invalid_arg "Curve_cache.create: max_bytes must be positive";
+  {
+    max_bytes;
+    tbl = Hashtbl.create 256;
+    by_owner = Hashtbl.create 16;
+    head = None;
+    tail = None;
+    bytes = 0;
+    hits = 0;
+    misses = 0;
+    insertions = 0;
+    evictions = 0;
+    lock = Mutex.create ();
+  }
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+(* Per-entry overhead charged on top of the strings: list nodes, hash
+   slots, owner table.  An estimate — the bound is a budget, not an
+   audit. *)
+let entry_cost fp payload = String.length fp + String.length payload + 96
+
+let unlink t e =
+  (match e.prev with Some p -> p.next <- e.next | None -> t.head <- e.next);
+  (match e.next with Some n -> n.prev <- e.prev | None -> t.tail <- e.prev);
+  e.prev <- None;
+  e.next <- None
+
+let push_front t e =
+  e.next <- t.head;
+  e.prev <- None;
+  (match t.head with Some h -> h.prev <- Some e | None -> t.tail <- Some e);
+  t.head <- Some e
+
+let owner_set t owner =
+  match Hashtbl.find_opt t.by_owner owner with
+  | Some s -> s
+  | None ->
+      let s = Hashtbl.create 8 in
+      Hashtbl.replace t.by_owner owner s;
+      s
+
+let forget_claim t owner fp =
+  match Hashtbl.find_opt t.by_owner owner with
+  | None -> ()
+  | Some s ->
+      Hashtbl.remove s fp;
+      if Hashtbl.length s = 0 then Hashtbl.remove t.by_owner owner
+
+(* Remove an entry entirely: list, table, byte account, every owner's
+   index.  Caller decides whether it counts as an eviction. *)
+let remove_entry t e =
+  unlink t e;
+  Hashtbl.remove t.tbl e.fp;
+  t.bytes <- t.bytes - e.cost;
+  Hashtbl.iter (fun owner _ -> forget_claim t owner e.fp) e.owners
+
+let evict_to_bound t =
+  while t.bytes > t.max_bytes && t.tail <> None do
+    match t.tail with
+    | Some victim ->
+        remove_entry t victim;
+        t.evictions <- t.evictions + 1
+    | None -> ()
+  done
+
+let find t fp =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.tbl fp with
+      | Some e ->
+          t.hits <- t.hits + 1;
+          unlink t e;
+          push_front t e;
+          Some e.payload
+      | None ->
+          t.misses <- t.misses + 1;
+          None)
+
+let store t ~owner ?(footprint = []) fp payload =
+  locked t (fun () ->
+      (match Hashtbl.find_opt t.tbl fp with
+      | Some e ->
+          let cost = entry_cost fp payload in
+          t.bytes <- t.bytes - e.cost + cost;
+          e.payload <- payload;
+          e.cost <- cost;
+          Hashtbl.replace e.owners owner footprint;
+          unlink t e;
+          push_front t e
+      | None ->
+          let e =
+            {
+              fp;
+              payload;
+              cost = entry_cost fp payload;
+              owners = Hashtbl.create 2;
+              prev = None;
+              next = None;
+            }
+          in
+          Hashtbl.replace e.owners owner footprint;
+          Hashtbl.replace t.tbl fp e;
+          t.bytes <- t.bytes + e.cost;
+          t.insertions <- t.insertions + 1;
+          push_front t e);
+      Hashtbl.replace (owner_set t owner) fp ();
+      evict_to_bound t)
+
+let set_footprint t ~owner fp footprint =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.tbl fp with
+      | None -> ()
+      | Some e ->
+          Hashtbl.replace e.owners owner footprint;
+          Hashtbl.replace (owner_set t owner) fp ())
+
+let release_claim t ~count_eviction owner fp =
+  match Hashtbl.find_opt t.tbl fp with
+  | None -> ()
+  | Some e ->
+      Hashtbl.remove e.owners owner;
+      forget_claim t owner fp;
+      if Hashtbl.length e.owners = 0 then begin
+        remove_entry t e;
+        if count_eviction then t.evictions <- t.evictions + 1
+      end
+
+let owner_fps t owner =
+  match Hashtbl.find_opt t.by_owner owner with
+  | None -> []
+  | Some s -> Hashtbl.fold (fun fp () acc -> fp :: acc) s []
+
+let evict_owner t ~owner ~touched =
+  locked t (fun () ->
+      List.iter
+        (fun fp ->
+          match Hashtbl.find_opt t.tbl fp with
+          | None -> forget_claim t owner fp
+          | Some e -> (
+              match Hashtbl.find_opt e.owners owner with
+              | Some footprint when List.exists touched footprint ->
+                  release_claim t ~count_eviction:true owner fp
+              | _ -> ()))
+        (owner_fps t owner))
+
+let drop_owner t ~owner =
+  locked t (fun () ->
+      List.iter (release_claim t ~count_eviction:true owner) (owner_fps t owner);
+      Hashtbl.remove t.by_owner owner)
+
+let owned t ~owner =
+  locked t (fun () ->
+      owner_fps t owner
+      |> List.filter_map (fun fp ->
+             match Hashtbl.find_opt t.tbl fp with
+             | None -> None
+             | Some e ->
+                 Option.map
+                   (fun footprint -> (fp, (footprint, e.payload)))
+                   (Hashtbl.find_opt e.owners owner))
+      |> List.sort (fun (a, _) (b, _) -> compare a b))
+
+let stats t =
+  locked t (fun () ->
+      {
+        entries = Hashtbl.length t.tbl;
+        bytes = t.bytes;
+        max_bytes = t.max_bytes;
+        hits = t.hits;
+        misses = t.misses;
+        insertions = t.insertions;
+        evictions = t.evictions;
+      })

@@ -1,0 +1,76 @@
+(** Process-wide, byte-bounded LRU cache for pipeline curve artifacts,
+    shared across workloads.
+
+    Entries are keyed by component {e content fingerprint}
+    ({!Bcc_core.Pipeline} md5 digests over name-keyed canonical
+    serialization including budget, effective grid, options and format
+    version), so two workloads that contain the same component — same
+    query/classifier content under the same budget — share one cached
+    curve.  Lookup is therefore global: {!find} returns a payload no
+    matter which owner stored it.
+
+    Eviction has two triggers:
+
+    - {b bytes}: the cache holds at most [max_bytes] of payload;
+      inserting past the bound evicts from the LRU tail.
+    - {b deltas}: each {e owner} (a workload generation,
+      ["name@generation"]) attaches a {e footprint} — the property names
+      a curve depends on — to the entries it relies on.
+      {!evict_owner} drops the owner's claims whose footprint intersects
+      a delta's touched set; an entry with no claims left is removed.
+      This preserves the store's invariant that a surviving artifact is
+      still valid for its owner (stale curves would be caught by the
+      pipeline's checksum + re-price, but eviction keeps the cache
+      honest and bounded).
+
+    All operations are thread-safe (one internal mutex); payload solves
+    must run outside the cache, this only stores results. *)
+
+type t
+
+type stats = {
+  entries : int;
+  bytes : int;  (** accounted payload + key bytes currently held *)
+  max_bytes : int;
+  hits : int;
+  misses : int;
+  insertions : int;
+  evictions : int;  (** LRU + footprint + drop_owner removals *)
+}
+
+val create : ?max_bytes:int -> unit -> t
+(** Default [max_bytes] is 64 MiB.  A bound below one entry's cost still
+    admits the entry transiently but evicts it on the next insertion. *)
+
+val find : t -> string -> string option
+(** [find t fp] — global fingerprint lookup, counts a hit or miss and
+    refreshes LRU position.  Does {e not} create an owner claim: a
+    cross-workload hit is claimed by the borrowing owner afterwards via
+    {!set_footprint}. *)
+
+val store : t -> owner:string -> ?footprint:string list -> string -> string -> unit
+(** [store t ~owner ~footprint fp payload] inserts (or refreshes) the
+    entry and records [owner]'s claim with [footprint] (default [[]],
+    meaning "not yet stamped" — an empty footprint never intersects a
+    delta, so such claims survive until {!set_footprint} or
+    {!drop_owner}).  May evict LRU-tail entries to respect the byte
+    bound. *)
+
+val set_footprint : t -> owner:string -> string -> string list -> unit
+(** [set_footprint t ~owner fp footprint] adds or updates [owner]'s
+    claim on an existing entry; no-op when [fp] is not cached.  This is
+    how a cross-workload {!find} hit becomes owned by the borrower. *)
+
+val evict_owner : t -> owner:string -> touched:(string -> bool) -> unit
+(** Drop [owner]'s claims whose footprint contains a property for which
+    [touched] is [true]; entries left with zero claims are removed. *)
+
+val drop_owner : t -> owner:string -> unit
+(** Remove every claim of [owner]; entries left unclaimed are removed.
+    Used when a workload is replaced (re-put) or its budget changes. *)
+
+val owned : t -> owner:string -> (string * (string list * string)) list
+(** [(fp, (footprint, payload))] for every entry [owner] claims, sorted
+    by fingerprint — the store persists exactly this set per workload. *)
+
+val stats : t -> stats

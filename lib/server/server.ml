@@ -17,6 +17,9 @@ module Deadline = Bcc_robust.Deadline
 module Fault = Bcc_robust.Fault
 module Store = Bcc_store.Store
 module Delta = Bcc_store.Delta
+module Pipeline = Bcc_core.Pipeline
+module Sched = Bcc_sched.Sched
+module Curve_cache = Bcc_sched.Curve_cache
 
 type config = {
   host : string;
@@ -30,6 +33,10 @@ type config = {
   state_dir : string option;
   event_log : string option;  (* JSONL wide-event log, one line per event *)
   debug_dir : string option;  (* flight-recorder dumps of slow/degraded solves *)
+  sched_concurrency : int;  (* concurrent solve batches; 0 = workers - 1 *)
+  tenant_depth : int;  (* max queued solve requests per tenant *)
+  tenant_weights : (string * int) list;  (* fair-share weights; default 1 *)
+  curve_cache_mb : int;  (* byte budget of the shared curve cache *)
 }
 
 let default_config =
@@ -45,6 +52,10 @@ let default_config =
     state_dir = None;
     event_log = None;
     debug_dir = None;
+    sched_concurrency = 0;
+    tenant_depth = 32;
+    tenant_weights = [];
+    curve_cache_mb = 64;
   }
 
 type loaded = { digest : string; inst : Instance.t }
@@ -61,6 +72,8 @@ type t = {
   inst_cache : loaded Cache.t;  (* raw body digest -> parsed instance *)
   sol_cache : Json.t Cache.t;  (* canonical digest + endpoint + params -> result *)
   store : Store.t;  (* versioned workloads, durable under [state_dir] *)
+  curve_cache : Curve_cache.t;  (* curve artifacts shared across workloads *)
+  sched : Http.response Sched.t;  (* batch scheduler for solve traffic *)
   metrics : Metrics.t;
 }
 
@@ -105,6 +118,21 @@ let create cfg =
      opens a sub-portfolio drains it itself, so this cannot deadlock. *)
   let pool = Engine.Pool.domains ~jobs:num_workers in
   Engine.install_default pool;
+  let curve_cache =
+    Curve_cache.create ~max_bytes:(max 1 cfg.curve_cache_mb * 1024 * 1024) ()
+  in
+  (* Batch concurrency below the worker count keeps a worker available
+     to feed (and coalesce into) the next batch while one runs; the
+     wrapper is work-conserving, so blocked submitters execute the
+     batches themselves. *)
+  let sched =
+    Sched.create
+      ~weights:cfg.tenant_weights ~tenant_depth:cfg.tenant_depth
+      ~concurrency:
+        (if cfg.sched_concurrency > 0 then cfg.sched_concurrency
+         else max 1 (num_workers - 1))
+      ()
+  in
   let t =
     {
       cfg;
@@ -117,7 +145,9 @@ let create cfg =
       named;
       inst_cache = Cache.create ~capacity:(max 1 cfg.cache_entries);
       sol_cache = Cache.create ~capacity:(max 1 cfg.cache_entries);
-      store = Store.create ?dir:cfg.state_dir ();
+      store = Store.create ?dir:cfg.state_dir ~curve_cache ();
+      curve_cache;
+      sched;
       metrics = Metrics.create ();
     }
   in
@@ -702,6 +732,45 @@ let handle_solves req =
                Json.List (List.map (solve_json ~detail:false) (Recorder.solves ())) );
            ])
 
+let handle_sched_debug t =
+  let ss = Sched.stats t.sched in
+  let cs = Curve_cache.stats t.curve_cache in
+  let tenant_json (ti : Sched.Core.tenant_info) =
+    Json.Obj
+      [
+        ("tenant", Json.Str ti.Sched.Core.ti_tenant);
+        ("weight", Json.Num (float_of_int ti.Sched.Core.ti_weight));
+        ("deficit", Json.Num (float_of_int ti.Sched.Core.ti_deficit));
+        ("queued_batches", Json.Num (float_of_int ti.Sched.Core.ti_queued_batches));
+        ("queued_waiters", Json.Num (float_of_int ti.Sched.Core.ti_queued_waiters));
+        ("dispatched", Json.Num (float_of_int ti.Sched.Core.ti_dispatched));
+      ]
+  in
+  Http.json_response 200
+    (Json.Obj
+       [
+         ("batches_total", Json.Num (float_of_int ss.Sched.batches_total));
+         ("coalesced_total", Json.Num (float_of_int ss.Sched.coalesced_total));
+         ("rejected_total", Json.Num (float_of_int ss.Sched.rejected_total));
+         ("expired_total", Json.Num (float_of_int ss.Sched.expired_total));
+         ("queued_batches", Json.Num (float_of_int ss.Sched.queued_batches));
+         ("queued_waiters", Json.Num (float_of_int ss.Sched.queued_waiters));
+         ("running", Json.Num (float_of_int ss.Sched.running));
+         ("est_batch_s", Json.Num ss.Sched.est_batch_s);
+         ("tenants", Json.List (List.map tenant_json ss.Sched.tenants));
+         ( "curve_cache",
+           Json.Obj
+             [
+               ("entries", Json.Num (float_of_int cs.Curve_cache.entries));
+               ("bytes", Json.Num (float_of_int cs.Curve_cache.bytes));
+               ("max_bytes", Json.Num (float_of_int cs.Curve_cache.max_bytes));
+               ("hits", Json.Num (float_of_int cs.Curve_cache.hits));
+               ("misses", Json.Num (float_of_int cs.Curve_cache.misses));
+               ("insertions", Json.Num (float_of_int cs.Curve_cache.insertions));
+               ("evictions", Json.Num (float_of_int cs.Curve_cache.evictions));
+             ] );
+       ])
+
 let handle_metrics t =
   let cache_gauges name cache =
     Metrics.set t.metrics "bccd_cache_entries" ~labels:[ ("cache", name) ]
@@ -765,6 +834,63 @@ let handle_metrics t =
             r
       | None -> ())
     (Store.list t.store);
+  (* Scheduler and shared-curve-cache series, polled with the same
+     delta-inc pattern as the engine counters. *)
+  let delta_inc name ?(labels = []) ?help live =
+    Metrics.inc t.metrics name ~labels ?help
+      ~by:(live -. Metrics.counter_value t.metrics name ~labels)
+  in
+  let ss = Sched.stats t.sched in
+  delta_inc "bcc_sched_batches_total"
+    ~help:"Solve batches dispatched by the batch scheduler."
+    (float_of_int ss.Sched.batches_total);
+  delta_inc "bcc_sched_coalesced_total"
+    ~help:"Solve requests that joined an already-queued batch group."
+    (float_of_int ss.Sched.coalesced_total);
+  delta_inc "bcc_sched_rejected_total"
+    ~help:"Solve requests refused by per-tenant admission."
+    (float_of_int ss.Sched.rejected_total);
+  delta_inc "bcc_sched_expired_total"
+    ~help:"Queued solve requests whose deadline lapsed before dispatch."
+    (float_of_int ss.Sched.expired_total);
+  Metrics.set t.metrics "bcc_sched_queue_depth"
+    ~help:"Solve batches waiting for dispatch."
+    (float_of_int ss.Sched.queued_batches);
+  Metrics.set t.metrics "bcc_sched_running"
+    ~help:"Solve batches currently executing."
+    (float_of_int ss.Sched.running);
+  Metrics.set t.metrics "bcc_sched_batch_seconds_est"
+    ~help:"EWMA of recent batch wall times (drives 429 retry-after)."
+    ss.Sched.est_batch_s;
+  List.iter
+    (fun (ti : Sched.Core.tenant_info) ->
+      let labels = [ ("tenant", ti.Sched.Core.ti_tenant) ] in
+      delta_inc "bcc_sched_dispatched_total" ~labels
+        ~help:"Batches dispatched, by tenant."
+        (float_of_int ti.Sched.Core.ti_dispatched);
+      Metrics.set t.metrics "bcc_sched_tenant_queued_waiters" ~labels
+        ~help:"Waiters queued, by tenant."
+        (float_of_int ti.Sched.Core.ti_queued_waiters))
+    ss.Sched.tenants;
+  let cs = Curve_cache.stats t.curve_cache in
+  Metrics.set t.metrics "bcc_curve_cache_entries"
+    ~help:"Curve artifacts resident in the shared cache."
+    (float_of_int cs.Curve_cache.entries);
+  Metrics.set t.metrics "bcc_curve_cache_bytes"
+    ~help:"Bytes held by the shared curve cache."
+    (float_of_int cs.Curve_cache.bytes);
+  delta_inc "bcc_curve_cache_hits_total"
+    ~help:"Curve-cache lookups served from a resident artifact."
+    (float_of_int cs.Curve_cache.hits);
+  delta_inc "bcc_curve_cache_misses_total"
+    ~help:"Curve-cache lookups that missed."
+    (float_of_int cs.Curve_cache.misses);
+  delta_inc "bcc_curve_cache_insertions_total"
+    ~help:"Curve artifacts inserted into the shared cache."
+    (float_of_int cs.Curve_cache.insertions);
+  delta_inc "bcc_curve_cache_evictions_total"
+    ~help:"Curve artifacts evicted to stay within the byte budget."
+    (float_of_int cs.Curve_cache.evictions);
   Http.response ~content_type:"text/plain; version=0.0.4; charset=utf-8" 200
     (Metrics.render t.metrics)
 
@@ -784,13 +910,14 @@ let handle_workloads t meth segs req =
   | _, [ _; "solution" ] -> Http.error_response 405 ("use GET for " ^ req.Http.path)
   | _ -> Http.error_response 404 ("no such endpoint: " ^ req.Http.path)
 
-let handle t (req : Http.request) =
+let handle_direct t (req : Http.request) =
   match (req.meth, req.path) with
   | "GET", "/healthz" -> Http.response 200 "ok\n"
   | "GET", "/metrics" -> handle_metrics t
   | "GET", "/instances" -> handle_instances t
   | "GET", "/debug/trace" -> handle_trace req
   | "GET", "/debug/solves" -> handle_solves req
+  | "GET", "/debug/sched" -> handle_sched_debug t
   | "POST", "/solve" -> handle_solve t E_solve req
   | "POST", "/gmc3" -> handle_solve t E_gmc3 req
   | "POST", "/ecc" -> handle_solve t E_ecc req
@@ -806,20 +933,12 @@ let handle t (req : Http.request) =
       handle_workloads t meth segs req
   | _, ("/solve" | "/gmc3" | "/ecc") ->
       Http.error_response 405 ("use POST for " ^ req.path)
-  | _, ("/healthz" | "/metrics" | "/instances" | "/debug/trace" | "/debug/solves") ->
+  | _, ("/healthz" | "/metrics" | "/instances" | "/debug/trace" | "/debug/solves"
+       | "/debug/sched") ->
       Http.error_response 405 ("use GET for " ^ req.path)
   | _ -> Http.error_response 404 ("no such endpoint: " ^ req.path)
 
-(* --- connection plumbing --- *)
-
-let count_request t ~endpoint ~status =
-  Metrics.inc t.metrics "bccd_requests_total"
-    ~labels:[ ("endpoint", endpoint); ("status", string_of_int status) ]
-    ~help:"Requests by endpoint and response status."
-
-let respond_error t fd ?headers ~endpoint ~status msg =
-  count_request t ~endpoint ~status;
-  Http.write_response fd (Http.error_response ?headers status msg)
+(* --- scheduled solve admission --- *)
 
 (* Admission rejections (429/503), under both the legacy reason-labeled
    counter and the robustness-layer total asserted by the fault-matrix
@@ -831,6 +950,142 @@ let count_rejected t reason =
   Metrics.inc t.metrics "bcc_requests_rejected_total"
     ~labels:[ ("reason", reason) ]
     ~help:"Requests rejected before solving (backpressure, shutdown)."
+
+(* Tenant identity for fair-share admission: ?tenant= query param, then
+   the [x-bcc-tenant] header, then a "tenant" field of a JSON body;
+   anonymous traffic shares the "default" tenant. *)
+let tenant_of (req : Http.request) =
+  let nonempty = function Some "" | None -> None | Some s -> Some s in
+  let from_body () =
+    let b = String.trim req.Http.body in
+    if b = "" || b.[0] <> '{' then None
+    else
+      match Json.of_string b with
+      | Ok j -> nonempty (Option.bind (Json.member "tenant" j) Json.get_string)
+      | Error _ -> None
+  in
+  match nonempty (Http.query_param req "tenant") with
+  | Some t -> t
+  | None -> (
+      match nonempty (Http.header req "x-bcc-tenant") with
+      | Some t -> t
+      | None -> ( match from_body () with Some t -> t | None -> "default"))
+
+(* The request's timeout, as an absolute queue deadline: a request that
+   cannot finish in time should be pruned from the queue, not solved. *)
+let request_deadline_s (req : Http.request) =
+  let from_query =
+    Option.bind (Http.query_param req "timeout_ms") float_of_string_opt
+  in
+  let from_body () =
+    let b = String.trim req.Http.body in
+    if b = "" || b.[0] <> '{' then None
+    else
+      match Json.of_string b with
+      | Ok j -> Option.bind (Json.member "timeout_ms" j) Json.get_num
+      | Error _ -> None
+  in
+  match (match from_query with Some ms -> Some ms | None -> from_body ()) with
+  | Some ms when Float.is_finite ms && ms > 0.0 ->
+      Some (Timer.now_s () +. (ms /. 1000.))
+  | _ -> None
+
+let default_options_fp = lazy (Pipeline.options_fingerprint Solver.default_options)
+
+(* Coalescing identity.  [key] is the artifact-sharing identity — same
+   instance content (or same workload at the same epoch) under the same
+   solver options; distinct budgets on one key belong in one batch,
+   priced off the same component curves.  [subkey] adds everything that
+   changes the response bytes, so only bit-identical requests share a
+   computed result.  [None] routes around the scheduler (the direct
+   path produces the 400/404). *)
+let sched_keys t (req : Http.request) =
+  if req.Http.meth <> "POST" then None
+  else
+    let optfp = Lazy.force default_options_fp in
+    let fmt_opt = function None -> "-" | Some x -> Printf.sprintf "%.17g" x in
+    match req.Http.path with
+    | "/solve" | "/gmc3" | "/ecc" -> (
+        match parse_params req with
+        | Error _ -> None
+        | Ok (src, budget, target, timeout_ms) ->
+            let src_id =
+              match src with
+              | `Named n -> "n:" ^ n
+              | `Inline text -> "i:" ^ Digest.to_hex (Digest.string text)
+            in
+            let key = Printf.sprintf "s|%s|%s|%s" req.Http.path src_id optfp in
+            let subkey =
+              Printf.sprintf "%s|b=%s|t=%s|to=%s" key (fmt_opt budget)
+                (fmt_opt target) (fmt_opt timeout_ms)
+            in
+            Some (key, subkey))
+    | path -> (
+        match String.split_on_char '/' path with
+        | [ ""; "workloads"; name; "solve" ] -> (
+            match Store.info t.store name with
+            | None -> None
+            | Some i ->
+                let q name = Option.value ~default:"" (Http.query_param req name) in
+                let key =
+                  Printf.sprintf "w|%s|e=%d|%s|c=%s|i=%s" name i.Store.epoch
+                    optfp (q "cold") (q "incremental")
+                in
+                Some (key, Printf.sprintf "%s|to=%s" key (q "timeout_ms")))
+        | _ -> None)
+
+(* Solve traffic goes through the batch scheduler: concurrent identical
+   requests coalesce into one computation, tenants get weighted fair
+   share, and a full tenant queue answers 429 with a clamped
+   retry-after.  Everything else (health, metrics, workload CRUD) stays
+   on the direct path. *)
+let handle t (req : Http.request) =
+  match sched_keys t req with
+  | None -> handle_direct t req
+  | Some (key, subkey) -> (
+      let tenant = tenant_of req in
+      let deadline_s = request_deadline_s req in
+      let corr = Event.current_corr () in
+      let run () =
+        (* May run on another submitter's thread: re-install the
+           originating request's correlation scope. *)
+        let direct () =
+          try handle_direct t req with
+          | Failure msg -> Http.error_response 400 msg
+          | e -> Http.error_response 500 (Printexc.to_string e)
+        in
+        if corr = "" then direct () else Event.with_corr corr direct
+      in
+      match
+        Sched.submit t.sched ~tenant ?deadline_s
+          ?corr:(if corr = "" then None else Some corr)
+          ~key ~subkey run
+      with
+      | Ok resp -> resp
+      | Error (Sched.Busy { retry_after_s }) ->
+          count_rejected t "tenant_queue_full";
+          Http.error_response 429
+            ~headers:[ ("retry-after", string_of_int retry_after_s) ]
+            (Printf.sprintf "tenant %S queue full, retry in %ds" tenant
+               retry_after_s)
+      | Error Sched.Expired ->
+          count_rejected t "sched_deadline";
+          Http.error_response 503 "deadline expired before the solve was dispatched"
+      | Error (Sched.Faulted (Fault.Injected point)) ->
+          Http.error_response 500 ("injected fault: " ^ point)
+      | Error (Sched.Faulted e) ->
+          Http.error_response 500 (Printexc.to_string e))
+
+(* --- connection plumbing --- *)
+
+let count_request t ~endpoint ~status =
+  Metrics.inc t.metrics "bccd_requests_total"
+    ~labels:[ ("endpoint", endpoint); ("status", string_of_int status) ]
+    ~help:"Requests by endpoint and response status."
+
+let respond_error t fd ?headers ~endpoint ~status msg =
+  count_request t ~endpoint ~status;
+  Http.write_response fd (Http.error_response ?headers status msg)
 
 (* Half-close and drain the client's unread bytes before [close].
    Responses written without reading the request (rejections, read

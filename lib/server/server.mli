@@ -49,7 +49,27 @@
       recorder: the last N solves keyed by correlation id, and per id
       the anytime utility curve, the raw wide events and the spans that
       overlapped the solve; incremental solves additionally carry
-      [components_total]/[components_reused] on their summary rows.
+      [components_total]/[components_reused] on their summary rows;
+    - [GET /debug/sched] — the live {!Bcc_sched.Sched} state: batch /
+      coalescing counters, per-tenant deficit-round-robin standings and
+      the shared curve cache's occupancy.
+
+    {2 Batch scheduling and multi-tenancy}
+
+    Solve traffic ([POST /solve]/[/gmc3]/[/ecc] and
+    [POST /workloads/:name/solve]) is admitted through a
+    {!Bcc_sched.Sched} between the accept loop and the engine:
+    concurrent requests for the same instance content (or the same
+    workload epoch) under the same solver options coalesce into one
+    batch — bit-identical requests share one computed response; distinct
+    budgets on the same key run as sibling groups priced off the same
+    curves.  Requests name a tenant ([?tenant=] query parameter,
+    [x-bcc-tenant] header, or a JSON ["tenant"] field; default
+    ["default"]) and tenants receive weighted fair share via deficit
+    round-robin ([tenant_weights]); a tenant whose queue exceeds
+    [tenant_depth] is answered [429] with a [retry-after] of at least
+    1 s.  [/metrics] exports the [bcc_sched_*] and [bcc_curve_cache_*]
+    series.
 
     {2 Request correlation}
 
@@ -88,12 +108,23 @@ type config = {
       (** flight-recorder dump directory: slow or degraded solves are
           written to [<dir>/<corr>.jsonl] on completion; [None] disables
           automatic dumps *)
+  sched_concurrency : int;
+      (** concurrently executing solve batches; [<= 0] auto-sizes to
+          [workers - 1] (min 1), leaving a worker free to feed — and
+          coalesce into — the next batch *)
+  tenant_depth : int;  (** max queued solve requests per tenant (429 beyond) *)
+  tenant_weights : (string * int) list;
+      (** fair-share weights by tenant name; absent tenants weigh 1 *)
+  curve_cache_mb : int;
+      (** byte budget (MiB) of the process-wide curve cache shared
+          across workloads by the incremental pipeline *)
 }
 
 val default_config : config
 (** 127.0.0.1:8080, auto-sized workers, queue 64, 256 cache entries,
     30 s timeout, nothing preloaded, 4096-span trace buffer, in-memory
-    store. *)
+    store, auto batch concurrency, tenant depth 32, 64 MiB curve
+    cache. *)
 
 type t
 

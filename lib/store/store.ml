@@ -12,6 +12,7 @@ module Trace = Bcc_obs.Trace
 module Event = Bcc_obs.Event
 module Deadline = Bcc_robust.Deadline
 module Fault = Bcc_robust.Fault
+module Curve_cache = Bcc_sched.Curve_cache
 
 let log_src = Logs.Src.create "bcc.store" ~doc:"workload store commits and replay"
 
@@ -62,18 +63,20 @@ type workload = {
   mutable warm_ratio : float option;
   mutable jfd : Unix.file_descr option;
   mutable journal_bytes : int;
-  (* Incremental-pipeline artifacts: component fingerprint -> (property
-     -name footprint, serialized curve).  The footprint drives delta
-     invalidation; the fingerprint key makes hits self-validating, so
-     eviction is garbage collection and reuse accounting, never a
-     correctness requirement. *)
-  artifacts : (string, string list * string) Hashtbl.t;
+  (* Incremental-pipeline curve artifacts live in the store-wide
+     [Curve_cache] (shared across workloads, byte-bounded), claimed
+     under this workload's owner id ([wname ^ "@" ^ generation] — a
+     re-put starts a fresh generation, so stale claims are fenced).  The
+     per-owner footprints drive delta invalidation; the fingerprint key
+     makes hits self-validating, so eviction is garbage collection and
+     reuse accounting, never a correctness requirement. *)
   (* Fingerprint hints: pipeline hint key -> (property-name footprint,
      component fingerprint).  Lets an incremental solve skip rehashing
-     components no delta touched (Solve_ctx.fp_hints).  Evicted exactly
-     like [artifacts]; unlike them, hints are a pure in-process memo —
-     never persisted, rebuilt by the first solve after a restart —
-     because their validity rests on this table seeing every delta. *)
+     components no delta touched (Solve_ctx.fp_hints).  Hints stay
+     per-workload (unlike curve payloads) because their validity rests
+     on this table seeing every delta to this workload; they are a pure
+     in-process memo — never persisted, rebuilt by the first solve after
+     a restart. *)
   fp_hints : (string, string list * string) Hashtbl.t;
   lock : Mutex.t;
 }
@@ -81,11 +84,16 @@ type workload = {
 type t = {
   dir : string option;
   compact_bytes : int;
+  cache : Curve_cache.t;  (* curve artifacts, shared across workloads *)
   tbl : (string, workload) Hashtbl.t;
   reg_lock : Mutex.t;  (* lock order: [reg_lock] before any workload lock *)
   epochs : int Atomic.t;
   mutable replay_s : float;
 }
+
+(* The curve cache's owner id for a workload: generation-qualified, so a
+   re-put (fresh generation) naturally orphans the old claims. *)
+let owner_of w = w.wname ^ "@" ^ w.generation
 
 (* --- names, generations, small file helpers --- *)
 
@@ -245,7 +253,6 @@ let build_state ~name ?budget source =
       warm_ratio = None;
       jfd = None;
       journal_bytes = 0;
-      artifacts = Hashtbl.create 8;
       fp_hints = Hashtbl.create 8;
       lock = Mutex.create ();
     }
@@ -389,7 +396,6 @@ let parse_snapshot ~file text =
           warm_ratio = None;
           jfd = None;
           journal_bytes = 0;
-          artifacts = Hashtbl.create 8;
           fp_hints = Hashtbl.create 8;
           lock = Mutex.create ();
         }
@@ -457,13 +463,14 @@ let write_artifacts t w =
   | None -> ()
   | Some dir ->
       let path = artifacts_path dir w.wname in
-      if Hashtbl.length w.artifacts = 0 then begin
+      let owned = Curve_cache.owned t.cache ~owner:(owner_of w) in
+      if owned = [] then begin
         if Sys.file_exists path then try Sys.remove path with Sys_error _ -> ()
       end
       else begin
         let buf = Buffer.create 4096 in
-        Hashtbl.fold (fun fp (fpr, payload) acc -> (fp, fpr, payload) :: acc) w.artifacts []
-        |> List.sort compare
+        owned
+        |> List.map (fun (fp, (fpr, payload)) -> (fp, fpr, payload))
         |> List.iter (fun (fp, fpr, payload) ->
                Buffer.add_string buf
                  (Codec.encode
@@ -484,7 +491,7 @@ let write_artifacts t w =
         fsync_dir dir
       end
 
-let load_artifacts dir w =
+let load_artifacts t dir w =
   let path = artifacts_path dir w.wname in
   if Sys.file_exists path then begin
     let records, _torn = Codec.decode (read_file path) in
@@ -507,7 +514,8 @@ let load_artifacts dir w =
                     | s -> String.split_on_char ';' s
                   in
                   let payload = String.sub rest (j + 1) (String.length rest - j - 1) in
-                  if fp <> "" then Hashtbl.replace w.artifacts fp (footprint, payload)))
+                  if fp <> "" then
+                    Curve_cache.store t.cache ~owner:(owner_of w) ~footprint fp payload))
       records
   end
 
@@ -658,14 +666,19 @@ let replay_workload t dir base =
     Unix.truncate jpath (String.length jbytes - tail)
   end;
   w.journal_bytes <- String.length jbytes - tail;
-  load_artifacts dir w;
+  load_artifacts t dir w;
   Hashtbl.replace t.tbl base w
 
-let create ?dir ?(compact_bytes = 262_144) () =
+let create ?dir ?(compact_bytes = 262_144) ?curve_cache () =
   let t =
     {
       dir;
       compact_bytes = max 1 compact_bytes;
+      (* Default: a private cache, so each store's artifact lifetime is
+         self-contained (tests rely on a fresh store solving cold).  The
+         daemon passes one shared cache so curves cross workloads. *)
+      cache =
+        (match curve_cache with Some c -> c | None -> Curve_cache.create ());
       tbl = Hashtbl.create 8;
       reg_lock = Mutex.create ();
       epochs = Atomic.make 0;
@@ -753,9 +766,12 @@ let put t ~name ?budget source =
                leaves old-generation records that replay skips. *)
             write_snapshot t w;
             truncate_journal t w;
-            (* The fresh generation orphans any artifact file on disk;
-               remove it so a crashed incremental workload cannot leave
-               a stale cache for a name that was re-put. *)
+            (* The fresh generation orphans any artifact file on disk
+               and the old generation's curve-cache claims; remove both
+               so a re-put name cannot serve a stale cache. *)
+            (match old with
+            | Some o -> Curve_cache.drop_owner t.cache ~owner:(owner_of o)
+            | None -> ());
             write_artifacts t w;
             Hashtbl.replace t.tbl name w;
             Atomic.incr t.epochs;
@@ -767,9 +783,9 @@ let put t ~name ?budget source =
    components keep their curves and are reused by the next incremental
    solve.  Purely an accounting/GC step — a stale artifact that survived
    would still miss on its fingerprint. *)
-let evict_artifacts w ops =
+let evict_artifacts t w ops =
   if List.exists (function Delta.Set_budget _ -> true | _ -> false) ops then begin
-    Hashtbl.reset w.artifacts;
+    Curve_cache.drop_owner t.cache ~owner:(owner_of w);
     Hashtbl.reset w.fp_hints
   end
   else begin
@@ -782,20 +798,17 @@ let evict_artifacts w ops =
           ->
             List.iter (fun p -> Hashtbl.replace touched p ()) ps)
       ops;
-    let sweep tbl =
-      let dead =
-        Hashtbl.fold
-          (fun key (footprint, _) acc ->
-            if List.exists (Hashtbl.mem touched) footprint then key :: acc else acc)
-          tbl []
-      in
-      List.iter (Hashtbl.remove tbl) dead
-    in
-    sweep w.artifacts;
+    Curve_cache.evict_owner t.cache ~owner:(owner_of w) ~touched:(Hashtbl.mem touched);
     (* The hint sweep is the correctness half of the hint contract: a
        fingerprint hint may only survive a delta its footprint provably
        does not intersect (Solve_ctx.fp_hints). *)
-    sweep w.fp_hints
+    let dead =
+      Hashtbl.fold
+        (fun key (footprint, _) acc ->
+          if List.exists (Hashtbl.mem touched) footprint then key :: acc else acc)
+        w.fp_hints []
+    in
+    List.iter (Hashtbl.remove w.fp_hints) dead
   end
 
 let delta t ~name ops =
@@ -820,7 +833,7 @@ let delta t ~name ops =
         apply_ops w ops;
         w.epoch <- w.epoch + 1;
         w.cached <- None;
-        evict_artifacts w ops;
+        evict_artifacts t w ops;
         Atomic.incr t.epochs;
         maybe_compact t w;
         Ok (info_of w)
@@ -847,15 +860,18 @@ let solve t ~name ?options ?(cold = false) ?(incremental = false) ?(deadline = D
       (Solver.solve_within ?options ?warm ~deadline inst, 0, 0)
     else begin
       (* Incremental pipeline: per-component curves served from the
-         artifact table when the delta footprint left them untouched.
+         store-wide curve cache when the delta footprint left them
+         untouched.  Lookup is fingerprint-global — another workload (or
+         another epoch's surviving claim) with the same component
+         content serves the hit; self-validating either way.
          Deliberately not warm-seeded — the per-component solves must be
          pure functions of component content so an incremental re-solve
          is bit-identical to a cold pipeline solve at the same epoch. *)
+      let ownr = owner_of w in
       let cache =
         {
-          Solve_ctx.find =
-            (fun fp -> Option.map snd (Hashtbl.find_opt w.artifacts fp));
-          store = (fun fp payload -> Hashtbl.replace w.artifacts fp ([], payload));
+          Solve_ctx.find = (fun fp -> Curve_cache.find t.cache fp);
+          store = (fun fp payload -> Curve_cache.store t.cache ~owner:ownr fp payload);
         }
       in
       let hints =
@@ -870,17 +886,15 @@ let solve t ~name ?options ?(cold = false) ?(incremental = false) ?(deadline = D
       let report = Pipeline.solve ?options ctx inst in
       (* Stamp the footprints the eviction scan intersects with delta
          footprints; newly stored artifacts were parked with an empty
-         footprint above. *)
+         footprint above, and a cross-workload hit becomes claimed by
+         this owner here. *)
       List.iter
         (fun (c : Pipeline.component_report) ->
-          match Hashtbl.find_opt w.artifacts c.Pipeline.fingerprint with
-          | Some (_, payload) ->
-              let footprint =
-                List.sort compare
-                  (List.map (prop_name w) (Propset.to_list c.Pipeline.props))
-              in
-              Hashtbl.replace w.artifacts c.Pipeline.fingerprint (footprint, payload)
-          | None -> ())
+          let footprint =
+            List.sort compare
+              (List.map (prop_name w) (Propset.to_list c.Pipeline.props))
+          in
+          Curve_cache.set_footprint t.cache ~owner:ownr c.Pipeline.fingerprint footprint)
         report.Pipeline.components;
       write_artifacts t w;
       (report.Pipeline.outcome, report.Pipeline.components_total,

@@ -37,9 +37,10 @@
     [solve ~incremental:true] uses the staged {!Bcc_core.Pipeline}
     instead of the monolithic solver and keeps its per-component
     artifacts — fingerprint-keyed budget→utility curves with a
-    property-name footprint — in the workload, persisted next to the
-    snapshot and invalidated by the deltas that touch them.  See
-    {!solve} for the contract.
+    property-name footprint — in a {!Bcc_sched.Curve_cache} (byte
+    -bounded, shareable across workloads and across stores), persisted
+    per workload next to the snapshot and invalidated by the deltas
+    that touch them.  See {!create} and {!solve} for the contract.
 
     All mutating operations run under a per-workload lock (solves of
     distinct workloads proceed in parallel), carry {!Bcc_obs.Trace}
@@ -88,9 +89,14 @@ type solved = {
 
 type error = [ `Not_found | `Bad of string ]
 
-val create : ?dir:string -> ?compact_bytes:int -> unit -> t
+val create :
+  ?dir:string -> ?compact_bytes:int -> ?curve_cache:Bcc_sched.Curve_cache.t -> unit -> t
 (** Opens (and replays) the state directory, creating it if missing;
     [compact_bytes] (default 262144) caps the journal before compaction.
+    [curve_cache] holds the incremental pipeline's curve artifacts;
+    passing one shared cache lets equal-content components cross
+    workloads (and stores).  Default: a fresh private cache, so an
+    isolated store still solves cold the first time.
     @raise Failure on an unreadable/corrupt snapshot. *)
 
 val close : t -> unit
@@ -126,10 +132,12 @@ val solve :
 
     [incremental] routes the solve through {!Bcc_core.Pipeline}: the
     instance is staged into fingerprinted overlap-graph components whose
-    budget→utility curves are cached in a per-workload artifact table
-    ([<name>.artifacts] on disk, atomically rewritten after each
-    incremental solve and reloaded on replay).  A {!delta} evicts only
-    the artifacts whose property footprint the batch touches, so the
+    budget→utility curves are cached in the store's curve cache, claimed
+    per workload generation ([<name>.artifacts] on disk, atomically
+    rewritten after each incremental solve and reloaded on replay;
+    lookups are fingerprint-global, so an equal-content component of
+    another workload serves the hit).  A {!delta} evicts only
+    this workload's claims whose property footprint the batch touches, so the
     next incremental solve recomputes the dirty components and reuses
     the clean curves — and, because each curve is a pure function of
     component content (fingerprint-derived randomness, no warm

@@ -1,0 +1,119 @@
+#!/usr/bin/env bash
+# Multi-tenant scheduler smoke test against the real bccd binary:
+# three weighted tenants fire 50 concurrent cold solves at one shared
+# workload through a single scheduler slot.  Every request must succeed
+# with the identical answer, the scheduler must have coalesced part of
+# the pile-up (ratio > 0), and /debug/sched must show all three tenants
+# admitted and drained.
+#
+# Usage: scripts/sched_smoke.sh [path-to-bccd.exe]
+set -euo pipefail
+
+BCCD=${1:-_build/default/bin/bccd.exe}
+[ -x "$BCCD" ] || { echo "bccd binary not found at $BCCD (dune build bin first)"; exit 1; }
+
+TMP=$(mktemp -d)
+PID=
+cleanup() {
+  [ -n "$PID" ] && kill -9 "$PID" 2>/dev/null || true
+  rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+"$BCCD" --port 0 --workers 4 --sched-concurrency 1 \
+  --tenant-weight t0=1 --tenant-weight t1=2 --tenant-weight t2=3 \
+  --curve-cache-mb 8 >"$TMP/out" 2>&1 &
+PID=$!
+for _ in $(seq 100); do
+  PORT=$(sed -n 's/.*listening on [^ ]*:\([0-9][0-9]*\) .*/\1/p' "$TMP/out" | head -n1)
+  [ -n "$PORT" ] && break
+  kill -0 "$PID" 2>/dev/null || { echo "daemon died on startup:"; cat "$TMP/out"; exit 1; }
+  sleep 0.1
+done
+[ -n "$PORT" ] || { echo "daemon never reported its port:"; cat "$TMP/out"; exit 1; }
+echo "daemon up on port $PORT"
+
+# A clustered workload big enough that one solve outlives the arrival of
+# the concurrent wave behind it (that overlap is what coalesces).
+{
+  echo "budget 600"
+  for c in $(seq 0 59); do
+    echo "query p${c}a;p${c}b $((5 + c % 13))"
+    echo "query p${c}b;p${c}c $((3 + c % 7))"
+    echo "classifier p${c}a 2"
+    echo "classifier p${c}b 3"
+    echo "classifier p${c}c 2"
+    echo "classifier p${c}a;p${c}b 4"
+    echo "classifier p${c}b;p${c}c 4"
+  done
+} > "$TMP/workload"
+
+curl -fsS -X PUT "http://127.0.0.1:$PORT/workloads/smoke" \
+  --data-binary @"$TMP/workload" >/dev/null
+
+N=50
+CURLS=()
+for i in $(seq 1 $N); do
+  t="t$((i % 3))"
+  (
+    code=$(curl -s -o "$TMP/resp.$i" -w '%{http_code}' -X POST \
+      "http://127.0.0.1:$PORT/workloads/smoke/solve?tenant=$t&cold=true" \
+      --data-binary '')
+    echo "$code $t" > "$TMP/code.$i"
+  ) &
+  CURLS+=($!)
+done
+# wait for the request wave only (a bare wait would also wait on the daemon)
+for pid in "${CURLS[@]}"; do wait "$pid"; done
+
+fails=0
+for i in $(seq 1 $N); do
+  read -r code t < "$TMP/code.$i"
+  if [ "$code" != 200 ]; then echo "request $i ($t) -> HTTP $code"; fails=1; fi
+done
+[ "$fails" = 0 ] || { echo "some requests failed"; cat "$TMP/out"; exit 1; }
+
+# per-tenant completion spread: every tenant's whole share came back
+for t in t0 t1 t2; do
+  n=$(cat "$TMP"/code.* | grep -c "^200 $t\$")
+  echo "tenant $t: $n/200s"
+  [ "$n" -ge 16 ] || { echo "tenant $t starved ($n completions)"; exit 1; }
+done
+
+# identical answers for every waiter, coalesced or not
+for i in $(seq 1 $N); do
+  python3 -c 'import json,sys; d=json.load(open(sys.argv[1])); print(d["utility"], d["cost"])' "$TMP/resp.$i"
+done | sort -u > "$TMP/answers"
+[ "$(wc -l < "$TMP/answers")" = 1 ] || { echo "answers diverged:"; cat "$TMP/answers"; exit 1; }
+
+curl -fsS "http://127.0.0.1:$PORT/metrics" > "$TMP/metrics"
+curl -fsS "http://127.0.0.1:$PORT/debug/sched" > "$TMP/sched"
+
+python3 - "$TMP/metrics" "$TMP/sched" <<'EOF'
+import json, sys
+metrics = open(sys.argv[1]).read()
+def metric(name):
+    for line in metrics.splitlines():
+        if line.startswith(name):
+            return float(line.split()[-1])
+    raise SystemExit(name + " missing from /metrics")
+batches = metric("bcc_sched_batches_total")
+coalesced = metric("bcc_sched_coalesced_total")
+assert batches >= 1, batches
+assert coalesced > 0, "coalesce ratio is zero: no request shared a batch"
+sched = json.load(open(sys.argv[2]))
+assert sched["queued_waiters"] == 0 and sched["running"] == 0, sched
+tenants = {t["tenant"]: t for t in sched["tenants"]}
+for name, weight in [("t0", 1), ("t1", 2), ("t2", 3)]:
+    assert name in tenants, "tenant %s missing: %s" % (name, sorted(tenants))
+    assert tenants[name]["weight"] == weight, tenants[name]
+assert sum(t["dispatched"] for t in tenants.values()) >= 1, sched
+print("sched smoke: %d batches, %d coalesced waiters (ratio %.0f%%), tenants %s: OK"
+      % (batches, coalesced, 100 * coalesced / (batches + coalesced),
+         ",".join(sorted(tenants))))
+EOF
+
+kill -TERM "$PID"; wait "$PID" || { echo "daemon did not exit cleanly"; exit 1; }
+PID=
+
+echo "scheduler smoke: OK"

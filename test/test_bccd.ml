@@ -927,6 +927,166 @@ let fault_pipeline_artifact () =
       | Unix.WEXITED 0 -> ()
       | _ -> Alcotest.fail "daemon did not exit cleanly after the fault run")
 
+(* --- batch scheduler: coalescing, tenants, curve cache over HTTP --- *)
+
+let sched_debug d =
+  let status, body = request ~port:d.port ~meth:"GET" ~path:"/debug/sched" () in
+  Alcotest.(check int) "debug/sched status" 200 status;
+  Json.of_string_exn (String.trim body)
+
+(* Wedge the single scheduler slot with a one-shot delayed cache lookup:
+   the first /solve dispatches immediately and stalls inside its batch,
+   so everything arriving meanwhile provably joins one pending batch
+   that runs exactly once when the slot frees up. *)
+let sched_coalescing_e2e () =
+  with_daemon ~faults:"cache.get:delay:1.5:1"
+    [ "--workers"; "8"; "--sched-concurrency"; "1" ]
+    (fun d inst ->
+      let results = Array.make 7 (-1, "") in
+      let fire i body =
+        Thread.create
+          (fun () ->
+            results.(i) <- request ~port:d.port ~meth:"POST" ~path:"/solve" ~body ())
+          ()
+      in
+      let t0 = fire 0 solve_body in
+      Thread.delay 0.4;
+      (* slot is wedged: these six share one pending batch across tenants *)
+      let followers =
+        List.mapi
+          (fun j tenant ->
+            fire (j + 1)
+              (Printf.sprintf {|{"instance":"fig","budget":4,"tenant":%S}|} tenant))
+          [ "alpha"; "alpha"; "beta"; "beta"; "default"; "default" ]
+      in
+      List.iter Thread.join (t0 :: followers);
+      Array.iteri
+        (fun i (status, body) ->
+          Alcotest.(check int) (Printf.sprintf "solve[%d] status" i) 200 status;
+          let json = Json.of_string_exn (String.trim body) in
+          verify_response inst ~budget:4.0 json;
+          Alcotest.(check (float 1e-6))
+            (Printf.sprintf "solve[%d] optimal utility" i)
+            9.0 (num_field "utility" json))
+        results;
+      let at_least m name lo =
+        match metric_value m name with
+        | Some n -> Alcotest.(check bool) (name ^ " populated") true (n >= lo)
+        | None -> Alcotest.failf "%s missing" name
+      in
+      let m = metrics d in
+      (* the wedged request is its own batch; the followers coalesced *)
+      at_least m "bcc_sched_batches_total" 2.0;
+      at_least m "bcc_sched_coalesced_total" 1.0;
+      at_least m {|bcc_sched_dispatched_total{tenant="default"}|} 1.0;
+      Alcotest.(check bool) "curve cache gauges exported" true
+        (metric_value m "bcc_curve_cache_entries" <> None
+        && metric_value m "bcc_curve_cache_bytes" <> None);
+      let js = sched_debug d in
+      Alcotest.(check bool) "debug batches >= 2" true
+        (num_field "batches_total" js >= 2.0);
+      Alcotest.(check bool) "debug coalesced >= 1" true
+        (num_field "coalesced_total" js >= 1.0);
+      Alcotest.(check (float 1e-9)) "queue drained" 0.0 (num_field "queued_waiters" js);
+      Alcotest.(check (float 1e-9)) "nothing running" 0.0 (num_field "running" js);
+      (match Json.get_list (get_field "tenants" js) with
+      | Some tl ->
+          let names =
+            List.filter_map (fun e -> Json.get_string (get_field "tenant" e)) tl
+          in
+          List.iter
+            (fun n ->
+              if not (List.mem n names) then
+                Alcotest.failf "tenant %S missing from /debug/sched" n)
+            [ "alpha"; "beta"; "default" ]
+      | None -> Alcotest.fail "tenants is not a list");
+      Alcotest.(check bool) "curve cache byte bound positive" true
+        (num_field "max_bytes" (get_field "curve_cache" js) > 0.0);
+      (* a workload pipeline solve populates the shared curve cache *)
+      Alcotest.(check int) "PUT workload" 200
+        (fst (request ~port:d.port ~meth:"PUT" ~path:"/workloads/wfig" ~body:fig_text ()));
+      Alcotest.(check int) "workload solve via the scheduler" 200
+        (fst
+           (request ~port:d.port ~meth:"POST"
+              ~path:"/workloads/wfig/solve?incremental=true" ~body:"" ()));
+      let m = metrics d in
+      at_least m "bcc_curve_cache_insertions_total" 1.0;
+      Alcotest.(check bool) "curve cache holds entries" true
+        (num_field "entries" (get_field "curve_cache" (sched_debug d)) >= 1.0))
+
+(* An armed sched.enqueue fault costs exactly the armed number of
+   requests — one 500 each — and never wedges the queue. *)
+let fault_sched_enqueue () =
+  with_daemon ~faults:"sched.enqueue:throw:2" [ "--workers"; "2" ]
+    (fun d inst ->
+      let shoot () =
+        request ~port:d.port ~meth:"POST" ~path:"/solve" ~body:solve_body ()
+      in
+      let s1, b1 = shoot () in
+      Alcotest.(check int) "first enqueue faults with 500" 500 s1;
+      Alcotest.(check bool) "fault surfaced, not masked" true
+        (contains b1 "injected fault");
+      Alcotest.(check int) "second armed fault also 500" 500 (fst (shoot ()));
+      let s3, b3 = shoot () in
+      Alcotest.(check int) "third request recovers" 200 s3;
+      verify_response inst ~budget:4.0 (Json.of_string_exn (String.trim b3));
+      (* the faulted submissions left nothing behind *)
+      let js = sched_debug d in
+      Alcotest.(check (float 1e-9)) "no waiters left" 0.0
+        (num_field "queued_waiters" js);
+      Alcotest.(check (float 1e-9)) "nothing running" 0.0 (num_field "running" js))
+
+(* Per-tenant admission: with the slot wedged and --tenant-depth 1, a
+   tenant's second queued waiter bounces with 429 + retry-after while
+   another tenant is still admitted into the same pending batch. *)
+let fault_tenant_depth_429 () =
+  with_daemon ~faults:"cache.get:delay:1.5:1"
+    [ "--workers"; "8"; "--sched-concurrency"; "1"; "--tenant-depth"; "1" ]
+    (fun d _inst ->
+      let body_of tenant budget =
+        Printf.sprintf {|{"instance":"fig","budget":%g,"tenant":%S}|} budget tenant
+      in
+      let r1 = ref (-1, "") and r2 = ref (-1, "") and r4 = ref (-1, "") in
+      let fire r body =
+        Thread.create
+          (fun () -> r := request ~port:d.port ~meth:"POST" ~path:"/solve" ~body ())
+          ()
+      in
+      let t1 = fire r1 (body_of "cap" 4.0) in
+      Thread.delay 0.4;
+      (* slot wedged by r1's batch; this queues cap's one allowed waiter *)
+      let t2 = fire r2 (body_of "cap" 11.0) in
+      Thread.delay 0.3;
+      (* cap's second queued waiter: bounced at admission *)
+      let status, raw =
+        request_raw ~port:d.port ~meth:"POST" ~path:"/solve"
+          ~body:(body_of "cap" 4.0) ()
+      in
+      Alcotest.(check int) "tenant over depth -> 429" 429 status;
+      (match header_value raw "retry-after" with
+      | Some v -> (
+          match int_of_string_opt (String.trim v) with
+          | Some s -> Alcotest.(check bool) "retry-after >= 1" true (s >= 1)
+          | None -> Alcotest.failf "retry-after %S is not an integer" v)
+      | None -> Alcotest.fail "429 carries no retry-after");
+      Alcotest.(check bool) "429 body names the tenant queue" true
+        (contains raw "queue full");
+      (* an unrelated tenant is admitted despite cap's rejection *)
+      let t4 = fire r4 (body_of "other" 11.0) in
+      List.iter Thread.join [ t1; t2; t4 ];
+      Alcotest.(check int) "wedged solve completes" 200 (fst !r1);
+      Alcotest.(check int) "queued solve completes" 200 (fst !r2);
+      Alcotest.(check int) "other tenant admitted" 200 (fst !r4);
+      let m = metrics d in
+      (match
+         metric_value m {|bcc_requests_rejected_total{reason="tenant_queue_full"}|}
+       with
+      | Some n -> Alcotest.(check bool) "tenant rejection counted" true (n >= 1.0)
+      | None -> Alcotest.fail "tenant_queue_full rejection counter missing");
+      match metric_value m "bcc_sched_rejected_total" with
+      | Some n -> Alcotest.(check bool) "sched rejection exported" true (n >= 1.0)
+      | None -> Alcotest.fail "bcc_sched_rejected_total missing")
+
 let suite =
   [
     ("e2e: concurrent solves, cache, metrics, SIGTERM", `Quick, e2e_concurrent_solves_and_shutdown);
@@ -936,6 +1096,11 @@ let suite =
     ("fault matrix: queue overload -> 429 + retry-after", `Quick, fault_backpressure_429);
     ("fault matrix: pipeline.artifact throw -> zero reuse, same answer", `Quick,
       fault_pipeline_artifact);
+    ("sched: coalescing, tenants, curve cache over HTTP", `Quick, sched_coalescing_e2e);
+    ("fault matrix: sched.enqueue throw -> bounded 500s, queue intact", `Quick,
+      fault_sched_enqueue);
+    ("fault matrix: tenant depth -> 429 + retry-after, tenant isolation", `Quick,
+      fault_tenant_depth_429);
     ("telemetry: trace-id header keys the flight recorder", `Quick, telemetry_correlation);
     ("store: workload lifecycle over HTTP", `Quick, store_lifecycle);
     ("store: SIGKILL + restart serves the committed state", `Quick, store_crash_recovery);

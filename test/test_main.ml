@@ -24,6 +24,7 @@ let () =
       ("fuzz", Test_fuzz.suite);
       ("store", Test_store.suite);
       ("pipeline", Test_pipeline.suite);
+      ("sched", Test_sched.suite);
       ("server", Test_server.suite);
       ("obs", Test_obs.suite);
       ("bccd", Test_bccd.suite);

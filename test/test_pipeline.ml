@@ -374,6 +374,54 @@ let incremental_matches_cold =
       all_ok := !all_ok && same_solution incr.Store.solution cold.Store.solution;
       !all_ok)
 
+(* The scheduler-facing corollary: requests coalesced into one batch by
+   Bcc_sched get the same bits as serial per-request solves.  Six
+   threads push the same (workload, epoch) key through one scheduler
+   over a shared store while a pristine mirror store is solved serially;
+   every fanned-out result must bit-match the serial answer.  Run at 1
+   and 3 jobs (seed parity picks). *)
+let coalesced_matches_serial =
+  QCheck.Test.make ~name:"coalesced batch solves bit-match serial solves"
+    ~count:(count 8) QCheck.small_int (fun seed ->
+      let jobs = if seed mod 2 = 0 then 1 else 3 in
+      let rng = Rng.create (0x5C4ED + seed) in
+      let live = Store.create () in
+      let mirror = Store.create () in
+      ignore (ok (Store.put live ~name:"w" (Store.Text cluster_text)));
+      ignore (ok (Store.put mirror ~name:"w" (Store.Text cluster_text)));
+      for _ = 1 to 1 + Rng.int rng 2 do
+        let ops = random_ops rng in
+        ignore (ok (Store.delta live ~name:"w" ops));
+        ignore (ok (Store.delta mirror ~name:"w" ops))
+      done;
+      let reference =
+        at_jobs 1 (fun () -> ok (Store.solve mirror ~name:"w" ~incremental:true ()))
+      in
+      let sched = Bcc_sched.Sched.create ~concurrency:1 () in
+      let results = Array.make 6 None in
+      at_jobs jobs (fun () ->
+          let ths =
+            List.init 6 (fun i ->
+                Thread.create
+                  (fun () ->
+                    match
+                      Bcc_sched.Sched.submit sched
+                        ~tenant:(Printf.sprintf "t%d" (i mod 3))
+                        ~key:"w@e" ~subkey:"w@e/0"
+                        (fun () -> ok (Store.solve live ~name:"w" ~incremental:true ()))
+                    with
+                    | Ok r -> results.(i) <- Some r
+                    | Error _ -> ())
+                  ())
+          in
+          List.iter Thread.join ths);
+      Array.for_all
+        (function
+          | None -> false
+          | Some (r : Store.solved) ->
+              same_solution r.Store.solution reference.Store.solution)
+        results)
+
 (* --- persistence: artifacts survive a reopen; torn files degrade --- *)
 
 let temp_dir prefix =
@@ -498,6 +546,7 @@ let suite =
     Alcotest.test_case "budget change clears artifacts" `Quick
       budget_change_clears_artifacts;
     qtest incremental_matches_cold;
+    qtest coalesced_matches_serial;
     Alcotest.test_case "artifacts survive a store reopen" `Quick artifacts_survive_reopen;
     Alcotest.test_case "torn artifact file degrades to cold" `Quick
       torn_artifacts_degrade_to_cold;
