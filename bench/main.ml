@@ -667,7 +667,11 @@ let incr () =
      seed; the first solve is cold everywhere and not scored. *)
   ignore (ok (Store.solve incr_store ~name:"w" ~incremental:true ()));
   ignore (ok (Store.solve warm_store ~name:"w" ()));
-  let steps = scaled 8 in
+  (* Keep at least a few steps even under --quick: the ratio of two
+     2-step totals is mostly warm-up noise, and the solvers' occasional
+     expensive steps (deterministic, content-driven) only show up past
+     the first couple of deltas. *)
+  let steps = max 4 (scaled 8) in
   let rng = Rng.create 99 in
   let table =
     Texttable.create
@@ -954,41 +958,49 @@ let experiments =
     ("contended", contended);
   ]
 
-(* Anytime curves (with --json): every incumbent update the solver emits
-   is folded under the experiment running at the time, as (seconds since
-   the experiment started, incumbent utility).  Events arrive from any
-   engine worker domain, so the table is mutex-protected; collection is
-   observation-only and leaves every experiment's output byte-identical
-   (the solver's determinism contract with events on). *)
+(* Anytime curves (with --json): incumbent updates are recorded under
+   the experiment running at the time, timestamps rebased to the
+   experiment start.  The raw events are kept — an experiment runs many
+   solves (drift-step loops, warm baselines, parallel sub-solves), and
+   extracting one curve from the merged stream produced the BENCH_9
+   corruption (utility sawtoothing back to 0.0 whenever another solve
+   started), so curve extraction is deferred to
+   [Progress.solve_curves], which keys strictly by correlation id; the
+   experiment's representative curve is its richest single-solve curve.
+   Events arrive from any engine worker domain, so the table is
+   mutex-protected; collection is observation-only and leaves every
+   experiment's output byte-identical (the solver's determinism
+   contract with events on). *)
 let anytime_lock = Mutex.create ()
-let anytime : (string, (float * float) list ref) Hashtbl.t = Hashtbl.create 16
+
+let anytime : (string, Bcc_obs.Event.t list ref) Hashtbl.t = Hashtbl.create 16
+
 let anytime_current = ref ""
 let anytime_t0 = ref 0.0
-let anytime_cap = 512
+let anytime_cap = 2048
 
 let install_anytime_sink () =
   Bcc_obs.Event.set_enabled true;
   Bcc_obs.Event.add_sink ~name:"bench-anytime" (fun e ->
-      match Bcc_obs.Progress.incumbent_of_event e with
-      | None -> ()
-      | Some i ->
-          Mutex.lock anytime_lock;
-          (let name = !anytime_current in
-           if name <> "" then begin
-             let cell =
-               match Hashtbl.find_opt anytime name with
-               | Some c -> c
-               | None ->
-                   let c = ref [] in
-                   Hashtbl.add anytime name c;
-                   c
-             in
-             if List.length !cell < anytime_cap then
-               cell :=
-                 (e.Bcc_obs.Event.ts_s -. !anytime_t0, i.Bcc_obs.Progress.utility)
-                 :: !cell
-           end);
-          Mutex.unlock anytime_lock)
+      if e.Bcc_obs.Event.name = Bcc_obs.Progress.incumbent_event then begin
+        Mutex.lock anytime_lock;
+        (let name = !anytime_current in
+         if name <> "" then begin
+           let cell =
+             match Hashtbl.find_opt anytime name with
+             | Some c -> c
+             | None ->
+                 let c = ref [] in
+                 Hashtbl.add anytime name c;
+                 c
+           in
+           if List.length !cell < anytime_cap then
+             cell :=
+               { e with Bcc_obs.Event.ts_s = e.Bcc_obs.Event.ts_s -. !anytime_t0 }
+               :: !cell
+         end);
+        Mutex.unlock anytime_lock
+      end)
 
 let anytime_begin name =
   Mutex.lock anytime_lock;
@@ -1002,18 +1014,35 @@ let anytime_end () =
   Mutex.unlock anytime_lock
 
 let anytime_json name =
-  let pts =
+  let events =
     Mutex.lock anytime_lock;
-    let pts =
+    let evs =
       match Hashtbl.find_opt anytime name with Some c -> List.rev !c | None -> []
     in
     Mutex.unlock anytime_lock;
-    pts
+    evs
   in
-  "["
-  ^ String.concat ", "
-      (List.map (fun (t, u) -> Printf.sprintf "{\"t\": %.3f, \"u\": %.1f}" t u) pts)
-  ^ "]"
+  (* The experiment's representative curve: of the per-correlation-id
+     solve curves, the one with the most samples (ties: the earlier
+     solve) — the experiment's dominant solve. *)
+  let pts =
+    List.fold_left
+      (fun best (_, pts) ->
+        if List.length pts > List.length best then pts else best)
+      []
+      (Bcc_obs.Progress.solve_curves events)
+  in
+  (* Dedupe identical adjacent samples at emission: t and u are
+     quantized by the format below, so samples distinct in memory can
+     still render identically and bloat the snapshot. *)
+  let rendered =
+    List.map (fun (t, u) -> Printf.sprintf "{\"t\": %.3f, \"u\": %.1f}" t u) pts
+  in
+  let rec dedup = function
+    | a :: (b :: _ as rest) -> if a = b then dedup rest else a :: dedup rest
+    | tail -> tail
+  in
+  "[" ^ String.concat ", " (dedup rendered) ^ "]"
 
 (* A solver-portfolio-heavy kernel for the --json speedup probe: the
    same instance solved at 1 job and at the requested job count, timed,

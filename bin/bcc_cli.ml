@@ -345,10 +345,10 @@ let solve_cmd =
             records
       | _ -> ());
       let cache =
-        {
-          Solve_ctx.find = (fun fp -> Hashtbl.find_opt table fp);
-          store = (fun fp payload -> Hashtbl.replace table fp payload);
-        }
+        Solve_ctx.cache
+          ~find:(fun fp -> Hashtbl.find_opt table fp)
+          ~store:(fun fp payload -> Hashtbl.replace table fp payload)
+          ()
       in
       let ctx = Solve_ctx.make ~deadline ?warm:warm_sol ~cache () in
       let r = Pipeline.solve ctx inst in

@@ -132,6 +132,23 @@ let curve_cache_mb_arg =
               pipeline shares across workloads; least-recently-used artifacts \
               are evicted beyond it.")
 
+let route_to_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "route-to"; "router" ] ~docv:"HOST:PORT,..."
+        ~doc:"Run this node as a cluster router in front of the listed bccd \
+              shards: workloads are rendezvous-hashed onto shards, stateless \
+              solves fail over (and hedge) across them, store traffic is \
+              owner-only with 503+retry-after while the owner is down.")
+
+let hedge_delay_ms_arg =
+  Arg.(
+    value & opt float 50.0
+    & info [ "hedge-delay-ms" ] ~docv:"MS"
+        ~doc:"Router only: hedge an idempotent read onto the backup shard when \
+              the primary has not answered within MS milliseconds.")
+
 let log_level_arg =
   let levels =
     [
@@ -149,7 +166,7 @@ let log_level_arg =
 
 let run host port workers queue_depth cache_entries timeout preload trace_spans state_dir
     event_log debug_dir sched_concurrency tenant_depth tenant_weights curve_cache_mb
-    level =
+    route_to hedge_delay_ms level =
   Bcc_obs.Log_reporter.install ~level ();
   (* Fault injection is opt-in per entry point: only binaries load
      BCC_FAULTS, never the libraries. *)
@@ -158,6 +175,24 @@ let run host port workers queue_depth cache_entries timeout preload trace_spans 
       if Bcc_robust.Fault.enabled () then
         Printf.printf "bccd: armed faults: %s\n%!" (Bcc_robust.Fault.summary ())
   | exception Failure msg -> prerr_endline ("bccd: " ^ msg); exit 2);
+  let ring =
+    match route_to with
+    | None -> Ok None
+    | Some spec -> (
+        match Bcc_cluster.Ring.parse_nodes spec with
+        | Some ring -> Ok (Some ring)
+        | None ->
+            Error
+              (Printf.sprintf
+                 "--route-to %S: expected a comma-separated host:port list" spec))
+  in
+  match ring with
+  | Error msg -> `Error (true, msg)
+  | Ok ring ->
+  (* The router needs the server's metrics registry, which exists only
+     after Server.create; the config needs the forward hook before.  A
+     ref cell closes the cycle. *)
+  let router : Bcc_cluster.Router.t option ref = ref None in
   let cfg =
     {
       Server.host;
@@ -175,6 +210,11 @@ let run host port workers queue_depth cache_entries timeout preload trace_spans 
       tenant_depth;
       tenant_weights;
       curve_cache_mb;
+      forward =
+        (fun req ->
+          match !router with
+          | Some r -> Bcc_cluster.Router.forward r req
+          | None -> None);
     }
   in
   match Server.create cfg with
@@ -182,6 +222,20 @@ let run host port workers queue_depth cache_entries timeout preload trace_spans 
   | exception Unix.Unix_error (e, _, _) ->
       `Error (false, Printf.sprintf "cannot bind %s:%d: %s" host port (Unix.error_message e))
   | srv ->
+      (match ring with
+      | Some ring ->
+          let r =
+            Bcc_cluster.Router.create
+              ~hedge_delay_s:(Float.max 0.0 hedge_delay_ms /. 1000.0)
+              ~tenant_depth ~tenant_weights ~metrics:(Server.metrics srv) ring
+          in
+          Bcc_cluster.Router.start_probes r;
+          router := Some r;
+          Printf.printf "bccd: routing to %d shards: %s\n%!"
+            (Bcc_cluster.Ring.size ring)
+            (String.concat ", "
+               (List.map Bcc_cluster.Ring.node_id (Bcc_cluster.Ring.nodes ring)))
+      | None -> ());
       let stop _ = Server.request_stop srv in
       Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
       Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
@@ -204,6 +258,7 @@ let run host port workers queue_depth cache_entries timeout preload trace_spans 
       Printf.printf "bccd: listening on %s:%d (%d workers, queue %d, cache %d, timeout %gs)\n%!"
         host (Server.port srv) (Server.num_workers srv) queue_depth cache_entries timeout;
       Server.run srv;
+      (match !router with Some r -> Bcc_cluster.Router.stop r | None -> ());
       Printf.printf "bccd: shutdown complete\n%!";
       `Ok ()
 
@@ -215,7 +270,7 @@ let cmd =
        $ cache_entries_arg $ timeout_arg $ load_arg $ trace_buffer_arg
        $ state_dir_arg $ event_log_arg $ debug_dir_arg $ sched_concurrency_arg
        $ tenant_depth_arg $ tenant_weight_arg $ curve_cache_mb_arg
-       $ log_level_arg))
+       $ route_to_arg $ hedge_delay_ms_arg $ log_level_arg))
   in
   let doc = "resident BCC solver service with request batching and a solution cache" in
   Cmd.v (Cmd.info "bccd" ~doc) term

@@ -1,0 +1,273 @@
+(* Keep-alive HTTP/1.1 connection pool over the server's own codec
+   (Bcc_server.Http), plus the retry/hedging policy the router builds
+   on.  One pool serves every backend: idle sockets are kept per shard
+   (the shard closes them after its own idle timeout, so a reused
+   socket may be found dead — that failure is retried on a fresh
+   connection without consuming a retry budget), fresh failures retry
+   with jittered exponential backoff, and idempotent reads may be
+   hedged onto the next ring node when the first is slow. *)
+
+module Http = Bcc_server.Http
+module Event = Bcc_obs.Event
+module Deadline = Bcc_robust.Deadline
+module Rng = Bcc_util.Rng
+module Timer = Bcc_util.Timer
+
+type t = {
+  lock : Mutex.t;
+  idle : (string, Unix.file_descr list ref) Hashtbl.t;
+  max_idle : int;
+  timeout_s : float;
+  retries : int;
+  backoff_s : float;
+  rng : Rng.t;  (* jitter stream; guarded by [lock] *)
+}
+
+let create ?(max_idle_per_backend = 2) ?(timeout_s = 30.0) ?(retries = 2)
+    ?(backoff_s = 0.05) () =
+  {
+    lock = Mutex.create ();
+    idle = Hashtbl.create 8;
+    max_idle = max 0 max_idle_per_backend;
+    timeout_s = Float.max 0.01 timeout_s;
+    retries = max 0 retries;
+    backoff_s = Float.max 0.001 backoff_s;
+    rng = Rng.create 0x636c7573;
+  }
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let take_idle t node =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.idle (Ring.node_id node) with
+      | Some ({ contents = fd :: rest } as cell) ->
+          cell := rest;
+          Some fd
+      | _ -> None)
+
+let put_idle t node fd =
+  let keep =
+    locked t (fun () ->
+        let cell =
+          match Hashtbl.find_opt t.idle (Ring.node_id node) with
+          | Some c -> c
+          | None ->
+              let c = ref [] in
+              Hashtbl.add t.idle (Ring.node_id node) c;
+              c
+        in
+        if List.length !cell < t.max_idle then begin
+          cell := fd :: !cell;
+          true
+        end
+        else false)
+  in
+  if not keep then try Unix.close fd with Unix.Unix_error _ -> ()
+
+let close_idle t =
+  locked t (fun () ->
+      Hashtbl.iter
+        (fun _ cell ->
+          List.iter
+            (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+            !cell;
+          cell := [])
+        t.idle)
+
+let idle_count t node =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.idle (Ring.node_id node) with
+      | Some cell -> List.length !cell
+      | None -> 0)
+
+let resolve host =
+  match Unix.inet_addr_of_string host with
+  | addr -> Some addr
+  | exception Failure _ -> (
+      match Unix.gethostbyname host with
+      | { Unix.h_addr_list = [||]; _ } -> None
+      | { Unix.h_addr_list = addrs; _ } -> Some addrs.(0)
+      | exception Not_found -> None)
+
+let connect t (node : Ring.node) =
+  match resolve node.Ring.host with
+  | None -> Error (Printf.sprintf "cannot resolve %s" node.Ring.host)
+  | Some addr -> (
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      try
+        Unix.setsockopt_float fd Unix.SO_RCVTIMEO t.timeout_s;
+        Unix.setsockopt_float fd Unix.SO_SNDTIMEO t.timeout_s;
+        Unix.connect fd (Unix.ADDR_INET (addr, node.Ring.port));
+        Ok fd
+      with Unix.Unix_error (e, _, _) ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        Error (Unix.error_message e))
+
+(* Cross-hop context: the ambient correlation id rides X-Bcc-Trace-Id
+   (so one trace follows the request through the router onto the owning
+   shard's flight recorder), and the remaining time budget rides
+   X-Bcc-Deadline-Ms (so a shard never works past what the caller will
+   wait for). *)
+let outbound_headers ?deadline_ms (req : Http.request) node =
+  let drop k = List.remove_assoc k req.Http.headers in
+  let headers = drop "host" in
+  let headers = ("host", Ring.node_id node) :: headers in
+  let headers =
+    match deadline_ms with
+    | Some ms when ms > 0.0 ->
+        ("x-bcc-deadline-ms", Printf.sprintf "%.0f" ms)
+        :: List.remove_assoc "x-bcc-deadline-ms" headers
+    | _ -> headers
+  in
+  match Event.current_corr () with
+  | "" -> headers
+  | corr ->
+      if List.mem_assoc "x-bcc-trace-id" headers then headers
+      else ("x-bcc-trace-id", corr) :: headers
+
+(* One request over one (possibly reused) connection.  [`Stale] means
+   the failure is consistent with the server having closed an idle
+   pooled socket — the caller retries on a fresh connection for free. *)
+let once t node fd ~reused (req : Http.request) =
+  let stale e = if reused then `Stale e else `Fresh e in
+  match Http.write_request fd req with
+  | exception Unix.Unix_error (e, _, _) ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      Error (stale (Unix.error_message e))
+  | () -> (
+      match Http.read_response fd with
+      | Error { Http.status_hint; message } ->
+          (try Unix.close fd with Unix.Unix_error _ -> ());
+          (* EOF before any response bytes on a reused socket is the
+             classic keep-alive race; a timeout is not. *)
+          if reused && status_hint = 502 then Error (`Stale message)
+          else Error (`Fresh message)
+      | Ok resp ->
+          let keep =
+            match List.assoc_opt "connection" resp.Http.headers with
+            | Some v -> String.lowercase_ascii (String.trim v) = "keep-alive"
+            | None -> false
+          in
+          if keep then put_idle t node fd
+          else (try Unix.close fd with Unix.Unix_error _ -> ());
+          Ok resp)
+
+let jitter_sleep t ~attempt =
+  let factor = float_of_int (1 lsl min attempt 6) in
+  let j = locked t (fun () -> Rng.float t.rng 1.0) in
+  Thread.delay (t.backoff_s *. factor *. (0.5 +. j))
+
+(* [idempotent] gates which failures may retry: connect failures are
+   always safe (nothing reached the shard), but anything after bytes
+   were written — including a 5xx response — can only be retried when
+   replaying the request cannot double-apply it. *)
+let request ?deadline_ms ?(idempotent = true) t node (req : Http.request) =
+  let req = { req with Http.headers = outbound_headers ?deadline_ms req node } in
+  let gateway status message = Error { Http.status_hint = status; message } in
+  let rec attempt k ~stale_budget =
+    let fresh_conn () =
+      match connect t node with
+      | Error msg ->
+          if k < t.retries then begin
+            jitter_sleep t ~attempt:k;
+            attempt (k + 1) ~stale_budget
+          end
+          else gateway 502 (Printf.sprintf "%s: %s" (Ring.node_id node) msg)
+      | Ok fd -> (
+          match once t node fd ~reused:false req with
+          | Ok resp when resp.Http.status >= 500 && idempotent && k < t.retries
+            ->
+              jitter_sleep t ~attempt:k;
+              attempt (k + 1) ~stale_budget
+          | Ok resp -> Ok resp
+          | Error (`Fresh msg | `Stale msg) ->
+              if idempotent && k < t.retries then begin
+                jitter_sleep t ~attempt:k;
+                attempt (k + 1) ~stale_budget
+              end
+              else gateway 502 (Printf.sprintf "%s: %s" (Ring.node_id node) msg))
+    in
+    match take_idle t node with
+    | None -> fresh_conn ()
+    | Some fd -> (
+        match once t node fd ~reused:true req with
+        | Ok resp when resp.Http.status >= 500 && idempotent && k < t.retries ->
+            jitter_sleep t ~attempt:k;
+            attempt (k + 1) ~stale_budget
+        | Ok resp -> Ok resp
+        | Error (`Stale _) when stale_budget > 0 ->
+            (* The shard closed this idle socket under us; not a real
+               failure.  Drain the possibly-stale pool entries, then
+               dial fresh. *)
+            attempt k ~stale_budget:(stale_budget - 1)
+        | Error (`Stale msg | `Fresh msg) ->
+            if idempotent && k < t.retries then begin
+              jitter_sleep t ~attempt:k;
+              attempt (k + 1) ~stale_budget
+            end
+            else gateway 502 (Printf.sprintf "%s: %s" (Ring.node_id node) msg))
+  in
+  attempt 0 ~stale_budget:(t.max_idle + 1)
+
+(* Hedged reads: fire at the primary, and if no response lands within
+   [hedge_delay_s], fire the same request at the backup concurrently —
+   first acceptable (non-5xx) response wins, the loser finishes in the
+   background and only refreshes the pool.  Returns how many hedges
+   were actually launched so the router can count them. *)
+let hedged ?deadline_ms ?(hedge_delay_s = 0.05) t nodes (req : Http.request) =
+  match nodes with
+  | [] -> (Error { Http.status_hint = 503; message = "no backends" }, 0)
+  | [ node ] -> (request ?deadline_ms ~idempotent:true t node req, 0)
+  | primary :: backup :: _ ->
+      let lock = Mutex.create () in
+      let results = ref [] in
+      let launched = ref 0 in
+      let spawn node =
+        incr launched;
+        ignore
+          (Thread.create
+             (fun () ->
+               let r = request ?deadline_ms ~idempotent:true t node req in
+               Mutex.lock lock;
+               results := r :: !results;
+               Mutex.unlock lock)
+             ())
+      in
+      let acceptable = function
+        | Ok resp -> resp.Http.status < 500
+        | Error _ -> false
+      in
+      spawn primary;
+      let started = Timer.now_s () in
+      let hedged_already = ref false in
+      let rec await () =
+        let snapshot, n_launched =
+          Mutex.lock lock;
+          let s = !results and n = !launched in
+          Mutex.unlock lock;
+          (s, n)
+        in
+        match List.find_opt acceptable snapshot with
+        | Some r -> (r, n_launched - 1)
+        | None ->
+            if List.length snapshot >= n_launched && !hedged_already then
+              (* Everyone answered, none acceptably: surface the first
+                 (primary-most) outcome. *)
+              ((match List.rev snapshot with r :: _ -> r | [] -> assert false),
+               n_launched - 1)
+            else begin
+              if
+                (not !hedged_already)
+                && (Timer.now_s () -. started >= hedge_delay_s
+                    || List.length snapshot >= n_launched)
+              then begin
+                hedged_already := true;
+                spawn backup
+              end;
+              Thread.delay 0.002;
+              await ()
+            end
+      in
+      await ()

@@ -1,0 +1,62 @@
+(** Keep-alive HTTP/1.1 connection pool over the server's own codec
+    ({!Bcc_server.Http}), with the retry and hedging policy the cluster
+    {!Router} builds on.
+
+    - {b Pooling}: idle sockets are kept per backend (bounded) and
+      reused; a reused socket the shard already closed (its keep-alive
+      idle timeout) is detected and redialed without consuming retry
+      budget.
+    - {b Retries}: connect failures always retry (nothing reached the
+      shard); post-write failures and 5xx responses retry only for
+      [idempotent] requests — replaying a mutation could double-apply
+      it.  Retries back off exponentially with jitter so a recovering
+      shard is not met by a synchronized herd.
+    - {b Hedging}: {!hedged} fires the request at the backup node when
+      the primary has not answered within the hedge delay; the first
+      non-5xx response wins.
+    - {b Context propagation}: every outbound request carries the
+      ambient {!Bcc_obs.Event} correlation id as [X-Bcc-Trace-Id] and
+      the caller's remaining time budget as [X-Bcc-Deadline-Ms]. *)
+
+type t
+
+val create :
+  ?max_idle_per_backend:int ->
+  ?timeout_s:float ->
+  ?retries:int ->
+  ?backoff_s:float ->
+  unit ->
+  t
+(** Defaults: 2 idle sockets per backend, 30 s socket timeout, 2
+    retries, 50 ms base backoff. *)
+
+val request :
+  ?deadline_ms:float ->
+  ?idempotent:bool ->
+  t ->
+  Ring.node ->
+  Bcc_server.Http.request ->
+  (Bcc_server.Http.response, Bcc_server.Http.error) result
+(** One request to one backend, through the pool.  [deadline_ms] is
+    forwarded as [X-Bcc-Deadline-Ms].  [idempotent] (default true)
+    gates retries of anything after bytes were written; pass [false]
+    for mutations.  Errors carry gateway status hints (502/504). *)
+
+val hedged :
+  ?deadline_ms:float ->
+  ?hedge_delay_s:float ->
+  t ->
+  Ring.node list ->
+  Bcc_server.Http.request ->
+  (Bcc_server.Http.response, Bcc_server.Http.error) result * int
+(** Hedged idempotent read over [nodes] (primary, backup, ...): the
+    backup is dialed when the primary has not answered within
+    [hedge_delay_s] (default 50 ms) or answered unacceptably; first
+    non-5xx response wins.  The second component is the number of
+    hedge requests actually launched (0 or 1), for metrics. *)
+
+val idle_count : t -> Ring.node -> int
+(** Idle pooled sockets for [node] (tests). *)
+
+val close_idle : t -> unit
+(** Close every pooled socket (shutdown). *)

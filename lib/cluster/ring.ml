@@ -1,0 +1,77 @@
+(* Rendezvous (highest-random-weight) hashing of workload names onto
+   backends.  Every router computes the same owner from the same
+   backend list with no coordination, and removing a node only moves
+   the keys that node owned — the property that keeps a workload's
+   store, curve artifacts and coalescing on one shard across router
+   restarts and config reloads. *)
+
+type node = { host : string; port : int }
+
+let node_id n = Printf.sprintf "%s:%d" n.host n.port
+
+type t = { nodes : node array }
+
+let compare_nodes a b = compare (node_id a) (node_id b)
+
+let make nodes =
+  let sorted = List.sort_uniq compare_nodes nodes in
+  if sorted = [] then invalid_arg "Ring.make: empty backend list";
+  { nodes = Array.of_list sorted }
+
+let nodes t = Array.to_list t.nodes
+
+let size t = Array.length t.nodes
+
+(* The rendezvous score of (node, key): the first 8 bytes of
+   md5(node_id NUL key) as an unsigned 64-bit integer.  md5 (the
+   stdlib's Digest) keeps the scores stable across processes and OCaml
+   versions — Hashtbl.hash makes no such promise. *)
+let score node key =
+  let d = Digest.string (node_id node ^ "\x00" ^ key) in
+  let b i = Int64.of_int (Char.code d.[i]) in
+  let rec fold acc i =
+    if i = 8 then acc else fold Int64.(logor (shift_left acc 8) (b i)) (i + 1)
+  in
+  fold 0L 0
+
+let order t key =
+  let scored =
+    Array.map (fun n -> (score n key, n)) t.nodes |> Array.to_list
+  in
+  List.sort
+    (fun (sa, na) (sb, nb) ->
+      match Int64.unsigned_compare sb sa with
+      | 0 -> compare_nodes na nb
+      | c -> c)
+    scored
+  |> List.map snd
+
+let owner t key = List.hd (order t key)
+
+let host_ok h =
+  h <> ""
+  && String.for_all
+       (fun c ->
+         match c with
+         | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '.' | '-' | '_' -> true
+         | _ -> false)
+       h
+
+let parse_node s =
+  match String.rindex_opt s ':' with
+  | None -> None
+  | Some i -> (
+      let host = String.sub s 0 i in
+      let port = String.sub s (i + 1) (String.length s - i - 1) in
+      match int_of_string_opt port with
+      | Some p when p > 0 && p < 65536 && host_ok host -> Some { host; port = p }
+      | _ -> None)
+
+let parse_nodes s =
+  let parts =
+    String.split_on_char ',' s |> List.map String.trim
+    |> List.filter (fun x -> x <> "")
+  in
+  let nodes = List.filter_map parse_node parts in
+  if List.length nodes = List.length parts && nodes <> [] then Some (make nodes)
+  else None

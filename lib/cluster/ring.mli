@@ -1,0 +1,41 @@
+(** Rendezvous (highest-random-weight) hashing of routing keys onto
+    backend shards.
+
+    Every router instance computes the same owner for a key from the
+    same backend list with no coordination, and removing a backend
+    moves only the keys it owned — so a workload's journal, curve
+    artifacts and request coalescing stay on one shard across router
+    restarts, and a shard loss degrades only that shard's keys.
+    Scores come from md5 (stable across processes), not
+    [Hashtbl.hash]. *)
+
+type node = { host : string; port : int }
+
+val node_id : node -> string
+(** ["host:port"] — the label used in metrics and the ring order. *)
+
+type t
+
+val make : node list -> t
+(** Deduplicates and canonically orders the backends.
+    @raise Invalid_argument on an empty list. *)
+
+val nodes : t -> node list
+(** The backends, in canonical (id-sorted) order. *)
+
+val size : t -> int
+
+val owner : t -> string -> node
+(** The key's owning shard — the head of {!order}. *)
+
+val order : t -> string -> node list
+(** All backends by descending rendezvous score for [key]: the owner
+    first, then the failover sequence.  Deterministic for a given
+    (backends, key) pair. *)
+
+val parse_node : string -> node option
+(** ["host:port"] — [None] on malformed input. *)
+
+val parse_nodes : string -> t option
+(** Comma-separated ["host:port"] list (the [--route-to] flag).
+    [None] if any element is malformed or the list is empty. *)

@@ -22,8 +22,10 @@ let pipeline_seed = 0xBCC
 
 (* Serialization format version: bump whenever the curve payload, the
    fingerprint canonicalization or [pipeline_seed] changes, so stale
-   artifacts from older builds miss instead of parsing wrong. *)
-let format_version = 1
+   artifacts from older builds miss instead of parsing wrong.
+   v2: component sub-solves cap the QK tick resolution by component
+   content and serve the zero-budget point without a solve. *)
+let format_version = 2
 
 (* --- staged artifacts --- *)
 
@@ -49,6 +51,13 @@ type point = {
 }
 
 type curve = { curve_fingerprint : string; points : point array }
+
+(* The decoded-memo bridge: a cache provider that can hold decoded
+   values (the store's curve cache) hands parsed curves back without
+   re-running [curve_of_string] — the dominant per-component cost of an
+   all-clean incremental re-solve.  Fingerprint-keyed, so exactly as
+   self-validating as the payload. *)
+type Solve_ctx.decoded += Decoded_curve of curve
 
 type component_report = {
   fingerprint : string;
@@ -320,27 +329,41 @@ let validate_curve (staged : staged_component) (c : curve) =
 let lookup_cached ?names (cache : Solve_ctx.artifact_cache) (staged : staged_component) =
   match
     Fault.hit fault_point;
-    cache.Solve_ctx.find staged.fingerprint
+    (* A corrupt arm scrambles payload bytes; skip the decoded memo so
+       the injected corruption still reaches the checksum. *)
+    if Fault.corrupting fault_point then None
+    else cache.Solve_ctx.find_decoded staged.fingerprint
   with
   | exception _ -> None
-  | None -> None
-  | Some payload -> (
-      let payload =
-        if Fault.corrupting fault_point then
-          String.map (fun ch -> Char.chr (Char.code ch lxor 0x5A)) payload
-        else payload
-      in
-      match curve_of_string ?names ~fingerprint:staged.fingerprint payload with
-      | Some c when validate_curve staged c -> Some c
-      | _ -> None)
+  | Some (Decoded_curve c)
+    when c.curve_fingerprint = staged.fingerprint && validate_curve staged c ->
+      Some c
+  | _ -> (
+      match cache.Solve_ctx.find staged.fingerprint with
+      | exception _ -> None
+      | None -> None
+      | Some payload -> (
+          let payload =
+            if Fault.corrupting fault_point then
+              String.map (fun ch -> Char.chr (Char.code ch lxor 0x5A)) payload
+            else payload
+          in
+          match curve_of_string ?names ~fingerprint:staged.fingerprint payload with
+          | Some c when validate_curve staged c ->
+              (try cache.Solve_ctx.store_decoded staged.fingerprint (Decoded_curve c)
+               with _ -> ());
+              Some c
+          | _ -> None))
 
 let store_cached ?names (cache : Solve_ctx.artifact_cache) curve =
-  try cache.Solve_ctx.store curve.curve_fingerprint (curve_to_string ?names curve)
+  try
+    cache.Solve_ctx.store curve.curve_fingerprint (curve_to_string ?names curve);
+    cache.Solve_ctx.store_decoded curve.curve_fingerprint (Decoded_curve curve)
   with _ -> ()
 
 (* --- stages --- *)
 
-let prune_stage ~options ~deadline ~note_degraded inst =
+let prune_stage ~options ~deadline ~pool ~note_degraded inst =
   let n = Instance.num_classifiers inst in
   let keep =
     if options.Solver.prune then
@@ -353,9 +376,34 @@ let prune_stage ~options ~deadline ~note_degraded inst =
   let state = Cover.create inst in
   let budget = Instance.budget inst in
   let cheapest =
-    Array.init (Instance.num_queries inst) (fun qi ->
-        Deadline.check deadline;
-        match Covers.cheapest_cover state qi with Some (c, _) -> c | None -> infinity)
+    (* Per-query cheapest covers are independent pure reads of the fresh
+       cover state, so large instances fan the scan out over the engine
+       pool in fixed chunks; each task writes its own index range.
+       Results are identical at any job count, per-element. *)
+    let nq = Instance.num_queries inst in
+    let at qi =
+      match Covers.cheapest_cover state qi with Some (c, _) -> c | None -> infinity
+    in
+    let chunk = 128 in
+    if nq <= chunk then
+      Array.init nq (fun qi ->
+          Deadline.check deadline;
+          at qi)
+    else begin
+      let out = Array.make nq infinity in
+      let tasks =
+        List.init ((nq + chunk - 1) / chunk) (fun k ->
+            let lo = k * chunk in
+            let hi = min (lo + chunk) nq - 1 in
+            Engine.Task.make ~label:(Printf.sprintf "pipeline.cheapest:%d" k) (fun _ ->
+                for qi = lo to hi do
+                  Deadline.check deadline;
+                  out.(qi) <- at qi
+                done))
+      in
+      ignore (Engine.Portfolio.collect pool tasks);
+      out
+    end
   in
   let kept_queries =
     List.filter
@@ -389,14 +437,25 @@ let component_stage ?hints ~options ~grid inst pruned =
     | Some h, Some tab ->
         Some
           (fun comp comp_grid ->
-            let foot =
-              List.sort compare
-                (List.map (Symtab.name tab) (Propset.to_list comp.Decompose.props))
+            (* The lookup key footprint is id-based: property ids are
+               stable for the life of a hint table (the workload's
+               symbol table only grows, and a re-put starts a fresh
+               table), and skipping the name-map + sort on every
+               component is most of an all-clean re-solve's fixed cost.
+               The {e name} footprint — what delta eviction intersects —
+               is only built on the miss path, once per recorded hint. *)
+            let key =
+              fpc.fp_header comp_grid ^ "F="
+              ^ String.concat ","
+                  (List.map string_of_int (Propset.to_list comp.Decompose.props))
             in
-            let key = fpc.fp_header comp_grid ^ "F=" ^ String.concat ";" foot in
             match h.Solve_ctx.hint_find key with
             | Some fp -> fp
             | None ->
+                let foot =
+                  List.sort compare
+                    (List.map (Symtab.name tab) (Propset.to_list comp.Decompose.props))
+                in
                 let fp = fingerprint_with fpc ~grid:comp_grid inst comp in
                 h.Solve_ctx.hint_record key foot fp;
                 fp)
@@ -421,22 +480,68 @@ let component_stage ?hints ~options ~grid inst pruned =
       })
     (Decompose.components ~keep_query:(fun qi -> affordable.(qi)) inst)
 
+(* QK's tick resolution and the knapsack DP grid are sized for whole
+   instances; against a small component they round costs to a
+   granularity far below the cheapest classifier, blowing each pass up
+   into thousands of nodes / DP rows that add no precision —
+   milliseconds per curve point, which is what made a one-dirty-cluster
+   incremental re-solve slower than a plain warm solve.  Cap both so a
+   tick is at least a quarter of the component's cheapest positive
+   classifier cost.  The caps are pure functions of component content
+   (its cap budget and classifier costs) and the caller's options, so
+   curves remain pure functions of component content; the
+   [format_version] bump to 2 retired artifacts computed without
+   them. *)
+let sub_options ~options (staged : staged_component) =
+  let sub = Lazy.force staged.sub in
+  let min_cost = ref infinity in
+  for id = 0 to Instance.num_classifiers sub - 1 do
+    let c = Instance.cost sub id in
+    if c > 0.0 && c < !min_cost then min_cost := c
+  done;
+  if staged.cap <= 0.0 || not (Float.is_finite !min_cost) then options
+  else
+    let bound = int_of_float (ceil (4.0 *. staged.cap /. !min_cost)) in
+    let cap_to ~floor current = max floor (min current bound) in
+    let res = options.Solver.qk.Bcc_qk.Qk.resolution in
+    let res' = cap_to ~floor:16 res in
+    let kg = options.Solver.knapsack_grid in
+    let kg' = cap_to ~floor:64 kg in
+    let bip = options.Solver.qk.Bcc_qk.Qk.bipartitions in
+    let bip' =
+      if Instance.num_queries sub <= 32 then min bip 1 else bip
+    in
+    if res' >= res && kg' >= kg && bip' >= bip then options
+    else
+      {
+        options with
+        Solver.knapsack_grid = min kg kg';
+        Solver.qk =
+          {
+            options.Solver.qk with
+            Bcc_qk.Qk.resolution = min res res';
+            bipartitions = min bip bip';
+          };
+      }
+
 let compute_curve ~options ~deadline ~pool (staged : staged_component) =
   let grid = staged.comp_grid in
+  let options = sub_options ~options staged in
   let comp_rng = Rng.derive_fingerprint (Rng.create pipeline_seed) staged.fingerprint in
   let clean = ref true in
-  let solve_at j b =
-    let pctx = Solve_ctx.make ~deadline ?pool ~rng:(Rng.derive comp_rng j) () in
+  let solve_at ?warm j b =
+    let pctx = Solve_ctx.make ~deadline ?pool ?warm ~rng:(Rng.derive comp_rng j) () in
     let o =
       Solver.solve_with_ctx ~options pctx (Instance.with_budget (Lazy.force staged.sub) b)
     in
     if o.Solver.degraded then clean := false;
-    {
-      point_budget = b;
-      point_utility = o.Solver.solution.Solution.utility;
-      point_cost = o.Solver.solution.Solution.cost;
-      sets = o.Solver.solution.Solution.classifiers;
-    }
+    ( {
+        point_budget = b;
+        point_utility = o.Solver.solution.Solution.utility;
+        point_cost = o.Solver.solution.Solution.cost;
+        sets = o.Solver.solution.Solution.classifiers;
+      },
+      o.Solver.solution )
   in
   (* Saturation shortcut: the full-cap point first; any lower budget the
      cap selection already fits inside reuses it verbatim.  The curve
@@ -445,14 +550,40 @@ let compute_curve ~options ~deadline ~pool (staged : staged_component) =
      incremental == cold contract needs — and it skips most sub-solves,
      since caps are a loose upper bound on what a component can usefully
      spend. *)
-  let top = solve_at grid staged.cap in
+  let top, top_sol = solve_at grid staged.cap in
+  (* Budget 0 affords exactly the zero-cost classifiers, which every
+     solve selects upfront — serve that point directly instead of
+     running a full sub-solve to conclude it. *)
+  let zero_point () =
+    let sub = Lazy.force staged.sub in
+    let state = Cover.create sub in
+    for id = 0 to Instance.num_classifiers sub - 1 do
+      if Instance.cost sub id <= 0.0 then Cover.select state id
+    done;
+    let sol = Solution.of_ids sub (Cover.selected state) in
+    {
+      point_budget = 0.0;
+      point_utility = sol.Solution.utility;
+      point_cost = sol.Solution.cost;
+      sets = sol.Solution.classifiers;
+    }
+  in
   let points =
     Array.init (grid + 1) (fun j ->
         if j = grid then top
         else
           let b = staged.cap *. float_of_int j /. float_of_int grid in
           if top.point_cost <= b +. 1e-9 then { top with point_budget = b }
-          else solve_at j b)
+          else if j = 0 then zero_point ()
+          else
+            (* Seed the lower-budget solve from the cap solution: the
+               picks that fit [b] start as the incumbent, so the rounds
+               work a small residual instead of the whole component.
+               The seed is itself a pure function of component content
+               (the cap solve is deterministic), so points stay pure
+               functions of content and the incremental == cold contract
+               holds. *)
+            fst (solve_at ~warm:top_sol j b))
   in
   ({ curve_fingerprint = staged.fingerprint; points }, !clean)
 
@@ -467,49 +598,110 @@ let assembly_ticks = 1024
 
 let assemble inst (curves : (staged_component * curve) list) =
   let budget = Instance.budget inst in
-  let ticks = assembly_ticks in
+  (* An integral budget below the generic grid gets an exact DP: one
+     tick per cost unit, so integer-valued point costs (the paper's
+     workloads) are not rounded at all — fewer DP rows than the generic
+     grid and never a worse selection (rounding up can only discard
+     feasible combinations). *)
+  let ticks =
+    let b = int_of_float budget in
+    if Float.is_integer budget && b > 0 && b < assembly_ticks then b else assembly_ticks
+  in
   let tick = budget /. float_of_int ticks in
   let weight_of cost =
     if cost <= 1e-12 then 0
     else if tick <= 0.0 then ticks + 1 (* infeasible: positive cost, zero budget *)
     else int_of_float (ceil ((cost -. 1e-12) /. tick))
   in
+  (* Saturated shortcut: when every curve's cap point is its strict
+     utility maximum and all cap points fit the budget together, the DP
+     can only pick exactly those points (any other choice loses utility
+     somewhere and components are disjoint), so skip it.  Deterministic
+     on instance content — incremental and cold assemble identically. *)
+  let all_tops =
+    tick > 0.0
+    && List.for_all
+         (fun (_, curve) ->
+           let n = Array.length curve.points in
+           n > 0
+           &&
+           let top = curve.points.(n - 1) in
+           Array.for_all
+             (fun p ->
+               p == top
+               || p.point_utility < top.point_utility -. 1e-12
+               || (p.point_utility = top.point_utility && p.point_cost >= top.point_cost))
+             curve.points)
+         curves
+    && List.fold_left
+         (fun acc (_, curve) ->
+           acc + weight_of curve.points.(Array.length curve.points - 1).point_cost)
+         0 curves
+       <= ticks
+  in
+  if all_tops then
+    List.fold_left
+      (fun acc (_, curve) ->
+        List.rev_append curve.points.(Array.length curve.points - 1).sets acc)
+      [] (List.rev curves)
+  else
   let dp = ref (Array.make (ticks + 1) 0.0) in
   let choices =
     List.map
       (fun (_, curve) ->
+        (* The saturation shortcut makes most low-budget points exact
+           copies of the cap point, so the inner loop would rescan the
+           same (weight, utility) pair many times.  Keep the first point
+           of each pair — a later exact duplicate can never strictly
+           beat its predecessor under the DP's [> +. 1e-12] rule, so the
+           chosen points (and tie-breaks) are unchanged. *)
+        let kept =
+          let seen = Hashtbl.create 16 in
+          let acc = ref [] in
+          Array.iter
+            (fun p ->
+              let w = weight_of p.point_cost in
+              if w <= ticks && not (Hashtbl.mem seen (w, p.point_utility)) then begin
+                Hashtbl.add seen (w, p.point_utility) ();
+                acc := p :: !acc
+              end)
+            curve.points;
+          Array.of_list (List.rev !acc)
+        in
         let prev = !dp in
         let next = Array.make (ticks + 1) neg_infinity in
         let choice = Array.make (ticks + 1) 0 in
+        (* Unsafe accesses: [t] ranges over [w .. ticks] with
+           [0 <= w <= ticks] guaranteed by the dedup filter above, and
+           all three arrays have [ticks + 1] slots. *)
         Array.iteri
           (fun pi p ->
             let w = weight_of p.point_cost in
-            if w <= ticks then
-              for t = w to ticks do
-                let v = prev.(t - w) +. p.point_utility in
-                if v > next.(t) +. 1e-12 then begin
-                  next.(t) <- v;
-                  choice.(t) <- pi
-                end
-              done)
-          curve.points;
+            let u = p.point_utility in
+            for t = w to ticks do
+              let v = Array.unsafe_get prev (t - w) +. u in
+              if v > Array.unsafe_get next t +. 1e-12 then begin
+                Array.unsafe_set next t v;
+                Array.unsafe_set choice t pi
+              end
+            done)
+          kept;
         (* Every curve has the zero-budget point (weight 0), so [next]
            is finite everywhere. *)
         dp := next;
-        choice)
+        (kept, choice))
       curves
   in
   (* Walk the choices back in reverse stage order to recover the picked
      point per component. *)
   let t = ref ticks in
   let sets = ref [] in
-  List.iter2
-    (fun (_, curve) choice ->
-      let pi = choice.(!t) in
-      let p = curve.points.(pi) in
+  List.iter
+    (fun (kept, choice) ->
+      let p = kept.(choice.(!t)) in
       sets := List.rev_append p.sets !sets;
       t := !t - weight_of p.point_cost)
-    (List.rev curves) (List.rev choices);
+    (List.rev choices);
   !sets
 
 (* Warm bank, mirroring the monolithic solver's re-validation: picks
@@ -554,8 +746,14 @@ let solve ?(options = Solver.default_options) ?(grid = default_grid) (ctx : Solv
        degradation — the pipeline never raises and never returns a
        worse-than-classic degraded answer. *)
     try
-      let pruned = prune_stage ~options ~deadline ~note_degraded inst in
-      let staged = component_stage ?hints:ctx.Solve_ctx.hints ~options ~grid inst pruned in
+      let pruned =
+        Trace.with_span ~name:"pipeline.prune" @@ fun _ ->
+        prune_stage ~options ~deadline ~pool ~note_degraded inst
+      in
+      let staged =
+        Trace.with_span ~name:"pipeline.components" @@ fun _ ->
+        component_stage ?hints:ctx.Solve_ctx.hints ~options ~grid inst pruned
+      in
       Some (pruned, staged)
     with Deadline.Expired _ ->
       note_degraded "pipeline_stages";
@@ -575,6 +773,7 @@ let solve ?(options = Solver.default_options) ?(grid = default_grid) (ctx : Solv
          dirty ones recompute as engine tasks in deterministic task
          order. *)
       let cached =
+        Trace.with_span ~name:"pipeline.lookup" @@ fun _ ->
         match ctx.Solve_ctx.cache with
         | None -> List.map (fun _ -> None) staged
         | Some cache ->
@@ -597,7 +796,11 @@ let solve ?(options = Solver.default_options) ?(grid = default_grid) (ctx : Solv
                    ])
              staged cached)
       in
-      let computed = ref (Engine.Portfolio.collect pool tasks) in
+      let computed =
+        ref
+          (Trace.with_span ~name:"pipeline.curves" @@ fun _ ->
+           Engine.Portfolio.collect pool tasks)
+      in
       let curves =
         List.map2
           (fun (s : staged_component) cached ->
@@ -618,7 +821,10 @@ let solve ?(options = Solver.default_options) ?(grid = default_grid) (ctx : Solv
       (* Stage 4: assembly — outer knapsack over the curves, leftover
          sweep, and the final race against the greedy baselines (and the
          warm bank, when the context carries one). *)
-      let assembled_sets = assemble inst (List.map (fun ((s : staged_component), c, _, _) -> (s, c)) curves) in
+      let assembled_sets =
+        Trace.with_span ~name:"pipeline.assemble" @@ fun _ ->
+        assemble inst (List.map (fun ((s : staged_component), c, _, _) -> (s, c)) curves)
+      in
       let structured =
         let state = Cover.create inst in
         for id = 0 to Instance.num_classifiers inst - 1 do
@@ -630,6 +836,7 @@ let solve ?(options = Solver.default_options) ?(grid = default_grid) (ctx : Solv
         Solution.of_ids inst (Cover.selected state)
       in
       let result =
+        Trace.with_span ~name:"pipeline.race" @@ fun _ ->
         (* IG2 is cheap and always races.  The from-scratch greedy is an
            order of magnitude more expensive and almost never beats the
            assembled solution (which already ends in a greedy sweep of

@@ -143,10 +143,13 @@ val curve_of_string : ?names:Symtab.t -> fingerprint:string -> string -> curve o
 val prune_stage :
   options:Solver.options ->
   deadline:Bcc_robust.Deadline.t ->
+  pool:Bcc_engine.Engine.Pool.t ->
   note_degraded:(string -> unit) ->
   Instance.t ->
   pruned
-(** Stage 1 (exposed for tests and explain tooling).
+(** Stage 1 (exposed for tests and explain tooling).  The cheapest-cover
+    scan fans out over [pool] in fixed query chunks on large instances;
+    per-element results are identical at any job count.
     @raise Bcc_robust.Deadline.Expired past [deadline] (from the
     cheapest-cover scan; the prune itself degrades to keep-all). *)
 

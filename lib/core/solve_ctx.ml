@@ -2,10 +2,17 @@ module Engine = Bcc_engine.Engine
 module Deadline = Bcc_robust.Deadline
 module Rng = Bcc_util.Rng
 
+type decoded = ..
+
 type artifact_cache = {
   find : string -> string option;
   store : string -> string -> unit;
+  find_decoded : string -> decoded option;
+  store_decoded : string -> decoded -> unit;
 }
+
+let cache ?(find_decoded = fun _ -> None) ?(store_decoded = fun _ _ -> ()) ~find ~store () =
+  { find; store; find_decoded; store_decoded }
 
 type fp_hints = {
   hint_find : string -> string option;

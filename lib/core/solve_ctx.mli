@@ -17,6 +17,14 @@
     each randomized stage fall back to its own seed constant, and
     [cache = None] disables artifact reuse. *)
 
+type decoded = ..
+(** Opaque decoded-artifact values.  [Pipeline] extends this with its
+    decoded curve so a cache provider can memoize the {e parsed} form
+    next to the serialized payload: deserialization was the dominant
+    per-component cost of an all-clean incremental re-solve, and a
+    fingerprint-keyed decoded value is exactly as self-validating as the
+    payload it was parsed from. *)
+
 type artifact_cache = {
   find : string -> string option;
       (** fingerprint -> serialized artifact, [None] on a miss; any
@@ -25,7 +33,22 @@ type artifact_cache = {
       (** [store fingerprint payload] — best-effort, never consulted for
           correctness (lookups are keyed by content fingerprint, so a
           lost write only costs recomputation) *)
+  find_decoded : string -> decoded option;
+      (** fingerprint -> memoized decoded artifact; purely an
+          acceleration of [find] + parse, with the same keying *)
+  store_decoded : string -> decoded -> unit;
+      (** best-effort, like {!artifact_cache.store} *)
 }
+
+val cache :
+  ?find_decoded:(string -> decoded option) ->
+  ?store_decoded:(string -> decoded -> unit) ->
+  find:(string -> string option) ->
+  store:(string -> string -> unit) ->
+  unit ->
+  artifact_cache
+(** Build an {!artifact_cache}; the decoded-memo hooks default to a
+    no-op (every hit parses the payload). *)
 
 type fp_hints = {
   hint_find : string -> string option;
@@ -85,4 +108,6 @@ val pool : t -> Bcc_engine.Engine.Pool.t
 
 val with_corr : t -> (unit -> 'a) -> 'a
 (** Run with the context's correlation id installed as ambient (no-op
-    when the context carries none). *)
+    when the context carries none — but see {!Bcc_core.Solver.solve_with_ctx},
+    which mints a fresh ambient id for a fully unscoped solve so its
+    progress stream stays separable by correlation id). *)

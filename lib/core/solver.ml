@@ -174,7 +174,18 @@ let greedy_sweep ?allowed state ~limit =
 type outcome = { solution : Solution.t; degraded : bool }
 
 let solve_with_ctx ?(options = default_options) (ctx : Solve_ctx.t) inst =
-  Solve_ctx.with_corr ctx @@ fun () ->
+  (* A solve with no explicit correlation id and no enclosing scope
+     mints a fresh one, so every solver run's progress stream is
+     separable by correlation id (the Progress.solve_curves contract —
+     merging successive solves' streams is exactly the BENCH_9 anytime
+     corruption).  Inside an existing scope (a server request, a
+     pipeline driving component sub-solves) the ambient id is kept, so
+     the whole request stays one recorder stream. *)
+  (match ctx.Solve_ctx.corr with
+   | None when Event.enabled () && Event.current_corr () = "" ->
+       Event.with_corr (Event.new_corr ())
+   | _ -> Solve_ctx.with_corr ctx)
+  @@ fun () ->
   Trace.with_span ~name:"solve" @@ fun sp ->
   let deadline = ctx.Solve_ctx.deadline in
   let warm = ctx.Solve_ctx.warm in

@@ -112,3 +112,59 @@ let curve events =
       | Some i -> Some (ev.Event.ts_s, i.utility)
       | None -> None)
     events
+
+(* Curve extraction over a mixed stream.  Grouping is strictly by
+   correlation id: a recorded stream interleaves events from every solve
+   that ran while recording was on (concurrent solves on pool domains,
+   successive solves in a loop), and folding them into one curve
+   produces the characteristic corruption — utility sawtooths back to
+   0.0 whenever another solve starts.  Within one group the stream is a
+   single solve's, where utility is monotone by construction, so the
+   only post-processing needed is defensive: adjacent identical samples
+   collapse (high-frequency arms re-report the same incumbent), and the
+   closing [arm = "final"] point is monotone-checked — the solver
+   returns its best incumbent, so a final below the running maximum can
+   only come from a corrupted or truncated stream and is lifted to the
+   maximum rather than poisoning the curve's tail. *)
+let solve_curves events =
+  let order = ref [] in
+  let by_corr : (string, (float * float * string) list ref) Hashtbl.t =
+    Hashtbl.create 8
+  in
+  List.iter
+    (fun ev ->
+      match incumbent_of_event ev with
+      | None -> ()
+      | Some i ->
+          let corr = ev.Event.corr in
+          let cell =
+            match Hashtbl.find_opt by_corr corr with
+            | Some c -> c
+            | None ->
+                let c = ref [] in
+                Hashtbl.add by_corr corr c;
+                order := corr :: !order;
+                c
+          in
+          cell := (ev.Event.ts_s, i.utility, i.arm) :: !cell)
+    events;
+  let finish samples =
+    (* newest-first; rebuild oldest-first with adjacent dedup. *)
+    let rec dedup acc = function
+      | [] -> acc
+      | (t, u, _) :: rest ->
+          let acc =
+            match acc with
+            | (t', u') :: _ when t' = t && u' = u -> acc
+            | _ -> (t, u) :: acc
+          in
+          dedup acc rest
+    in
+    let pts = dedup [] samples in
+    let best = List.fold_left (fun m (_, u) -> Float.max m u) neg_infinity pts in
+    match (samples, List.rev pts) with
+    | (_, u_final, "final") :: _, (t_last, _) :: tail when u_final < best ->
+        List.rev ((t_last, best) :: tail)
+    | _ -> pts
+  in
+  List.rev_map (fun corr -> (corr, finish !(Hashtbl.find by_corr corr))) !order

@@ -56,4 +56,18 @@ val report_of_event : Event.t -> report option
 
 val curve : Event.t list -> (float * float) list
 (** [(timestamp, utility)] per incumbent update, in event order — the
-    anytime utility curve of the solve the events belong to. *)
+    anytime utility curve of the solve the events belong to.  The caller
+    must pass a single solve's events; for a mixed stream use
+    {!solve_curves}. *)
+
+val solve_curves : Event.t list -> (string * (float * float) list) list
+(** Per-solve anytime curves of a mixed recorded stream, keyed {e
+    strictly} by correlation id, in order of each solve's first
+    incumbent.  A recorded stream interleaves every solve that ran while
+    recording was on; merging them into one curve produces sawtooth
+    drops to 0.0 whenever another solve starts (the BENCH_9 [incr]
+    corruption).  Each curve is cleaned defensively: adjacent identical
+    [(t, u)] samples collapse, and the closing [arm = "final"] point is
+    monotone-checked — lifted to the curve's running maximum when a
+    corrupted or truncated stream reports less (the solver returns its
+    best incumbent, so a clean final is always the maximum). *)

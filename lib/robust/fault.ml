@@ -23,6 +23,7 @@ let known_points =
     "store.append";
     "pipeline.artifact";
     "sched.enqueue";
+    "cluster.forward";
   ]
 
 (* [any] is the fast path read by every [hit]; the table and the fired

@@ -10,7 +10,10 @@
     artifact-cache lookup — a throw or corruption there must degrade to
     recomputing the component, never to a wrong answer), and
     ["sched.enqueue"] (admission into the batch scheduler — a throw
-    there must fail only that submission, never wedge the queue) — and
+    there must fail only that submission, never wedge the queue), and
+    ["cluster.forward"] (each forwarding attempt the cluster router
+    makes — a throw stands in for a dead or unreachable shard, so the
+    failover path is exercised without killing a process) — and
     the test harness arms them to {e throw}, {e delay}, or {e corrupt}.  Firing
     can be probabilistic, driven by a seeded {!Bcc_util.Rng} stream so a
     failing fuzz run reproduces from its seed.

@@ -3,9 +3,12 @@
    multi-owner footprint claims so delta-driven eviction composes with
    cross-workload sharing. *)
 
+type decoded = ..
+
 type entry = {
   fp : string;
   mutable payload : string;
+  mutable decoded : decoded option;  (* parsed form, dies with the entry *)
   mutable cost : int;  (* accounted bytes for this entry *)
   owners : (string, string list) Hashtbl.t;  (* owner -> footprint *)
   mutable prev : entry option;  (* towards head (MRU) *)
@@ -125,6 +128,7 @@ let store t ~owner ?(footprint = []) fp payload =
       | Some e ->
           let cost = entry_cost fp payload in
           t.bytes <- t.bytes - e.cost + cost;
+          if e.payload <> payload then e.decoded <- None;
           e.payload <- payload;
           e.cost <- cost;
           Hashtbl.replace e.owners owner footprint;
@@ -135,6 +139,7 @@ let store t ~owner ?(footprint = []) fp payload =
             {
               fp;
               payload;
+              decoded = None;
               cost = entry_cost fp payload;
               owners = Hashtbl.create 2;
               prev = None;
@@ -148,6 +153,28 @@ let store t ~owner ?(footprint = []) fp payload =
           push_front t e);
       Hashtbl.replace (owner_set t owner) fp ();
       evict_to_bound t)
+
+(* The decoded memo rides the payload entry: same fingerprint key (so
+   exactly as self-validating), same LRU position, dies on eviction or
+   payload replacement.  Only the payload bytes are accounted — the
+   decoded form roughly doubles an entry's resident size, which the
+   byte budget absorbs as estimate slack (the bound is a budget, not an
+   audit). *)
+let find_decoded t fp =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.tbl fp with
+      | Some ({ decoded = Some _; _ } as e) ->
+          t.hits <- t.hits + 1;
+          unlink t e;
+          push_front t e;
+          e.decoded
+      | _ -> None)
+
+let store_decoded t fp d =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.tbl fp with
+      | Some e -> e.decoded <- Some d
+      | None -> ())
 
 let set_footprint t ~owner fp footprint =
   locked t (fun () ->

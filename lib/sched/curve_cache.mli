@@ -28,6 +28,13 @@
 
 type t
 
+type decoded = ..
+(** Opaque decoded-payload values (the store layer bridges this to
+    {!Bcc_core.Solve_ctx.decoded}; this library does not depend on
+    [bcc_core]).  A decoded value rides its payload's entry — same
+    fingerprint key, same LRU position — and dies when the entry is
+    evicted or its payload replaced. *)
+
 type stats = {
   entries : int;
   bytes : int;  (** accounted payload + key bytes currently held *)
@@ -55,6 +62,18 @@ val store : t -> owner:string -> ?footprint:string list -> string -> string -> u
     delta, so such claims survive until {!set_footprint} or
     {!drop_owner}).  May evict LRU-tail entries to respect the byte
     bound. *)
+
+val find_decoded : t -> string -> decoded option
+(** Memoized parsed form of the payload under the same fingerprint key;
+    counts a hit and refreshes LRU position when present.  Purely an
+    acceleration of {!find} + parse — a [None] just means the caller
+    parses the payload. *)
+
+val store_decoded : t -> string -> decoded -> unit
+(** Attach the parsed form to an existing entry; no-op when the
+    fingerprint is not cached (the payload is the source of truth).
+    Only payload bytes are accounted against [max_bytes]; the decoded
+    form is estimate slack on top. *)
 
 val set_footprint : t -> owner:string -> string -> string list -> unit
 (** [set_footprint t ~owner fp footprint] adds or updates [owner]'s

@@ -24,6 +24,7 @@ let status_reason = function
   | 413 -> "Payload Too Large"
   | 429 -> "Too Many Requests"
   | 500 -> "Internal Server Error"
+  | 502 -> "Bad Gateway"
   | 503 -> "Service Unavailable"
   | 504 -> "Gateway Timeout"
   | c -> if c < 400 then "OK" else "Error"
@@ -207,22 +208,175 @@ let read_request ?(max_header = 16 * 1024) ?(max_body = 16 * 1024 * 1024) fd =
                   end)
           | _ -> err 400 ("malformed request line: " ^ request_line)))
 
-let write_response fd resp =
+let write_all fd bytes =
+  let n = Bytes.length bytes in
+  let rec go off =
+    if off < n then
+      match Unix.write fd bytes off (n - off) with
+      | written -> go (off + written)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+  in
+  go 0
+
+let write_response ?(keep_alive = false) fd resp =
   let buf = Buffer.create (String.length resp.body + 256) in
   Printf.bprintf buf "HTTP/1.1 %d %s\r\n" resp.status resp.reason;
   List.iter (fun (k, v) -> Printf.bprintf buf "%s: %s\r\n" k v) resp.headers;
   Printf.bprintf buf "content-length: %d\r\n" (String.length resp.body);
-  Buffer.add_string buf "connection: close\r\n\r\n";
+  Buffer.add_string buf
+    (if keep_alive then "connection: keep-alive\r\n\r\n" else "connection: close\r\n\r\n");
   Buffer.add_string buf resp.body;
-  let bytes = Buffer.to_bytes buf in
-  let n = Bytes.length bytes in
-  let rec write_all off =
-    if off < n then
-      match Unix.write fd bytes off (n - off) with
-      | written -> write_all (off + written)
-      | exception Unix.Unix_error (Unix.EINTR, _, _) -> write_all off
-  in
-  try write_all 0
+  try write_all fd (Buffer.to_bytes buf)
   with Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) ->
     (* Client went away; nothing useful to do. *)
     ()
+
+let wants_keep_alive (req : request) =
+  match List.assoc_opt "connection" req.headers with
+  | Some v -> String.lowercase_ascii (String.trim v) = "keep-alive"
+  | None -> false
+
+(* --- client side: the same codec, pointed the other way.  The cluster
+   router's connection pool reuses the exact request/response framing
+   the server speaks, so a forwarded request is byte-equivalent to a
+   direct one. --- *)
+
+let url_encode s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | 'A' .. 'Z' | 'a' .. 'z' | '0' .. '9' | '-' | '_' | '.' | '~' | '/' ->
+          Buffer.add_char buf c
+      | c -> Printf.bprintf buf "%%%02X" (Char.code c))
+    s;
+  Buffer.contents buf
+
+let write_request ?(keep_alive = true) fd (req : request) =
+  let target =
+    match req.query with
+    | [] -> url_encode req.path
+    | q ->
+        url_encode req.path ^ "?"
+        ^ String.concat "&"
+            (List.map (fun (k, v) -> url_encode k ^ "=" ^ url_encode v) q)
+  in
+  let buf = Buffer.create (String.length req.body + 256) in
+  Printf.bprintf buf "%s %s HTTP/1.1\r\n" (String.uppercase_ascii req.meth) target;
+  List.iter
+    (fun (k, v) ->
+      if k <> "content-length" && k <> "connection" then
+        Printf.bprintf buf "%s: %s\r\n" k v)
+    req.headers;
+  Printf.bprintf buf "content-length: %d\r\n" (String.length req.body);
+  Buffer.add_string buf
+    (if keep_alive then "connection: keep-alive\r\n\r\n" else "connection: close\r\n\r\n");
+  Buffer.add_string buf req.body;
+  write_all fd (Buffer.to_bytes buf)
+
+let read_response ?(max_header = 16 * 1024) ?(max_body = 64 * 1024 * 1024) fd =
+  let buf = Buffer.create 1024 in
+  let chunk = Bytes.create 4096 in
+  let find_header_end () =
+    let s = Buffer.contents buf in
+    let n = String.length s in
+    let rec go i =
+      if i + 1 >= n then None
+      else if s.[i] = '\n' && s.[i + 1] = '\n' then Some (i + 2)
+      else if
+        i + 3 < n && s.[i] = '\r' && s.[i + 1] = '\n' && s.[i + 2] = '\r'
+        && s.[i + 3] = '\n'
+      then Some (i + 4)
+      else go (i + 1)
+    in
+    go 0
+  in
+  let read_more () =
+    match Unix.read fd chunk 0 (Bytes.length chunk) with
+    | 0 -> `Eof
+    | n -> Buffer.add_subbytes buf chunk 0 n; `Ok
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> `Timeout
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> `Ok
+    | exception Unix.Unix_error (e, _, _) -> `Error (Unix.error_message e)
+  in
+  let rec fill_headers () =
+    match find_header_end () with
+    | Some stop -> Ok stop
+    | None ->
+        if Buffer.length buf > max_header then err 502 "response headers too large"
+        else (
+          match read_more () with
+          | `Ok -> fill_headers ()
+          | `Eof ->
+              if Buffer.length buf = 0 then err 502 "connection closed before response"
+              else err 502 "connection closed mid-header"
+          | `Timeout -> err 504 "timed out reading response"
+          | `Error m -> err 502 ("read error: " ^ m))
+  in
+  match fill_headers () with
+  | Error _ as e -> e
+  | Ok header_end -> (
+      let raw = Buffer.contents buf in
+      let head = String.sub raw 0 header_end in
+      let lines =
+        String.split_on_char '\n' head
+        |> List.map (fun l ->
+               let n = String.length l in
+               if n > 0 && l.[n - 1] = '\r' then String.sub l 0 (n - 1) else l)
+        |> List.filter (fun l -> l <> "")
+      in
+      match lines with
+      | [] -> err 502 "missing status line"
+      | status_line :: header_lines -> (
+          match
+            (try Scanf.sscanf status_line "HTTP/1.%_d %d" (fun s -> Some s)
+             with Scanf.Scan_failure _ | End_of_file | Failure _ -> None)
+          with
+          | None -> err 502 ("malformed status line: " ^ status_line)
+          | Some status -> (
+              let headers =
+                List.filter_map
+                  (fun l ->
+                    match String.index_opt l ':' with
+                    | None -> None
+                    | Some i ->
+                        Some
+                          ( String.lowercase_ascii (String.trim (String.sub l 0 i)),
+                            String.trim
+                              (String.sub l (i + 1) (String.length l - i - 1)) ))
+                  header_lines
+              in
+              let content_length =
+                match List.assoc_opt "content-length" headers with
+                | None -> Ok 0
+                | Some s -> (
+                    match int_of_string_opt (String.trim s) with
+                    | Some n when n >= 0 -> Ok n
+                    | _ -> err 502 "bad content-length")
+              in
+              match content_length with
+              | Error _ as e -> e
+              | Ok len ->
+                  if len > max_body then err 502 "response body too large"
+                  else begin
+                    let rec fill_body () =
+                      if Buffer.length buf - header_end >= len then Ok ()
+                      else
+                        match read_more () with
+                        | `Ok -> fill_body ()
+                        | `Eof -> err 502 "connection closed mid-body"
+                        | `Timeout -> err 504 "timed out reading response body"
+                        | `Error m -> err 502 ("read error: " ^ m)
+                    in
+                    match fill_body () with
+                    | Error _ as e -> e
+                    | Ok () ->
+                        let raw = Buffer.contents buf in
+                        Ok
+                          {
+                            status;
+                            reason = status_reason status;
+                            headers;
+                            body = String.sub raw header_end len;
+                          }
+                  end)))

@@ -2,10 +2,17 @@
     descriptors — just enough protocol for the {!Server} endpoints, no
     opam dependencies.
 
-    One request per connection: every response carries
+    By default one request per connection: a response carries
     [connection: close] and the server closes the socket after writing
-    it.  Read timeouts are the socket's [SO_RCVTIMEO] (set by the
-    caller); a timed-out read surfaces as a 408 {!error}. *)
+    it.  A client that sends [connection: keep-alive] (the cluster
+    router's pooled connections do) gets the response with
+    [connection: keep-alive] and may reuse the socket.  Read timeouts
+    are the socket's [SO_RCVTIMEO] (set by the caller); a timed-out read
+    surfaces as a 408 {!error}.
+
+    The same codec also speaks the client side ({!write_request} /
+    {!read_response}), so the cluster tier forwards requests
+    byte-equivalently without a second HTTP implementation. *)
 
 type request = {
   meth : string;  (** uppercased *)
@@ -48,6 +55,28 @@ val read_request :
 (** Blocking read of one full request (headers + [content-length] body).
     Defaults: 16 KiB of headers, 16 MiB of body. *)
 
-val write_response : Unix.file_descr -> response -> unit
-(** Adds [content-length] and [connection: close]; swallows
-    [EPIPE]/[ECONNRESET] (client already gone). *)
+val write_response : ?keep_alive:bool -> Unix.file_descr -> response -> unit
+(** Adds [content-length] and [connection: close] (or [keep-alive] when
+    [keep_alive], default false); swallows [EPIPE]/[ECONNRESET] (client
+    already gone). *)
+
+val wants_keep_alive : request -> bool
+(** The request carried an explicit [connection: keep-alive].  Only
+    explicit opt-in counts — HTTP/1.1's implicit default stays one
+    request per connection here, so plain curl traffic keeps today's
+    close-after-response behavior. *)
+
+val write_request : ?keep_alive:bool -> Unix.file_descr -> request -> unit
+(** Client side: serialize [request] (method, percent-encoded
+    path+query, headers minus [content-length]/[connection], body) and
+    write it.  [keep_alive] (default true) asks the server to hold the
+    connection open for reuse.
+    @raise Unix.Unix_error on write failure — callers treat the
+    connection as dead. *)
+
+val read_response :
+  ?max_header:int -> ?max_body:int -> Unix.file_descr -> (response, error) result
+(** Client side: blocking read of one full response.  Errors carry
+    gateway-flavored status hints (502 on framing/EOF, 504 on a socket
+    timeout) so a router can answer with them directly.  Defaults:
+    16 KiB of headers, 64 MiB of body. *)

@@ -37,6 +37,13 @@ type config = {
   tenant_depth : int;  (* max queued solve requests per tenant *)
   tenant_weights : (string * int) list;  (* fair-share weights; default 1 *)
   curve_cache_mb : int;  (* byte budget of the shared curve cache *)
+  forward : Http.request -> Http.response option;
+      (* cluster hook, consulted before local handling: [Some resp]
+         means another shard owns the request and [resp] is its (or the
+         failover path's) answer.  The daemon wires Bcc_cluster.Router
+         in here; [fun _ -> None] (the default) serves everything
+         locally.  A function field rather than a Router value keeps
+         lib/server free of a dependency cycle with lib/cluster. *)
 }
 
 let default_config =
@@ -56,6 +63,7 @@ let default_config =
     tenant_depth = 32;
     tenant_weights = [];
     curve_cache_mb = 64;
+    forward = (fun _ -> None);
   }
 
 type loaded = { digest : string; inst : Instance.t }
@@ -319,6 +327,19 @@ let resolve_instance t src =
               Ok l
           | exception Failure msg -> Error (400, msg)))
 
+(* Deadline propagation across cluster hops: the router forwards its
+   remaining time budget as [X-Bcc-Deadline-Ms], so a shard never spends
+   longer on a solve than the hop that asked for it is willing to wait.
+   An explicit [timeout_ms] in the request still wins — the header is
+   the cross-hop fallback. *)
+let header_deadline_ms (req : Http.request) =
+  match Http.header req "x-bcc-deadline-ms" with
+  | None -> None
+  | Some s -> (
+      match float_of_string_opt (String.trim s) with
+      | Some ms when Float.is_finite ms && ms > 0.0 -> Some ms
+      | _ -> None)
+
 let handle_solve t ep req =
   match parse_params req with
   | Error msg -> Http.error_response 400 msg
@@ -343,7 +364,11 @@ let handle_solve t ep req =
                   (fmt_opt budget) (fmt_opt target)
               in
               let deadline =
-                match timeout_ms with
+                match
+                  (match timeout_ms with
+                   | Some _ as ms -> ms
+                   | None -> header_deadline_ms req)
+                with
                 | None -> Deadline.none
                 | Some ms -> Deadline.of_timeout_ms ~label:"request" ms
               in
@@ -529,7 +554,10 @@ let handle_workload_solve t name req =
   let incremental = flag "incremental" in
   let deadline =
     match Http.query_param req "timeout_ms" with
-    | None -> Ok Deadline.none
+    | None -> (
+        match header_deadline_ms req with
+        | Some ms -> Ok (Deadline.of_timeout_ms ~label:"request" ms)
+        | None -> Ok Deadline.none)
     | Some s -> (
         match float_of_string_opt s with
         | Some ms when Float.is_finite ms && ms > 0.0 ->
@@ -985,7 +1013,12 @@ let request_deadline_s (req : Http.request) =
       | Ok j -> Option.bind (Json.member "timeout_ms" j) Json.get_num
       | Error _ -> None
   in
-  match (match from_query with Some ms -> Some ms | None -> from_body ()) with
+  let explicit =
+    match from_query with Some ms -> Some ms | None -> from_body ()
+  in
+  match
+    (match explicit with Some _ -> explicit | None -> header_deadline_ms req)
+  with
   | Some ms when Float.is_finite ms && ms > 0.0 ->
       Some (Timer.now_s () +. (ms /. 1000.))
   | _ -> None
@@ -1040,6 +1073,9 @@ let sched_keys t (req : Http.request) =
    retry-after.  Everything else (health, metrics, workload CRUD) stays
    on the direct path. *)
 let handle t (req : Http.request) =
+  match t.cfg.forward req with
+  | Some resp -> resp
+  | None -> (
   match sched_keys t req with
   | None -> handle_direct t req
   | Some (key, subkey) -> (
@@ -1074,7 +1110,7 @@ let handle t (req : Http.request) =
       | Error (Sched.Faulted (Fault.Injected point)) ->
           Http.error_response 500 ("injected fault: " ^ point)
       | Error (Sched.Faulted e) ->
-          Http.error_response 500 (Printexc.to_string e))
+          Http.error_response 500 (Printexc.to_string e)))
 
 (* --- connection plumbing --- *)
 
@@ -1120,57 +1156,92 @@ let serve_conn t fd enqueued_at =
         respond_error t fd ~endpoint:"-" ~status:503 "timed out in queue";
         linger fd
       end
-      else
-        match
-          Fault.hit "server.read";
-          Http.read_request fd
-        with
-        | exception Fault.Injected point ->
-            respond_error t fd ~endpoint:"-" ~status:500 ("injected fault: " ^ point);
-            linger fd
-        | Error { status_hint; message } ->
-            respond_error t fd ~endpoint:"-" ~status:status_hint message;
-            linger fd
-        | Ok req ->
-            let timer = Timer.start () in
-            (* Every request gets a fresh correlation id, installed as
-               the ambient id for the whole handling (engine tasks carry
-               it onto worker domains), stamped on every event the
-               request emits, and returned in [X-Bcc-Trace-Id] so the
-               client can pull the solve's record from
-               [/debug/solves?id=…]. *)
-            let corr = if Event.enabled () then Event.new_corr () else "" in
-            let run () =
-              try handle t req with
-              | Failure msg -> Http.error_response 400 msg
-              | e -> Http.error_response 500 (Printexc.to_string e)
-            in
-            let resp =
-              if corr = "" then run ()
-              else
-                Event.with_corr corr (fun () ->
-                    let resp = run () in
-                    Event.emit "http_request"
-                      ~attrs:
-                        [
-                          ("method", Event.Str req.meth);
-                          ("path", Event.Str req.path);
-                          ("status", Event.Int resp.Http.status);
-                          ("duration_s", Event.Float (Timer.elapsed_s timer));
-                        ];
-                    resp)
-            in
-            let resp =
-              if corr = "" then resp
-              else
-                { resp with Http.headers = ("X-Bcc-Trace-Id", corr) :: resp.Http.headers }
-            in
-            Metrics.observe t.metrics "bccd_request_duration_seconds"
-              ~labels:[ ("endpoint", req.path) ]
-              ~help:"End-to-end request handling time."
-              (Timer.elapsed_s timer);
-            count_request t ~endpoint:req.path ~status:resp.Http.status;
-            Http.write_response fd resp)
+      else begin
+        (* Keep-alive: a client that asked for it (the cluster router's
+           pooled connections) may send further requests on the same
+           socket.  The idle wait between requests is capped well below
+           [timeout_s] so an idle pooled connection cannot pin this
+           worker, and the request count is bounded as a backstop.
+           Errors on a reused connection close it silently — the
+           typical case is the client racing our idle timeout. *)
+        let keep_alive_idle_s = Float.min 5.0 t.cfg.timeout_s in
+        let max_keep_alive = 256 in
+        let rec request_loop ~first n =
+          if n <= 0 || Atomic.get t.stop then ()
+          else
+            match
+              Fault.hit "server.read";
+              Http.read_request fd
+            with
+            | exception Fault.Injected point ->
+                respond_error t fd ~endpoint:"-" ~status:500
+                  ("injected fault: " ^ point);
+                linger fd
+            | Error { status_hint; message } ->
+                if first then begin
+                  respond_error t fd ~endpoint:"-" ~status:status_hint message;
+                  linger fd
+                end
+            | Ok req ->
+                let timer = Timer.start () in
+                (* Every request gets a correlation id — adopted from an
+                   [X-Bcc-Trace-Id] request header when a routing hop
+                   upstream already minted one (so one trace id follows
+                   the request across the cluster), fresh otherwise —
+                   installed as the ambient id for the whole handling
+                   (engine tasks carry it onto worker domains), stamped
+                   on every event the request emits, and returned in
+                   [X-Bcc-Trace-Id] so the client can pull the solve's
+                   record from [/debug/solves?id=…]. *)
+                let corr =
+                  if not (Event.enabled ()) then ""
+                  else
+                    match Http.header req "x-bcc-trace-id" with
+                    | Some c when c <> "" && String.length c <= 64 -> c
+                    | _ -> Event.new_corr ()
+                in
+                let run () =
+                  try handle t req with
+                  | Failure msg -> Http.error_response 400 msg
+                  | e -> Http.error_response 500 (Printexc.to_string e)
+                in
+                let resp =
+                  if corr = "" then run ()
+                  else
+                    Event.with_corr corr (fun () ->
+                        let resp = run () in
+                        Event.emit "http_request"
+                          ~attrs:
+                            [
+                              ("method", Event.Str req.meth);
+                              ("path", Event.Str req.path);
+                              ("status", Event.Int resp.Http.status);
+                              ("duration_s", Event.Float (Timer.elapsed_s timer));
+                            ];
+                        resp)
+                in
+                let resp =
+                  if corr = "" then resp
+                  else
+                    { resp with
+                      Http.headers = ("X-Bcc-Trace-Id", corr) :: resp.Http.headers
+                    }
+                in
+                Metrics.observe t.metrics "bccd_request_duration_seconds"
+                  ~labels:[ ("endpoint", req.path) ]
+                  ~help:"End-to-end request handling time."
+                  (Timer.elapsed_s timer);
+                count_request t ~endpoint:req.path ~status:resp.Http.status;
+                let keep_alive = Http.wants_keep_alive req && n > 1 in
+                Http.write_response ~keep_alive fd resp;
+                if keep_alive then begin
+                  (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO keep_alive_idle_s
+                   with Unix.Unix_error _ -> ());
+                  request_loop ~first:false (n - 1)
+                end
+        in
+        request_loop ~first:true max_keep_alive
+      end)
 
 let enqueue_conn t fd =
   (* Socket-level timeouts bound slow readers/writers per request. *)

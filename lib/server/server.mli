@@ -118,6 +118,12 @@ type config = {
   curve_cache_mb : int;
       (** byte budget (MiB) of the process-wide curve cache shared
           across workloads by the incremental pipeline *)
+  forward : Http.request -> Http.response option;
+      (** cluster routing hook, consulted before local handling:
+          [Some resp] short-circuits with the forwarded answer, [None]
+          (the default's behavior) serves locally.  The daemon wires
+          {!Bcc_cluster.Router.forward} in here; a function field keeps
+          lib/server free of a dependency cycle with lib/cluster. *)
 }
 
 val default_config : config

@@ -18,6 +18,12 @@ let log_src = Logs.Src.create "bcc.store" ~doc:"workload store commits and repla
 
 module Log = (val Logs.src_log log_src : Logs.LOG)
 
+(* Bridge between the two open decoded types: [bcc_sched] cannot depend
+   on [bcc_core], so the curve cache stores opaque [Curve_cache.decoded]
+   values and this layer — which sees both — wraps the pipeline's
+   decoded curves ([Solve_ctx.decoded]) into them. *)
+type Curve_cache.decoded += Decoded of Solve_ctx.decoded
+
 type source = Text of string | Log of string
 
 type info = {
@@ -869,10 +875,15 @@ let solve t ~name ?options ?(cold = false) ?(incremental = false) ?(deadline = D
          is bit-identical to a cold pipeline solve at the same epoch. *)
       let ownr = owner_of w in
       let cache =
-        {
-          Solve_ctx.find = (fun fp -> Curve_cache.find t.cache fp);
-          store = (fun fp payload -> Curve_cache.store t.cache ~owner:ownr fp payload);
-        }
+        Solve_ctx.cache
+          ~find_decoded:(fun fp ->
+            match Curve_cache.find_decoded t.cache fp with
+            | Some (Decoded d) -> Some d
+            | _ -> None)
+          ~store_decoded:(fun fp d -> Curve_cache.store_decoded t.cache fp (Decoded d))
+          ~find:(fun fp -> Curve_cache.find t.cache fp)
+          ~store:(fun fp payload -> Curve_cache.store t.cache ~owner:ownr fp payload)
+          ()
       in
       let hints =
         {

@@ -1,0 +1,149 @@
+#!/usr/bin/env bash
+# Cluster smoke test against real bccd binaries: three shards behind a
+# routing node.  A workload is ingested through the router and must be
+# pinned to one shard; 30 concurrent stateless solves through the
+# router must all succeed byte-identically to a single-node solve of
+# the same instance; then the owning shard is SIGKILLed mid-run —
+# idempotent solves must keep succeeding identically (reads fail over
+# along the ring), store traffic must answer 503 + retry-after rather
+# than fail over, and a restart on the same port must bring the shard
+# back (router gauge up, workload served with its journal intact).
+#
+# Usage: scripts/cluster_smoke.sh [path-to-bccd.exe]
+set -euo pipefail
+
+BCCD=${1:-_build/default/bin/bccd.exe}
+[ -x "$BCCD" ] || { echo "bccd binary not found at $BCCD (dune build bin first)"; exit 1; }
+
+TMP=$(mktemp -d)
+PIDS=()
+cleanup() {
+  for pid in "${PIDS[@]}"; do kill -9 "$pid" 2>/dev/null || true; done
+  rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+start_node() { # name, extra args...; sets NODE_PORT and NODE_PID
+  local name=$1; shift
+  "$BCCD" --port 0 --workers 2 "$@" >"$TMP/$name.out" 2>&1 &
+  NODE_PID=$!
+  disown "$NODE_PID"
+  PIDS+=("$NODE_PID")
+  for _ in $(seq 100); do
+    NODE_PORT=$(sed -n 's/.*listening on [^ ]*:\([0-9][0-9]*\) .*/\1/p' "$TMP/$name.out" | head -n1)
+    [ -n "$NODE_PORT" ] && return 0
+    kill -0 "$NODE_PID" 2>/dev/null || { echo "$name died on startup:"; cat "$TMP/$name.out"; exit 1; }
+    sleep 0.1
+  done
+  echo "$name never reported its port:"; cat "$TMP/$name.out"; exit 1
+}
+
+# restart a shard on a FIXED port (recovery path)
+restart_node() { # name, port, extra args...
+  local name=$1 port=$2; shift 2
+  "$BCCD" --port "$port" --workers 2 "$@" >"$TMP/$name.out" 2>&1 &
+  NODE_PID=$!
+  disown "$NODE_PID"
+  PIDS+=("$NODE_PID")
+}
+
+for i in 1 2 3; do
+  mkdir -p "$TMP/state$i"
+  start_node "shard$i" --state-dir "$TMP/state$i"
+  eval "SPORT$i=$NODE_PORT"; eval "SPID$i=$NODE_PID"
+done
+start_node router --route-to "127.0.0.1:$SPORT1,127.0.0.1:$SPORT2,127.0.0.1:$SPORT3"
+RPORT=$NODE_PORT
+echo "shards on $SPORT1 $SPORT2 $SPORT3, router on $RPORT"
+
+WORKLOAD='budget 25
+query a0;a1 10
+query a1;a2 6
+query b0;b1 8
+classifier a0 2
+classifier a1 3
+classifier a2 4
+classifier a0;a1 4
+classifier b0 2
+classifier b1 3'
+
+SOLVE_BODY='{"text": "budget 10\nquery q1;q2 5\nclassifier q1 2\nclassifier q2 3\nclassifier q1;q2 4"}'
+
+# strip the per-shard solution-cache flag before comparing responses
+normalize() { sed -e 's/"cached":true/"cached":_/' -e 's/"cached":false/"cached":_/'; }
+
+# single-node reference answer (shard 1, direct — no router involved)
+curl -fsS -X POST "http://127.0.0.1:$SPORT1/solve" --data-binary "$SOLVE_BODY" | normalize > "$TMP/reference"
+
+# ingest through the router; note the owning shard
+curl -fsS -D "$TMP/put.hdr" -X PUT "http://127.0.0.1:$RPORT/workloads/smoke" --data-binary "$WORKLOAD" >/dev/null
+OWNER=$(tr -d '\r' < "$TMP/put.hdr" | sed -n 's/^x-bcc-shard: //p')
+[ -n "$OWNER" ] || { echo "routed PUT carried no x-bcc-shard header"; exit 1; }
+OWNER_PORT=${OWNER##*:}
+echo "workload smoke owned by $OWNER"
+
+wave() { # n -> fires n concurrent routed solves, checks all 200 + identical
+  local n=$1 label=$2 pids=() i
+  for i in $(seq 1 "$n"); do
+    (
+      code=$(curl -s -o "$TMP/resp.$i" -w '%{http_code}' -X POST \
+        "http://127.0.0.1:$RPORT/solve" --data-binary "$SOLVE_BODY")
+      echo "$code" > "$TMP/code.$i"
+    ) &
+    pids+=($!)
+  done
+  for pid in "${pids[@]}"; do wait "$pid"; done
+  for i in $(seq 1 "$n"); do
+    [ "$(cat "$TMP/code.$i")" = 200 ] || { echo "$label: solve $i failed ($(cat "$TMP/code.$i"))"; cat "$TMP/router.out"; exit 1; }
+    normalize < "$TMP/resp.$i" | diff -q "$TMP/reference" - >/dev/null \
+      || { echo "$label: solve $i differs from single-node reference"; normalize < "$TMP/resp.$i"; cat "$TMP/reference"; exit 1; }
+  done
+  echo "$label: $n/$n routed solves identical to single-node"
+}
+
+wave 30 "all shards up"
+
+# SIGKILL the owning shard mid-run
+for i in 1 2 3; do
+  port_var="SPORT$i"; pid_var="SPID$i"
+  if [ "${!port_var}" = "$OWNER_PORT" ]; then kill -9 "${!pid_var}"; OWNER_STATE="$TMP/state$i"; fi
+done
+echo "killed owner shard $OWNER"
+
+# zero failed idempotent reads through the detection window and after
+wave 30 "owner killed"
+
+# wait for the router to mark the shard down, then store traffic must
+# be refused with retry-after, not silently failed over
+for _ in $(seq 100); do
+  up=$(curl -fsS "http://127.0.0.1:$RPORT/metrics" | sed -n "s/^bcc_cluster_shard_up{shard=\"$OWNER\"} //p")
+  [ "$up" = 0 ] && break
+  sleep 0.1
+done
+[ "$up" = 0 ] || { echo "router never marked $OWNER down"; exit 1; }
+
+code=$(curl -s -o /dev/null -w '%{http_code}' "http://127.0.0.1:$RPORT/workloads/smoke")
+[ "$code" = 503 ] || { echo "sticky read with owner down -> HTTP $code (want 503)"; exit 1; }
+curl -s -D - -o /dev/null "http://127.0.0.1:$RPORT/workloads/smoke" | grep -qi '^retry-after:' \
+  || { echo "owner-down 503 missing retry-after"; exit 1; }
+code=$(curl -s -o /dev/null -w '%{http_code}' -X POST "http://127.0.0.1:$RPORT/workloads/smoke/delta" --data-binary 'upsert a0;a1 12')
+[ "$code" = 503 ] || { echo "mutation with owner down -> HTTP $code (want 503)"; exit 1; }
+echo "owner-down store traffic: 503 + retry-after"
+
+# restart the shard on the same port and state dir: it must come back
+# up and serve the workload it journaled
+restart_node owner-revived "$OWNER_PORT" --state-dir "$OWNER_STATE"
+for _ in $(seq 150); do
+  up=$(curl -fsS "http://127.0.0.1:$RPORT/metrics" | sed -n "s/^bcc_cluster_shard_up{shard=\"$OWNER\"} //p")
+  [ "$up" = 1 ] && break
+  sleep 0.1
+done
+[ "$up" = 1 ] || { echo "router never marked $OWNER back up"; exit 1; }
+code=$(curl -s -o /dev/null -w '%{http_code}' "http://127.0.0.1:$RPORT/workloads/smoke")
+[ "$code" = 200 ] || { echo "workload not served after owner restart -> HTTP $code"; exit 1; }
+echo "owner recovered: workload served again by $OWNER"
+
+# the wave still agrees with single-node after recovery
+wave 10 "owner recovered"
+
+echo "cluster smoke: OK"

@@ -74,11 +74,13 @@ let request ~port ~meth ~path ?body () =
 
 type daemon = { pid : int; out : in_channel; port : int }
 
-let start_daemon ?faults args =
+let start_daemon ?faults ?(port = 0) args =
   if not (Sys.file_exists bccd_exe) then
     Alcotest.failf "daemon binary %s not built" bccd_exe;
   let out_r, out_w = Unix.pipe () in
-  let argv = Array.of_list ((bccd_exe :: "--port" :: "0" :: args)) in
+  let argv =
+    Array.of_list (bccd_exe :: "--port" :: string_of_int port :: args)
+  in
   let pid =
     match faults with
     | None -> Unix.create_process bccd_exe argv Unix.stdin out_w Unix.stderr
@@ -1087,6 +1089,137 @@ let fault_tenant_depth_429 () =
       | Some n -> Alcotest.(check bool) "sched rejection exported" true (n >= 1.0)
       | None -> Alcotest.fail "bcc_sched_rejected_total missing")
 
+(* --- cluster: sharded routing, SIGKILL failover, recovery --- *)
+
+(* The per-shard solution cache legitimately differs between a first
+   and a repeated solve of the same instance; everything else in the
+   response must be byte-identical across shards. *)
+let strip_cached body =
+  let remove_all sub acc =
+    let b = Buffer.create (String.length acc) in
+    let n = String.length sub in
+    let i = ref 0 in
+    while !i <= String.length acc - n do
+      if String.sub acc !i n = sub then i := !i + n
+      else begin
+        Buffer.add_char b acc.[!i];
+        incr i
+      end
+    done;
+    Buffer.add_string b (String.sub acc !i (String.length acc - !i));
+    Buffer.contents b
+  in
+  remove_all {|"cached":true|} (remove_all {|"cached":false|} body)
+
+(* Three real shards plus a router daemon whose very first forward is
+   fault-injected (cluster.forward:throw:1): the routed solve must
+   still answer from the next ring node.  Then the owning shard is
+   SIGKILLed mid-run: every stateless solve keeps answering
+   byte-identically (zero failed idempotent reads, during the
+   detection window and after), the dead owner's store traffic gets
+   503 + retry-after, and a restart on the same port and state dir
+   brings the shard back up with its journal intact. *)
+let cluster_sigkill_failover () =
+  let dirs = List.init 3 (fun _ -> temp_state_dir ()) in
+  Fun.protect ~finally:(fun () -> List.iter rm_state_dir dirs) @@ fun () ->
+  let shards =
+    List.map (fun dir -> start_daemon [ "--workers"; "2"; "--state-dir"; dir ]) dirs
+  in
+  let shard_id (d : daemon) = Printf.sprintf "127.0.0.1:%d" d.port in
+  let router =
+    start_daemon ~faults:"cluster.forward:throw:1"
+      [
+        "--workers"; "2"; "--route-to";
+        String.concat "," (List.map shard_id shards);
+      ]
+  in
+  let live = ref (router :: shards) in
+  Fun.protect ~finally:(fun () -> List.iter kill_hard !live) @@ fun () ->
+  let rp = router.port in
+  let solve_body = {|{"text": "|} ^ String.concat {|\n|} (String.split_on_char '\n' (String.trim fig_text)) ^ {|"}|} in
+  let routed_solve () =
+    request ~port:rp ~meth:"POST" ~path:"/solve" ~body:solve_body ()
+  in
+  (* First forward eats the injected throw and fails over. *)
+  let status, baseline = routed_solve () in
+  Alcotest.(check int) "solve through armed fault -> failover 200" 200 status;
+  let baseline = strip_cached baseline in
+  (* Workload pinned to its owner. *)
+  let status, raw =
+    request_raw ~port:rp ~meth:"PUT" ~path:"/workloads/fig" ~body:fig_text ()
+  in
+  Alcotest.(check int) "PUT via router" 200 status;
+  let owner =
+    match header_value raw "x-bcc-shard" with
+    | Some id -> id
+    | None -> Alcotest.fail "routed PUT carries no x-bcc-shard header"
+  in
+  let status, raw = request_raw ~port:rp ~meth:"GET" ~path:"/workloads/fig" () in
+  Alcotest.(check int) "GET via router" 200 status;
+  Alcotest.(check (option string)) "read served by the owner" (Some owner)
+    (header_value raw "x-bcc-shard");
+  (* SIGKILL the owner mid-run. *)
+  let owner_daemon = List.find (fun d -> shard_id d = owner) shards in
+  let owner_dir =
+    List.nth dirs
+      (Option.get
+         (List.find_index (fun d -> shard_id d = owner) shards))
+  in
+  kill_hard owner_daemon;
+  live := List.filter (fun d -> d != owner_daemon) !live;
+  (* Idempotent reads must not fail even inside the detection window. *)
+  for i = 1 to 5 do
+    let status, body = routed_solve () in
+    Alcotest.(check int) (Printf.sprintf "solve %d after SIGKILL" i) 200 status;
+    Alcotest.(check string)
+      (Printf.sprintf "solve %d byte-identical after SIGKILL" i)
+      baseline (strip_cached body)
+  done;
+  let up_gauge = Printf.sprintf "bcc_cluster_shard_up{shard=\"%s\"}" owner in
+  let poll_gauge want msg =
+    let deadline = Bcc_util.Timer.now_s () +. 15.0 in
+    let rec go () =
+      let _, m = request ~port:rp ~meth:"GET" ~path:"/metrics" () in
+      match metric_value m up_gauge with
+      | Some v when v = want -> ()
+      | _ ->
+          if Bcc_util.Timer.now_s () > deadline then Alcotest.fail msg
+          else (Thread.delay 0.1; go ())
+    in
+    go ()
+  in
+  poll_gauge 0.0 "router never marked the killed shard down";
+  (* Store traffic for the dead owner: refused with retry-after, not
+     silently failed over. *)
+  let status, raw = request_raw ~port:rp ~meth:"GET" ~path:"/workloads/fig" () in
+  Alcotest.(check int) "sticky read while owner down" 503 status;
+  Alcotest.(check bool) "503 carries retry-after" true
+    (header_value raw "retry-after" <> None);
+  let status, raw =
+    request_raw ~port:rp ~meth:"POST" ~path:"/workloads/fig/delta"
+      ~body:"add x;y 1\n" ()
+  in
+  Alcotest.(check int) "mutation while owner down" 503 status;
+  Alcotest.(check bool) "mutation 503 carries retry-after" true
+    (header_value raw "retry-after" <> None);
+  (* Stateless solves still identical with the shard gone. *)
+  let status, body = routed_solve () in
+  Alcotest.(check int) "solve while shard down" 200 status;
+  Alcotest.(check string) "solve byte-identical while shard down" baseline
+    (strip_cached body);
+  (* Restart on the same port and state dir: the ring owner recovers
+     with its journal. *)
+  let revived =
+    start_daemon ~port:owner_daemon.port
+      [ "--workers"; "2"; "--state-dir"; owner_dir ]
+  in
+  live := revived :: !live;
+  poll_gauge 1.0 "router never marked the restarted shard up";
+  let status, raw = request_raw ~port:rp ~meth:"GET" ~path:"/workloads/fig" () in
+  Alcotest.(check int) "sticky read after recovery" 200 status;
+  Alcotest.(check (option string)) "served again by the owner" (Some owner)
+    (header_value raw "x-bcc-shard")
+
 let suite =
   [
     ("e2e: concurrent solves, cache, metrics, SIGTERM", `Quick, e2e_concurrent_solves_and_shutdown);
@@ -1104,4 +1237,5 @@ let suite =
     ("telemetry: trace-id header keys the flight recorder", `Quick, telemetry_correlation);
     ("store: workload lifecycle over HTTP", `Quick, store_lifecycle);
     ("store: SIGKILL + restart serves the committed state", `Quick, store_crash_recovery);
+    ("cluster: routing, SIGKILL failover, recovery", `Quick, cluster_sigkill_failover);
   ]

@@ -1,0 +1,374 @@
+(* Unit and in-process integration tests for bcc_cluster: rendezvous
+   ring determinism and minimal disruption, the keep-alive client pool,
+   and the router's forwarding policy (ownership, single-homed store
+   semantics, fault-injected failover, admission, scatter).  The
+   end-to-end cluster test against real bccd processes — including a
+   SIGKILL mid-run — lives in test_bccd.ml. *)
+
+module Ring = Bcc_cluster.Ring
+module Client = Bcc_cluster.Client
+module Router = Bcc_cluster.Router
+module Server = Bcc_server.Server
+module Http = Bcc_server.Http
+module Json = Bcc_server.Json
+module Metrics = Bcc_server.Metrics
+module Fault = Bcc_robust.Fault
+
+(* --- ring --- *)
+
+let n host port = { Ring.host; port }
+
+let keys count = List.init count (Printf.sprintf "wl%d")
+
+let ring_determinism () =
+  let a = n "10.0.0.1" 8080 and b = n "10.0.0.2" 8080 and c = n "10.0.0.3" 8080 in
+  let r1 = Ring.make [ a; b; c ] and r2 = Ring.make [ c; a; b; a ] in
+  List.iter
+    (fun k ->
+      Alcotest.(check string)
+        ("owner of " ^ k ^ " independent of input order")
+        (Ring.node_id (Ring.owner r1 k))
+        (Ring.node_id (Ring.owner r2 k));
+      let ord = Ring.order r1 k in
+      Alcotest.(check int) "order lists every node once" 3
+        (List.length (List.sort_uniq compare (List.map Ring.node_id ord))))
+    (keys 50)
+
+let ring_minimal_disruption () =
+  let a = n "10.0.0.1" 8080 and b = n "10.0.0.2" 8080 and c = n "10.0.0.3" 8080 in
+  let full = Ring.make [ a; b; c ] and without_b = Ring.make [ a; c ] in
+  List.iter
+    (fun k ->
+      let owner = Ring.owner full k in
+      if Ring.node_id owner <> Ring.node_id b then
+        Alcotest.(check string)
+          ("removing b must not move " ^ k)
+          (Ring.node_id owner)
+          (Ring.node_id (Ring.owner without_b k)))
+    (keys 200)
+
+let ring_spreads_keys () =
+  let nodes = [ n "10.0.0.1" 8080; n "10.0.0.2" 8080; n "10.0.0.3" 8080 ] in
+  let r = Ring.make nodes in
+  let counts = Hashtbl.create 3 in
+  List.iter
+    (fun k ->
+      let id = Ring.node_id (Ring.owner r k) in
+      Hashtbl.replace counts id (1 + Option.value ~default:0 (Hashtbl.find_opt counts id)))
+    (keys 300);
+  List.iter
+    (fun node ->
+      let c = Option.value ~default:0 (Hashtbl.find_opt counts (Ring.node_id node)) in
+      if c < 30 then
+        Alcotest.failf "degenerate spread: %s owns only %d/300 keys"
+          (Ring.node_id node) c)
+    nodes
+
+let ring_parse () =
+  (match Ring.parse_node "example.org:8080" with
+  | Some { Ring.host = "example.org"; port = 8080 } -> ()
+  | _ -> Alcotest.fail "parse_node rejected a valid host:port");
+  List.iter
+    (fun s ->
+      if Ring.parse_node s <> None then Alcotest.failf "parse_node accepted %S" s)
+    [ ""; "host"; ":80"; "host:"; "host:x"; "host:0"; "host:70000" ];
+  (match Ring.parse_nodes "a:1, b:2 ,c:3" with
+  | Some r -> Alcotest.(check int) "three shards" 3 (Ring.size r)
+  | None -> Alcotest.fail "parse_nodes rejected a valid list");
+  List.iter
+    (fun s ->
+      if Ring.parse_nodes s <> None then
+        Alcotest.failf "parse_nodes accepted %S" s)
+    [ ""; ","; "a:1,nope"; "a:1 b:2" ]
+
+(* --- in-process servers --- *)
+
+let start_server () =
+  let cfg =
+    {
+      Server.default_config with
+      Server.port = 0;
+      workers = 2;
+      trace_spans = 0;
+      timeout_s = 5.0;
+    }
+  in
+  let srv = Server.create cfg in
+  let th = Thread.create Server.run srv in
+  (srv, th, n "127.0.0.1" (Server.port srv))
+
+let stop_server (srv, th, _) =
+  Server.request_stop srv;
+  Thread.join th
+
+(* A bound-then-closed port: connecting to it fails fast. *)
+let dead_port () =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+  let port =
+    match Unix.getsockname fd with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> assert false
+  in
+  Unix.close fd;
+  port
+
+let req ?(meth = "GET") ?(body = "") path =
+  { Http.meth; path; query = []; headers = []; body }
+
+let workload_text =
+  "budget 25\n\
+   query a0;a1 10\n\
+   query a1;a2 6\n\
+   classifier a0 2\n\
+   classifier a1 3\n\
+   classifier a2 4\n\
+   classifier a0;a1 4\n"
+
+let solve_body =
+  {|{"text": "budget 10\nquery q1;q2 5\nclassifier q1 2\nclassifier q2 3\nclassifier q1;q2 4"}|}
+
+(* --- client --- *)
+
+let client_keepalive_pool () =
+  let s = start_server () in
+  Fun.protect ~finally:(fun () -> stop_server s) @@ fun () ->
+  let _, _, node = s in
+  let c = Client.create () in
+  Alcotest.(check int) "pool starts empty" 0 (Client.idle_count c node);
+  (match Client.request c node (req "/healthz") with
+  | Ok resp -> Alcotest.(check int) "healthz" 200 resp.Http.status
+  | Error e -> Alcotest.failf "healthz failed: %s" e.Http.message);
+  Alcotest.(check int) "socket pooled after keep-alive response" 1
+    (Client.idle_count c node);
+  (match Client.request c node (req "/healthz") with
+  | Ok resp -> Alcotest.(check int) "healthz again" 200 resp.Http.status
+  | Error e -> Alcotest.failf "reused request failed: %s" e.Http.message);
+  Alcotest.(check int) "reused socket returned to pool" 1
+    (Client.idle_count c node);
+  Client.close_idle c;
+  Alcotest.(check int) "close_idle empties the pool" 0 (Client.idle_count c node);
+  match Client.request c node (req "/healthz") with
+  | Ok resp -> Alcotest.(check int) "fresh dial after close" 200 resp.Http.status
+  | Error e -> Alcotest.failf "post-close request failed: %s" e.Http.message
+
+let client_unreachable_is_502 () =
+  let c = Client.create ~retries:1 ~backoff_s:0.001 () in
+  let node = n "127.0.0.1" (dead_port ()) in
+  match Client.request c node (req "/healthz") with
+  | Ok resp -> Alcotest.failf "dead backend answered %d" resp.Http.status
+  | Error e -> Alcotest.(check int) "gateway hint" 502 e.Http.status_hint
+
+(* --- router --- *)
+
+let mk_router ?(tenant_depth = 64) ring =
+  Router.create ~tenant_depth ~metrics:(Metrics.create ()) ring
+
+let forward_exn router r =
+  match Router.forward router r with
+  | Some resp -> resp
+  | None -> Alcotest.failf "expected %s %s to be routed" r.Http.meth r.Http.path
+
+(* A workload name owned by [want] on [ring]. *)
+let name_owned_by ring want =
+  let rec go i =
+    if i > 10_000 then Alcotest.fail "no key found for shard"
+    else
+      let name = Printf.sprintf "wl%d" i in
+      if Ring.node_id (Ring.owner ring name) = Ring.node_id want then name
+      else go (i + 1)
+  in
+  go 0
+
+let header_exn resp k =
+  match List.assoc_opt k resp.Http.headers with
+  | Some v -> v
+  | None -> Alcotest.failf "missing %s header" k
+
+let router_pins_and_scatters () =
+  let s1 = start_server () and s2 = start_server () in
+  Fun.protect ~finally:(fun () -> stop_server s1; stop_server s2) @@ fun () ->
+  let _, _, n1 = s1 and _, _, n2 = s2 in
+  let ring = Ring.make [ n1; n2 ] in
+  let router = mk_router ring in
+  Fun.protect ~finally:(fun () -> Router.stop router) @@ fun () ->
+  (* Local endpoints are not routed. *)
+  List.iter
+    (fun r ->
+      if Router.forward router r <> None then
+        Alcotest.failf "%s %s must stay local" r.Http.meth r.Http.path)
+    [ req "/healthz"; req "/metrics"; req "/debug/solves"; req "/nonsense" ];
+  let w1 = name_owned_by ring n1 and w2 = name_owned_by ring n2 in
+  (* Mutations land on the owner. *)
+  let put name =
+    forward_exn router (req ~meth:"PUT" ~body:workload_text ("/workloads/" ^ name))
+  in
+  let p1 = put w1 and p2 = put w2 in
+  Alcotest.(check int) "PUT w1 ok" 200 p1.Http.status;
+  Alcotest.(check string) "w1 on its owner" (Ring.node_id n1)
+    (header_exn p1 "x-bcc-shard");
+  Alcotest.(check string) "w2 on its owner" (Ring.node_id n2)
+    (header_exn p2 "x-bcc-shard");
+  (* Store state is single-homed: the non-owner has no copy. *)
+  let c = Router.client router in
+  (match Client.request c n2 (req ("/workloads/" ^ w1)) with
+  | Ok resp -> Alcotest.(check int) "non-owner has no w1" 404 resp.Http.status
+  | Error e -> Alcotest.failf "direct read failed: %s" e.Http.message);
+  (* Sticky reads route to the owner and agree with a direct read. *)
+  let via = forward_exn router (req ("/workloads/" ^ w1)) in
+  Alcotest.(check int) "routed read ok" 200 via.Http.status;
+  Alcotest.(check string) "read from owner" (Ring.node_id n1)
+    (header_exn via "x-bcc-shard");
+  (match Client.request c n1 (req ("/workloads/" ^ w1)) with
+  | Ok direct ->
+      Alcotest.(check string) "routed read byte-identical to direct"
+        direct.Http.body via.Http.body
+  | Error e -> Alcotest.failf "direct read failed: %s" e.Http.message);
+  (* GET /workloads is the union over shards. *)
+  let listing = forward_exn router (req "/workloads") in
+  Alcotest.(check int) "scatter ok" 200 listing.Http.status;
+  let names =
+    match Json.member "workloads" (Json.of_string_exn listing.Http.body) with
+    | Some j ->
+        List.filter_map
+          (fun row -> Option.bind (Json.member "name" row) Json.get_string)
+          (Option.value ~default:[] (Json.get_list j))
+    | None -> []
+  in
+  List.iter
+    (fun w ->
+      if not (List.mem w names) then
+        Alcotest.failf "scatter listing misses %s (got %s)" w
+          (String.concat "," names))
+    [ w1; w2 ];
+  (* Stateless solve through the router is byte-identical to a direct
+     solve on either shard (modulo the per-shard solution-cache flag:
+     a repeat of the same instance is legitimately "cached" there). *)
+  let remove_all sub acc =
+    let b = Buffer.create (String.length acc) in
+    let n = String.length sub in
+    let i = ref 0 in
+    while !i <= String.length acc - n do
+      if String.sub acc !i n = sub then i := !i + n
+      else begin
+        Buffer.add_char b acc.[!i];
+        incr i
+      end
+    done;
+    Buffer.add_string b (String.sub acc !i (String.length acc - !i));
+    Buffer.contents b
+  in
+  let strip_cached body =
+    remove_all {|"cached":true|} (remove_all {|"cached":false|} body)
+  in
+  let routed = forward_exn router (req ~meth:"POST" ~body:solve_body "/solve") in
+  Alcotest.(check int) "routed solve ok" 200 routed.Http.status;
+  List.iter
+    (fun node ->
+      match Client.request c node (req ~meth:"POST" ~body:solve_body "/solve") with
+      | Ok direct ->
+          Alcotest.(check string)
+            ("routed solve matches " ^ Ring.node_id node)
+            (strip_cached direct.Http.body)
+            (strip_cached routed.Http.body)
+      | Error e -> Alcotest.failf "direct solve failed: %s" e.Http.message)
+    [ n1; n2 ]
+
+let router_fault_failover () =
+  let s1 = start_server () and s2 = start_server () in
+  Fun.protect ~finally:(fun () -> stop_server s1; stop_server s2) @@ fun () ->
+  let _, _, n1 = s1 and _, _, n2 = s2 in
+  let router = mk_router (Ring.make [ n1; n2 ]) in
+  Fun.protect
+    ~finally:(fun () ->
+      Fault.reset ();
+      Router.stop router)
+  @@ fun () ->
+  (* A stateless solve survives one injected forward failure: the
+     second ring node serves it. *)
+  Fault.arm ~count:1 Router.fault_point Fault.Throw;
+  let resp = forward_exn router (req ~meth:"POST" ~body:solve_body "/solve") in
+  Alcotest.(check int) "failover answered" 200 resp.Http.status;
+  Alcotest.(check int) "fault consumed" 1 (Fault.fired Router.fault_point);
+  Fault.reset ();
+  (* A mutation is never failed over: the injected failure surfaces as
+     503 + retry-after. *)
+  Fault.arm ~count:1 Router.fault_point Fault.Throw;
+  let resp =
+    forward_exn router (req ~meth:"PUT" ~body:workload_text "/workloads/wfault")
+  in
+  Alcotest.(check int) "mutation not retried elsewhere" 503 resp.Http.status;
+  ignore (header_exn resp "retry-after")
+
+let router_down_owner_503 () =
+  let s1 = start_server () in
+  Fun.protect ~finally:(fun () -> stop_server s1) @@ fun () ->
+  let _, _, live = s1 in
+  let dead = n "127.0.0.1" (dead_port ()) in
+  let ring = Ring.make [ live; dead ] in
+  let router = mk_router ring in
+  Fun.protect ~finally:(fun () -> Router.stop router) @@ fun () ->
+  (* Two failed probes flip the dead shard down. *)
+  Alcotest.(check bool) "assumed up initially" true (Router.is_up router dead);
+  Router.probe router dead;
+  Router.probe router dead;
+  Alcotest.(check bool) "down after consecutive probe failures" false
+    (Router.is_up router dead);
+  Alcotest.(check bool) "live shard stays up" true (Router.is_up router live);
+  let orphan = name_owned_by ring dead in
+  (* Store traffic for the dead owner: 503 + retry-after, both reads
+     and writes — never a misleading 404 from the other shard. *)
+  List.iter
+    (fun r ->
+      let resp = forward_exn router r in
+      Alcotest.(check int)
+        (Printf.sprintf "%s %s while owner down" r.Http.meth r.Http.path)
+        503 resp.Http.status;
+      ignore (header_exn resp "retry-after"))
+    [
+      req ("/workloads/" ^ orphan);
+      req ("/workloads/" ^ orphan ^ "/solution");
+      req ~meth:"PUT" ~body:workload_text ("/workloads/" ^ orphan);
+      req ~meth:"POST" ~body:"budget 9\n" ("/workloads/" ^ orphan ^ "/delta");
+    ];
+  (* Stateless compute skips the dead shard entirely. *)
+  let resp = forward_exn router (req ~meth:"POST" ~body:solve_body "/solve") in
+  Alcotest.(check int) "stateless solve avoids the dead shard" 200
+    resp.Http.status;
+  Alcotest.(check string) "served by the live shard" (Ring.node_id live)
+    (header_exn resp "x-bcc-shard");
+  (* Hedgeable GET: still answered with one candidate up. *)
+  let resp = forward_exn router (req "/instances") in
+  Alcotest.(check int) "GET /instances answered" 200 resp.Http.status
+
+let router_admission_429 () =
+  let s1 = start_server () in
+  Fun.protect ~finally:(fun () -> stop_server s1) @@ fun () ->
+  let _, _, node = s1 in
+  let router = mk_router ~tenant_depth:1 (Ring.make [ node ]) in
+  Fun.protect ~finally:(fun () -> Router.stop router) @@ fun () ->
+  let adm = Router.admission router in
+  (* Hold the default tenant's only slot: the forward must be refused
+     with 429 + retry-after, and succeed again once the slot frees. *)
+  Alcotest.(check bool) "slot acquired" true
+    (Bcc_sched.Admission.try_acquire adm ~tenant:"default");
+  let resp = forward_exn router (req "/workloads") in
+  Alcotest.(check int) "over-budget tenant is refused" 429 resp.Http.status;
+  ignore (header_exn resp "retry-after");
+  Bcc_sched.Admission.release adm ~tenant:"default";
+  let resp = forward_exn router (req "/workloads") in
+  Alcotest.(check int) "admitted after release" 200 resp.Http.status
+
+let suite =
+  [
+    Alcotest.test_case "ring determinism" `Quick ring_determinism;
+    Alcotest.test_case "ring minimal disruption" `Quick ring_minimal_disruption;
+    Alcotest.test_case "ring spreads keys" `Quick ring_spreads_keys;
+    Alcotest.test_case "ring parse" `Quick ring_parse;
+    Alcotest.test_case "client keep-alive pool" `Quick client_keepalive_pool;
+    Alcotest.test_case "client unreachable is 502" `Quick client_unreachable_is_502;
+    Alcotest.test_case "router pins and scatters" `Quick router_pins_and_scatters;
+    Alcotest.test_case "router fault failover" `Quick router_fault_failover;
+    Alcotest.test_case "router down owner 503" `Quick router_down_owner_503;
+    Alcotest.test_case "router admission 429" `Quick router_admission_429;
+  ]

@@ -27,5 +27,6 @@ let () =
       ("sched", Test_sched.suite);
       ("server", Test_server.suite);
       ("obs", Test_obs.suite);
+      ("cluster", Test_cluster.suite);
       ("bccd", Test_bccd.suite);
     ]

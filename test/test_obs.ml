@@ -598,6 +598,99 @@ let solve_progress_stream () =
           Alcotest.(check bool) "positive ratio" true (r.Progress.utility_ratio > 0.0)
       | None -> Alcotest.fail "no solve_report in the stream")
 
+(* Regression for the BENCH_9 anytime corruption: extracting one curve
+   from a recorded stream that interleaves several solves produced
+   sawtooth drops to 0.0.  [Progress.solve_curves] must key strictly by
+   correlation id, collapse adjacent identical samples, and
+   monotone-check the closing [arm = "final"] point. *)
+let solve_curves_split_stream () =
+  let inc ~corr ~ts ~arm ~u =
+    {
+      Event.ts_s = ts;
+      corr;
+      name = Progress.incumbent_event;
+      attrs = [ ("arm", Event.Str arm); ("utility", Event.Float u) ];
+    }
+  in
+  let a = "aaaa11112222" and b = "bbbb33334444" in
+  (* Two interleaved solves, a byte-for-byte duplicate sample in [a],
+     and a corrupted final in [a] reporting below its best incumbent. *)
+  let stream =
+    [
+      inc ~corr:a ~ts:0.0 ~arm:"knap" ~u:10.0;
+      inc ~corr:b ~ts:0.1 ~arm:"knap" ~u:2.0;
+      inc ~corr:a ~ts:0.2 ~arm:"qk" ~u:25.0;
+      inc ~corr:a ~ts:0.3 ~arm:"qk" ~u:25.0;
+      inc ~corr:a ~ts:0.3 ~arm:"qk" ~u:25.0;
+      inc ~corr:b ~ts:0.4 ~arm:"cover" ~u:15.0;
+      inc ~corr:a ~ts:0.5 ~arm:"final" ~u:20.0;
+      inc ~corr:b ~ts:0.6 ~arm:"final" ~u:30.0;
+    ]
+  in
+  (* The pre-fix extraction (one merged curve) really is corrupted:
+     utility regresses mid-stream. *)
+  let merged = Progress.curve stream in
+  let regresses =
+    let rec go prev = function
+      | [] -> false
+      | (_, u) :: rest -> u < prev || go u rest
+    in
+    go neg_infinity merged
+  in
+  Alcotest.(check bool) "merged stream sawtooths (the bug)" true regresses;
+  match Progress.solve_curves stream with
+  | [ (ca, curve_a); (cb, curve_b) ] ->
+      Alcotest.(check string) "first solve keyed by its corr" a ca;
+      Alcotest.(check string) "second solve keyed by its corr" b cb;
+      Alcotest.(check (list (pair (float 1e-9) (float 1e-9))))
+        "solve a: deduped, final lifted to the running max"
+        [ (0.0, 10.0); (0.2, 25.0); (0.3, 25.0); (0.5, 25.0) ]
+        curve_a;
+      Alcotest.(check (list (pair (float 1e-9) (float 1e-9))))
+        "solve b: clean stream passes through"
+        [ (0.1, 2.0); (0.4, 15.0); (0.6, 30.0) ]
+        curve_b;
+      List.iter
+        (fun curve ->
+          ignore
+            (List.fold_left
+               (fun prev (_, u) ->
+                 Alcotest.(check bool) "per-solve curve is monotone" true
+                   (u >= prev);
+                 u)
+               neg_infinity curve))
+        [ curve_a; curve_b ]
+  | l -> Alcotest.failf "expected 2 solve curves, got %d" (List.length l)
+
+(* Unscoped solves mint their own correlation ids (Solve_ctx.with_corr),
+   so successive solves in a plain loop — the bench harness — stay
+   separable by corr instead of merging into one "" stream. *)
+let unscoped_solves_fresh_corrs () =
+  let inst = Fixtures.figure1 ~budget:4.0 in
+  with_events (fun () ->
+      let s1 = Solver.solve inst in
+      let s2 = Solver.solve inst in
+      Alcotest.(check (float 0.0)) "deterministic across the pair"
+        s1.Solution.utility s2.Solution.utility;
+      let events = Event.events () in
+      List.iter
+        (fun e ->
+          Alcotest.(check bool) (e.Event.name ^ " carries a minted corr") true
+            (e.Event.corr <> ""))
+        events;
+      match Progress.solve_curves events with
+      | [ (c1, curve1); (c2, curve2) ] ->
+          Alcotest.(check bool) "distinct corrs" true (c1 <> c2);
+          List.iter
+            (fun curve ->
+              match List.rev curve with
+              | (_, last_u) :: _ ->
+                  Alcotest.(check (float 1e-9)) "curve ends at the solution"
+                    s1.Solution.utility last_u
+              | [] -> Alcotest.fail "empty per-solve curve")
+            [ curve1; curve2 ]
+      | l -> Alcotest.failf "expected 2 per-solve curves, got %d" (List.length l))
+
 let rm_rf dir =
   if Sys.file_exists dir then begin
     Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
@@ -695,5 +788,7 @@ let suite =
     ("jsonl event codec round-trips and is total", `Quick, jsonl_codec_roundtrip);
     ("progress stream encodes and decodes", `Quick, progress_stream_roundtrip);
     ("real solve streams a well-formed anytime curve", `Quick, solve_progress_stream);
+    ("recorded stream splits into per-solve curves", `Quick, solve_curves_split_stream);
+    ("unscoped solves mint fresh correlation ids", `Quick, unscoped_solves_fresh_corrs);
     ("flight recorder groups, evicts and dumps", `Quick, recorder_grouping_and_dump);
   ]

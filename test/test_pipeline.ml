@@ -225,6 +225,7 @@ let pipeline_fingerprints_are_content_keyed () =
   let stage inst =
     Pipeline.component_stage ~options ~grid:Pipeline.default_grid inst
       (Pipeline.prune_stage ~options ~deadline:Bcc_robust.Deadline.none
+         ~pool:(Bcc_engine.Engine.default_pool ())
          ~note_degraded:(fun _ -> ())
          inst)
   in
